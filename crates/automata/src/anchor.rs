@@ -1,0 +1,121 @@
+//! Left-anchor extraction for index-assisted query evaluation.
+//!
+//! §2.1 defines *anchored* regular expressions as those that begin or end
+//! with words of the language (`no.(2|3)` is anchored, `(no|num).(2|8)` is
+//! not). §5.3's evaluation probes the inverted index with the leading
+//! dictionary word of the pattern — e.g. `Public Law (8|9)\d` is probed
+//! with the term `public`.
+//!
+//! [`left_anchor`] returns the longest literal *word prefix* of a pattern:
+//! the maximal run of letter characters that every match must begin with.
+//! The caller looks it (case-folded) up in the term dictionary; a miss
+//! falls back to a filescan.
+
+use crate::regex::{Ast, ByteClass};
+
+/// Longest literal prefix of the pattern (characters every match starts
+/// with), cut at the first alternation/repetition/multi-byte class.
+fn literal_prefix(ast: &Ast, out: &mut String) -> bool {
+    // Returns true if the whole sub-AST was consumed as literal text (so a
+    // following sibling may continue the prefix).
+    match ast {
+        Ast::Empty => true,
+        Ast::Class(c) => {
+            if c.len() == 1 {
+                let b = c.iter().next().expect("len checked");
+                out.push(b as char);
+                true
+            } else {
+                false
+            }
+        }
+        Ast::Concat(parts) => {
+            for p in parts {
+                if !literal_prefix(p, out) {
+                    return false;
+                }
+            }
+            true
+        }
+        // A Plus of a single literal guarantees at least one occurrence.
+        Ast::Plus(inner) => {
+            literal_prefix(inner, out);
+            false
+        }
+        Ast::Alt(_) | Ast::Star(_) | Ast::Opt(_) => false,
+    }
+}
+
+/// Extract the left-anchor *word* of a pattern: the leading alphabetic run
+/// of its literal prefix, lowercased for dictionary lookup. Returns `None`
+/// when the pattern is not left-anchored by a word of length ≥ 2 (single
+/// letters are useless as index probes).
+pub fn left_anchor(ast: &Ast) -> Option<String> {
+    let mut prefix = String::new();
+    literal_prefix(ast, &mut prefix);
+    let word: String = prefix
+        .chars()
+        .take_while(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_lowercase())
+        .collect();
+    (word.len() >= 2).then_some(word)
+}
+
+/// Helper for checking whether a class is a single specific byte.
+#[allow(dead_code)]
+fn is_single(c: &ByteClass) -> bool {
+    c.len() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse;
+
+    fn anchor(pattern: &str) -> Option<String> {
+        left_anchor(&parse(pattern).unwrap())
+    }
+
+    #[test]
+    fn paper_example_public_law() {
+        assert_eq!(anchor(r"Public Law (8|9)\d"), Some("public".to_string()));
+    }
+
+    #[test]
+    fn keyword_is_its_own_anchor() {
+        assert_eq!(anchor("President"), Some("president".to_string()));
+    }
+
+    #[test]
+    fn anchor_stops_at_non_letter() {
+        assert_eq!(anchor(r"U.S.C. 2\d\d\d"), None); // 'U' alone is too short
+        assert_eq!(anchor(r"Sec(\x)*\d"), Some("sec".to_string()));
+        assert_eq!(anchor(r"spontan(\x)*"), Some("spontan".to_string()));
+    }
+
+    #[test]
+    fn unanchored_patterns_yield_none() {
+        assert_eq!(anchor(r"(no|num)\d"), None);
+        assert_eq!(anchor(r"\d\d"), None);
+        assert_eq!(anchor(r"(\x)*Sec"), None);
+        assert_eq!(anchor(""), None);
+    }
+
+    #[test]
+    fn anchor_is_lowercased() {
+        assert_eq!(anchor("Third Reich"), Some("third".to_string()));
+    }
+
+    #[test]
+    fn plus_of_literal_contributes_once() {
+        // 'ab+' guarantees the match starts with "ab".
+        assert_eq!(anchor("ab+c"), Some("ab".to_string()));
+    }
+
+    #[test]
+    fn opt_breaks_the_anchor() {
+        // 'ab?c': matches may start "ac", so only 'a' is guaranteed — too
+        // short to anchor.
+        assert_eq!(anchor("ab?cdef"), None);
+    }
+}

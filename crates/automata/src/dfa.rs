@@ -1,0 +1,313 @@
+//! Deterministic finite automata: subset construction, Moore minimization,
+//! and the containment closure used for `LIKE '%...%'`-style queries.
+//!
+//! The DFA is *total*: every state has a transition for every alphabet byte
+//! (an explicit dead state absorbs mismatches), so the probabilistic
+//! evaluation over SFAs can propagate state vectors without branching.
+
+use crate::nfa::Nfa;
+use crate::regex::{Ast, ByteClass};
+use std::collections::HashMap;
+
+/// Number of byte values the transition table covers (ASCII).
+pub const TABLE_WIDTH: usize = 128;
+
+/// A total DFA over ASCII.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// `table[s][b]` = successor of state `s` on byte `b`.
+    table: Vec<[u32; TABLE_WIDTH]>,
+    accept: Vec<bool>,
+    start: u32,
+}
+
+impl Dfa {
+    /// Compile an AST into a minimized DFA with *exact-match* semantics:
+    /// [`Dfa::accepts`] is true iff the whole input is in the language.
+    pub fn compile(ast: &Ast) -> Dfa {
+        Self::from_nfa(&Nfa::compile(ast)).minimize()
+    }
+
+    /// Compile an AST into a minimized DFA with *containment* semantics:
+    /// accepts iff some substring of the input is in the language
+    /// (`Σ*·L·Σ*`). Accepting states are absorbing, which the probabilistic
+    /// evaluator relies on: once a prefix of a document matches, every
+    /// completion matches.
+    pub fn compile_containment(ast: &Ast) -> Dfa {
+        let mut nfa = Nfa::compile(ast);
+        // Self-loop on the start state: the match may begin anywhere.
+        let start_loop = (ByteClass::any(), nfa.start);
+        nfa.trans[nfa.start as usize].push(start_loop);
+        // Absorbing accept: the match may end anywhere.
+        let accept_loop = (ByteClass::any(), nfa.accept);
+        nfa.trans[nfa.accept as usize].push(accept_loop);
+        Self::from_nfa(&nfa).minimize()
+    }
+
+    /// Subset construction.
+    fn from_nfa(nfa: &Nfa) -> Dfa {
+        let mut ids: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut table: Vec<[u32; TABLE_WIDTH]> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let mut work: Vec<Vec<u32>> = Vec::new();
+
+        // State 0 is the dead state (empty subset).
+        ids.insert(Vec::new(), 0);
+        table.push([0u32; TABLE_WIDTH]);
+        accept.push(false);
+
+        let start_set = nfa.eps_closure(&[nfa.start]);
+        let start_id = 1u32;
+        ids.insert(start_set.clone(), start_id);
+        table.push([0u32; TABLE_WIDTH]);
+        accept.push(start_set.binary_search(&nfa.accept).is_ok());
+        work.push(start_set);
+
+        while let Some(set) = work.pop() {
+            let sid = ids[&set];
+            let mut row = [0u32; TABLE_WIDTH];
+            for b in 0..TABLE_WIDTH as u8 {
+                let mut next: Vec<u32> = Vec::new();
+                for &s in &set {
+                    for &(c, t) in &nfa.trans[s as usize] {
+                        if c.contains(b) {
+                            next.push(t);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    continue; // dead
+                }
+                let closure = nfa.eps_closure(&next);
+                let id = match ids.get(&closure) {
+                    Some(&id) => id,
+                    None => {
+                        let id = table.len() as u32;
+                        ids.insert(closure.clone(), id);
+                        table.push([0u32; TABLE_WIDTH]);
+                        accept.push(closure.binary_search(&nfa.accept).is_ok());
+                        work.push(closure);
+                        id
+                    }
+                };
+                row[b as usize] = id;
+            }
+            table[sid as usize] = row;
+        }
+        Dfa { table, accept, start: start_id }
+    }
+
+    /// Moore partition-refinement minimization. Returns an equivalent DFA
+    /// with the minimum number of states (the `q` of Table 1's cost model).
+    fn minimize(&self) -> Dfa {
+        let n = self.table.len();
+        let mut part: Vec<u32> = self.accept.iter().map(|&a| a as u32).collect();
+        let mut count = 2usize;
+        loop {
+            let mut sigs: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+            let mut next_part = vec![0u32; n];
+            for s in 0..n {
+                let sig: Vec<u32> =
+                    self.table[s].iter().map(|&t| part[t as usize]).collect();
+                let key = (part[s], sig);
+                let next_id = sigs.len() as u32;
+                let id = *sigs.entry(key).or_insert(next_id);
+                next_part[s] = id;
+            }
+            let new_count = sigs.len();
+            part = next_part;
+            if new_count == count {
+                break;
+            }
+            count = new_count;
+        }
+        let mut table = vec![[0u32; TABLE_WIDTH]; count];
+        let mut accept = vec![false; count];
+        for s in 0..n {
+            let p = part[s] as usize;
+            accept[p] = self.accept[s];
+            for b in 0..TABLE_WIDTH {
+                table[p][b] = part[self.table[s][b] as usize];
+            }
+        }
+        Dfa { table, accept, start: part[self.start as usize] }
+    }
+
+    /// Number of states, including the dead state.
+    pub fn state_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Transition: successor of `state` on input byte `b`. Bytes outside
+    /// ASCII go to the dead state.
+    #[inline]
+    pub fn next(&self, state: u32, b: u8) -> u32 {
+        if (b as usize) < TABLE_WIDTH {
+            self.table[state as usize][b as usize]
+        } else {
+            self.dead_state()
+        }
+    }
+
+    /// Run the DFA over a whole string from `state`.
+    #[inline]
+    pub fn run_from(&self, mut state: u32, input: &str) -> u32 {
+        for &b in input.as_bytes() {
+            state = self.next(state, b);
+        }
+        state
+    }
+
+    /// Whether `state` accepts.
+    #[inline]
+    pub fn is_accept(&self, state: u32) -> bool {
+        self.accept[state as usize]
+    }
+
+    /// Whether the DFA accepts the full input string.
+    pub fn accepts(&self, input: &str) -> bool {
+        self.is_accept(self.run_from(self.start, input))
+    }
+
+    /// The dead state, if one is reachable in the minimized table. After
+    /// minimization the dead state is the unique non-accepting state that
+    /// maps every byte to itself; if the language is co-finite there may be
+    /// none, in which case this returns a state that behaves equivalently
+    /// for out-of-alphabet bytes (the start state's failure target).
+    fn dead_state(&self) -> u32 {
+        for (s, row) in self.table.iter().enumerate() {
+            if !self.accept[s] && row.iter().all(|&t| t as usize == s) {
+                return s as u32;
+            }
+        }
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse;
+
+    fn exact(pattern: &str) -> Dfa {
+        Dfa::compile(&parse(pattern).unwrap())
+    }
+
+    fn contains(pattern: &str) -> Dfa {
+        Dfa::compile_containment(&parse(pattern).unwrap())
+    }
+
+    #[test]
+    fn exact_match_semantics() {
+        let d = exact("Ford");
+        assert!(d.accepts("Ford"));
+        assert!(!d.accepts("xFord"));
+        assert!(!d.accepts("Fordx"));
+        assert!(!d.accepts("F0rd"));
+    }
+
+    #[test]
+    fn containment_semantics() {
+        let d = contains("Ford");
+        assert!(d.accepts("Ford"));
+        assert!(d.accepts("a Ford pickup"));
+        assert!(!d.accepts("a F0rd pickup"));
+        assert!(d.accepts("FoFordrd"));
+    }
+
+    #[test]
+    fn containment_accept_is_absorbing() {
+        let d = contains("ab");
+        let mut s = d.start();
+        for &b in b"xxabyy" {
+            s = d.next(s, b);
+        }
+        assert!(d.is_accept(s));
+        // Further input cannot leave acceptance.
+        for &b in b"qqqq" {
+            s = d.next(s, b);
+            assert!(d.is_accept(s));
+        }
+    }
+
+    #[test]
+    fn paper_regex_queries_work_in_containment() {
+        let usc = contains(r"U.S.C. 2\d\d\d");
+        assert!(usc.accepts("see U.S.C. 2345 for details"));
+        assert!(!usc.accepts("see U.S.C. 2x45 for details"));
+
+        let pl = contains(r"Public Law (8|9)\d");
+        assert!(pl.accepts("under Public Law 89 the"));
+        assert!(!pl.accepts("under Public Law 79 the"));
+
+        let sec = contains(r"Sec(\x)*\d");
+        assert!(sec.accepts("Sec. IV part 3"));
+        assert!(!sec.accepts("Section four"));
+    }
+
+    #[test]
+    fn minimization_reduces_states() {
+        // (a|b)(a|b) has a 4-state minimal DFA (+ dead): redundant subset
+        // states must be merged.
+        let d = exact("(a|b)(a|b)");
+        assert!(d.state_count() <= 5, "got {} states", d.state_count());
+    }
+
+    #[test]
+    fn dfa_equals_nfa_on_exhaustive_small_inputs() {
+        let patterns = ["a(b|c)*d", "ab?c+", r"\d\d", "x|yz", ""];
+        let alphabet = [b'a', b'b', b'c', b'd', b'1'];
+        for pat in patterns {
+            let ast = parse(pat).unwrap();
+            let nfa = Nfa::compile(&ast);
+            let dfa = Dfa::compile(&ast);
+            // All strings of length ≤ 4 over a 5-letter alphabet.
+            let mut inputs: Vec<String> = vec![String::new()];
+            for _ in 0..4 {
+                let mut next = Vec::new();
+                for s in &inputs {
+                    for &b in &alphabet {
+                        let mut t = s.clone();
+                        t.push(b as char);
+                        next.push(t);
+                    }
+                }
+                inputs.extend(next);
+            }
+            for input in &inputs {
+                assert_eq!(
+                    dfa.accepts(input),
+                    nfa.accepts(input),
+                    "pattern {pat:?} input {input:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_alphabet_bytes_go_dead() {
+        let d = exact("a");
+        let s = d.next(d.start(), 0xC3);
+        assert!(!d.is_accept(d.run_from(s, "a")));
+    }
+
+    #[test]
+    fn empty_language_via_empty_pattern_containment() {
+        // Containment of the empty string matches everything.
+        let d = contains("");
+        assert!(d.accepts(""));
+        assert!(d.accepts("anything"));
+    }
+
+    #[test]
+    fn state_count_reported() {
+        let d = contains("President");
+        // keyword of length 9 → about 11 states incl. dead/absorbing.
+        assert!(d.state_count() >= 10 && d.state_count() <= 12, "{}", d.state_count());
+    }
+}

@@ -1,0 +1,38 @@
+//! Pattern-compilation errors.
+
+use std::fmt;
+
+/// Error produced while parsing a regex or LIKE pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError {
+    /// Byte offset in the pattern where the problem was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl PatternError {
+    pub(crate) fn new(position: usize, message: impl Into<String>) -> Self {
+        PatternError { position, message: message.into() }
+    }
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_position() {
+        let e = PatternError::new(3, "unbalanced parenthesis");
+        assert!(e.to_string().contains("byte 3"));
+        assert!(e.to_string().contains("unbalanced"));
+    }
+}

@@ -1,0 +1,128 @@
+//! SQL `LIKE` pattern support.
+//!
+//! Staccato's user-facing surface is the `LIKE` predicate
+//! (`DocData LIKE '%Ford%'`, Figure 1C). A `LIKE` pattern is translated to
+//! the same [`Ast`] the regex dialect produces:
+//!
+//! * `%` — any sequence of zero or more characters (`(\x)*`);
+//! * `_` — any single character (`\x`);
+//! * `\%`, `\_`, `\\` — escaped literals;
+//! * everything else matches itself.
+//!
+//! A full-string `LIKE` match over the whole document is the *exact-match*
+//! DFA of the translated AST; the common `'%p%'` form reduces to the
+//! containment DFA of `p`.
+
+use crate::error::PatternError;
+use crate::regex::{Ast, ByteClass};
+use crate::{ALPHA_HI, ALPHA_LO};
+
+/// Translate a `LIKE` pattern into a regex [`Ast`] with exact-match
+/// semantics over the whole document string.
+pub fn like_to_ast(pattern: &str) -> Result<Ast, PatternError> {
+    if !pattern.is_ascii() {
+        return Err(PatternError::new(0, "LIKE pattern must be ASCII"));
+    }
+    let bytes = pattern.as_bytes();
+    let mut parts: Vec<Ast> = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'%' => parts.push(Ast::Star(Box::new(Ast::Class(ByteClass::any())))),
+            b'_' => parts.push(Ast::Class(ByteClass::any())),
+            b'\\' => {
+                i += 1;
+                let esc = *bytes
+                    .get(i)
+                    .ok_or_else(|| PatternError::new(i - 1, "dangling escape in LIKE"))?;
+                parts.push(Ast::Class(ByteClass::single(esc)));
+            }
+            _ => {
+                if !(ALPHA_LO..=ALPHA_HI).contains(&b) {
+                    return Err(PatternError::new(i, "byte outside printable ASCII"));
+                }
+                parts.push(Ast::Class(ByteClass::single(b)));
+            }
+        }
+        i += 1;
+    }
+    Ok(match parts.len() {
+        0 => Ast::Empty,
+        1 => parts.pop().expect("one part"),
+        _ => Ast::Concat(parts),
+    })
+}
+
+/// If the pattern has the common `'%inner%'` shape with no other
+/// metacharacters, return the inner literal — queries of this shape run as
+/// plain containment of a keyword, the fast path of every engine.
+pub fn like_inner_literal(pattern: &str) -> Option<&str> {
+    let inner = pattern.strip_prefix('%')?.strip_suffix('%')?;
+    if inner.bytes().any(|b| matches!(b, b'%' | b'_' | b'\\')) {
+        return None;
+    }
+    Some(inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+
+    fn like_dfa(pattern: &str) -> Dfa {
+        Dfa::compile(&like_to_ast(pattern).unwrap())
+    }
+
+    #[test]
+    fn percent_wraps_match_anywhere() {
+        let d = like_dfa("%Ford%");
+        assert!(d.accepts("my Ford car"));
+        assert!(d.accepts("Ford"));
+        assert!(!d.accepts("my F0rd car"));
+    }
+
+    #[test]
+    fn underscore_matches_single_char() {
+        let d = like_dfa("F_rd");
+        assert!(d.accepts("Ford"));
+        assert!(d.accepts("F0rd"));
+        assert!(!d.accepts("Frd"));
+        assert!(!d.accepts("Foord"));
+    }
+
+    #[test]
+    fn escapes_are_literal() {
+        let d = like_dfa(r"100\%");
+        assert!(d.accepts("100%"));
+        assert!(!d.accepts("1000"));
+    }
+
+    #[test]
+    fn no_wildcards_is_exact_match() {
+        let d = like_dfa("Ford");
+        assert!(d.accepts("Ford"));
+        assert!(!d.accepts("a Ford"));
+    }
+
+    #[test]
+    fn inner_literal_extraction() {
+        assert_eq!(like_inner_literal("%Ford%"), Some("Ford"));
+        assert_eq!(like_inner_literal("%Fo_d%"), None);
+        assert_eq!(like_inner_literal("Ford%"), None);
+        assert_eq!(like_inner_literal("%Ford"), None);
+        assert_eq!(like_inner_literal("%%"), Some(""));
+    }
+
+    #[test]
+    fn dangling_escape_rejected() {
+        assert!(like_to_ast("abc\\").is_err());
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_string() {
+        let d = like_dfa("");
+        assert!(d.accepts(""));
+        assert!(!d.accepts("x"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Thompson construction: regex AST → nondeterministic finite automaton.
+//!
+//! Standard textbook construction (Hopcroft–Motwani–Ullman, the reference
+//! the paper cites for its query compilation): one start and one accept
+//! state per sub-expression, ε-transitions glue sub-automata together.
+
+use crate::regex::{Ast, ByteClass};
+
+/// NFA state id.
+pub type StateId = u32;
+
+/// A Thompson NFA. Exactly one start state and one accept state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Per state: byte-class transitions.
+    pub trans: Vec<Vec<(ByteClass, StateId)>>,
+    /// Per state: ε-transitions.
+    pub eps: Vec<Vec<StateId>>,
+    /// Start state.
+    pub start: StateId,
+    /// Accept state.
+    pub accept: StateId,
+}
+
+impl Nfa {
+    fn new_state(&mut self) -> StateId {
+        self.trans.push(Vec::new());
+        self.eps.push(Vec::new());
+        (self.trans.len() - 1) as StateId
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Whether the automaton has no states (never true for compiled ASTs).
+    pub fn is_empty(&self) -> bool {
+        self.trans.is_empty()
+    }
+
+    /// Compile an AST into an NFA.
+    pub fn compile(ast: &Ast) -> Nfa {
+        let mut nfa = Nfa { trans: Vec::new(), eps: Vec::new(), start: 0, accept: 0 };
+        let start = nfa.new_state();
+        let accept = nfa.new_state();
+        nfa.start = start;
+        nfa.accept = accept;
+        nfa.build(ast, start, accept);
+        nfa
+    }
+
+    /// Wire `ast` between `from` and `to`.
+    fn build(&mut self, ast: &Ast, from: StateId, to: StateId) {
+        match ast {
+            Ast::Empty => self.eps[from as usize].push(to),
+            Ast::Class(c) => self.trans[from as usize].push((*c, to)),
+            Ast::Concat(parts) => {
+                let mut cur = from;
+                for (i, p) in parts.iter().enumerate() {
+                    let next =
+                        if i + 1 == parts.len() { to } else { self.new_state() };
+                    self.build(p, cur, next);
+                    cur = next;
+                }
+                if parts.is_empty() {
+                    self.eps[from as usize].push(to);
+                }
+            }
+            Ast::Alt(parts) => {
+                for p in parts {
+                    let s = self.new_state();
+                    let e = self.new_state();
+                    self.eps[from as usize].push(s);
+                    self.build(p, s, e);
+                    self.eps[e as usize].push(to);
+                }
+            }
+            Ast::Star(inner) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                self.eps[from as usize].push(s);
+                self.eps[s as usize].push(e);
+                self.build(inner, s, e);
+                self.eps[e as usize].push(s);
+                self.eps[e as usize].push(to);
+            }
+            Ast::Plus(inner) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                self.eps[from as usize].push(s);
+                self.build(inner, s, e);
+                self.eps[e as usize].push(s);
+                self.eps[e as usize].push(to);
+            }
+            Ast::Opt(inner) => {
+                self.eps[from as usize].push(to);
+                self.build(inner, from, to);
+            }
+        }
+    }
+
+    /// ε-closure of a set of states; returns a sorted, deduplicated vector.
+    pub fn eps_closure(&self, states: &[StateId]) -> Vec<StateId> {
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<StateId> = Vec::with_capacity(states.len());
+        for &s in states {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                stack.push(s);
+            }
+        }
+        let mut i = 0;
+        while i < stack.len() {
+            let s = stack[i];
+            i += 1;
+            for &t in &self.eps[s as usize] {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        stack.sort_unstable();
+        stack
+    }
+
+    /// Reference matcher: does the NFA accept `input` exactly? Used as the
+    /// test oracle for the DFA pipeline.
+    pub fn accepts(&self, input: &str) -> bool {
+        let mut cur = self.eps_closure(&[self.start]);
+        for &b in input.as_bytes() {
+            let mut next = Vec::new();
+            for &s in &cur {
+                for &(c, t) in &self.trans[s as usize] {
+                    if c.contains(b) {
+                        next.push(t);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            cur = self.eps_closure(&next);
+        }
+        cur.contains(&self.accept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse;
+
+    fn accepts(pattern: &str, input: &str) -> bool {
+        Nfa::compile(&parse(pattern).unwrap()).accepts(input)
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(accepts("Ford", "Ford"));
+        assert!(!accepts("Ford", "F0rd"));
+        assert!(!accepts("Ford", "Fords"));
+        assert!(!accepts("Ford", "For"));
+    }
+
+    #[test]
+    fn digits_and_wildcards() {
+        assert!(accepts(r"U.S.C. 2\d\d\d", "U.S.C. 2345"));
+        assert!(!accepts(r"U.S.C. 2\d\d\d", "U.S.C. 2x45"));
+        assert!(accepts(r"Sec(\x)*\d", "Sec. 3"));
+        assert!(accepts(r"Sec(\x)*\d", "Sec9"));
+        assert!(!accepts(r"Sec(\x)*\d", "Sec. x"));
+    }
+
+    #[test]
+    fn alternation() {
+        assert!(accepts("Public Law (8|9)7", "Public Law 87"));
+        assert!(accepts("Public Law (8|9)7", "Public Law 97"));
+        assert!(!accepts("Public Law (8|9)7", "Public Law 77"));
+    }
+
+    #[test]
+    fn star_plus_opt() {
+        assert!(accepts("ab*c", "ac"));
+        assert!(accepts("ab*c", "abbbc"));
+        assert!(!accepts("ab+c", "ac"));
+        assert!(accepts("ab+c", "abc"));
+        assert!(accepts("ab?c", "ac"));
+        assert!(accepts("ab?c", "abc"));
+        assert!(!accepts("ab?c", "abbc"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_only() {
+        assert!(accepts("", ""));
+        assert!(!accepts("", "a"));
+    }
+
+    #[test]
+    fn nested_groups() {
+        assert!(accepts("(a(b|c))+", "abac"));
+        assert!(!accepts("(a(b|c))+", "aba"));
+    }
+
+    #[test]
+    fn eps_closure_is_sorted_and_complete() {
+        let nfa = Nfa::compile(&parse("a*").unwrap());
+        let cl = nfa.eps_closure(&[nfa.start]);
+        let mut sorted = cl.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(cl, sorted);
+        // a* accepts empty, so the closure of start must contain accept.
+        assert!(cl.contains(&nfa.accept));
+    }
+}

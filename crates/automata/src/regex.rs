@@ -1,0 +1,423 @@
+//! Parser for the paper's regular-expression dialect.
+//!
+//! The queries in the evaluation (Table 6) use keywords plus a small regex
+//! vocabulary. The dialect implemented here:
+//!
+//! * plain characters match themselves — including `.`, which the paper
+//!   writes literally in queries like `U.S.C. 2\d\d\d`;
+//! * `\d` — any ASCII digit;
+//! * `\x` — any character of the alphabet (printable ASCII), the paper's
+//!   wildcard in `Sec(\x)*\d`;
+//! * `\s` — a space;
+//! * `\\`, `\(`, `\)`, `\|`, `\*`, `\+`, `\?`, `\[`, `\]` — escaped
+//!   metacharacters;
+//! * `(...)` grouping, `|` alternation, `*` `+` `?` repetition;
+//! * `[a-z0-9]` character classes (ranges and singletons; `[^...]` negates
+//!   within the alphabet).
+//!
+//! The parser is a hand-written recursive descent over bytes; patterns must
+//! be ASCII.
+
+use crate::error::PatternError;
+use crate::{ALPHA_HI, ALPHA_LO};
+
+/// A set of alphabet bytes, as a 128-bit mask over ASCII.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ByteClass {
+    bits: [u64; 2],
+}
+
+impl ByteClass {
+    /// The empty class.
+    pub const fn empty() -> Self {
+        ByteClass { bits: [0, 0] }
+    }
+
+    /// Class containing a single byte.
+    pub fn single(b: u8) -> Self {
+        let mut c = Self::empty();
+        c.insert(b);
+        c
+    }
+
+    /// Every byte of the query alphabet (printable ASCII).
+    pub fn any() -> Self {
+        let mut c = Self::empty();
+        for b in ALPHA_LO..=ALPHA_HI {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// ASCII digits `0-9`.
+    pub fn digits() -> Self {
+        let mut c = Self::empty();
+        for b in b'0'..=b'9' {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// Add a byte to the class.
+    pub fn insert(&mut self, b: u8) {
+        debug_assert!(b < 128);
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Whether the class contains `b`.
+    pub fn contains(&self, b: u8) -> bool {
+        b < 128 && self.bits[(b >> 6) as usize] >> (b & 63) & 1 == 1
+    }
+
+    /// Complement within the query alphabet.
+    pub fn negate(&self) -> Self {
+        let mut c = Self::empty();
+        for b in ALPHA_LO..=ALPHA_HI {
+            if !self.contains(b) {
+                c.insert(b);
+            }
+        }
+        c
+    }
+
+    /// Number of bytes in the class.
+    pub fn len(&self) -> u32 {
+        self.bits[0].count_ones() + self.bits[1].count_ones()
+    }
+
+    /// Whether the class is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits == [0, 0]
+    }
+
+    /// Iterate the member bytes in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u8..128).filter(move |&b| self.contains(b))
+    }
+}
+
+impl std::fmt::Debug for ByteClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ByteClass[")?;
+        for b in self.iter() {
+            write!(f, "{}", b as char)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Regular-expression abstract syntax tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// Matches one byte from the class.
+    Class(ByteClass),
+    /// Concatenation.
+    Concat(Vec<Ast>),
+    /// Alternation.
+    Alt(Vec<Ast>),
+    /// Zero or more repetitions.
+    Star(Box<Ast>),
+    /// One or more repetitions.
+    Plus(Box<Ast>),
+    /// Zero or one occurrence.
+    Opt(Box<Ast>),
+}
+
+impl Ast {
+    /// Convenience: a literal string as a concatenation of single-byte
+    /// classes. Panics on non-ASCII input (callers validate first).
+    pub fn literal(s: &str) -> Ast {
+        assert!(s.is_ascii(), "patterns are ASCII");
+        Ast::Concat(s.bytes().map(|b| Ast::Class(ByteClass::single(b))).collect())
+    }
+
+    /// Minimum length of any string in the language — used by index
+    /// projection to bound how far a match can extend.
+    pub fn min_len(&self) -> usize {
+        match self {
+            Ast::Empty => 0,
+            Ast::Class(_) => 1,
+            Ast::Concat(parts) => parts.iter().map(Ast::min_len).sum(),
+            Ast::Alt(parts) => parts.iter().map(Ast::min_len).min().unwrap_or(0),
+            Ast::Star(_) => 0,
+            Ast::Plus(inner) => inner.min_len(),
+            Ast::Opt(_) => 0,
+        }
+    }
+
+    /// Maximum length of any string in the language, or `None` if the
+    /// language is infinite (`*` / `+`).
+    pub fn max_len(&self) -> Option<usize> {
+        match self {
+            Ast::Empty => Some(0),
+            Ast::Class(_) => Some(1),
+            Ast::Concat(parts) => {
+                parts.iter().map(Ast::max_len).try_fold(0usize, |a, b| b.map(|b| a + b))
+            }
+            Ast::Alt(parts) => {
+                parts.iter().map(Ast::max_len).try_fold(0usize, |a, b| b.map(|b| a.max(b)))
+            }
+            Ast::Star(_) | Ast::Plus(_) => None,
+            Ast::Opt(inner) => inner.max_len(),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse a pattern in the paper's dialect into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, PatternError> {
+    if !pattern.is_ascii() {
+        return Err(PatternError::new(0, "pattern must be ASCII"));
+    }
+    let mut p = Parser { bytes: pattern.as_bytes(), pos: 0 };
+    let ast = p.alt()?;
+    if p.pos != p.bytes.len() {
+        return Err(PatternError::new(p.pos, "unexpected ')'"));
+    }
+    Ok(ast)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn alt(&mut self) -> Result<Ast, PatternError> {
+        let mut parts = vec![self.concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            parts.push(self.concat()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one part") } else { Ast::Alt(parts) })
+    }
+
+    fn concat(&mut self) -> Result<Ast, PatternError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, PatternError> {
+        let mut node = self.atom()?;
+        while let Some(b) = self.peek() {
+            node = match b {
+                b'*' => Ast::Star(Box::new(node)),
+                b'+' => Ast::Plus(Box::new(node)),
+                b'?' => Ast::Opt(Box::new(node)),
+                _ => break,
+            };
+            self.bump();
+        }
+        Ok(node)
+    }
+
+    fn atom(&mut self) -> Result<Ast, PatternError> {
+        let start = self.pos;
+        let b = self.bump().ok_or_else(|| PatternError::new(start, "unexpected end"))?;
+        match b {
+            b'(' => {
+                let inner = self.alt()?;
+                if self.bump() != Some(b')') {
+                    return Err(PatternError::new(start, "unbalanced '('"));
+                }
+                Ok(inner)
+            }
+            b'[' => self.class(start),
+            b'\\' => {
+                let esc =
+                    self.bump().ok_or_else(|| PatternError::new(start, "dangling escape"))?;
+                match esc {
+                    b'd' => Ok(Ast::Class(ByteClass::digits())),
+                    b'x' => Ok(Ast::Class(ByteClass::any())),
+                    b's' => Ok(Ast::Class(ByteClass::single(b' '))),
+                    b'\\' | b'(' | b')' | b'|' | b'*' | b'+' | b'?' | b'[' | b']' | b'.' => {
+                        Ok(Ast::Class(ByteClass::single(esc)))
+                    }
+                    other => Err(PatternError::new(
+                        start,
+                        format!("unknown escape '\\{}'", other as char),
+                    )),
+                }
+            }
+            b'*' | b'+' | b'?' => {
+                Err(PatternError::new(start, "repetition operator with nothing to repeat"))
+            }
+            b')' => Err(PatternError::new(start, "unbalanced ')'")),
+            _ => {
+                if !(ALPHA_LO..=ALPHA_HI).contains(&b) {
+                    return Err(PatternError::new(start, "byte outside printable ASCII"));
+                }
+                Ok(Ast::Class(ByteClass::single(b)))
+            }
+        }
+    }
+
+    fn class(&mut self, start: usize) -> Result<Ast, PatternError> {
+        let mut set = ByteClass::empty();
+        let negate = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        loop {
+            let b = match self.bump() {
+                None => return Err(PatternError::new(start, "unbalanced '['")),
+                Some(b']') => break,
+                Some(b) => b,
+            };
+            let lo = if b == b'\\' {
+                self.bump().ok_or_else(|| PatternError::new(start, "dangling escape"))?
+            } else {
+                b
+            };
+            if self.peek() == Some(b'-') && self.bytes.get(self.pos + 1) != Some(&b']') {
+                self.bump(); // '-'
+                let hi = self
+                    .bump()
+                    .ok_or_else(|| PatternError::new(start, "unterminated range"))?;
+                if hi < lo {
+                    return Err(PatternError::new(start, "reversed range"));
+                }
+                for x in lo..=hi {
+                    set.insert(x);
+                }
+            } else {
+                set.insert(lo);
+            }
+        }
+        if set.is_empty() {
+            return Err(PatternError::new(start, "empty character class"));
+        }
+        Ok(Ast::Class(if negate { set.negate() } else { set }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_parses_to_concat_of_singles() {
+        let ast = parse("Ford").unwrap();
+        match ast {
+            Ast::Concat(parts) => {
+                assert_eq!(parts.len(), 4);
+                assert_eq!(parts[0], Ast::Class(ByteClass::single(b'F')));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_query_usc_parses() {
+        // CA2 from Table 4. '.' is literal in the dialect.
+        let ast = parse(r"U.S.C. 2\d\d\d").unwrap();
+        assert_eq!(ast.min_len(), 11);
+        assert_eq!(ast.max_len(), Some(11));
+    }
+
+    #[test]
+    fn paper_query_sec_wildcard_parses() {
+        // DB2 from Table 4: Sec(\x)*\d — unbounded.
+        let ast = parse(r"Sec(\x)*\d").unwrap();
+        assert_eq!(ast.min_len(), 4);
+        assert_eq!(ast.max_len(), None);
+    }
+
+    #[test]
+    fn paper_query_public_law_parses() {
+        let ast = parse(r"Public Law (8|9)\d").unwrap();
+        assert_eq!(ast.min_len(), 13);
+        assert_eq!(ast.max_len(), Some(13));
+    }
+
+    #[test]
+    fn alternation_and_repetition_nest() {
+        let ast = parse("a(b|c)*d+e?").unwrap();
+        assert_eq!(ast.min_len(), 2); // a d
+        assert_eq!(ast.max_len(), None);
+    }
+
+    #[test]
+    fn class_ranges_and_negation() {
+        let Ast::Class(c) = parse("[a-c]").unwrap() else { panic!("expected class") };
+        assert!(c.contains(b'a') && c.contains(b'b') && c.contains(b'c'));
+        assert!(!c.contains(b'd'));
+        let Ast::Class(n) = parse("[^a-c]").unwrap() else { panic!("expected class") };
+        assert!(!n.contains(b'a'));
+        assert!(n.contains(b'd'));
+        assert!(n.contains(b' '));
+    }
+
+    #[test]
+    fn escapes_are_literal() {
+        let Ast::Class(c) = parse(r"\*").unwrap() else { panic!("expected class") };
+        assert!(c.contains(b'*'));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        assert_eq!(parse("a(b").unwrap_err().position, 1);
+        assert!(parse("*a").unwrap_err().message.contains("repetition"));
+        assert!(parse("a)").unwrap_err().message.contains("')'"));
+        assert!(parse("[z-a]").unwrap_err().message.contains("reversed"));
+        assert!(parse(r"\q").unwrap_err().message.contains("unknown escape"));
+        assert!(parse("[]").unwrap_err().message.contains("empty character class"));
+        assert!(parse("[ab").unwrap_err().message.contains("unbalanced '['"));
+        assert!(parse("héllo").unwrap_err().message.contains("ASCII"));
+    }
+
+    #[test]
+    fn empty_pattern_is_empty_ast() {
+        assert_eq!(parse("").unwrap(), Ast::Empty);
+        assert_eq!(
+            parse("a|").unwrap(),
+            Ast::Alt(vec![Ast::Class(ByteClass::single(b'a')), Ast::Empty])
+        );
+    }
+
+    #[test]
+    fn byteclass_basic_ops() {
+        let any = ByteClass::any();
+        assert_eq!(any.len(), (ALPHA_HI - ALPHA_LO + 1) as u32);
+        assert!(any.contains(b' '));
+        assert!(any.contains(b'~'));
+        assert!(!any.contains(0x1F));
+        let d = ByteClass::digits();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.iter().collect::<Vec<_>>(), (b'0'..=b'9').collect::<Vec<_>>());
+        assert_eq!(d.negate().len(), any.len() - 10);
+    }
+
+    #[test]
+    fn literal_helper_min_max() {
+        let ast = Ast::literal("President");
+        assert_eq!(ast.min_len(), 9);
+        assert_eq!(ast.max_len(), Some(9));
+    }
+}

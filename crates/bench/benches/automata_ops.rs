@@ -1,0 +1,40 @@
+//! Criterion bench for the automata substrate: pattern compilation,
+//! DFA execution, Viterbi and k-best inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use staccato_automata::{parse, Dfa};
+use staccato_ocr::{Channel, ChannelConfig};
+use staccato_sfa::{k_best_paths, map_path};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_automata(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automata");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("compile/keyword", |b| {
+        b.iter(|| black_box(Dfa::compile_containment(&parse("President").unwrap())))
+    });
+    group.bench_function("compile/regex", |b| {
+        b.iter(|| black_box(Dfa::compile_containment(&parse(r"Public Law (8|9)\d").unwrap())))
+    });
+
+    let dfa = Dfa::compile_containment(&parse(r"U.S.C. 2\d\d\d").unwrap());
+    let doc = "the act referenced in U.S.C. 2345 shall be amended by striking section 4";
+    group.bench_function("run/containment_75_chars", |b| {
+        b.iter(|| black_box(dfa.is_accept(dfa.run_from(dfa.start(), doc))))
+    });
+
+    let channel = Channel::new(ChannelConfig { seed: 3, ..ChannelConfig::default() });
+    let sfa = channel.line_to_sfa(doc, 3);
+    group.bench_function("viterbi/75_chars_full_alphabet", |b| {
+        b.iter(|| black_box(map_path(&sfa)))
+    });
+    group.bench_function("kbest25/75_chars_full_alphabet", |b| {
+        b.iter(|| black_box(k_best_paths(&sfa, 25)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_automata);
+criterion_main!(benches);

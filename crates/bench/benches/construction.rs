@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 8: Staccato construction time vs SFA size
+//! and vs the m/k parameters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use staccato_core::{approximate, StaccatoParams};
+use staccato_ocr::{Channel, ChannelConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_construction(c: &mut Criterion) {
+    let channel = Channel::new(ChannelConfig { seed: 7, ..ChannelConfig::default() });
+    let line = |n: usize| -> String {
+        "public law of the united states congress ".chars().cycle().take(n).collect()
+    };
+    let mut group = c.benchmark_group("fig8_construction");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [50usize, 150] {
+        let sfa = channel.line_to_sfa(&line(n), n as u64);
+        group.bench_function(format!("n{n}/m1_k25"), |b| {
+            b.iter(|| black_box(approximate(&sfa, StaccatoParams::new(1, 25))))
+        });
+        group.bench_function(format!("n{n}/m40_k25"), |b| {
+            b.iter(|| black_box(approximate(&sfa, StaccatoParams::new(40, 25))))
+        });
+    }
+    // k sweep at fixed n (appendix Figure 18).
+    let sfa = channel.line_to_sfa(&line(100), 1);
+    for k in [5usize, 25, 100] {
+        group.bench_function(format!("n100/m20_k{k}"), |b| {
+            b.iter(|| black_box(approximate(&sfa, StaccatoParams::new(20, k))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

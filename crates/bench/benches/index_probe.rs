@@ -1,0 +1,54 @@
+//! Criterion bench for Figure 9: index-assisted execution vs filescan on
+//! an anchored regular expression, through the real storage engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use staccato_automata::Trie;
+use staccato_bench::workload::corpus_dictionary;
+use staccato_core::StaccatoParams;
+use staccato_ocr::{generate, ChannelConfig, CorpusKind};
+use staccato_query::exec::{filescan_query, Approach};
+use staccato_query::invindex::{build_index, indexed_query, line_postings};
+use staccato_query::store::{LoadOptions, OcrStore};
+use staccato_query::Query;
+use staccato_sfa::codec;
+use staccato_storage::Database;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_index(c: &mut Criterion) {
+    let dataset = generate(CorpusKind::CongressActs, 150, 42);
+    let db = Database::in_memory(8192).unwrap();
+    let opts = LoadOptions {
+        channel: ChannelConfig { seed: 42, ..ChannelConfig::default() },
+        kmap_k: 25,
+        staccato: StaccatoParams::new(40, 25),
+        ..Default::default()
+    };
+    let store = OcrStore::load(db, &dataset, &opts).unwrap();
+    let dict = corpus_dictionary(&dataset, 1000);
+    let trie = Trie::build(&dict);
+    let index = build_index(&store, &trie, "inv").unwrap();
+    let query = Query::regex(r"Public Law (8|9)\d").unwrap();
+
+    let mut group = c.benchmark_group("fig9_index");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("filescan", |b| {
+        b.iter(|| black_box(filescan_query(&store, Approach::Staccato, &query, 100).unwrap()))
+    });
+    group.bench_function("index_probe", |b| {
+        b.iter(|| black_box(indexed_query(&store, &index, &query, 100).unwrap()))
+    });
+    // Per-line posting extraction (Algorithms 3–4), the construction unit.
+    let graph = store.get_staccato_graph(0).unwrap();
+    let blob = codec::encode(&graph);
+    group.bench_function("line_postings_one_graph", |b| {
+        b.iter(|| {
+            let g = codec::decode(&blob).unwrap();
+            black_box(line_postings(&trie, &g))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

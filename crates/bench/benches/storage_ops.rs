@@ -1,0 +1,47 @@
+//! Criterion bench for the storage substrate: B+-tree point ops, heap
+//! scans, and blob reads (the FullSFA access path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use staccato_storage::{BTree, BlobStore, BufferPool, HeapFile, MemDisk};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    // B+-tree with 10k keys.
+    let pool = BufferPool::new(Box::new(MemDisk::new()), 4096);
+    let tree = BTree::create(&pool).unwrap();
+    for i in 0..10_000u64 {
+        tree.insert(&pool, format!("key{:07}", (i * 2654435761) % 10_000).as_bytes(), i)
+            .unwrap();
+    }
+    group.bench_function("btree/get_hit", |b| {
+        b.iter(|| black_box(tree.get(&pool, b"key0004217").unwrap()))
+    });
+    group.bench_function("btree/prefix_scan_10", |b| {
+        b.iter(|| black_box(tree.scan_prefix(&pool, b"key000421").unwrap()))
+    });
+
+    // Heap with 2k tuples of 200 bytes.
+    let heap = HeapFile::create(&pool).unwrap();
+    let tuple = vec![7u8; 200];
+    for _ in 0..2000 {
+        heap.insert(&pool, &tuple).unwrap();
+    }
+    group.bench_function("heap/full_scan_2k_tuples", |b| {
+        b.iter(|| black_box(heap.scan(&pool).count()))
+    });
+
+    // A 600 kB blob — the paper's per-line SFA size.
+    let blob_data: Vec<u8> = (0..600_000u32).map(|i| i as u8).collect();
+    let blob = BlobStore::put(&pool, &blob_data).unwrap();
+    group.bench_function("blob/read_600kB", |b| {
+        b.iter(|| black_box(BlobStore::get(&pool, blob).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Wall-clock measurement helpers.
+
+use std::time::{Duration, Instant};
+
+/// Run `f` `reps` times and return the median duration (the paper reports
+/// runtimes averaged over 7 runs; the median is robust to the first-run
+/// cache warm-up).
+pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    assert!(reps >= 1);
+    let mut samples: Vec<Duration> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Format a duration in adaptive units for result tables.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust_to_one_slow_run() {
+        let mut calls = 0;
+        let d = time_median(5, || {
+            calls += 1;
+            if calls == 1 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        assert!(d < Duration::from_millis(15), "median leaked the outlier: {d:?}");
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("us"));
+    }
+}

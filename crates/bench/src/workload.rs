@@ -1,0 +1,114 @@
+//! The paper's query workload (Table 6) and dictionary construction.
+
+use staccato_ocr::{CorpusKind, Dataset};
+use std::collections::BTreeSet;
+
+/// One workload query.
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySpec {
+    /// Identifier matching Table 6 (e.g. "CA1").
+    pub id: &'static str,
+    /// Pattern in the paper's regex dialect.
+    pub pattern: &'static str,
+    /// Whether Table 6 classifies it as a keyword query.
+    pub keyword: bool,
+}
+
+/// The 21 queries of Table 6, keyed by dataset.
+pub fn table6_queries(kind: CorpusKind) -> Vec<QuerySpec> {
+    match kind {
+        CorpusKind::CongressActs => vec![
+            QuerySpec { id: "CA1", pattern: "Attorney", keyword: true },
+            QuerySpec { id: "CA2", pattern: "Commission", keyword: true },
+            QuerySpec { id: "CA3", pattern: "employment", keyword: true },
+            QuerySpec { id: "CA4", pattern: "President", keyword: true },
+            QuerySpec { id: "CA5", pattern: "United States", keyword: true },
+            QuerySpec { id: "CA6", pattern: r"Public Law (8|9)\d", keyword: false },
+            QuerySpec { id: "CA7", pattern: r"U.S.C. 2\d\d\d", keyword: false },
+        ],
+        CorpusKind::DbPapers => vec![
+            QuerySpec { id: "DB1", pattern: "accuracy", keyword: true },
+            QuerySpec { id: "DB2", pattern: "confidence", keyword: true },
+            QuerySpec { id: "DB3", pattern: "database", keyword: true },
+            QuerySpec { id: "DB4", pattern: "lineage", keyword: true },
+            QuerySpec { id: "DB5", pattern: "Trio", keyword: true },
+            QuerySpec { id: "DB6", pattern: r"Sec(\x)*\d", keyword: false },
+            QuerySpec { id: "DB7", pattern: r"\x\x\x\d\d", keyword: false },
+        ],
+        CorpusKind::EnglishLit => vec![
+            QuerySpec { id: "LT1", pattern: "Brinkmann", keyword: true },
+            QuerySpec { id: "LT2", pattern: "Hitler", keyword: true },
+            QuerySpec { id: "LT3", pattern: "Jonathan", keyword: true },
+            QuerySpec { id: "LT4", pattern: "Kerouac", keyword: true },
+            QuerySpec { id: "LT5", pattern: "Third Reich", keyword: true },
+            QuerySpec { id: "LT6", pattern: r"19\d\d, \d\d", keyword: false },
+            QuerySpec { id: "LT7", pattern: r"spontan(\x)*", keyword: false },
+        ],
+        CorpusKind::Books => vec![
+            QuerySpec { id: "GB1", pattern: "President", keyword: true },
+            QuerySpec { id: "GB2", pattern: r"Public Law (8|9)\d", keyword: false },
+        ],
+    }
+}
+
+/// Build the index dictionary: every word of the clean corpus (the
+/// "known clean text corpus" source of §4) plus `filler` synthetic terms
+/// standing in for the rest of the paper's ~60,000-word English list —
+/// they exercise trie size without changing which postings exist.
+pub fn corpus_dictionary(dataset: &Dataset, filler: usize) -> Vec<String> {
+    let mut terms: BTreeSet<String> = BTreeSet::new();
+    for (_, _, line) in dataset.lines() {
+        for w in line.split(|c: char| !c.is_ascii_alphabetic()) {
+            if w.len() >= 2 {
+                terms.insert(w.to_ascii_lowercase());
+            }
+        }
+    }
+    let mut out: Vec<String> = terms.into_iter().collect();
+    for i in 0..filler {
+        out.push(format!("zfill{i:06}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staccato_ocr::generate;
+
+    #[test]
+    fn twenty_one_paper_queries() {
+        let total: usize = [CorpusKind::CongressActs, CorpusKind::EnglishLit, CorpusKind::DbPapers]
+            .iter()
+            .map(|&k| table6_queries(k).len())
+            .sum();
+        assert_eq!(total, 21);
+    }
+
+    #[test]
+    fn queries_parse_in_the_dialect() {
+        for kind in [
+            CorpusKind::CongressActs,
+            CorpusKind::EnglishLit,
+            CorpusKind::DbPapers,
+            CorpusKind::Books,
+        ] {
+            for q in table6_queries(kind) {
+                staccato_query::Query::regex(q.pattern)
+                    .unwrap_or_else(|e| panic!("{} failed to parse: {e}", q.id));
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_contains_anchor_terms() {
+        let d = generate(CorpusKind::CongressActs, 300, 4);
+        let dict = corpus_dictionary(&d, 100);
+        assert!(dict.iter().any(|t| t == "public"));
+        assert!(dict.iter().any(|t| t == "president"));
+        assert!(dict.iter().any(|t| t.starts_with("zfill")));
+        // Terms are unique and lowercase.
+        let set: BTreeSet<&String> = dict.iter().collect();
+        assert_eq!(set.len(), dict.len());
+    }
+}

@@ -1,0 +1,362 @@
+//! `FindMinSFA` — Algorithm 1 of the paper.
+//!
+//! Given a seed set of nodes `X`, grow it into the minimal set `Y ⊇ X`
+//! whose induced subgraph is itself a valid SFA: a unique entry node,
+//! a unique exit node, and no external edge incident to an interior node.
+//! Figure 3 of the paper shows why this matters: collapsing a set that is
+//! *not* a valid sub-SFA (e.g. two sibling edges) would introduce strings
+//! the original model never emits.
+//!
+//! The growth loop alternates three repairs until the set is valid:
+//!
+//! 1. no unique entry → add the least common ancestor (and any nodes
+//!    between it and the whole set);
+//! 2. no unique exit → add the greatest common descendant (and the nodes
+//!    between the set and it);
+//! 3. an external edge touches an interior node → pull in its other
+//!    endpoint.
+//!
+//! Termination: the set grows monotonically and the full node set is
+//! always valid (entry = SFA start, exit = SFA finish).
+
+use staccato_sfa::{NodeId, Sfa};
+
+/// Dense reachability oracle for the partial order `≤` on SFA nodes
+/// (`a ≤ b` iff `b` is reachable from `a`; reflexive).
+///
+/// Stores one descendant bitset per node — quadratic bits, linear to
+/// query — plus topological ranks for deterministic LCA/GCD tie-breaks.
+pub struct Reach {
+    words_per_row: usize,
+    desc: Vec<u64>,
+    rank: Vec<u32>,
+}
+
+impl Reach {
+    /// Build the oracle for the live subgraph of `sfa`.
+    pub fn new(sfa: &Sfa) -> Reach {
+        let slots = sfa.num_node_slots() as usize;
+        let words = slots.div_ceil(64);
+        let mut desc = vec![0u64; slots * words];
+        let mut rank = vec![u32::MAX; slots];
+        let order = sfa.topo_order();
+        for (r, &v) in order.iter().enumerate() {
+            rank[v as usize] = r as u32;
+        }
+        // Reverse topological accumulation: desc[v] = {v} ∪ ⋃ desc[succ].
+        for &v in order.iter().rev() {
+            let vi = v as usize;
+            // Collect successor rows first to appease the borrow checker
+            // cheaply: copy each successor row into v's row.
+            for &eid in sfa.out_edges(v) {
+                let to = sfa.edge(eid).expect("live adjacency").to as usize;
+                let (lo, hi) = (to * words, (to + 1) * words);
+                // Split-borrow via pointers is unnecessary: rows are
+                // disjoint because the graph is acyclic (to != v).
+                let (dst_start, src_start) = (vi * words, lo);
+                for w in 0..words {
+                    let bits = desc[src_start + w];
+                    desc[dst_start + w] |= bits;
+                }
+                let _ = hi;
+            }
+            desc[vi * words + (vi >> 6)] |= 1u64 << (vi & 63);
+        }
+        Reach { words_per_row: words, desc, rank }
+    }
+
+    /// `a ≤ b`: is `b` reachable from `a` (including `a == b`)?
+    #[inline]
+    pub fn le(&self, a: NodeId, b: NodeId) -> bool {
+        let row = a as usize * self.words_per_row;
+        self.desc[row + (b as usize >> 6)] >> (b as usize & 63) & 1 == 1
+    }
+
+    /// Topological rank of a node (position in topological order).
+    #[inline]
+    pub fn rank(&self, n: NodeId) -> u32 {
+        self.rank[n as usize]
+    }
+}
+
+/// A valid sub-SFA region: the node set plus its unique entry and exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// All nodes of the region, sorted.
+    pub nodes: Vec<NodeId>,
+    /// The unique entry node (the region's start state).
+    pub entry: NodeId,
+    /// The unique exit node (the region's final state).
+    pub exit: NodeId,
+}
+
+impl Region {
+    /// Interior nodes (everything but entry and exit).
+    pub fn interior(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied().filter(move |&n| n != self.entry && n != self.exit)
+    }
+}
+
+/// Check whether `set` (a membership mask over node slots) forms a valid
+/// sub-SFA of `sfa`; if so return `(entry, exit)`.
+fn validate_region(sfa: &Sfa, set: &[bool]) -> Option<(NodeId, NodeId)> {
+    let mut entry = None;
+    let mut exit = None;
+    let mut members = 0usize;
+    for n in sfa.nodes() {
+        if !set[n as usize] {
+            continue;
+        }
+        members += 1;
+        let has_induced_in =
+            sfa.in_edges(n).iter().any(|&e| set[sfa.edge(e).expect("live").from as usize]);
+        let has_induced_out =
+            sfa.out_edges(n).iter().any(|&e| set[sfa.edge(e).expect("live").to as usize]);
+        if !has_induced_in {
+            if entry.replace(n).is_some() {
+                return None; // two entries
+            }
+        }
+        if !has_induced_out {
+            if exit.replace(n).is_some() {
+                return None; // two exits
+            }
+        }
+    }
+    let (entry, exit) = (entry?, exit?);
+    if members < 2 || entry == exit {
+        return None;
+    }
+    // No external edge may touch an interior node.
+    for n in sfa.nodes() {
+        if !set[n as usize] || n == entry || n == exit {
+            continue;
+        }
+        for &e in sfa.in_edges(n) {
+            if !set[sfa.edge(e).expect("live").from as usize] {
+                return None;
+            }
+        }
+        for &e in sfa.out_edges(n) {
+            if !set[sfa.edge(e).expect("live").to as usize] {
+                return None;
+            }
+        }
+    }
+    Some((entry, exit))
+}
+
+/// Algorithm 1: grow `seed` into the minimal valid sub-SFA region.
+///
+/// `reach` must have been built against the current live graph of `sfa`.
+pub fn find_min_sfa(sfa: &Sfa, reach: &Reach, seed: &[NodeId]) -> Region {
+    let slots = sfa.num_node_slots() as usize;
+    let mut set = vec![false; slots];
+    for &n in seed {
+        debug_assert!(sfa.is_node_alive(n), "seed node must be alive");
+        set[n as usize] = true;
+    }
+    loop {
+        if let Some((entry, exit)) = validate_region(sfa, &set) {
+            let nodes: Vec<NodeId> = (0..slots as u32).filter(|&n| set[n as usize]).collect();
+            return Region { nodes, entry, exit };
+        }
+        let members: Vec<NodeId> = (0..slots as u32).filter(|&n| set[n as usize]).collect();
+
+        // Repair 1: unique start. A member can serve as the start iff it
+        // precedes every member; otherwise add the least common ancestor
+        // and the nodes between it and the whole set.
+        let start_node = members.iter().copied().find(|&c| members.iter().all(|&x| reach.le(c, x)));
+        if start_node.is_none() {
+            // LCA: the common ancestor with the greatest topological rank.
+            let lca = sfa
+                .nodes()
+                .filter(|&v| members.iter().all(|&x| reach.le(v, x)))
+                .max_by_key(|&v| (reach.rank(v), v))
+                .expect("the SFA start node is a common ancestor of every set");
+            for y in sfa.nodes() {
+                if reach.le(lca, y) && members.iter().all(|&x| reach.le(y, x)) {
+                    set[y as usize] = true;
+                }
+            }
+            continue;
+        }
+
+        // Repair 2: unique end, symmetric via the greatest common
+        // descendant (Figure 3D's case).
+        let end_node = members.iter().copied().find(|&c| members.iter().all(|&x| reach.le(x, c)));
+        if end_node.is_none() {
+            let gcd = sfa
+                .nodes()
+                .filter(|&v| members.iter().all(|&x| reach.le(x, v)))
+                .min_by_key(|&v| (reach.rank(v), v))
+                .expect("the SFA final node is a common descendant of every set");
+            for y in sfa.nodes() {
+                if reach.le(y, gcd) && members.iter().all(|&x| reach.le(x, y)) {
+                    set[y as usize] = true;
+                }
+            }
+            continue;
+        }
+
+        // Repair 3: the paper's closure rule — "∀e ∈ E s.t. exactly one
+        // end-point is in X − {l, g}, add other end-point to X".
+        let (l, g) = (start_node.expect("checked"), end_node.expect("checked"));
+        let mut grew = false;
+        for &n in &members {
+            if n == l || n == g {
+                continue;
+            }
+            for &e in sfa.in_edges(n) {
+                let from = sfa.edge(e).expect("live").from;
+                if !set[from as usize] {
+                    set[from as usize] = true;
+                    grew = true;
+                }
+            }
+            for &e in sfa.out_edges(n) {
+                let to = sfa.edge(e).expect("live").to;
+                if !set[to as usize] {
+                    set[to as usize] = true;
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            // Still invalid but no closure applies: the set has a start and
+            // an end yet skips intermediate nodes between them (possible
+            // when the seed straddles a bypass). Enclose the full interval
+            // [l, g], which strictly grows the set toward the whole graph.
+            for y in sfa.nodes() {
+                if reach.le(l, y) && reach.le(y, g) && !set[y as usize] {
+                    set[y as usize] = true;
+                    grew = true;
+                }
+            }
+            assert!(
+                grew || validate_region(sfa, &set).is_some(),
+                "FindMinSFA failed to make progress"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staccato_sfa::{Emission, SfaBuilder};
+
+    /// The Figure 3 SFA: emits `aef` (via 0→1→4→5) and `abcd`
+    /// (via 0→1→2→3→5).
+    fn figure3() -> Sfa {
+        let mut b = SfaBuilder::new();
+        let n: Vec<NodeId> = (0..6).map(|_| b.add_node()).collect();
+        b.add_edge(n[0], n[1], vec![Emission::new("a", 1.0)]);
+        b.add_edge(n[1], n[2], vec![Emission::new("b", 0.5)]);
+        b.add_edge(n[2], n[3], vec![Emission::new("c", 1.0)]);
+        b.add_edge(n[3], n[5], vec![Emission::new("d", 1.0)]);
+        b.add_edge(n[1], n[4], vec![Emission::new("e", 0.5)]);
+        b.add_edge(n[4], n[5], vec![Emission::new("f", 1.0)]);
+        b.build(n[0], n[5]).unwrap()
+    }
+
+    #[test]
+    fn reach_le_matches_paths() {
+        let s = figure3();
+        let r = Reach::new(&s);
+        assert!(r.le(0, 5));
+        assert!(r.le(1, 3));
+        assert!(r.le(2, 2)); // reflexive
+        assert!(!r.le(3, 2));
+        assert!(!r.le(2, 4)); // branches are incomparable
+        assert!(!r.le(4, 2));
+    }
+
+    #[test]
+    fn successive_edges_are_already_minimal() {
+        // Paper Figure 3B: merging {(1,2),(2,3)} — seed {1,2,3} — is a good
+        // merge; the region is exactly those nodes.
+        let s = figure3();
+        let r = Reach::new(&s);
+        let region = find_min_sfa(&s, &r, &[1, 2, 3]);
+        assert_eq!(region.nodes, vec![1, 2, 3]);
+        assert_eq!(region.entry, 1);
+        assert_eq!(region.exit, 3);
+    }
+
+    #[test]
+    fn sibling_edges_grow_to_greatest_common_descendant() {
+        // Paper Figure 3C/D: merging {(1,2),(1,4)} — seed {1,2,4} — is a bad
+        // merge; FindMinSFA must grow the set until node 5 (the greatest
+        // common descendant) and node 3 are included.
+        let s = figure3();
+        let r = Reach::new(&s);
+        let region = find_min_sfa(&s, &r, &[1, 2, 4]);
+        assert_eq!(region.nodes, vec![1, 2, 3, 4, 5]);
+        assert_eq!(region.entry, 1);
+        assert_eq!(region.exit, 5);
+    }
+
+    #[test]
+    fn no_unique_start_grows_to_least_common_ancestor() {
+        // Paper Figure 12A: seed {3,4,5} has no unique start; node 1 is the
+        // LCA, and node 2 must follow via edge closure.
+        let s = figure3();
+        let r = Reach::new(&s);
+        let region = find_min_sfa(&s, &r, &[3, 4, 5]);
+        assert_eq!(region.nodes, vec![1, 2, 3, 4, 5]);
+        assert_eq!(region.entry, 1);
+        assert_eq!(region.exit, 5);
+    }
+
+    #[test]
+    fn external_edge_on_interior_pulls_in_endpoint() {
+        // Paper Figure 12C: seed {0,1,2}: node 1 is interior but edge
+        // (1,4) is external → 4 joins, then the exit repair completes.
+        let s = figure3();
+        let r = Reach::new(&s);
+        let region = find_min_sfa(&s, &r, &[0, 1, 2]);
+        assert_eq!(region.nodes, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(region.entry, 0);
+        assert_eq!(region.exit, 5);
+    }
+
+    #[test]
+    fn whole_graph_is_a_valid_region() {
+        let s = figure3();
+        let r = Reach::new(&s);
+        let region = find_min_sfa(&s, &r, &[0, 5]);
+        assert_eq!(region.entry, 0);
+        assert_eq!(region.exit, 5);
+        assert_eq!(region.nodes.len(), 6);
+    }
+
+    #[test]
+    fn chain_triple_is_minimal() {
+        let s = Sfa::from_string("hello");
+        let r = Reach::new(&s);
+        let region = find_min_sfa(&s, &r, &[1, 2, 3]);
+        assert_eq!(region.nodes, vec![1, 2, 3]);
+        assert_eq!(region.interior().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn diamond_interior_branch_is_minimal_without_bypass() {
+        // l→a→g plus l→b→g: seed {l,a,g} is already valid — the bypass via
+        // b does not invalidate it (only edges touching *interior* matter).
+        let mut b = SfaBuilder::new();
+        let l = b.add_node();
+        let a = b.add_node();
+        let bb = b.add_node();
+        let g = b.add_node();
+        b.add_edge(l, a, vec![Emission::new("x", 0.5)]);
+        b.add_edge(a, g, vec![Emission::new("y", 1.0)]);
+        b.add_edge(l, bb, vec![Emission::new("p", 0.5)]);
+        b.add_edge(bb, g, vec![Emission::new("q", 1.0)]);
+        let s = b.build(l, g).unwrap();
+        let r = Reach::new(&s);
+        let region = find_min_sfa(&s, &r, &[l, a, g]);
+        assert_eq!(region.nodes, vec![l, a, g]);
+        assert_eq!((region.entry, region.exit), (l, g));
+    }
+}

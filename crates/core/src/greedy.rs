@@ -1,0 +1,293 @@
+//! Algorithm 2: the greedy chunk-merging heuristic.
+//!
+//! Repeat until at most `m` edges remain: for every adjacent edge pair
+//! `(x,y), (y,z)`, grow `{x,y,z}` with `FindMinSFA`, score the collapse by
+//! the probability mass it would retain, and apply the best one.
+//!
+//! Two optimizations from the paper are implemented:
+//!
+//! * **incremental scoring** — the retained-mass change of collapsing a
+//!   region factors as `forward[entry] · (region mass − top-k mass) ·
+//!   backward[exit]`, so candidates are scored without materializing the
+//!   collapsed graph ("a faster incremental variant is actually used in
+//!   Staccato", §3.1);
+//! * **candidate caching** — regions and their local mass loss are cached
+//!   across iterations and only invalidated when they overlap the applied
+//!   collapse ("a simple optimization … is to cache those candidates we
+//!   have considered in previous iterations", §3.1).
+
+use crate::collapse::{collapse, extract_region};
+use crate::findmin::{find_min_sfa, Reach, Region};
+use staccato_sfa::{backward_mass, forward_mass, k_best_paths, total_mass, NodeId, Sfa};
+use std::collections::HashMap;
+
+/// The two knobs of the approximation (Table 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaccatoParams {
+    /// Maximum number of edges (chunks) retained. `m = 1` collapses the
+    /// whole line into one chunk (equivalent to k-MAP); `m ≥ |E|` keeps
+    /// every transition as its own chunk (the full SFA, pruned to k
+    /// strings per edge).
+    pub m: usize,
+    /// Number of strings retained per chunk.
+    pub k: usize,
+}
+
+impl StaccatoParams {
+    /// Convenience constructor.
+    pub fn new(m: usize, k: usize) -> Self {
+        assert!(m >= 1, "m (number of chunks) must be at least 1");
+        assert!(k >= 1, "k (paths per chunk) must be at least 1");
+        StaccatoParams { m, k }
+    }
+}
+
+#[derive(Clone)]
+struct Cached {
+    region: Region,
+    /// `region mass − retained top-k mass` — independent of the rest of
+    /// the graph, so it survives collapses elsewhere.
+    local_loss: f64,
+}
+
+/// Compute a region's local mass loss for a given k.
+fn local_loss(sfa: &Sfa, region: &Region, k: usize) -> f64 {
+    let (sub, _) = extract_region(sfa, region);
+    let sub_mass = total_mass(&sub);
+    let retained: f64 = k_best_paths(&sub, k).iter().map(|p| p.prob).sum();
+    (sub_mass - retained).max(0.0)
+}
+
+/// Build the Staccato approximation of `original` with parameters
+/// `(m, k)`: prune each edge to its top-k emissions, then greedily merge
+/// chunks until at most `m` edges remain. The result is compacted
+/// (densely numbered) and structurally valid; it intentionally retains
+/// less than unit probability mass.
+pub fn approximate(original: &Sfa, params: StaccatoParams) -> Sfa {
+    let StaccatoParams { m, k } = params;
+    assert!(m >= 1 && k >= 1, "StaccatoParams must be at least (1, 1)");
+    let mut sfa = original.clone();
+
+    // Step 0: restrict every edge to at most k strings, keeping the
+    // highest-probability ones (emissions are maintained sorted).
+    let ids: Vec<_> = sfa.edges().map(|(id, _)| id).collect();
+    for id in ids {
+        let e = sfa.edge_mut(id).expect("live edge");
+        if e.emissions.len() > k {
+            e.emissions.truncate(k);
+        }
+    }
+
+    let mut cache: HashMap<(NodeId, NodeId, NodeId), Cached> = HashMap::new();
+
+    while sfa.edge_count() > m {
+        let reach = Reach::new(&sfa);
+        let fwd = forward_mass(&sfa);
+        let bwd = backward_mass(&sfa);
+
+        let mut best: Option<(f64, (NodeId, NodeId, NodeId), Region)> = None;
+        let nodes: Vec<NodeId> = sfa.nodes().collect();
+        for &y in &nodes {
+            for &ein in sfa.in_edges(y) {
+                let x = sfa.edge(ein).expect("live").from;
+                for &eout in sfa.out_edges(y) {
+                    let z = sfa.edge(eout).expect("live").to;
+                    let key = (x, y, z);
+                    let cached = cache.entry(key).or_insert_with(|| {
+                        let region = find_min_sfa(&sfa, &reach, &[x, y, z]);
+                        let loss = local_loss(&sfa, &region, k);
+                        Cached { region, local_loss: loss }
+                    });
+                    let loss = fwd[cached.region.entry as usize]
+                        * cached.local_loss
+                        * bwd[cached.region.exit as usize];
+                    if best.as_ref().map_or(true, |(b, _, _)| loss < *b) {
+                        best = Some((loss, key, cached.region.clone()));
+                    }
+                }
+            }
+        }
+
+        let Some((_, _, region)) = best else {
+            // No adjacent edge pair exists (the graph is a single edge or a
+            // bundle of parallel edges between start and finish with no
+            // interior node) — nothing further can be merged.
+            break;
+        };
+
+        collapse(&mut sfa, &region, k);
+
+        // Invalidate cached candidates overlapping the collapsed region
+        // (their seed nodes may be gone or their sub-SFA changed).
+        let touched = |n: NodeId| region.nodes.binary_search(&n).is_ok();
+        cache.retain(|&(x, y, z), c| {
+            !(touched(x)
+                || touched(y)
+                || touched(z)
+                || c.region.nodes.iter().any(|&n| touched(n)))
+        });
+    }
+
+    sfa.compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staccato_sfa::{check_structure, check_unique_paths, Emission, SfaBuilder};
+
+    /// Figure 2's chain SFA: 4 edges, 3 emissions each.
+    fn figure2() -> Sfa {
+        let mut b = SfaBuilder::new();
+        let n: Vec<NodeId> = (0..5).map(|_| b.add_node()).collect();
+        let rows: [&[(&str, f64)]; 4] = [
+            &[("a", 0.6), ("p", 0.2), ("w", 0.1), ("!", 0.1)],
+            &[("b", 0.5), ("q", 0.3), ("x", 0.2)],
+            &[("c", 0.4), ("r", 0.3), ("y", 0.1), ("@", 0.2)],
+            &[("d", 0.7), ("s", 0.2), ("z", 0.1)],
+        ];
+        for (i, row) in rows.iter().enumerate() {
+            b.add_edge(
+                n[i],
+                n[i + 1],
+                row.iter().map(|&(l, p)| Emission::new(l, p)).collect(),
+            );
+        }
+        b.build(n[0], n[4]).unwrap()
+    }
+
+    #[test]
+    fn m_at_least_edge_count_only_prunes_k() {
+        // Paper §5.2: "When m ≥ |E|, the algorithm picks each transition as
+        // a block, and terminates."
+        let s = figure2();
+        let approx = approximate(&s, StaccatoParams::new(10, 3));
+        assert_eq!(approx.edge_count(), 4);
+        for (_, e) in approx.edges() {
+            assert!(e.emissions.len() <= 3);
+        }
+        // Figure 2 math: with k=3 per edge and m=Max=4, the retained mass
+        // per edge is the top-3 sum.
+        check_structure(&approx).unwrap();
+    }
+
+    #[test]
+    fn figure2_m2_k3_matches_paper_split() {
+        // Paper Figure 2 (right): m=2, k=3 splits the chain into two chunks
+        // of two edges; the left chunk keeps ab(0.30), aq(0.18), ax(0.12).
+        let s = figure2();
+        let approx = approximate(&s, StaccatoParams::new(2, 3));
+        assert_eq!(approx.edge_count(), 2);
+        // 3 strings per chunk → up to 9 emitted strings.
+        let strings = approx.enumerate_strings(100);
+        assert_eq!(strings.len(), 9);
+        check_structure(&approx).unwrap();
+        check_unique_paths(&approx).unwrap();
+    }
+
+    #[test]
+    fn m1_equals_kmap() {
+        // With one chunk the approximation must retain exactly the k-MAP
+        // strings of the original.
+        let s = figure2();
+        let k = 5;
+        let approx = approximate(&s, StaccatoParams::new(1, k));
+        assert_eq!(approx.edge_count(), 1);
+        let mut got: Vec<(String, f64)> = approx.enumerate_strings(100);
+        got.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let expect = k_best_paths(&s, k);
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            assert_eq!(g.0, e.string);
+            assert!((g.1 - e.prob).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_new_strings_ever() {
+        let s = figure2();
+        let original: std::collections::HashSet<String> =
+            s.enumerate_strings(10_000).into_iter().map(|(t, _)| t).collect();
+        for (m, k) in [(1, 2), (2, 2), (3, 1), (2, 100), (4, 3)] {
+            let approx = approximate(&s, StaccatoParams::new(m, k));
+            for (t, _) in approx.enumerate_strings(10_000) {
+                assert!(original.contains(&t), "({m},{k}) invented string {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn retained_mass_grows_with_k_and_m() {
+        let s = figure2();
+        let mass = |m, k| total_mass(&approximate(&s, StaccatoParams::new(m, k)));
+        // More strings per chunk can only help.
+        assert!(mass(2, 3) >= mass(2, 1) - 1e-12);
+        assert!(mass(2, 100) >= mass(2, 3) - 1e-12);
+        // With k saturated, more chunks retain more (km strings).
+        assert!(mass(4, 3) >= mass(1, 3) - 1e-12);
+        // Full parameters retain everything.
+        assert!((mass(4, 100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branching_sfa_approximation_is_valid() {
+        // Figure 1-style branch: approximation must stay structurally valid
+        // and unique-path across parameter settings.
+        let mut b = SfaBuilder::new();
+        let n: Vec<NodeId> = (0..6).map(|_| b.add_node()).collect();
+        b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
+        b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+        b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
+        b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
+        b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
+        b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+        let s = b.build(n[0], n[5]).unwrap();
+        for (m, k) in [(1, 4), (2, 4), (3, 2), (4, 2), (6, 3)] {
+            let approx = approximate(&s, StaccatoParams::new(m, k));
+            assert!(approx.edge_count() <= m.max(1), "({m},{k})");
+            check_structure(&approx).unwrap();
+            check_unique_paths(&approx).unwrap();
+            assert!(total_mass(&approx) <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_low_loss_merges() {
+        // A chain where one edge pair is deterministic (no loss to merge)
+        // and another is high-entropy: with k=1 and m=3, the greedy step
+        // must merge in the deterministic region first.
+        let mut b = SfaBuilder::new();
+        let n: Vec<NodeId> = (0..5).map(|_| b.add_node()).collect();
+        b.add_edge(n[0], n[1], vec![Emission::new("a", 1.0)]);
+        b.add_edge(n[1], n[2], vec![Emission::new("b", 1.0)]);
+        b.add_edge(n[2], n[3], vec![Emission::new("c", 0.5), Emission::new("r", 0.5)]);
+        b.add_edge(n[3], n[4], vec![Emission::new("d", 0.5), Emission::new("s", 0.5)]);
+        let s = b.build(n[0], n[4]).unwrap();
+        let approx = approximate(&s, StaccatoParams::new(3, 1));
+        // Merging (0,1)+(1,2) loses nothing; the result keeps mass 0.25
+        // (the two coin-flip edges pruned to 1 string each).
+        assert!((total_mass(&approx) - 0.25).abs() < 1e-12);
+        assert_eq!(approx.edge_count(), 3);
+        let strings = approx.enumerate_strings(10);
+        assert_eq!(strings.len(), 1);
+        assert_eq!(strings[0].0, "abcd");
+    }
+
+    #[test]
+    fn single_edge_sfa_is_a_fixed_point() {
+        let mut b = SfaBuilder::new();
+        let u = b.add_node();
+        let v = b.add_node();
+        b.add_edge(u, v, vec![Emission::new("x", 0.7), Emission::new("y", 0.3)]);
+        let s = b.build(u, v).unwrap();
+        let approx = approximate(&s, StaccatoParams::new(1, 1));
+        assert_eq!(approx.edge_count(), 1);
+        assert_eq!(approx.enumerate_strings(10), vec![("x".to_string(), 0.7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "m (number of chunks) must be at least 1")]
+    fn zero_m_panics() {
+        StaccatoParams::new(0, 1);
+    }
+}

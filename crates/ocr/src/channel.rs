@@ -1,0 +1,460 @@
+//! The OCR channel: clean text line → stochastic finite automaton.
+//!
+//! Mirrors the structure OCRopus emits (§2.2 of the paper): a
+//! chain-with-bubbles DAG, one position per glyph, "a weighted arc for
+//! every ASCII character" per position, and branching where segmentation
+//! is uncertain — a space that may have been missed, or a glyph pair that
+//! may have been read as one merged glyph.
+//!
+//! ## Unique path property, by construction
+//!
+//! Any two distinct labelled paths first diverge either (a) on the same
+//! edge with different emissions — distinct single characters — or (b) on
+//! different out-edges of the same node. The channel partitions the
+//! alphabet between sibling branches (the "space" branch emits only
+//! non-alphanumerics, the "skip" branch only alphanumerics; a merged-glyph
+//! branch emits exactly the merged character, which is excluded from its
+//! sibling), so case (b) also forces different characters. Either way the
+//! emitted strings differ, so no string has two labelled paths. The tests
+//! verify this against the exact checker in `staccato-sfa`.
+
+use crate::confusion::{confusables, merge_of, ConfusionModel};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use staccato_sfa::{Emission, NodeId, Sfa, SfaBuilder};
+
+/// Lowest printable ASCII byte.
+const LO: u8 = 0x20;
+/// Highest printable ASCII byte.
+const HI: u8 = 0x7E;
+
+/// Channel configuration. Defaults reproduce the paper's data shape
+/// (full-alphabet arcs, occasional segmentation branches).
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// Master seed; every line additionally mixes in its own id, so SFAs
+    /// are reproducible independent of generation order.
+    pub seed: u64,
+    /// Glyph confusion model and error rates.
+    pub confusion: ConfusionModel,
+    /// Probability that a space position grows a missed-space branch.
+    pub space_branch_rate: f64,
+    /// Conditional weight of the "space was missed" branch.
+    pub space_skip_weight: f64,
+    /// Probability that a mergeable glyph pair grows a merged branch.
+    pub merge_branch_rate: f64,
+    /// Conditional weight of the merged-glyph branch.
+    pub merge_weight: f64,
+    /// Probability mass spread as a noise floor across the rest of the
+    /// alphabet at each position.
+    pub noise_floor: f64,
+    /// Emit the full printable-ASCII alphabet per position (the paper's
+    /// "weighted arc for every ASCII character", making one line ≈ 600 kB).
+    /// `false` keeps only the plausible candidates — handy for fast tests.
+    pub full_alphabet: bool,
+    /// Fraction of lines that are badly degraded (smudges, skew). Real
+    /// scan errors cluster by line, which is what keeps k-MAP from
+    /// recovering multi-error lines while Staccato's per-chunk top-k can.
+    pub bad_line_rate: f64,
+    /// Error-rate multiplier on bad lines.
+    pub bad_line_factor: f64,
+    /// Error-rate multiplier on good lines.
+    pub good_line_factor: f64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            seed: 0xC0FFEE,
+            confusion: ConfusionModel::default(),
+            space_branch_rate: 0.25,
+            space_skip_weight: 0.35,
+            merge_branch_rate: 0.35,
+            merge_weight: 0.30,
+            noise_floor: 0.10,
+            full_alphabet: true,
+            bad_line_rate: 0.30,
+            bad_line_factor: 3.2,
+            good_line_factor: 0.40,
+        }
+    }
+}
+
+impl ChannelConfig {
+    /// A lightweight configuration for unit tests: few emissions per edge,
+    /// same structure.
+    pub fn compact(seed: u64) -> Self {
+        ChannelConfig { seed, full_alphabet: false, ..Default::default() }
+    }
+}
+
+/// The OCR channel.
+#[derive(Debug, Clone, Default)]
+pub struct Channel {
+    /// Configuration.
+    pub config: ChannelConfig,
+}
+
+/// Restriction on which bytes an emission distribution may use — the
+/// alphabet partition that guarantees unique paths at branch nodes.
+#[derive(Clone, Copy, PartialEq)]
+enum Support {
+    /// Any printable byte.
+    Full,
+    /// Only non-alphanumeric printable bytes (space branch).
+    NonAlnum,
+    /// Only alphanumeric bytes (skip branch).
+    Alnum,
+    /// Any printable byte except this one (sibling of a merged branch).
+    Excluding(u8),
+}
+
+impl Support {
+    fn allows(self, b: u8) -> bool {
+        let printable = (LO..=HI).contains(&b);
+        printable
+            && match self {
+                Support::Full => true,
+                Support::NonAlnum => !b.is_ascii_alphanumeric(),
+                Support::Alnum => b.is_ascii_alphanumeric(),
+                Support::Excluding(x) => b != x,
+            }
+    }
+}
+
+impl Channel {
+    /// Create a channel with the given configuration.
+    pub fn new(config: ChannelConfig) -> Channel {
+        Channel { config }
+    }
+
+    /// Convert one clean text line into its OCR SFA. `line_id` salts the
+    /// RNG so each line gets an independent, reproducible error pattern.
+    /// Non-ASCII characters are replaced with `#`; empty lines become a
+    /// single-space SFA.
+    pub fn line_to_sfa(&self, line: &str, line_id: u64) -> Sfa {
+        let mut bytes: Vec<u8> = line
+            .bytes()
+            .map(|b| if (LO..=HI).contains(&b) { b } else { b'#' })
+            .collect();
+        if bytes.is_empty() {
+            bytes.push(b' ');
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ line_id.wrapping_mul(0x9E3779B97F4A7C15));
+        // Per-line degradation: errors cluster on bad scans.
+        let quality = if rng.random_bool(self.config.bad_line_rate) {
+            self.config.bad_line_factor
+        } else {
+            self.config.good_line_factor
+        };
+
+        let mut b = SfaBuilder::new();
+        let start = b.add_node();
+        let mut cur = start;
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+
+            // Missed-space branch: " x" may have been read as "x".
+            if c == b' '
+                && next.map_or(false, |n| n.is_ascii_alphanumeric())
+                && i + 1 < bytes.len()
+                && rng.random_bool(self.config.space_branch_rate)
+            {
+                let n = next.expect("checked");
+                let v = b.add_node();
+                let w = b.add_node();
+                let sw = self.config.space_skip_weight;
+                // Branch A: the space was seen (non-alphanumeric support).
+                b.add_edge(cur, w, self.distribution(c, 1.0 - sw, Support::NonAlnum, quality, &mut rng));
+                b.add_edge(w, v, self.distribution(n, 1.0, Support::Full, quality, &mut rng));
+                // Branch B: the space was missed (alphanumeric support).
+                b.add_edge(cur, v, self.distribution(n, sw, Support::Alnum, quality, &mut rng));
+                cur = v;
+                i += 2;
+                continue;
+            }
+
+            // Merged-glyph branch: "rn" may have been read as "m".
+            if let (Some(n), true) = (next, i + 1 < bytes.len()) {
+                if let Some(merged) = merge_of(c, n) {
+                    if rng.random_bool(self.config.merge_branch_rate) {
+                        let v = b.add_node();
+                        let w = b.add_node();
+                        let mw = self.config.merge_weight;
+                        // Branch A: two glyphs, first-char support excludes
+                        // the merged character.
+                        b.add_edge(
+                            cur,
+                            w,
+                            self.distribution(c, 1.0 - mw, Support::Excluding(merged), quality, &mut rng),
+                        );
+                        b.add_edge(w, v, self.distribution(n, 1.0, Support::Full, quality, &mut rng));
+                        // Branch B: the merged glyph, alone on its edge.
+                        b.add_edge(cur, v, vec![Emission::new((merged as char).to_string(), mw)]);
+                        cur = v;
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+
+            // Plain chain position.
+            let v = b.add_node();
+            b.add_edge(cur, v, self.distribution(c, 1.0, Support::Full, quality, &mut rng));
+            cur = v;
+            i += 1;
+        }
+        b.build(start, cur).expect("channel output is structurally valid by construction")
+    }
+
+    /// Build the emission distribution for true character `c`, normalized
+    /// to `weight`, restricted to `support`. `quality` scales the error
+    /// rate (per-line degradation).
+    fn distribution(
+        &self,
+        c: u8,
+        weight: f64,
+        support: Support,
+        quality: f64,
+        rng: &mut StdRng,
+    ) -> Vec<Emission> {
+        let conf = &self.config.confusion;
+        let mut entries: Vec<(u8, f64)> = Vec::new();
+        let mut used = [false; 128];
+        let push = |entries: &mut Vec<(u8, f64)>, used: &mut [bool; 128], b: u8, p: f64| {
+            if support.allows(b) && !used[b as usize] && p > 0.0 {
+                used[b as usize] = true;
+                entries.push((b, p));
+            }
+        };
+
+        let truec = if support.allows(c) { c } else { b'#' };
+        let err_rate = (conf.error_rate(c) * quality).clamp(0.0, 0.5);
+        let erred = rng.random_bool(err_rate);
+        if erred {
+            // The MAP choice is wrong; several strong lookalikes also rank
+            // above the true character, which survives with low but real
+            // probability. The depth of the true character below the top
+            // is what separates k-MAP (must fix every error in one global
+            // top-k list) from Staccato (fixes each error inside its own
+            // chunk) — the recall mechanism of §3.1.
+            let mut wrong = conf.sample_error(c, rng);
+            if !support.allows(wrong) || wrong == truec {
+                wrong = if truec != b'#' { b'#' } else { b'@' };
+            }
+            push(&mut entries, &mut used, wrong, 0.26);
+            // Up to 8 alternates above the truth: confusables, the case
+            // flip, and alphabet neighbours.
+            let mut alts: Vec<u8> = confusables(c).to_vec();
+            if c.is_ascii_alphabetic() {
+                alts.push(c ^ 0x20); // case flip
+            }
+            let base = if c.is_ascii_uppercase() { b'A' } else { b'a' };
+            for delta in 1..6i16 {
+                let shifted = (c as i16 - base as i16 + delta).rem_euclid(26) as u8 + base;
+                alts.push(shifted);
+            }
+            alts.retain(|&b| b != truec && b != wrong);
+            alts.truncate(8);
+            for b in alts {
+                push(&mut entries, &mut used, b, 0.055);
+            }
+            push(&mut entries, &mut used, truec, 0.04);
+        } else {
+            push(&mut entries, &mut used, truec, 0.82);
+            // Confusables share a small slice (the "cheap flips" that pad
+            // the global top-k list without changing query answers).
+            let cands: Vec<u8> = confusables(c)
+                .iter()
+                .copied()
+                .filter(|&b| support.allows(b) && !used[b as usize])
+                .collect();
+            if !cands.is_empty() {
+                let share = 0.06 / cands.len() as f64;
+                for b in cands {
+                    push(&mut entries, &mut used, b, share);
+                }
+            }
+        }
+        // Noise floor across the rest of the (restricted) alphabet.
+        if self.config.full_alphabet {
+            let rest: Vec<u8> =
+                (LO..=HI).filter(|&b| support.allows(b) && !used[b as usize]).collect();
+            if !rest.is_empty() {
+                let share = self.config.noise_floor / rest.len() as f64;
+                for b in rest {
+                    push(&mut entries, &mut used, b, share);
+                }
+            }
+        } else {
+            // Compact mode: two extra random candidates stand in for the
+            // floor so branching code paths still see >2 emissions.
+            for _ in 0..2 {
+                let b = rng.random_range(LO..=HI);
+                push(&mut entries, &mut used, b, self.config.noise_floor / 2.0);
+            }
+        }
+
+        // Normalize to `weight`.
+        let total: f64 = entries.iter().map(|&(_, p)| p).sum();
+        debug_assert!(total > 0.0, "empty emission distribution");
+        entries
+            .into_iter()
+            .map(|(b, p)| Emission::new((b as char).to_string(), p / total * weight))
+            .collect()
+    }
+
+    /// Convenience: SFAs for a whole document (one per line), salted by
+    /// line number on top of `doc_id`.
+    pub fn document_to_sfas(&self, lines: &[String], doc_id: u64) -> Vec<Sfa> {
+        lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| self.line_to_sfa(l, doc_id.wrapping_mul(1_000_003) + i as u64))
+            .collect()
+    }
+}
+
+/// Count the live branch nodes of an SFA (nodes with out-degree > 1) —
+/// used by tests and dataset statistics.
+pub fn branch_count(sfa: &Sfa) -> usize {
+    sfa.nodes().filter(|&n| sfa.out_edges(n).len() > 1).count()
+}
+
+#[allow(dead_code)]
+fn _node_id_type_check(n: NodeId) -> u32 {
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staccato_sfa::{check_stochastic, check_structure, check_unique_paths, map_string, total_mass};
+
+    fn compact_channel(seed: u64) -> Channel {
+        Channel::new(ChannelConfig::compact(seed))
+    }
+
+    #[test]
+    fn sfa_is_structurally_valid_and_stochastic() {
+        let ch = compact_channel(1);
+        for (i, line) in ["President of the United States", "U.S.C. 2345", "a", ""]
+            .iter()
+            .enumerate()
+        {
+            let sfa = ch.line_to_sfa(line, i as u64);
+            check_structure(&sfa).unwrap();
+            check_stochastic(&sfa, 1e-9).unwrap();
+            assert!((total_mass(&sfa) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unique_path_property_holds() {
+        // Exercise many seeds so both gadget kinds appear; the exact checker
+        // from staccato-sfa must pass every time.
+        for seed in 0..30 {
+            let ch = compact_channel(seed);
+            let sfa = ch.line_to_sfa("modern corn kernels clog the mill", seed);
+            check_unique_paths(&sfa).unwrap();
+        }
+    }
+
+    #[test]
+    fn full_alphabet_emits_entire_ascii_range() {
+        let ch = Channel::new(ChannelConfig::default());
+        let sfa = ch.line_to_sfa("ab", 0);
+        // Each chain edge carries every printable character.
+        let (_, e) = sfa.edges().next().unwrap();
+        assert_eq!(e.emissions.len(), (HI - LO + 1) as usize);
+    }
+
+    #[test]
+    fn true_string_always_survives_with_positive_probability() {
+        // The defining property of probabilistic OCR: the truth stays in
+        // the model even when the MAP is wrong (Figure 1's 'Ford' at 0.12).
+        let ch = Channel::new(ChannelConfig::default());
+        let line = "Ford Claims 2010";
+        for id in 0..20 {
+            let sfa = ch.line_to_sfa(line, id);
+            let p_truth = staccato_sfa::string_probability(&sfa, line);
+            assert!(p_truth > 0.0, "line id {id}: truth lost");
+            let (map, p_map) = map_string(&sfa).unwrap();
+            assert!(p_map >= p_truth - 1e-12, "MAP cannot be less likely than the truth");
+            let _ = map;
+        }
+    }
+
+    #[test]
+    fn map_error_rate_is_in_the_calibrated_band() {
+        // Over many lines, the MAP string should differ from the truth for
+        // a substantial minority of lines — the recall failure of §1.
+        let ch = compact_channel(42);
+        let line = "the President signed the act into law";
+        let mut wrong = 0;
+        let n = 200;
+        for id in 0..n {
+            let sfa = ch.line_to_sfa(line, id);
+            if map_string(&sfa).unwrap().0 != line {
+                wrong += 1;
+            }
+        }
+        let rate = wrong as f64 / n as f64;
+        assert!(rate > 0.2 && rate < 0.98, "MAP-wrong rate {rate}");
+    }
+
+    #[test]
+    fn reproducible_by_seed_and_line_id() {
+        let ch = Channel::new(ChannelConfig::compact(7));
+        let a = ch.line_to_sfa("identical", 5);
+        let b = ch.line_to_sfa("identical", 5);
+        assert_eq!(staccato_sfa::codec::encode(&a), staccato_sfa::codec::encode(&b));
+        let c = ch.line_to_sfa("identical", 6);
+        assert_ne!(staccato_sfa::codec::encode(&a), staccato_sfa::codec::encode(&c));
+    }
+
+    #[test]
+    fn branching_appears_at_spaces_and_merges() {
+        let ch = compact_channel(3);
+        let mut branched = 0;
+        for id in 0..50 {
+            let sfa = ch.line_to_sfa("burn the corn in a barn", id);
+            branched += branch_count(&sfa);
+        }
+        assert!(branched > 0, "no branching in 50 lines");
+    }
+
+    #[test]
+    fn empty_line_becomes_single_space_sfa() {
+        let ch = compact_channel(1);
+        let sfa = ch.line_to_sfa("", 0);
+        check_structure(&sfa).unwrap();
+        assert!(sfa.edge_count() >= 1);
+    }
+
+    #[test]
+    fn non_ascii_is_sanitized() {
+        let ch = compact_channel(1);
+        let sfa = ch.line_to_sfa("héllo", 0);
+        check_structure(&sfa).unwrap();
+        // é (2 bytes in UTF-8) becomes two '#' positions; the SFA still
+        // validates and the MAP contains '#'.
+        let (map, _) = map_string(&sfa).unwrap();
+        assert!(map.len() >= 5);
+    }
+
+    #[test]
+    fn document_to_sfas_salts_by_line() {
+        let ch = compact_channel(9);
+        let lines = vec!["same line".to_string(), "same line".to_string()];
+        let sfas = ch.document_to_sfas(&lines, 1);
+        assert_eq!(sfas.len(), 2);
+        assert_ne!(
+            staccato_sfa::codec::encode(&sfas[0]),
+            staccato_sfa::codec::encode(&sfas[1]),
+            "different lines must get independent error patterns"
+        );
+    }
+}

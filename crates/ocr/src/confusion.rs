@@ -1,0 +1,192 @@
+//! The glyph-confusion model.
+//!
+//! OCR errors are not uniform: visually similar glyphs are confused far
+//! more often than random ones, digits are harder than letters (serifs,
+//! small counters), and some *pairs* of glyphs merge into a single one
+//! (`rn` → `m`). The tables here encode the classic confusion sets from
+//! the OCR literature; the channel samples from them.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Per-character-class error rates. Calibrated so MAP recall lands in the
+/// paper's observed bands: keyword queries (letters only) around 0.7–0.9,
+/// digit-heavy regex queries as low as ~0.3 (§1, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorRates {
+    /// Probability that the MAP choice for a letter is wrong.
+    pub letter: f64,
+    /// Probability that the MAP choice for a digit is wrong.
+    pub digit: f64,
+    /// Probability that the MAP choice for punctuation/space is wrong.
+    pub other: f64,
+}
+
+impl Default for ErrorRates {
+    fn default() -> Self {
+        // (1-0.022)^9 ≈ 0.82 for a 9-letter keyword; (1-0.09)^4 ≈ 0.69 per
+        // 4-digit group — composed with surrounding text this yields the
+        // paper's keyword ≈ 0.8 / regex ≈ 0.3–0.5 MAP recall bands.
+        ErrorRates { letter: 0.022, digit: 0.09, other: 0.04 }
+    }
+}
+
+/// The confusion model: confusable sets plus mergeable glyph pairs.
+#[derive(Debug, Clone)]
+pub struct ConfusionModel {
+    /// Error rates by character class.
+    pub rates: ErrorRates,
+}
+
+impl Default for ConfusionModel {
+    fn default() -> Self {
+        ConfusionModel { rates: ErrorRates::default() }
+    }
+}
+
+/// Classic visually-confusable alternatives for a glyph. The first entries
+/// are the strongest confusions.
+pub fn confusables(c: u8) -> &'static [u8] {
+    match c {
+        b'o' => b"0ec",
+        b'O' => b"0QD",
+        b'0' => b"oOQ",
+        b'l' => b"1Ii",
+        b'1' => b"lI|",
+        b'I' => b"l1|",
+        b'i' => b"lj!",
+        b'e' => b"co",
+        b'c' => b"eo",
+        b'a' => b"os",
+        b's' => b"S5",
+        b'S' => b"s5",
+        b'5' => b"S6",
+        b'B' => b"8R",
+        b'8' => b"B3",
+        b'3' => b"8B",
+        b'2' => b"Zz",
+        b'Z' => b"2z",
+        b'6' => b"b5",
+        b'b' => b"6h",
+        b'9' => b"gq",
+        b'g' => b"9q",
+        b'q' => b"g9",
+        b'4' => b"A9",
+        b'7' => b"T1",
+        b'u' => b"vn",
+        b'v' => b"uy",
+        b'n' => b"hu",
+        b'h' => b"bn",
+        b'f' => b"t{",
+        b't' => b"f+",
+        b'D' => b"O0",
+        b'G' => b"C6",
+        b'C' => b"GO",
+        b'P' => b"FR",
+        b'F' => b"PE",
+        b'T' => b"7Y",
+        b'E' => b"FB",
+        b'R' => b"BP",
+        b'.' => b",'",
+        b',' => b".;",
+        b';' => b",:",
+        b':' => b";.",
+        b'-' => b"_~",
+        b' ' => b"_.",
+        b'\'' => b"`,",
+        _ => b"",
+    }
+}
+
+/// Glyph pairs that OCR merges into a single glyph (and what they merge
+/// into). Returns `Some(merged)` if `(a, b)` is a mergeable pair.
+pub fn merge_of(a: u8, b: u8) -> Option<u8> {
+    match (a, b) {
+        (b'r', b'n') => Some(b'm'),
+        (b'c', b'l') => Some(b'd'),
+        (b'v', b'v') => Some(b'w'),
+        (b'n', b'i') => Some(b'm'),
+        (b'i', b'n') => Some(b'm'),
+        (b'l', b'i') => Some(b'h'),
+        (b'I', b'N') => Some(b'M'),
+        _ => None,
+    }
+}
+
+impl ConfusionModel {
+    /// The error rate appropriate for `c`'s character class.
+    pub fn error_rate(&self, c: u8) -> f64 {
+        if c.is_ascii_alphabetic() {
+            self.rates.letter
+        } else if c.is_ascii_digit() {
+            self.rates.digit
+        } else {
+            self.rates.other
+        }
+    }
+
+    /// Sample an erroneous MAP choice for `c`: a confusable if one exists,
+    /// otherwise a nearby random letter.
+    pub fn sample_error(&self, c: u8, rng: &mut StdRng) -> u8 {
+        let cands = confusables(c);
+        if !cands.is_empty() {
+            cands[rng.random_range(0..cands.len())]
+        } else if c.is_ascii_lowercase() {
+            // Drift to an adjacent letter of the alphabet.
+            let delta: i16 = if rng.random_bool(0.5) { 1 } else { -1 };
+            let shifted = (c as i16 - b'a' as i16 + delta).rem_euclid(26) as u8 + b'a';
+            shifted
+        } else {
+            b'#'
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn digits_are_harder_than_letters() {
+        let m = ConfusionModel::default();
+        assert!(m.error_rate(b'5') > m.error_rate(b'a'));
+        assert!(m.error_rate(b'.') > m.error_rate(b'a'));
+    }
+
+    #[test]
+    fn classic_confusions_present() {
+        assert!(confusables(b'o').contains(&b'0'));
+        assert!(confusables(b'l').contains(&b'1'));
+        assert!(confusables(b'0').contains(&b'o'));
+        assert!(confusables(b'S').contains(&b'5'));
+    }
+
+    #[test]
+    fn merge_pairs_match_ocr_lore() {
+        assert_eq!(merge_of(b'r', b'n'), Some(b'm'));
+        assert_eq!(merge_of(b'c', b'l'), Some(b'd'));
+        assert_eq!(merge_of(b'a', b'b'), None);
+    }
+
+    #[test]
+    fn sample_error_never_returns_input_confusable_case() {
+        let m = ConfusionModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let e = m.sample_error(b'o', &mut rng);
+            assert_ne!(e, b'o');
+            assert!(confusables(b'o').contains(&e));
+        }
+    }
+
+    #[test]
+    fn sample_error_handles_unconfusable_chars() {
+        let m = ConfusionModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let e = m.sample_error(b'z', &mut rng);
+        assert!(e.is_ascii_lowercase());
+        assert_ne!(e, b'z');
+        assert_eq!(m.sample_error(b'@', &mut rng), b'#');
+    }
+}

@@ -1,0 +1,120 @@
+//! Probabilistic aggregation over query answers.
+//!
+//! The paper's future work (§7) is to "extend Staccato … using
+//! aggregation with a probabilistic RDBMS": the select-project queries
+//! here produce a probabilistic relation (one independent Bernoulli event
+//! per line, since per-line SFAs are independent), and downstream systems
+//! like MystiQ/Trio aggregate over it. This module implements the three
+//! standard aggregates that workload needs:
+//!
+//! * [`expected_count`] — `E[COUNT(*)]` by linearity of expectation;
+//! * [`expected_sum`] — `E[SUM(attr)]` for a numeric attribute joined to
+//!   the answers (the §2.1 `SUM(Loss)` use case);
+//! * [`count_distribution`] — the full Poisson–binomial distribution of
+//!   `COUNT(*)`, computed by the classic `O(n²)` dynamic program, from
+//!   which [`threshold_probability`] answers `P[COUNT(*) ≥ τ]`.
+
+use crate::exec::Answer;
+
+/// Expected number of matching lines: `Σᵢ pᵢ`.
+pub fn expected_count(answers: &[Answer]) -> f64 {
+    answers.iter().map(|a| a.probability).sum()
+}
+
+/// Expected sum of `value(DataKey)` over matching lines:
+/// `Σᵢ pᵢ · value(i)`. Lines missing from `value` contribute zero.
+pub fn expected_sum(answers: &[Answer], value: impl Fn(i64) -> Option<f64>) -> f64 {
+    answers
+        .iter()
+        .filter_map(|a| value(a.data_key).map(|v| v * a.probability))
+        .sum()
+}
+
+/// The distribution of `COUNT(*)` over the independent per-line match
+/// events: `out[c] = P[exactly c lines match]`, `out.len() == n + 1`.
+///
+/// Poisson–binomial DP: process answers one at a time, convolving each
+/// Bernoulli in place.
+pub fn count_distribution(answers: &[Answer]) -> Vec<f64> {
+    let mut dist = vec![0.0f64; answers.len() + 1];
+    dist[0] = 1.0;
+    for (i, a) in answers.iter().enumerate() {
+        let p = a.probability.clamp(0.0, 1.0);
+        // Walk backwards so each entry is updated from the previous round.
+        for c in (0..=i).rev() {
+            let stay = dist[c] * (1.0 - p);
+            dist[c + 1] += dist[c] * p;
+            dist[c] = stay;
+        }
+    }
+    dist
+}
+
+/// `P[COUNT(*) ≥ threshold]` over the answer relation.
+pub fn threshold_probability(answers: &[Answer], threshold: usize) -> f64 {
+    count_distribution(answers).into_iter().skip(threshold).sum::<f64>().min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answers(ps: &[f64]) -> Vec<Answer> {
+        ps.iter()
+            .enumerate()
+            .map(|(i, &p)| Answer { data_key: i as i64, probability: p })
+            .collect()
+    }
+
+    #[test]
+    fn expected_count_is_linear() {
+        assert_eq!(expected_count(&answers(&[0.5, 0.25, 1.0])), 1.75);
+        assert_eq!(expected_count(&[]), 0.0);
+    }
+
+    #[test]
+    fn expected_sum_weights_values() {
+        let a = answers(&[0.5, 1.0]);
+        let loss = |key: i64| Some(if key == 0 { 100.0 } else { 40.0 });
+        assert_eq!(expected_sum(&a, loss), 90.0);
+        // Missing attribute rows contribute nothing.
+        let partial = |key: i64| (key == 1).then_some(40.0);
+        assert_eq!(expected_sum(&a, partial), 40.0);
+    }
+
+    #[test]
+    fn count_distribution_two_coins() {
+        let d = count_distribution(&answers(&[0.5, 0.5]));
+        assert_eq!(d.len(), 3);
+        assert!((d[0] - 0.25).abs() < 1e-12);
+        assert!((d[1] - 0.50).abs() < 1e-12);
+        assert!((d[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_distribution_certain_events() {
+        let d = count_distribution(&answers(&[1.0, 1.0, 0.0]));
+        assert!((d[2] - 1.0).abs() < 1e-12);
+        assert!(d[0].abs() < 1e-12 && d[1].abs() < 1e-12 && d[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_sums_to_one_and_mean_matches() {
+        let ps = [0.1, 0.9, 0.33, 0.66, 0.5];
+        let a = answers(&ps);
+        let d = count_distribution(&a);
+        let total: f64 = d.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let mean: f64 = d.iter().enumerate().map(|(c, p)| c as f64 * p).sum();
+        assert!((mean - expected_count(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_probability_matches_distribution_tail() {
+        let a = answers(&[0.5, 0.5, 0.5]);
+        // P[count ≥ 2] = 3·0.125 + 0.125 = 0.5
+        assert!((threshold_probability(&a, 2) - 0.5).abs() < 1e-12);
+        assert!((threshold_probability(&a, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(threshold_probability(&a, 4), 0.0);
+    }
+}

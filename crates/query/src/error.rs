@@ -1,0 +1,87 @@
+//! Query-layer error type.
+
+use staccato_automata::PatternError;
+use staccato_sfa::SfaError;
+use staccato_storage::StorageError;
+use std::fmt;
+
+/// Errors from query compilation and execution.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Pattern failed to parse.
+    Pattern(PatternError),
+    /// Storage layer failure.
+    Storage(StorageError),
+    /// A stored SFA blob failed to decode.
+    Sfa(SfaError),
+    /// The store is missing an expected table (not loaded, or wrong file).
+    MissingRepresentation(&'static str),
+    /// The query has no usable left anchor for index-assisted execution.
+    NotAnchored(String),
+    /// The requested term is not in the index dictionary.
+    TermNotInDictionary(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Pattern(e) => write!(f, "bad pattern: {e}"),
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+            QueryError::Sfa(e) => write!(f, "corrupt SFA blob: {e}"),
+            QueryError::MissingRepresentation(r) => {
+                write!(f, "store has no {r} representation loaded")
+            }
+            QueryError::NotAnchored(p) => {
+                write!(f, "pattern {p:?} has no left anchor; use a filescan")
+            }
+            QueryError::TermNotInDictionary(t) => {
+                write!(f, "anchor term {t:?} is not in the index dictionary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Pattern(e) => Some(e),
+            QueryError::Storage(e) => Some(e),
+            QueryError::Sfa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PatternError> for QueryError {
+    fn from(e: PatternError) -> Self {
+        QueryError::Pattern(e)
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+impl From<SfaError> for QueryError {
+    fn from(e: SfaError) -> Self {
+        QueryError::Sfa(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: QueryError = PatternError { position: 0, message: "x".into() }.into();
+        assert!(e.to_string().contains("bad pattern"));
+        let e: QueryError = StorageError::PoolExhausted.into();
+        assert!(e.to_string().contains("storage"));
+        let e: QueryError = SfaError::BadMagic.into();
+        assert!(e.to_string().contains("SFA"));
+        assert!(QueryError::NotAnchored("(a|b)".into()).to_string().contains("anchor"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Filescan executors for the four access methods and top-NumAns ranking.
+//!
+//! All four return a *probabilistic relation*: `(DataKey, probability)`
+//! rows ranked by probability, truncated to `NumAns` (the paper sets 100,
+//! "greater than the number of answers in the ground truth"). A line is
+//! an answer iff its match probability is positive; FullSFA's noise floor
+//! makes almost every line weakly positive, which is exactly why its
+//! precision collapses while recall is perfect (§5.1).
+
+use crate::error::QueryError;
+use crate::eval::{eval_sfa, eval_strings};
+use crate::query::Query;
+use crate::store::OcrStore;
+
+/// Which representation a query runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// The single most likely transcription (what Google Books stores).
+    Map,
+    /// The k most likely transcriptions per line.
+    KMap,
+    /// The complete OCR SFA.
+    FullSfa,
+    /// The Staccato chunk graph.
+    Staccato,
+}
+
+impl Approach {
+    /// Display name used in result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Approach::Map => "MAP",
+            Approach::KMap => "k-MAP",
+            Approach::FullSfa => "FullSFA",
+            Approach::Staccato => "STACCATO",
+        }
+    }
+
+    /// All four, in the paper's column order.
+    pub fn all() -> [Approach; 4] {
+        [Approach::Map, Approach::KMap, Approach::FullSfa, Approach::Staccato]
+    }
+}
+
+/// One row of the probabilistic answer relation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Answer {
+    /// The line's DataKey.
+    pub data_key: i64,
+    /// Probability that the line matches the query.
+    pub probability: f64,
+}
+
+/// Rank candidate answers: positive probability only, descending, ties by
+/// DataKey, truncated to `num_ans`.
+pub fn rank_answers(mut answers: Vec<Answer>, num_ans: usize) -> Vec<Answer> {
+    answers.retain(|a| a.probability > 0.0);
+    answers.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.data_key.cmp(&b.data_key))
+    });
+    answers.truncate(num_ans);
+    answers
+}
+
+/// Run `query` over the chosen representation with a full filescan,
+/// evaluating lines on `threads` worker threads.
+///
+/// §5.4 of the paper: "One can speedup query answering in all of the
+/// approaches by partitioning the dataset across multiple machines" — the
+/// probability computations are independent per line, so the scan
+/// partitions trivially. The scan itself stays sequential (one buffer
+/// pool); only the CPU-heavy decode + DFA evaluation fans out.
+pub fn filescan_query_parallel(
+    store: &OcrStore,
+    approach: Approach,
+    query: &Query,
+    num_ans: usize,
+    threads: usize,
+) -> Result<Vec<Answer>, QueryError> {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return filescan_query(store, approach, query, num_ans);
+    }
+    match approach {
+        // String representations are cheap to evaluate; the scan
+        // dominates, so parallelism buys nothing — run sequentially.
+        Approach::Map | Approach::KMap => filescan_query(store, approach, query, num_ans),
+        Approach::FullSfa | Approach::Staccato => {
+            let rows = match approach {
+                Approach::FullSfa => store.scan_full_sfa()?,
+                _ => store.scan_staccato()?,
+            };
+            let chunk = rows.len().div_ceil(threads).max(1);
+            let mut answers: Vec<Answer> = Vec::with_capacity(rows.len());
+            let results: Vec<Vec<Answer>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = rows
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            slice
+                                .iter()
+                                .map(|(key, sfa)| Answer {
+                                    data_key: *key,
+                                    probability: eval_sfa(&query.dfa, sfa),
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+            for r in results {
+                answers.extend(r);
+            }
+            Ok(rank_answers(answers, num_ans))
+        }
+    }
+}
+
+/// Run `query` over the chosen representation with a full filescan.
+pub fn filescan_query(
+    store: &OcrStore,
+    approach: Approach,
+    query: &Query,
+    num_ans: usize,
+) -> Result<Vec<Answer>, QueryError> {
+    let candidates: Vec<Answer> = match approach {
+        Approach::Map => store
+            .scan_map()?
+            .into_iter()
+            .map(|(key, s, p)| Answer {
+                data_key: key,
+                probability: eval_strings(&query.dfa, std::iter::once((s.as_str(), p))),
+            })
+            .collect(),
+        Approach::KMap => store
+            .scan_kmap()?
+            .into_iter()
+            .map(|(key, strings)| Answer {
+                data_key: key,
+                probability: eval_strings(
+                    &query.dfa,
+                    strings.iter().map(|(s, p)| (s.as_str(), *p)),
+                ),
+            })
+            .collect(),
+        Approach::FullSfa => store
+            .scan_full_sfa()?
+            .into_iter()
+            .map(|(key, sfa)| Answer { data_key: key, probability: eval_sfa(&query.dfa, &sfa) })
+            .collect(),
+        Approach::Staccato => store
+            .scan_staccato()?
+            .into_iter()
+            .map(|(key, sfa)| Answer { data_key: key, probability: eval_sfa(&query.dfa, &sfa) })
+            .collect(),
+    };
+    Ok(rank_answers(candidates, num_ans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{LoadOptions, OcrStore};
+    use staccato_core::StaccatoParams;
+    use staccato_ocr::{generate, ChannelConfig, CorpusKind, Dataset};
+    use staccato_storage::Database;
+
+    fn store_with(lines: usize, seed: u64) -> (OcrStore, Dataset) {
+        let dataset = generate(CorpusKind::DbPapers, lines, seed);
+        let db = Database::in_memory(512).unwrap();
+        let opts = LoadOptions {
+            channel: ChannelConfig::compact(seed),
+            kmap_k: 10,
+            staccato: StaccatoParams::new(10, 10),
+            parallelism: 2,
+        };
+        (OcrStore::load(db, &dataset, &opts).unwrap(), dataset)
+    }
+
+    #[test]
+    fn rank_answers_orders_and_truncates() {
+        let raw = vec![
+            Answer { data_key: 1, probability: 0.2 },
+            Answer { data_key: 2, probability: 0.0 },
+            Answer { data_key: 3, probability: 0.9 },
+            Answer { data_key: 4, probability: 0.2 },
+        ];
+        let ranked = rank_answers(raw, 2);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].data_key, 3);
+        assert_eq!(ranked[1].data_key, 1); // tie with 4 broken by key
+    }
+
+    #[test]
+    fn fullsfa_recall_dominates_map() {
+        let (store, dataset) = store_with(40, 11);
+        let query = Query::keyword("database").unwrap();
+        let truth: Vec<i64> = dataset
+            .lines()
+            .enumerate()
+            .filter(|(_, (_, _, l))| l.contains("database"))
+            .map(|(i, _)| i as i64)
+            .collect();
+        assert!(!truth.is_empty(), "corpus must contain the term");
+
+        let map = filescan_query(&store, Approach::Map, &query, 100).unwrap();
+        let full = filescan_query(&store, Approach::FullSfa, &query, 100).unwrap();
+        let found = |answers: &[Answer], key: i64| answers.iter().any(|a| a.data_key == key);
+        // FullSFA must find every true line (the truth always survives in
+        // the full model).
+        for &t in &truth {
+            assert!(found(&full, t), "FullSFA missed true line {t}");
+        }
+        // And MAP can never find more true lines than FullSFA.
+        let map_tp = truth.iter().filter(|&&t| found(&map, t)).count();
+        let full_tp = truth.iter().filter(|&&t| found(&full, t)).count();
+        assert!(map_tp <= full_tp);
+    }
+
+    #[test]
+    fn approach_ordering_map_kmap_staccato_fullsfa() {
+        // Retained mass ordering implies per-line probability ordering:
+        // P_MAP ≤ P_kMAP and P_STACCATO ≤ P_FullSFA for every line.
+        let (store, _) = store_with(15, 23);
+        let query = Query::keyword("data").unwrap();
+        let by_key = |answers: Vec<Answer>| -> std::collections::HashMap<i64, f64> {
+            answers.into_iter().map(|a| (a.data_key, a.probability)).collect()
+        };
+        let map = by_key(filescan_query(&store, Approach::Map, &query, 1000).unwrap());
+        let kmap = by_key(filescan_query(&store, Approach::KMap, &query, 1000).unwrap());
+        let stac = by_key(filescan_query(&store, Approach::Staccato, &query, 1000).unwrap());
+        let full = by_key(filescan_query(&store, Approach::FullSfa, &query, 1000).unwrap());
+        for (key, p) in &map {
+            assert!(kmap.get(key).copied().unwrap_or(0.0) >= p - 1e-9, "kMAP < MAP at {key}");
+        }
+        for (key, p) in &stac {
+            assert!(full.get(key).copied().unwrap_or(0.0) >= p - 1e-9, "Full < Stac at {key}");
+        }
+    }
+
+    #[test]
+    fn num_ans_caps_result_size() {
+        let (store, _) = store_with(30, 7);
+        // 'a' appears nearly everywhere → FullSFA matches nearly all lines.
+        let query = Query::keyword("a").unwrap();
+        let full = filescan_query(&store, Approach::FullSfa, &query, 5).unwrap();
+        assert_eq!(full.len(), 5);
+        for w in full.windows(2) {
+            assert!(w[0].probability >= w[1].probability);
+        }
+    }
+
+    #[test]
+    fn approach_names_for_tables() {
+        assert_eq!(Approach::Map.name(), "MAP");
+        assert_eq!(Approach::all().len(), 4);
+    }
+
+    #[test]
+    fn parallel_scan_equals_sequential() {
+        let (store, _) = store_with(25, 13);
+        for pattern in ["database", r"Sec(\x)*\d"] {
+            let query = Query::regex(pattern).unwrap();
+            for ap in Approach::all() {
+                let seq = filescan_query(&store, ap, &query, 1000).unwrap();
+                let par = filescan_query_parallel(&store, ap, &query, 1000, 4).unwrap();
+                assert_eq!(seq.len(), par.len(), "{} {pattern}", ap.name());
+                for (a, b) in seq.iter().zip(&par) {
+                    assert_eq!(a.data_key, b.data_key);
+                    assert!((a.probability - b.probability).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! Dictionary-based inverted indexing over SFA data (§4).
+//!
+//! Directly indexing every term of every retained string blows up
+//! exponentially with the number of chunks `m` (Figure 5) — so, following
+//! the paper, the index only covers terms from a user-supplied dictionary
+//! compiled to a trie automaton. Construction is Algorithms 3–4: a
+//! topological walk over the chunk graph that starts a fresh trie walk at
+//! every character offset of every retained string and carries in-flight
+//! walks across edges as *augmented states*, so terms straddling chunk
+//! boundaries are still found. A posting records where a term starts:
+//! `(DataKey, edge, path, offset)`.
+//!
+//! Postings live in a relational B+-tree (`term ␀ DataKey seq → packed
+//! location`), mirroring "we implement the index as a relational table
+//! with a B+-tree on top of it" (§5.3). Probing takes a query's left
+//! anchor (§2.1), fetches candidate lines point-wise through the primary
+//! key, and evaluates only a *projection* of each graph — the nodes
+//! reachable within the pattern's span from the posted start (§4,
+//! "Projection").
+
+use crate::error::QueryError;
+use crate::exec::{rank_answers, Answer};
+use crate::query::Query;
+use crate::store::OcrStore;
+use staccato_automata::{TermId, Trie};
+use staccato_sfa::{NodeId, Sfa};
+use staccato_storage::BTree;
+use std::collections::{HashMap, HashSet};
+
+/// A term-start location within one line's chunk graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Posting {
+    /// Edge (chunk) id within the stored graph.
+    pub edge: u32,
+    /// Which retained string (path rank) on that edge.
+    pub path: u16,
+    /// Byte offset of the term start within that string.
+    pub offset: u16,
+}
+
+impl Posting {
+    fn pack(self) -> u64 {
+        (self.edge as u64) << 32 | (self.path as u64) << 16 | self.offset as u64
+    }
+
+    fn unpack(v: u64) -> Posting {
+        Posting { edge: (v >> 32) as u32, path: (v >> 16) as u16, offset: v as u16 }
+    }
+}
+
+/// Handle to a built inverted index.
+pub struct InvertedIndex {
+    postings: BTree,
+    dict: BTree,
+    /// Number of postings inserted (Figure 19/20's index size).
+    pub posting_count: u64,
+}
+
+/// Algorithm 3–4: all dictionary-term start locations in one chunk graph.
+///
+/// Returns `(term, posting)` pairs, deduplicated (a start that completes
+/// the same term along two downstream branches is one posting).
+pub fn line_postings(trie: &Trie, sfa: &Sfa) -> Vec<(TermId, Posting)> {
+    // Augmented states per node: in-flight trie walks with the posting
+    // where they started.
+    let mut aug: HashMap<NodeId, Vec<(u32, Posting)>> = HashMap::new();
+    let mut found: HashSet<(TermId, Posting)> = HashSet::new();
+
+    // Process edges in topological order of their source node.
+    let order = sfa.topo_order();
+    let rank: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut edges: Vec<u32> = sfa.edges().map(|(id, _)| id).collect();
+    edges.sort_by_key(|&id| {
+        let e = sfa.edge(id).expect("live");
+        (rank[&e.from], rank[&e.to], id)
+    });
+
+    for eid in edges {
+        let edge = sfa.edge(eid).expect("live");
+        let incoming = aug.get(&edge.from).cloned().unwrap_or_default();
+        let mut outgoing: Vec<(u32, Posting)> = Vec::new();
+        for (path_idx, em) in edge.emissions.iter().enumerate() {
+            let bytes = em.label.as_bytes();
+            // Fresh walks starting inside this string (Algorithm 4's SO
+            // set) — one per offset.
+            let mut live: Vec<(u32, u16)> = Vec::new(); // (trie state, start offset)
+            for (j, &c) in bytes.iter().enumerate() {
+                let mut survivors = Vec::with_capacity(live.len() + 1);
+                for (st, start) in live.drain(..) {
+                    if let Some(nxt) = trie.step(st, c) {
+                        if let Some(term) = trie.terminal(nxt) {
+                            found.insert((
+                                term,
+                                Posting { edge: eid, path: path_idx as u16, offset: start },
+                            ));
+                        }
+                        survivors.push((nxt, start));
+                    }
+                }
+                // Start a new walk at offset j.
+                if let Some(nxt) = trie.step(trie.root(), c) {
+                    if let Some(term) = trie.terminal(nxt) {
+                        found.insert((
+                            term,
+                            Posting { edge: eid, path: path_idx as u16, offset: j as u16 },
+                        ));
+                    }
+                    survivors.push((nxt, j as u16));
+                }
+                live = survivors;
+            }
+            for (st, start) in live {
+                outgoing
+                    .push((st, Posting { edge: eid, path: path_idx as u16, offset: start }));
+            }
+            // Continue incoming augmented walks through this string
+            // (Algorithm 4's second loop).
+            for &(st0, origin) in &incoming {
+                let mut cur = st0;
+                let mut alive = true;
+                for &c in bytes {
+                    match trie.step(cur, c) {
+                        Some(nxt) => {
+                            if let Some(term) = trie.terminal(nxt) {
+                                found.insert((term, origin));
+                            }
+                            cur = nxt;
+                        }
+                        None => {
+                            alive = false;
+                            break; // the walk dies mid-string
+                        }
+                    }
+                }
+                if alive {
+                    outgoing.push((cur, origin));
+                }
+            }
+        }
+        aug.entry(edge.to).or_default().extend(outgoing);
+    }
+
+    let mut out: Vec<(TermId, Posting)> = found.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Build the inverted index over the Staccato representation.
+///
+/// Creates two B+-trees in the store's database: `<name>_postings` and
+/// `<name>_dict` (dictionary membership, so probes can tell "no matches"
+/// apart from "term not indexed").
+pub fn build_index(
+    store: &OcrStore,
+    trie: &Trie,
+    name: &str,
+) -> Result<InvertedIndex, QueryError> {
+    let postings = store.create_index(&format!("{name}_postings"))?;
+    let dict = store.create_index(&format!("{name}_dict"))?;
+    let pool = store.db().pool();
+    for tid in 0..trie.term_count() as u32 {
+        dict.insert(pool, trie.term(tid).as_bytes(), 1)?;
+    }
+    let mut posting_count = 0u64;
+    for (key, graph) in store.scan_staccato()? {
+        let mut seq_per_term: HashMap<TermId, u32> = HashMap::new();
+        for (term, posting) in line_postings(trie, &graph) {
+            let seq = seq_per_term.entry(term).or_insert(0);
+            let mut k = Vec::with_capacity(trie.term(term).len() + 13);
+            k.extend_from_slice(trie.term(term).as_bytes());
+            k.push(0);
+            k.extend_from_slice(&key.to_be_bytes());
+            k.extend_from_slice(&seq.to_be_bytes());
+            *seq += 1;
+            postings.insert(pool, &k, posting.pack())?;
+            posting_count += 1;
+        }
+    }
+    Ok(InvertedIndex { postings, dict, posting_count })
+}
+
+/// All postings for `term`, grouped by line.
+pub fn probe_term(
+    store: &OcrStore,
+    index: &InvertedIndex,
+    term: &str,
+) -> Result<Vec<(i64, Vec<Posting>)>, QueryError> {
+    let mut prefix = term.as_bytes().to_vec();
+    prefix.push(0);
+    let pool = store.db().pool();
+    let mut grouped: Vec<(i64, Vec<Posting>)> = Vec::new();
+    for (k, v) in index.postings.scan_prefix(pool, &prefix)? {
+        let key_bytes: [u8; 8] =
+            k[prefix.len()..prefix.len() + 8].try_into().expect("posting key layout");
+        let data_key = i64::from_be_bytes(key_bytes);
+        let posting = Posting::unpack(v);
+        match grouped.last_mut() {
+            Some((dk, v)) if *dk == data_key => v.push(posting),
+            _ => grouped.push((data_key, vec![posting])),
+        }
+    }
+    Ok(grouped)
+}
+
+/// §4's *projection*: evaluate the match probability starting from the
+/// posted location, over only the nodes reachable within `depth` edges —
+/// an (over)estimate of how far the pattern can extend.
+pub fn project_eval(sfa: &Sfa, query: &Query, from: NodeId, depth: usize) -> f64 {
+    // BFS the projected node set.
+    let mut dist: HashMap<NodeId, usize> = HashMap::new();
+    dist.insert(from, 0);
+    let mut frontier = vec![from];
+    while let Some(v) = frontier.pop() {
+        let d = dist[&v];
+        if d >= depth {
+            continue;
+        }
+        for &eid in sfa.out_edges(v) {
+            let to = sfa.edge(eid).expect("live").to;
+            if !dist.contains_key(&to) {
+                dist.insert(to, d + 1);
+                frontier.push(to);
+            }
+        }
+    }
+    // DP over the projection, starting the DFA fresh at `from`. Mass that
+    // reaches an accepting state is collected once and not propagated
+    // (accepting states are absorbing).
+    let dfa = &query.dfa;
+    let q = dfa.state_count();
+    let mut vectors: HashMap<NodeId, Vec<f64>> = HashMap::new();
+    let mut v0 = vec![0.0; q];
+    v0[dfa.start() as usize] = 1.0;
+    vectors.insert(from, v0);
+    let mut matched = 0.0;
+    for v in sfa.topo_order() {
+        if !dist.contains_key(&v) {
+            continue;
+        }
+        let Some(src) = vectors.remove(&v) else { continue };
+        for &eid in sfa.out_edges(v) {
+            let edge = sfa.edge(eid).expect("live");
+            if !dist.contains_key(&edge.to) {
+                continue;
+            }
+            for em in &edge.emissions {
+                if em.prob <= 0.0 {
+                    continue;
+                }
+                for (s, &mass) in src.iter().enumerate() {
+                    if mass == 0.0 || dfa.is_accept(s as u32) {
+                        continue;
+                    }
+                    let s2 = dfa.run_from(s as u32, &em.label);
+                    let add = mass * em.prob;
+                    if dfa.is_accept(s2) {
+                        matched += add;
+                    } else {
+                        vectors.entry(edge.to).or_insert_with(|| vec![0.0; q])[s2 as usize] +=
+                            add;
+                    }
+                }
+            }
+        }
+    }
+    matched.min(1.0)
+}
+
+/// Index-assisted execution of a left-anchored query (§5.3's protocol):
+/// look up the anchor, fetch candidate lines point-wise, evaluate on the
+/// projection, rank. The returned *answer set* equals a Staccato filescan
+/// for anchored patterns; probabilities are the projection's
+/// (over)estimate conditioned on the match starting at a posted location.
+pub fn indexed_query(
+    store: &OcrStore,
+    index: &InvertedIndex,
+    query: &Query,
+    num_ans: usize,
+) -> Result<Vec<Answer>, QueryError> {
+    let anchor = query
+        .anchor
+        .clone()
+        .ok_or_else(|| QueryError::NotAnchored(query.pattern.clone()))?;
+    if index.dict.get(store.db().pool(), anchor.as_bytes())?.is_none() {
+        return Err(QueryError::TermNotInDictionary(anchor));
+    }
+    let depth = query.max_span().unwrap_or(usize::MAX);
+    let mut answers = Vec::new();
+    for (data_key, posts) in probe_term(store, index, &anchor)? {
+        let graph = store.get_staccato_graph(data_key)?;
+        let mut best = 0.0f64;
+        let mut seen_nodes: HashSet<NodeId> = HashSet::new();
+        for p in posts {
+            let Some(edge) = graph.edge(p.edge) else { continue };
+            // Distinct start nodes only; several postings on one edge
+            // evaluate identically from its source.
+            if !seen_nodes.insert(edge.from) {
+                continue;
+            }
+            let score = project_eval(&graph, query, edge.from, depth.saturating_add(1));
+            best = best.max(score);
+        }
+        if best > 0.0 {
+            answers.push(Answer { data_key, probability: best });
+        }
+    }
+    Ok(rank_answers(answers, num_ans))
+}
+
+/// Figure 5's counter: how many postings *direct* indexing of one chunk
+/// graph would create — the number of `(path, word-start)` pairs across
+/// all `kᵐ` retained strings. Returned as `f64` because it overflows
+/// 64-bit integers already at moderate `m` (the paper hits the overflow
+/// at `m = 60, k = 50`).
+pub fn direct_posting_count(sfa: &Sfa) -> f64 {
+    // Path count DP.
+    let mut cnt = vec![0.0f64; sfa.num_node_slots() as usize];
+    cnt[sfa.start() as usize] = 1.0;
+    for v in sfa.topo_order() {
+        let c = cnt[v as usize];
+        if c == 0.0 {
+            continue;
+        }
+        for &eid in sfa.out_edges(v) {
+            let e = sfa.edge(eid).expect("live");
+            cnt[e.to as usize] += c * e.emissions.len() as f64;
+        }
+    }
+    let paths = cnt[sfa.finish() as usize];
+    // Words per retained string ≈ words in the most likely string.
+    let words = staccato_sfa::map_string(sfa)
+        .map(|(s, _)| s.split_whitespace().count().max(1))
+        .unwrap_or(1) as f64;
+    paths * words
+}
+
+/// `log₁₀` of [`direct_posting_count`], convenient for Figure 5's
+/// log-scale axes.
+pub fn direct_posting_count_log10(sfa: &Sfa) -> f64 {
+    direct_posting_count(sfa).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{filescan_query, Approach};
+    use crate::store::{LoadOptions, OcrStore};
+    use staccato_core::StaccatoParams;
+    use staccato_ocr::{generate, ChannelConfig, CorpusKind};
+    use staccato_sfa::{Emission, SfaBuilder};
+    use staccato_storage::Database;
+
+    /// Chunk graph whose chunks split "my Ford car" as "my Fo" + "rd car",
+    /// so the term 'ford' straddles the chunk boundary.
+    fn straddle_graph() -> Sfa {
+        let mut b = SfaBuilder::new();
+        let n: Vec<_> = (0..3).map(|_| b.add_node()).collect();
+        b.add_edge(n[0], n[1], vec![Emission::new("my Fo", 0.6), Emission::new("my F0", 0.4)]);
+        b.add_edge(n[1], n[2], vec![Emission::new("rd car", 0.7), Emission::new("rd  ar", 0.3)]);
+        b.build(n[0], n[2]).unwrap()
+    }
+
+    #[test]
+    fn postings_found_within_one_chunk() {
+        let trie = Trie::build(["car", "my"]);
+        let posts = line_postings(&trie, &straddle_graph());
+        let terms: Vec<&str> = posts.iter().map(|(t, _)| trie.term(*t)).collect();
+        assert!(terms.contains(&"my"));
+        assert!(terms.contains(&"car"));
+        // 'my' starts at edge 0 offset 0 on both paths.
+        let my_id = trie.lookup("my").unwrap();
+        let my_posts: Vec<&Posting> =
+            posts.iter().filter(|(t, _)| *t == my_id).map(|(_, p)| p).collect();
+        assert!(my_posts.iter().any(|p| p.edge == 0 && p.offset == 0 && p.path == 0));
+        assert!(my_posts.iter().any(|p| p.edge == 0 && p.offset == 0 && p.path == 1));
+    }
+
+    #[test]
+    fn postings_straddle_chunk_boundaries() {
+        // The defining feature of Algorithms 3–4: 'ford' starts in chunk 0
+        // ("my Fo", offset 3) and completes in chunk 1 ("rd car").
+        let trie = Trie::build(["ford"]);
+        let posts = line_postings(&trie, &straddle_graph());
+        assert_eq!(posts.len(), 1);
+        let (_, p) = posts[0];
+        assert_eq!(p.edge, 0);
+        assert_eq!(p.offset, 3);
+        assert_eq!(p.path, 0); // only the "my Fo" path starts the term
+    }
+
+    #[test]
+    fn case_folding_in_postings() {
+        let trie = Trie::build(["fo"]);
+        let posts = line_postings(&trie, &straddle_graph());
+        // "Fo" matches case-insensitively.
+        assert!(!posts.is_empty());
+    }
+
+    #[test]
+    fn dead_walks_produce_no_postings() {
+        let trie = Trie::build(["xyzzy"]);
+        assert!(line_postings(&trie, &straddle_graph()).is_empty());
+    }
+
+    #[test]
+    fn direct_count_grows_exponentially_with_chunks() {
+        // Chain of m chunks, k strings each → kᵐ paths.
+        let build = |m: usize, k: usize| {
+            let mut b = SfaBuilder::new();
+            let mut prev = b.add_node();
+            let start = prev;
+            for _ in 0..m {
+                let next = b.add_node();
+                let ems = (0..k)
+                    .map(|i| Emission::new(format!("w{i} "), 1.0 / k as f64))
+                    .collect();
+                b.add_edge(prev, next, ems);
+                prev = next;
+            }
+            b.build(start, prev).unwrap()
+        };
+        let c5 = direct_posting_count(&build(5, 10));
+        let c10 = direct_posting_count(&build(10, 10));
+        let c60 = direct_posting_count(&build(60, 50));
+        assert!(c10 / c5 >= 1e4, "exponential growth expected: {c5} → {c10}");
+        // Paper: k=50 overflows u64 beyond m=60.
+        assert!(c60 > u64::MAX as f64);
+        assert!(direct_posting_count_log10(&build(60, 50)) > 19.0);
+    }
+
+    fn anchored_store() -> OcrStore {
+        let dataset = generate(CorpusKind::CongressActs, 60, 31);
+        let db = Database::in_memory(1024).unwrap();
+        let opts = LoadOptions {
+            channel: ChannelConfig::compact(31),
+            kmap_k: 8,
+            staccato: StaccatoParams::new(10, 8),
+            parallelism: 2,
+        };
+        OcrStore::load(db, &dataset, &opts).unwrap()
+    }
+
+    #[test]
+    fn indexed_query_matches_filescan_answer_set() {
+        let store = anchored_store();
+        let trie = Trie::build(["public", "president", "commission"]);
+        let index = build_index(&store, &trie, "inv").unwrap();
+        assert!(index.posting_count > 0);
+
+        for pattern in ["President", r"Public Law (8|9)\d"] {
+            let query = Query::regex(pattern).unwrap();
+            let via_scan: std::collections::BTreeSet<i64> =
+                filescan_query(&store, Approach::Staccato, &query, 1000)
+                    .unwrap()
+                    .into_iter()
+                    .map(|a| a.data_key)
+                    .collect();
+            let via_index: std::collections::BTreeSet<i64> =
+                indexed_query(&store, &index, &query, 1000)
+                    .unwrap()
+                    .into_iter()
+                    .map(|a| a.data_key)
+                    .collect();
+            assert_eq!(via_scan, via_index, "answer sets differ for {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn unanchored_query_is_rejected() {
+        let store = anchored_store();
+        let trie = Trie::build(["public"]);
+        let index = build_index(&store, &trie, "inv2").unwrap();
+        let query = Query::regex(r"\d\d\d").unwrap();
+        assert!(matches!(
+            indexed_query(&store, &index, &query, 10),
+            Err(QueryError::NotAnchored(_))
+        ));
+    }
+
+    #[test]
+    fn missing_dictionary_term_is_rejected() {
+        let store = anchored_store();
+        let trie = Trie::build(["public"]);
+        let index = build_index(&store, &trie, "inv3").unwrap();
+        let query = Query::keyword("President").unwrap();
+        assert!(matches!(
+            indexed_query(&store, &index, &query, 10),
+            Err(QueryError::TermNotInDictionary(_))
+        ));
+    }
+
+    #[test]
+    fn posting_pack_roundtrip() {
+        let p = Posting { edge: 123_456, path: 42, offset: 999 };
+        assert_eq!(Posting::unpack(p.pack()), p);
+    }
+}

@@ -1,0 +1,40 @@
+//! # staccato-query
+//!
+//! Query processing over probabilistic OCR data stored in the RDBMS: the
+//! layer that makes `SELECT … WHERE DocData LIKE '%Ford%'` work when
+//! `DocData` is a distribution over strings.
+//!
+//! * [`query`] — the user-facing [`query::Query`]: a `LIKE` pattern or
+//!   regex compiled to a containment DFA, with its left anchor and length
+//!   bounds for index use;
+//! * [`eval`] — probability computation: `Pr[q]` over an SFA via the
+//!   forward dynamic program of [Kimelfeld & Ré / Ré et al.], and over
+//!   string sets for MAP/k-MAP (each string is a disjoint event, §3);
+//! * [`store`] — the Table 5 schema: loading a corpus through the OCR
+//!   channel into MasterData / kMAPData / FullSFAData / StaccatoData /
+//!   StaccatoGraph / GroundTruth tables;
+//! * [`exec`] — filescan executors for the four access methods and
+//!   top-NumAns answer ranking;
+//! * [`metrics`] — ground truth and precision/recall/F1 (the paper's
+//!   quality measures);
+//! * [`invindex`] — §4's dictionary-based inverted index: construction
+//!   (Algorithms 3–4), the direct-indexing blow-up counter (Figure 5),
+//!   probing with left anchors, and BFS projection.
+
+pub mod agg;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod invindex;
+pub mod metrics;
+pub mod query;
+pub mod store;
+
+pub use agg::{count_distribution, expected_count, expected_sum, threshold_probability};
+pub use error::QueryError;
+pub use eval::{eval_sfa, eval_strings};
+pub use exec::{filescan_query, filescan_query_parallel, Answer, Approach};
+pub use invindex::{build_index, direct_posting_count_log10, indexed_query, InvertedIndex};
+pub use metrics::{evaluate_answers, ground_truth, Metrics};
+pub use query::Query;
+pub use store::{LoadOptions, OcrStore, RepresentationSizes};

@@ -1,0 +1,116 @@
+//! Ground truth and answer-quality metrics.
+//!
+//! The paper's evaluation protocol (§5): ground truth is the set of lines
+//! whose clean text matches the query; an engine's answers are the top
+//! NumAns lines by probability; precision and recall compare the two
+//! sets. "We created a manual ground truth for these documents" — ours is
+//! the generator's clean text, which plays the same role.
+
+use crate::error::QueryError;
+use crate::exec::Answer;
+use crate::query::Query;
+use crate::store::OcrStore;
+use std::collections::BTreeSet;
+
+/// Precision/recall/F1 for one query run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Fraction of returned answers that are correct.
+    pub precision: f64,
+    /// Fraction of ground-truth lines that were returned.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Correct answers returned.
+    pub true_positives: usize,
+    /// Total answers returned.
+    pub answered: usize,
+    /// Ground-truth size.
+    pub truth_size: usize,
+}
+
+/// The set of DataKeys whose clean text matches the query.
+pub fn ground_truth(store: &OcrStore, query: &Query) -> Result<BTreeSet<i64>, QueryError> {
+    Ok(store
+        .ground_truth_lines()?
+        .into_iter()
+        .filter(|(_, text)| query.dfa.is_accept(query.dfa.run_from(query.dfa.start(), text)))
+        .map(|(key, _)| key)
+        .collect())
+}
+
+/// Compare ranked answers against ground truth.
+pub fn evaluate_answers(answers: &[Answer], truth: &BTreeSet<i64>) -> Metrics {
+    let answered = answers.len();
+    let true_positives = answers.iter().filter(|a| truth.contains(&a.data_key)).count();
+    let precision =
+        if answered == 0 { 0.0 } else { true_positives as f64 / answered as f64 };
+    let recall = if truth.is_empty() {
+        // With empty truth any answer is wrong; recall is vacuously 1.
+        1.0
+    } else {
+        true_positives as f64 / truth.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    Metrics { precision, recall, f1, true_positives, answered, truth_size: truth.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answers(keys: &[i64]) -> Vec<Answer> {
+        keys.iter().map(|&k| Answer { data_key: k, probability: 0.5 }).collect()
+    }
+
+    #[test]
+    fn perfect_answers() {
+        let truth: BTreeSet<i64> = [1, 2, 3].into_iter().collect();
+        let m = evaluate_answers(&answers(&[1, 2, 3]), &truth);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.true_positives, 3);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let truth: BTreeSet<i64> = [1, 2, 3, 4].into_iter().collect();
+        let m = evaluate_answers(&answers(&[1, 2, 9, 10]), &truth);
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 0.5);
+        assert!((m.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_answers_zero_precision_and_recall() {
+        let truth: BTreeSet<i64> = [1].into_iter().collect();
+        let m = evaluate_answers(&answers(&[]), &truth);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_truth_is_vacuous_recall() {
+        let truth: BTreeSet<i64> = BTreeSet::new();
+        let m = evaluate_answers(&answers(&[5]), &truth);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.precision, 0.0);
+    }
+
+    #[test]
+    fn f1_between_unbalanced_precision_recall() {
+        // 1 of 10 answers correct, truth size 1 → P=0.1, R=1.0.
+        let truth: BTreeSet<i64> = [0].into_iter().collect();
+        let keys: Vec<i64> = (0..10).collect();
+        let m = evaluate_answers(&answers(&keys), &truth);
+        assert!((m.precision - 0.1).abs() < 1e-12);
+        assert_eq!(m.recall, 1.0);
+        assert!((m.f1 - 2.0 * 0.1 / 1.1).abs() < 1e-12);
+    }
+}

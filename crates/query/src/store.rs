@@ -1,0 +1,539 @@
+//! The Table 5 schema: loading an OCR corpus into the RDBMS under all
+//! four representations.
+//!
+//! | table | columns | contents |
+//! |---|---|---|
+//! | `MasterData` | DataKey, DocName, SFANum | one row per scanned line |
+//! | `MAPData` | DataKey, Data, LogProb | the MAP transcription |
+//! | `kMAPData` | DataKey, LineNum, Data, LogProb | top-k strings (LineNum = rank) |
+//! | `FullSFAData` | DataKey, SFABlob | the full OCR SFA as a blob |
+//! | `StaccatoData` | DataKey, ChunkNum, LineNum, Data, LogProb | per-chunk top-k strings |
+//! | `StaccatoGraph` | DataKey, GraphBlob | the chunk graph as a blob |
+//! | `GroundTruth` | DataKey, Data | the clean line (evaluation only) |
+//!
+//! (The paper stores MAP as k-MAP with k = 1; a dedicated `MAPData` table
+//! keeps the MAP filescan's I/O proportional to one string per line, as a
+//! separate k = 1 dataset would.) B+-tree primary indexes are built on the
+//! blob tables so index-assisted queries can fetch single lines.
+//!
+//! Construction (channel → k-best → Staccato approximation) is
+//! embarrassingly parallel across lines (§5.2 used Condor); the loader
+//! fans out over `parallelism` threads.
+
+use crate::error::QueryError;
+use staccato_core::{approximate, StaccatoParams};
+use staccato_ocr::{Channel, ChannelConfig, Dataset};
+use staccato_sfa::{codec, k_best_paths, Sfa};
+use staccato_storage::{
+    BlobStore, BTree, ColumnType, Database, HeapFile, Rid, Schema, Value,
+};
+
+/// Loader options.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// OCR channel configuration.
+    pub channel: ChannelConfig,
+    /// `k` for the k-MAP representation.
+    pub kmap_k: usize,
+    /// `(m, k)` for the Staccato representation.
+    pub staccato: StaccatoParams,
+    /// Worker threads for SFA construction and approximation.
+    pub parallelism: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            channel: ChannelConfig::default(),
+            kmap_k: 25,
+            staccato: StaccatoParams::new(40, 25),
+            parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+/// Per-line artifacts produced by the construction pipeline.
+struct LineArtifacts {
+    doc_name: String,
+    sfa_num: i64,
+    clean: String,
+    kmap: Vec<(String, f64)>,
+    full_blob: Vec<u8>,
+    stac_blob: Vec<u8>,
+    /// `(chunk index, rank, string, log-prob)` rows for StaccatoData.
+    stac_chunks: Vec<(i64, i64, String, f64)>,
+}
+
+/// Byte sizes of each representation after loading (Table 2 / §5.5).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RepresentationSizes {
+    /// Clean text bytes.
+    pub text: u64,
+    /// MAP strings.
+    pub map: u64,
+    /// k-MAP strings (incl. 16-byte per-tuple metadata, as Table 1 counts).
+    pub kmap: u64,
+    /// FullSFA blobs.
+    pub full_sfa: u64,
+    /// Staccato graph blobs.
+    pub staccato: u64,
+}
+
+/// A loaded OCR store: the database plus cached table handles.
+pub struct OcrStore {
+    db: Database,
+    lines: usize,
+    sizes: RepresentationSizes,
+}
+
+fn build_line(channel: &Channel, opts: &LoadOptions, line: &str, line_id: u64) -> LineArtifacts {
+    let sfa = channel.line_to_sfa(line, line_id);
+    let kmap = k_best_paths(&sfa, opts.kmap_k)
+        .into_iter()
+        .map(|p| (p.string, p.prob))
+        .collect::<Vec<_>>();
+    let full_blob = codec::encode(&sfa);
+    let stac = approximate(&sfa, opts.staccato);
+    let stac_blob = codec::encode(&stac);
+    // Chunk rows: edges in topological order are the chunks; each emission
+    // is one retained string.
+    let order_rank: std::collections::HashMap<u32, usize> =
+        stac.topo_order().iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut chunk_edges: Vec<_> = stac.edges().collect();
+    chunk_edges.sort_by_key(|(_, e)| (order_rank[&e.from], order_rank[&e.to]));
+    let mut stac_chunks = Vec::new();
+    for (ci, (_, e)) in chunk_edges.iter().enumerate() {
+        for (rank, em) in e.emissions.iter().enumerate() {
+            stac_chunks.push((ci as i64, rank as i64, em.label.clone(), em.prob.ln()));
+        }
+    }
+    LineArtifacts {
+        doc_name: String::new(),
+        sfa_num: 0,
+        clean: line.to_string(),
+        kmap,
+        full_blob,
+        stac_blob,
+        stac_chunks,
+    }
+}
+
+impl OcrStore {
+    /// Load a dataset into `db`, building all representations.
+    pub fn load(db: Database, dataset: &Dataset, opts: &LoadOptions) -> Result<OcrStore, QueryError> {
+        let channel = Channel::new(opts.channel.clone());
+
+        // Phase 1: per-line construction, parallel across lines.
+        let work: Vec<(String, i64, u64, String)> = dataset
+            .lines()
+            .enumerate()
+            .map(|(global, (di, li, text))| {
+                (dataset.docs[di].name.clone(), li as i64, global as u64, text.to_string())
+            })
+            .collect();
+        let par = opts.parallelism.max(1);
+        let chunk = work.len().div_ceil(par).max(1);
+        let mut artifacts: Vec<Option<LineArtifacts>> = Vec::with_capacity(work.len());
+        artifacts.resize_with(work.len(), || None);
+        std::thread::scope(|scope| {
+            for (w_idx, (slice, out)) in
+                work.chunks(chunk).zip(artifacts.chunks_mut(chunk)).enumerate()
+            {
+                let channel = &channel;
+                let opts_ref = &opts;
+                let _ = w_idx;
+                scope.spawn(move || {
+                    for ((doc, sfanum, id, text), slot) in slice.iter().zip(out.iter_mut()) {
+                        let mut art = build_line(channel, opts_ref, text, *id);
+                        art.doc_name = doc.clone();
+                        art.sfa_num = *sfanum;
+                        *slot = Some(art);
+                    }
+                });
+            }
+        });
+
+        // Phase 2: sequential inserts.
+        let master = db.create_table(
+            "MasterData",
+            Schema::new(&[
+                ("DataKey", ColumnType::Int),
+                ("DocName", ColumnType::Text),
+                ("SFANum", ColumnType::Int),
+            ]),
+        )?;
+        let map_t = db.create_table(
+            "MAPData",
+            Schema::new(&[
+                ("DataKey", ColumnType::Int),
+                ("Data", ColumnType::Text),
+                ("LogProb", ColumnType::Float),
+            ]),
+        )?;
+        let kmap_t = db.create_table(
+            "kMAPData",
+            Schema::new(&[
+                ("DataKey", ColumnType::Int),
+                ("LineNum", ColumnType::Int),
+                ("Data", ColumnType::Text),
+                ("LogProb", ColumnType::Float),
+            ]),
+        )?;
+        let full_t = db.create_table(
+            "FullSFAData",
+            Schema::new(&[("DataKey", ColumnType::Int), ("SFABlob", ColumnType::Blob)]),
+        )?;
+        let stacd_t = db.create_table(
+            "StaccatoData",
+            Schema::new(&[
+                ("DataKey", ColumnType::Int),
+                ("ChunkNum", ColumnType::Int),
+                ("LineNum", ColumnType::Int),
+                ("Data", ColumnType::Text),
+                ("LogProb", ColumnType::Float),
+            ]),
+        )?;
+        let stacg_t = db.create_table(
+            "StaccatoGraph",
+            Schema::new(&[("DataKey", ColumnType::Int), ("GraphBlob", ColumnType::Blob)]),
+        )?;
+        let truth_t = db.create_table(
+            "GroundTruth",
+            Schema::new(&[("DataKey", ColumnType::Int), ("Data", ColumnType::Text)]),
+        )?;
+        let full_pk = db.create_index("FullSFAData_pk")?;
+        let stacg_pk = db.create_index("StaccatoGraph_pk")?;
+
+        let mut sizes = RepresentationSizes::default();
+        let pool = db.pool();
+        let enc = staccato_storage::row::encode_row;
+        for (key, art) in artifacts.into_iter().enumerate() {
+            let art = art.expect("every line built");
+            let key = key as i64;
+            sizes.text += art.clean.len() as u64 + 1;
+            master.insert(
+                pool,
+                &enc(
+                    &master_schema(),
+                    &vec![
+                        Value::Int(key),
+                        Value::Text(art.doc_name.clone()),
+                        Value::Int(art.sfa_num),
+                    ],
+                )?,
+            )?;
+            if let Some((s, p)) = art.kmap.first() {
+                sizes.map += s.len() as u64 + 16;
+                map_t.insert(
+                    pool,
+                    &enc(
+                        &map_schema(),
+                        &vec![Value::Int(key), Value::Text(s.clone()), Value::Float(p.ln())],
+                    )?,
+                )?;
+            }
+            for (rank, (s, p)) in art.kmap.iter().enumerate() {
+                sizes.kmap += s.len() as u64 + 16;
+                kmap_t.insert(
+                    pool,
+                    &enc(
+                        &kmap_schema(),
+                        &vec![
+                            Value::Int(key),
+                            Value::Int(rank as i64),
+                            Value::Text(s.clone()),
+                            Value::Float(p.ln()),
+                        ],
+                    )?,
+                )?;
+            }
+            sizes.full_sfa += art.full_blob.len() as u64;
+            let full_blob = BlobStore::put(pool, &art.full_blob)?;
+            let rid = full_t.insert(
+                pool,
+                &enc(&blob_schema("SFABlob"), &vec![Value::Int(key), Value::Blob(full_blob)])?,
+            )?;
+            full_pk.insert(pool, &key.to_be_bytes(), rid.to_u64())?;
+
+            for (ci, rank, s, lp) in &art.stac_chunks {
+                stacd_t.insert(
+                    pool,
+                    &enc(
+                        &stacd_schema(),
+                        &vec![
+                            Value::Int(key),
+                            Value::Int(*ci),
+                            Value::Int(*rank),
+                            Value::Text(s.clone()),
+                            Value::Float(*lp),
+                        ],
+                    )?,
+                )?;
+            }
+            sizes.staccato += art.stac_blob.len() as u64;
+            let stac_blob = BlobStore::put(pool, &art.stac_blob)?;
+            let rid = stacg_t.insert(
+                pool,
+                &enc(&blob_schema("GraphBlob"), &vec![Value::Int(key), Value::Blob(stac_blob)])?,
+            )?;
+            stacg_pk.insert(pool, &key.to_be_bytes(), rid.to_u64())?;
+
+            truth_t.insert(
+                pool,
+                &enc(&truth_schema(), &vec![Value::Int(key), Value::Text(art.clean.clone())])?,
+            )?;
+        }
+        Ok(OcrStore { db, lines: work.len(), sizes })
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Number of lines (SFAs) loaded.
+    pub fn line_count(&self) -> usize {
+        self.lines
+    }
+
+    /// Representation sizes measured at load time.
+    pub fn sizes(&self) -> RepresentationSizes {
+        self.sizes
+    }
+
+    /// Scan the MAP strings: `(DataKey, string, probability)`.
+    pub fn scan_map(&self) -> Result<Vec<(i64, String, f64)>, QueryError> {
+        let (schema, heap) = self.db.table("MAPData")?;
+        let mut out = Vec::new();
+        for item in heap.scan(self.db.pool()) {
+            let (_, bytes) = item?;
+            let row = staccato_storage::row::decode_row(&schema, &bytes)?;
+            out.push((
+                row[0].as_int().expect("schema"),
+                row[1].as_text().expect("schema").to_string(),
+                row[2].as_float().expect("schema").exp(),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Scan k-MAP strings grouped by line: `(DataKey, [(string, prob)])`.
+    /// Rows are stored clustered by DataKey, so grouping is a single pass.
+    pub fn scan_kmap(&self) -> Result<Vec<(i64, Vec<(String, f64)>)>, QueryError> {
+        let (schema, heap) = self.db.table("kMAPData")?;
+        let mut out: Vec<(i64, Vec<(String, f64)>)> = Vec::new();
+        for item in heap.scan(self.db.pool()) {
+            let (_, bytes) = item?;
+            let row = staccato_storage::row::decode_row(&schema, &bytes)?;
+            let key = row[0].as_int().expect("schema");
+            let s = row[2].as_text().expect("schema").to_string();
+            let p = row[3].as_float().expect("schema").exp();
+            match out.last_mut() {
+                Some((k, v)) if *k == key => v.push((s, p)),
+                _ => out.push((key, vec![(s, p)])),
+            }
+        }
+        Ok(out)
+    }
+
+    fn scan_blob_table(
+        &self,
+        table: &str,
+    ) -> Result<Vec<(i64, Sfa)>, QueryError> {
+        let (schema, heap) = self.db.table(table)?;
+        let mut out = Vec::new();
+        for item in heap.scan(self.db.pool()) {
+            let (_, bytes) = item?;
+            let row = staccato_storage::row::decode_row(&schema, &bytes)?;
+            let key = row[0].as_int().expect("schema");
+            let blob = row[1].as_blob().expect("schema");
+            let data = BlobStore::get(self.db.pool(), blob)?;
+            out.push((key, codec::decode(&data)?));
+        }
+        Ok(out)
+    }
+
+    /// Scan and decode every full SFA.
+    pub fn scan_full_sfa(&self) -> Result<Vec<(i64, Sfa)>, QueryError> {
+        self.scan_blob_table("FullSFAData")
+    }
+
+    /// Scan and decode every Staccato chunk graph.
+    pub fn scan_staccato(&self) -> Result<Vec<(i64, Sfa)>, QueryError> {
+        self.scan_blob_table("StaccatoGraph")
+    }
+
+    /// Point-fetch one Staccato graph through its primary-key B+-tree —
+    /// the access path of index-assisted queries.
+    pub fn get_staccato_graph(&self, key: i64) -> Result<Sfa, QueryError> {
+        let pk = self.db.index("StaccatoGraph_pk")?;
+        let rid = pk
+            .get(self.db.pool(), &key.to_be_bytes())?
+            .ok_or(QueryError::MissingRepresentation("StaccatoGraph row"))?;
+        let (schema, heap) = self.db.table("StaccatoGraph")?;
+        let bytes = heap.get(self.db.pool(), Rid::from_u64(rid))?;
+        let row = staccato_storage::row::decode_row(&schema, &bytes)?;
+        let data = BlobStore::get(self.db.pool(), row[1].as_blob().expect("schema"))?;
+        Ok(codec::decode(&data)?)
+    }
+
+    /// Ground-truth clean lines: `(DataKey, text)`.
+    pub fn ground_truth_lines(&self) -> Result<Vec<(i64, String)>, QueryError> {
+        let (schema, heap) = self.db.table("GroundTruth")?;
+        let mut out = Vec::new();
+        for item in heap.scan(self.db.pool()) {
+            let (_, bytes) = item?;
+            let row = staccato_storage::row::decode_row(&schema, &bytes)?;
+            out.push((
+                row[0].as_int().expect("schema"),
+                row[1].as_text().expect("schema").to_string(),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Direct access to a table + heap (for the experiment harness).
+    pub fn table(&self, name: &str) -> Result<(Schema, HeapFile), QueryError> {
+        Ok(self.db.table(name)?)
+    }
+
+    /// Create (or reopen) a named auxiliary B+-tree, e.g. for indexes.
+    pub fn create_index(&self, name: &str) -> Result<BTree, QueryError> {
+        Ok(self.db.create_index(name)?)
+    }
+}
+
+fn master_schema() -> Schema {
+    Schema::new(&[
+        ("DataKey", ColumnType::Int),
+        ("DocName", ColumnType::Text),
+        ("SFANum", ColumnType::Int),
+    ])
+}
+
+fn map_schema() -> Schema {
+    Schema::new(&[
+        ("DataKey", ColumnType::Int),
+        ("Data", ColumnType::Text),
+        ("LogProb", ColumnType::Float),
+    ])
+}
+
+fn kmap_schema() -> Schema {
+    Schema::new(&[
+        ("DataKey", ColumnType::Int),
+        ("LineNum", ColumnType::Int),
+        ("Data", ColumnType::Text),
+        ("LogProb", ColumnType::Float),
+    ])
+}
+
+fn stacd_schema() -> Schema {
+    Schema::new(&[
+        ("DataKey", ColumnType::Int),
+        ("ChunkNum", ColumnType::Int),
+        ("LineNum", ColumnType::Int),
+        ("Data", ColumnType::Text),
+        ("LogProb", ColumnType::Float),
+    ])
+}
+
+fn blob_schema(blob_col: &str) -> Schema {
+    Schema::new(&[("DataKey", ColumnType::Int), (blob_col, ColumnType::Blob)])
+}
+
+fn truth_schema() -> Schema {
+    Schema::new(&[("DataKey", ColumnType::Int), ("Data", ColumnType::Text)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staccato_ocr::{generate, CorpusKind};
+
+    fn tiny_store() -> OcrStore {
+        let dataset = generate(CorpusKind::DbPapers, 12, 5);
+        let db = Database::in_memory(256).unwrap();
+        let opts = LoadOptions {
+            channel: ChannelConfig::compact(5),
+            kmap_k: 5,
+            staccato: StaccatoParams::new(8, 5),
+            parallelism: 2,
+        };
+        OcrStore::load(db, &dataset, &opts).unwrap()
+    }
+
+    #[test]
+    fn load_populates_all_tables() {
+        let store = tiny_store();
+        assert_eq!(store.line_count(), 12);
+        assert_eq!(store.scan_map().unwrap().len(), 12);
+        let kmap = store.scan_kmap().unwrap();
+        assert_eq!(kmap.len(), 12);
+        assert!(kmap.iter().all(|(_, v)| !v.is_empty() && v.len() <= 5));
+        assert_eq!(store.scan_full_sfa().unwrap().len(), 12);
+        assert_eq!(store.scan_staccato().unwrap().len(), 12);
+        assert_eq!(store.ground_truth_lines().unwrap().len(), 12);
+    }
+
+    #[test]
+    fn kmap_strings_sorted_by_probability() {
+        let store = tiny_store();
+        for (_, strings) in store.scan_kmap().unwrap() {
+            for w in strings.windows(2) {
+                assert!(w[0].1 >= w[1].1 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn staccato_graph_has_at_most_m_chunks() {
+        let store = tiny_store();
+        for (_, g) in store.scan_staccato().unwrap() {
+            assert!(g.edge_count() <= 8);
+            for (_, e) in g.edges() {
+                assert!(e.emissions.len() <= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn point_lookup_matches_scan() {
+        let store = tiny_store();
+        let all = store.scan_staccato().unwrap();
+        let (key, via_scan) = &all[7];
+        let via_pk = store.get_staccato_graph(*key).unwrap();
+        assert_eq!(codec::encode(via_scan), codec::encode(&via_pk));
+    }
+
+    #[test]
+    fn sizes_are_ordered_as_in_the_paper() {
+        // Table 2: SFAs are orders of magnitude bigger than text; Staccato
+        // sits in between; MAP ≈ text.
+        let store = tiny_store();
+        let s = store.sizes();
+        assert!(s.full_sfa > s.staccato, "{s:?}");
+        assert!(s.staccato > s.map, "{s:?}");
+        assert!(s.kmap > s.map, "{s:?}");
+        assert!(s.text > 0);
+    }
+
+    #[test]
+    fn ground_truth_matches_generated_text() {
+        let dataset = generate(CorpusKind::DbPapers, 6, 9);
+        let db = Database::in_memory(128).unwrap();
+        let opts = LoadOptions {
+            channel: ChannelConfig::compact(9),
+            kmap_k: 2,
+            staccato: StaccatoParams::new(4, 2),
+            parallelism: 1,
+        };
+        let store = OcrStore::load(db, &dataset, &opts).unwrap();
+        let truth = store.ground_truth_lines().unwrap();
+        let lines: Vec<&str> = dataset.lines().map(|(_, _, l)| l).collect();
+        for (i, (key, text)) in truth.iter().enumerate() {
+            assert_eq!(*key, i as i64);
+            assert_eq!(text, lines[i]);
+        }
+    }
+}

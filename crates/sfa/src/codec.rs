@@ -1,0 +1,298 @@
+//! Binary blob codec for SFAs.
+//!
+//! In the paper, FullSFA stores "the entire SFA as a BLOB inside the RDBMS"
+//! and Staccato stores its chunk graph the same way (Table 5's `SFABlob` /
+//! `GraphBlob` columns). This module defines that byte format.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  b"SFA1"
+//! u32    node count          u32 start    u32 finish
+//! u32    edge count
+//! per edge:
+//!   u32 from   u32 to   u32 emission count
+//!   per emission: u16 label byte length, label bytes (UTF-8), f64 prob
+//! ```
+//!
+//! The SFA is compacted before encoding (tombstones never hit disk).
+//! Decoding is hardened against corrupt blobs: every count is checked
+//! against the remaining length before allocating, so a hostile or
+//! truncated blob produces a typed error instead of an OOM or panic.
+
+use crate::error::SfaError;
+use crate::model::{Emission, Sfa};
+
+const MAGIC: &[u8; 4] = b"SFA1";
+
+/// Serialize an SFA into a fresh byte buffer.
+pub fn encode(sfa: &Sfa) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(encoded_size(sfa));
+    encode_into(sfa, &mut buf);
+    buf
+}
+
+/// Serialize an SFA, appending to `buf`.
+pub fn encode_into(sfa: &Sfa, buf: &mut Vec<u8>) {
+    let c = sfa.compact();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(c.node_count() as u32).to_le_bytes());
+    buf.extend_from_slice(&c.start().to_le_bytes());
+    buf.extend_from_slice(&c.finish().to_le_bytes());
+    buf.extend_from_slice(&(c.edge_count() as u32).to_le_bytes());
+    for (_, e) in c.edges() {
+        buf.extend_from_slice(&e.from.to_le_bytes());
+        buf.extend_from_slice(&e.to.to_le_bytes());
+        buf.extend_from_slice(&(e.emissions.len() as u32).to_le_bytes());
+        for em in &e.emissions {
+            let bytes = em.label.as_bytes();
+            debug_assert!(bytes.len() <= u16::MAX as usize, "label too long to encode");
+            buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+            buf.extend_from_slice(bytes);
+            buf.extend_from_slice(&em.prob.to_le_bytes());
+        }
+    }
+}
+
+/// Exact size in bytes [`encode`] will produce. This is the storage cost
+/// that Table 1 and the dataset statistics (Table 2) account for.
+pub fn encoded_size(sfa: &Sfa) -> usize {
+    let mut size = 4 + 4 + 4 + 4 + 4; // magic + node count + start + finish + edge count
+    for (_, e) in sfa.edges() {
+        size += 4 + 4 + 4;
+        for em in &e.emissions {
+            size += 2 + em.label.len() + 8;
+        }
+    }
+    size
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SfaError> {
+        if self.buf.len() - self.pos < n {
+            return Err(SfaError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, SfaError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len checked")))
+    }
+
+    fn u32(&mut self) -> Result<u32, SfaError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len checked")))
+    }
+
+    fn f64(&mut self) -> Result<f64, SfaError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Deserialize an SFA previously produced by [`encode`]. Structural
+/// invariants are re-validated, so a decoded blob is as trustworthy as a
+/// freshly built SFA.
+pub fn decode(buf: &[u8]) -> Result<Sfa, SfaError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(SfaError::BadMagic);
+    }
+    let nodes = r.u32()?;
+    // Each live node needs at least one incident edge entry; a count far
+    // beyond the blob size is corruption.
+    if nodes as usize > buf.len() {
+        return Err(SfaError::CorruptCount { what: "node", count: nodes as u64 });
+    }
+    let start = r.u32()?;
+    let finish = r.u32()?;
+    let edge_count = r.u32()?;
+    if edge_count as u64 * 12 > r.remaining() as u64 {
+        return Err(SfaError::CorruptCount { what: "edge", count: edge_count as u64 });
+    }
+    let mut b = crate::model::SfaBuilder::new();
+    for _ in 0..nodes {
+        b.add_node();
+    }
+    if start >= nodes || finish >= nodes {
+        return Err(SfaError::InvalidNode(start.max(finish)));
+    }
+    for edge_idx in 0..edge_count {
+        let from = r.u32()?;
+        let to = r.u32()?;
+        if from >= nodes || to >= nodes {
+            return Err(SfaError::InvalidNode(from.max(to)));
+        }
+        let n_em = r.u32()?;
+        if n_em as u64 * 10 > r.remaining() as u64 {
+            return Err(SfaError::CorruptCount { what: "emission", count: n_em as u64 });
+        }
+        let mut emissions = Vec::with_capacity(n_em as usize);
+        for _ in 0..n_em {
+            let len = r.u16()? as usize;
+            let label_bytes = r.take(len)?;
+            let label =
+                std::str::from_utf8(label_bytes).map_err(|_| SfaError::BadLabel)?.to_string();
+            let prob = r.f64()?;
+            if label.is_empty() {
+                return Err(SfaError::EmptyLabel { edge: edge_idx });
+            }
+            if !prob.is_finite() || !(0.0..=1.0 + 1e-9).contains(&prob) {
+                return Err(SfaError::BadProbability { edge: edge_idx, prob });
+            }
+            emissions.push(Emission { label, prob });
+        }
+        // Route through the checked Sfa::add_edge rather than the panicking
+        // builder helper: blobs are untrusted input.
+        if emissions.is_empty() {
+            return Err(SfaError::CorruptCount { what: "emission", count: 0 });
+        }
+        b.try_add_edge(from, to, emissions)?;
+    }
+    b.build(start, finish)
+}
+
+impl crate::model::SfaBuilder {
+    /// Checked edge insertion for untrusted inputs (used by the codec).
+    pub fn try_add_edge(
+        &mut self,
+        from: u32,
+        to: u32,
+        emissions: Vec<Emission>,
+    ) -> Result<u32, SfaError> {
+        self.inner_mut().add_edge(from, to, emissions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Emission, SfaBuilder};
+
+    fn figure1() -> Sfa {
+        let mut b = SfaBuilder::new();
+        let n: Vec<_> = (0..6).map(|_| b.add_node()).collect();
+        b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
+        b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+        b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
+        b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
+        b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
+        b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+        b.build(n[0], n[5]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_distribution() {
+        let sfa = figure1();
+        let blob = encode(&sfa);
+        let back = decode(&blob).unwrap();
+        let mut a = sfa.enumerate_strings(1000);
+        let mut b = back.enumerate_strings(1000);
+        a.sort_by(|x, y| x.0.cmp(&y.0));
+        b.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(a.len(), b.len());
+        for ((sa, pa), (sb, pb)) in a.iter().zip(&b) {
+            assert_eq!(sa, sb);
+            assert!((pa - pb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn encoded_size_is_exact() {
+        let sfa = figure1();
+        assert_eq!(encode(&sfa).len(), encoded_size(&sfa));
+    }
+
+    #[test]
+    fn multichar_labels_roundtrip() {
+        let mut b = SfaBuilder::new();
+        let s = b.add_node();
+        let f = b.add_node();
+        b.add_edge(s, f, vec![Emission::new("Ford", 0.6), Emission::new("F0 rd", 0.4)]);
+        let sfa = b.build(s, f).unwrap();
+        let back = decode(&encode(&sfa)).unwrap();
+        assert_eq!(back.edge(0).unwrap().emissions[0].label, "Ford");
+        assert_eq!(back.edge(0).unwrap().emissions[1].label, "F0 rd");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode(b"NOPE????????").unwrap_err(), SfaError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_rejected() {
+        let blob = encode(&figure1());
+        for cut in 0..blob.len() {
+            let err = decode(&blob[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SfaError::Truncated
+                        | SfaError::BadMagic
+                        | SfaError::CorruptCount { .. }
+                        | SfaError::Disconnected { .. }
+                ),
+                "cut at {cut} gave unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_edge_count_rejected_before_allocation() {
+        let mut blob = encode(&figure1());
+        // Overwrite the edge count (offset 16) with an absurd value.
+        blob[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(&blob).unwrap_err(),
+            SfaError::CorruptCount { what: "edge", .. }
+        ));
+    }
+
+    #[test]
+    fn corrupt_probability_rejected() {
+        let mut blob = encode(&figure1());
+        let len = blob.len();
+        // The last 8 bytes are the final emission's probability.
+        blob[len - 8..].copy_from_slice(&42.0f64.to_le_bytes());
+        assert!(matches!(decode(&blob).unwrap_err(), SfaError::BadProbability { .. }));
+    }
+
+    #[test]
+    fn invalid_utf8_label_rejected() {
+        let mut b = SfaBuilder::new();
+        let s = b.add_node();
+        let f = b.add_node();
+        b.add_edge(s, f, vec![Emission::new("ab", 1.0)]);
+        let sfa = b.build(s, f).unwrap();
+        let mut blob = encode(&sfa);
+        // Label bytes for "ab" sit right after the u16 length; stomp them.
+        let pos = blob.len() - 8 - 2;
+        blob[pos] = 0xFF;
+        blob[pos + 1] = 0xFE;
+        assert_eq!(decode(&blob).unwrap_err(), SfaError::BadLabel);
+    }
+
+    #[test]
+    fn tombstoned_graph_encodes_compacted() {
+        let mut sfa = figure1();
+        let incident: Vec<_> =
+            sfa.edges().filter(|(_, e)| e.from == 3 || e.to == 3).map(|(id, _)| id).collect();
+        for id in incident {
+            sfa.remove_edge(id).unwrap();
+        }
+        sfa.remove_node(3).unwrap();
+        let back = decode(&encode(&sfa)).unwrap();
+        assert_eq!(back.node_count(), 5);
+        assert_eq!(back.num_node_slots(), 5);
+    }
+}

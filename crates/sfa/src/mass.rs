@@ -1,0 +1,254 @@
+//! Sum-product computations: how much probability mass an SFA retains.
+//!
+//! `Pr_S[Emit(α)]` — the total mass of the strings an approximation keeps —
+//! is the paper's quality objective (§3.2: retaining more mass minimizes
+//! KL divergence). For an unpruned SFA the total is 1; k-MAP and Staccato
+//! deliberately retain less.
+//!
+//! [`forward_mass`] and [`backward_mass`] also enable the O(1) incremental
+//! candidate scoring used by the greedy algorithm ("a faster incremental
+//! variant is actually used in Staccato", §3.1): the mass flowing through a
+//! chunk with entry `l` and exit `g` factors as
+//! `forward[l] · mass(chunk) · backward[g]`.
+
+use crate::model::Sfa;
+
+/// Forward mass per node slot: `forward[v]` is the total probability of all
+/// labelled paths from the start node to `v`. Dead slots hold 0; the start
+/// node holds 1.
+pub fn forward_mass(sfa: &Sfa) -> Vec<f64> {
+    let mut mass = vec![0.0f64; sfa.num_node_slots() as usize];
+    mass[sfa.start() as usize] = 1.0;
+    for v in sfa.topo_order() {
+        let mv = mass[v as usize];
+        if mv == 0.0 {
+            continue;
+        }
+        for &eid in sfa.out_edges(v) {
+            let edge = sfa.edge(eid).expect("live adjacency");
+            mass[edge.to as usize] += mv * edge.mass();
+        }
+    }
+    mass
+}
+
+/// Backward mass per node slot: `backward[v]` is the total probability of
+/// all labelled paths from `v` to the final node. The final node holds 1.
+pub fn backward_mass(sfa: &Sfa) -> Vec<f64> {
+    let mut mass = vec![0.0f64; sfa.num_node_slots() as usize];
+    mass[sfa.finish() as usize] = 1.0;
+    let order = sfa.topo_order();
+    for &v in order.iter().rev() {
+        if v == sfa.finish() {
+            continue;
+        }
+        let mut mv = 0.0;
+        for &eid in sfa.out_edges(v) {
+            let edge = sfa.edge(eid).expect("live adjacency");
+            mv += edge.mass() * mass[edge.to as usize];
+        }
+        mass[v as usize] = mv;
+    }
+    mass
+}
+
+/// Total retained probability mass: `Pr_S[Emit(S)]`, the sum over all
+/// emitted strings. 1.0 for a proper (unpruned) SFA.
+pub fn total_mass(sfa: &Sfa) -> f64 {
+    forward_mass(sfa)[sfa.finish() as usize]
+}
+
+/// Probability that the SFA emits exactly `target` (summed over labelled
+/// paths; under the unique path property at most one contributes).
+///
+/// Dynamic program over `(node, consumed prefix length)` in topological
+/// order — linear in emissions times the target length, so usable even on
+/// full-alphabet OCR SFAs where enumeration is hopeless.
+pub fn string_probability(sfa: &Sfa, target: &str) -> f64 {
+    let slots = sfa.num_node_slots() as usize;
+    let tlen = target.len();
+    // dp[v] maps consumed-length -> probability. Lines are short, so a
+    // dense per-node vector of length tlen+1 is the simplest fast layout.
+    let mut dp: Vec<Vec<f64>> = vec![Vec::new(); slots];
+    dp[sfa.start() as usize] = vec![0.0; tlen + 1];
+    dp[sfa.start() as usize][0] = 1.0;
+    for v in sfa.topo_order() {
+        if dp[v as usize].is_empty() {
+            continue;
+        }
+        let src = std::mem::take(&mut dp[v as usize]);
+        for &eid in sfa.out_edges(v) {
+            let edge = sfa.edge(eid).expect("live adjacency");
+            for em in &edge.emissions {
+                if em.prob <= 0.0 {
+                    continue;
+                }
+                let llen = em.label.len();
+                for off in 0..=tlen.saturating_sub(llen) {
+                    let p = src[off];
+                    if p > 0.0 && target[off..].starts_with(em.label.as_str()) {
+                        let dst = &mut dp[edge.to as usize];
+                        if dst.is_empty() {
+                            *dst = vec![0.0; tlen + 1];
+                        }
+                        dst[off + llen] += p * em.prob;
+                    }
+                }
+            }
+        }
+        if v == sfa.finish() {
+            dp[v as usize] = src;
+        }
+    }
+    dp[sfa.finish() as usize].get(tlen).copied().unwrap_or(0.0)
+}
+
+/// KL divergence between an approximation and the original model
+/// (Appendix C of the paper).
+///
+/// When an approximation retains a subset `X` of the original strings and
+/// renormalizes (the conditional distribution `µ|X`), the divergence is
+/// `KL(µ|X ‖ µ) = −log Z` where `Z = Pr_µ[X]` is the retained mass —
+/// and the conditional is the *optimal* choice among all distributions on
+/// `X` (the log-sum inequality argument of Appendix C). So "retain more
+/// mass" and "minimize KL divergence" are the same objective, which is
+/// the formal basis for Proposition 3.1.
+///
+/// Returns `+∞` when nothing is retained.
+pub fn kl_divergence(approximation: &Sfa) -> f64 {
+    let z = total_mass(approximation);
+    if z <= 0.0 {
+        f64::INFINITY
+    } else {
+        // Guard against z marginally above 1 from float accumulation.
+        (-z.min(1.0).ln()).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Emission, Sfa, SfaBuilder};
+
+    fn figure1() -> Sfa {
+        let mut b = SfaBuilder::new();
+        let n: Vec<_> = (0..6).map(|_| b.add_node()).collect();
+        b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
+        b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+        b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
+        b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
+        b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
+        b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+        b.build(n[0], n[5]).unwrap()
+    }
+
+    #[test]
+    fn unpruned_sfa_has_unit_mass() {
+        assert!((total_mass(&figure1()) - 1.0).abs() < 1e-12);
+        assert!((total_mass(&Sfa::from_string("hello")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_mass_matches_enumeration() {
+        let mut sfa = figure1();
+        // Prune one emission to make the mass interesting.
+        sfa.edge_mut(5).unwrap().emissions.pop(); // drop '3' (0.1)
+        let enumerated: f64 = sfa.enumerate_strings(10_000).iter().map(|(_, p)| p).sum();
+        assert!((total_mass(&sfa) - enumerated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_start_is_one_backward_finish_is_one() {
+        let sfa = figure1();
+        let f = forward_mass(&sfa);
+        let b = backward_mass(&sfa);
+        assert_eq!(f[sfa.start() as usize], 1.0);
+        assert_eq!(b[sfa.finish() as usize], 1.0);
+        // Total mass computed from either direction agrees.
+        assert!((f[sfa.finish() as usize] - b[sfa.start() as usize]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_through_node_factorizes() {
+        // For any node v, Σ_paths-through-v = forward[v] * backward[v];
+        // for node 3 in Figure 1 the paths through it are exactly those
+        // taking the ' ' branch.
+        let sfa = figure1();
+        let f = forward_mass(&sfa);
+        let b = backward_mass(&sfa);
+        let through3 = f[3] * b[3];
+        let via_space: f64 = sfa
+            .enumerate_strings(1000)
+            .iter()
+            .filter(|(s, _)| s.contains(' '))
+            .map(|(_, p)| p)
+            .sum();
+        assert!((through3 - via_space).abs() < 1e-12);
+    }
+
+    #[test]
+    fn string_probability_matches_enumeration() {
+        let sfa = figure1();
+        for (s, p) in sfa.enumerate_strings(1000) {
+            assert!(
+                (string_probability(&sfa, &s) - p).abs() < 1e-12,
+                "string {s:?}: dp={} enum={}",
+                string_probability(&sfa, &s),
+                p
+            );
+        }
+        assert_eq!(string_probability(&sfa, "nope"), 0.0);
+        assert_eq!(string_probability(&sfa, ""), 0.0);
+        assert_eq!(string_probability(&sfa, "F0 rdX"), 0.0);
+    }
+
+    #[test]
+    fn string_probability_handles_multichar_labels() {
+        let mut b = SfaBuilder::new();
+        let s = b.add_node();
+        let m = b.add_node();
+        let f = b.add_node();
+        b.add_edge(s, m, vec![Emission::new("ab", 0.5), Emission::new("a", 0.5)]);
+        b.add_edge(m, f, vec![Emission::new("c", 0.6), Emission::new("bc", 0.4)]);
+        let sfa = b.build(s, f).unwrap();
+        // "abc" is emitted by two labelled paths: ab+c (0.3) and a+bc (0.2).
+        assert!((string_probability(&sfa, "abc") - 0.5).abs() < 1e-12);
+        assert!((string_probability(&sfa, "ac") - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruned_mass_decreases() {
+        let mut sfa = figure1();
+        let before = total_mass(&sfa);
+        sfa.edge_mut(0).unwrap().emissions.pop(); // drop 'T' (0.2)
+        let after = total_mass(&sfa);
+        assert!(after < before);
+        assert!((after - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_divergence_is_neg_log_retained_mass() {
+        let mut sfa = figure1();
+        assert_eq!(kl_divergence(&sfa), 0.0, "unpruned model has zero divergence");
+        sfa.edge_mut(0).unwrap().emissions.pop(); // retain mass 0.8
+        assert!((kl_divergence(&sfa) - (-(0.8f64).ln())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_divergence_monotone_in_retained_mass() {
+        // Appendix C's point: retaining more mass means a closer
+        // approximation.
+        let mut heavy = figure1();
+        heavy.edge_mut(5).unwrap().emissions.pop(); // drop '3' (0.1): Z = 0.9
+        let mut light = figure1();
+        light.edge_mut(0).unwrap().emissions.pop(); // drop 'T' (0.2): Z = 0.8
+        assert!(kl_divergence(&heavy) < kl_divergence(&light));
+    }
+
+    #[test]
+    fn kl_divergence_of_empty_model_is_infinite() {
+        let mut sfa = figure1();
+        sfa.edge_mut(0).unwrap().emissions.clear();
+        assert_eq!(kl_divergence(&sfa), f64::INFINITY);
+    }
+}

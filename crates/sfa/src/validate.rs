@@ -1,0 +1,345 @@
+//! Structural and stochastic invariant checks for SFAs.
+//!
+//! Three independent levels, because the paper's pipeline deliberately
+//! weakens them in stages:
+//!
+//! * [`check_structure`] — DAG with a unique start/final and no stranded
+//!   nodes. Holds for **every** SFA in the system, including Staccato
+//!   approximations (`FindMinSFA` exists precisely to preserve it).
+//! * [`check_stochastic`] — outgoing emission mass of each non-final node is
+//!   1. Holds for raw OCR output; pruned representations (k-MAP, Staccato)
+//!   intentionally fail it since they discard probability mass.
+//! * [`check_unique_paths`] — no string is emitted by two distinct labelled
+//!   paths (§2.2). Guaranteed by OCRopus output; required for the
+//!   tractability results of the paper (Theorem 3.1's contrast).
+
+use crate::error::SfaError;
+use crate::model::{NodeId, Sfa};
+use std::collections::{HashSet, VecDeque};
+
+/// Check the structural invariants: acyclicity, the start node has no
+/// in-edges, the final node has no out-edges, the start and final nodes
+/// differ, and every live node lies on a start-to-final path.
+pub fn check_structure(sfa: &Sfa) -> Result<(), SfaError> {
+    let order = sfa.try_topo_order()?;
+    if sfa.start() == sfa.finish() {
+        return Err(SfaError::Disconnected { node: sfa.start() });
+    }
+    if !sfa.in_edges(sfa.start()).is_empty() {
+        return Err(SfaError::Disconnected { node: sfa.start() });
+    }
+    if !sfa.out_edges(sfa.finish()).is_empty() {
+        return Err(SfaError::Disconnected { node: sfa.finish() });
+    }
+    // Forward reachability from start.
+    let slots = sfa.num_node_slots() as usize;
+    let mut fwd = vec![false; slots];
+    fwd[sfa.start() as usize] = true;
+    for &v in &order {
+        if !fwd[v as usize] {
+            continue;
+        }
+        for &e in sfa.out_edges(v) {
+            fwd[sfa.edge(e).expect("live adjacency").to as usize] = true;
+        }
+    }
+    // Backward reachability from finish.
+    let mut bwd = vec![false; slots];
+    bwd[sfa.finish() as usize] = true;
+    for &v in order.iter().rev() {
+        if !bwd[v as usize] {
+            continue;
+        }
+        for &e in sfa.in_edges(v) {
+            bwd[sfa.edge(e).expect("live adjacency").from as usize] = true;
+        }
+    }
+    for &v in &order {
+        if !fwd[v as usize] || !bwd[v as usize] {
+            return Err(SfaError::Disconnected { node: v });
+        }
+    }
+    Ok(())
+}
+
+/// Check that every live non-final node's outgoing emission mass is within
+/// `tol` of 1 — i.e. δ is a proper conditional distribution (§2.2).
+pub fn check_stochastic(sfa: &Sfa, tol: f64) -> Result<(), SfaError> {
+    for v in sfa.nodes() {
+        if v == sfa.finish() {
+            continue;
+        }
+        let sum: f64 = sfa
+            .out_edges(v)
+            .iter()
+            .map(|&e| sfa.edge(e).expect("live adjacency").mass())
+            .sum();
+        if (sum - 1.0).abs() > tol {
+            return Err(SfaError::NotStochastic { node: v, sum });
+        }
+    }
+    Ok(())
+}
+
+/// Exact test of the unique path property: does any string have two distinct
+/// labelled paths?
+///
+/// Runs a product ("squared automaton") search over pairs of positions. A
+/// *position* is a node plus the pending unconsumed suffix of a multi-
+/// character label on one side. Divergence is recorded the first time the
+/// two walks pick different `(edge, emission)` transitions; ambiguity is a
+/// diverged pair reaching `(finish, finish)` with no pending suffix.
+///
+/// Worst case is quadratic in the automaton times the number of distinct
+/// label suffixes; per-line OCR SFAs keep this comfortably small.
+pub fn check_unique_paths(sfa: &Sfa) -> Result<(), SfaError> {
+    // State: (node_a, node_b, skew, a_is_ahead, diverged).
+    // `skew` is the string emitted by the "ahead" side not yet matched by
+    // the "behind" side.
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct St {
+        a: NodeId,
+        b: NodeId,
+        skew: String,
+        a_ahead: bool,
+        diverged: bool,
+    }
+
+    let start = St {
+        a: sfa.start(),
+        b: sfa.start(),
+        skew: String::new(),
+        a_ahead: true,
+        diverged: false,
+    };
+    let mut seen: HashSet<St> = HashSet::new();
+    let mut queue: VecDeque<St> = VecDeque::new();
+    seen.insert(start.clone());
+    queue.push_back(start);
+
+    while let Some(st) = queue.pop_front() {
+        if st.a == sfa.finish() && st.b == sfa.finish() && st.skew.is_empty() {
+            if st.diverged {
+                // Reconstruct a witness string lazily: any emitted string
+                // works for the error message; use the MAP string.
+                let witness =
+                    crate::viterbi::map_string(sfa).map(|(s, _)| s).unwrap_or_default();
+                return Err(SfaError::AmbiguousString(witness));
+            }
+            continue;
+        }
+        let push = |seen: &mut HashSet<St>, queue: &mut VecDeque<St>, st: St| {
+            if seen.insert(st.clone()) {
+                queue.push_back(st);
+            }
+        };
+        if st.skew.is_empty() {
+            // Both sides advance together; enumerate pairs of transitions
+            // with one label a prefix of the other.
+            for &ea in sfa.out_edges(st.a) {
+                let edge_a = sfa.edge(ea).expect("live adjacency");
+                for (ia, ema) in edge_a.emissions.iter().enumerate() {
+                    if ema.prob == 0.0 {
+                        continue;
+                    }
+                    for &eb in sfa.out_edges(st.b) {
+                        let edge_b = sfa.edge(eb).expect("live adjacency");
+                        for (ib, emb) in edge_b.emissions.iter().enumerate() {
+                            if emb.prob == 0.0 {
+                                continue;
+                            }
+                            let la = &ema.label;
+                            let lb = &emb.label;
+                            let same_choice = ea == eb && ia == ib;
+                            let (skew, a_ahead) = if la == lb {
+                                (String::new(), true)
+                            } else if let Some(rest) = la.strip_prefix(lb.as_str()) {
+                                (rest.to_string(), true)
+                            } else if let Some(rest) = lb.strip_prefix(la.as_str()) {
+                                (rest.to_string(), false)
+                            } else {
+                                continue; // labels incompatible; strings differ
+                            };
+                            push(
+                                &mut seen,
+                                &mut queue,
+                                St {
+                                    a: edge_a.to,
+                                    b: edge_b.to,
+                                    skew,
+                                    a_ahead,
+                                    diverged: st.diverged || !same_choice,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        } else {
+            // Only the behind side advances, consuming the skew.
+            let (behind, ahead_node) = if st.a_ahead { (st.b, st.a) } else { (st.a, st.b) };
+            for &e in sfa.out_edges(behind) {
+                let edge = sfa.edge(e).expect("live adjacency");
+                for em in &edge.emissions {
+                    if em.prob == 0.0 {
+                        continue;
+                    }
+                    let l = &em.label;
+                    let (skew, flip) = if let Some(rest) = st.skew.strip_prefix(l.as_str()) {
+                        (rest.to_string(), false)
+                    } else if let Some(rest) = l.strip_prefix(st.skew.as_str()) {
+                        (rest.to_string(), true)
+                    } else {
+                        continue;
+                    };
+                    let (na, nb, a_ahead) = if st.a_ahead {
+                        if flip {
+                            (ahead_node, edge.to, false)
+                        } else {
+                            (ahead_node, edge.to, true)
+                        }
+                    } else if flip {
+                        (edge.to, ahead_node, true)
+                    } else {
+                        (edge.to, ahead_node, false)
+                    };
+                    // A diverged pair stays diverged; any behind-side move
+                    // while skew is pending means the paths already chose
+                    // different transitions, so `diverged` is already true.
+                    push(
+                        &mut seen,
+                        &mut queue,
+                        St { a: na, b: nb, skew, a_ahead, diverged: st.diverged },
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Emission, Sfa, SfaBuilder};
+
+    fn figure1() -> Sfa {
+        let mut b = SfaBuilder::new();
+        let n: Vec<_> = (0..6).map(|_| b.add_node()).collect();
+        b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
+        b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+        b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
+        b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
+        b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
+        b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+        b.build(n[0], n[5]).unwrap()
+    }
+
+    #[test]
+    fn figure1_passes_all_checks() {
+        let s = figure1();
+        check_structure(&s).unwrap();
+        check_stochastic(&s, 1e-9).unwrap();
+        check_unique_paths(&s).unwrap();
+    }
+
+    #[test]
+    fn stranded_node_is_rejected() {
+        let mut b = SfaBuilder::new();
+        let a = b.add_node();
+        let z = b.add_node();
+        let stranded = b.add_node();
+        b.add_edge(a, z, vec![Emission::new("x", 1.0)]);
+        b.add_edge(a, stranded, vec![Emission::new("y", 0.5)]);
+        // `stranded` has no path to z.
+        let err = b.build(a, z).unwrap_err();
+        assert!(matches!(err, SfaError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn single_node_sfa_is_rejected() {
+        let mut b = SfaBuilder::new();
+        let a = b.add_node();
+        let err = b.build(a, a).unwrap_err();
+        assert!(matches!(err, SfaError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn pruned_sfa_fails_stochastic_check_only() {
+        let mut s = figure1();
+        // Drop the lowest-probability emission of edge 0 — a k-MAP style prune.
+        let e = s.edge_mut(0).unwrap();
+        e.emissions.pop();
+        check_structure(&s).unwrap();
+        assert!(matches!(
+            check_stochastic(&s, 1e-9),
+            Err(SfaError::NotStochastic { node: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn ambiguous_single_char_sfa_detected() {
+        // Two parallel two-edge paths that both emit "ab".
+        let mut b = SfaBuilder::new();
+        let s = b.add_node();
+        let m1 = b.add_node();
+        let m2 = b.add_node();
+        let f = b.add_node();
+        b.add_edge(s, m1, vec![Emission::new("a", 0.5)]);
+        b.add_edge(s, m2, vec![Emission::new("a", 0.5)]);
+        b.add_edge(m1, f, vec![Emission::new("b", 1.0)]);
+        b.add_edge(m2, f, vec![Emission::new("b", 1.0)]);
+        let sfa = b.build(s, f).unwrap();
+        assert!(matches!(check_unique_paths(&sfa), Err(SfaError::AmbiguousString(_))));
+    }
+
+    #[test]
+    fn ambiguous_multichar_alignment_detected() {
+        // "ab"+"c" on one path vs "a"+"bc" on the other: same string "abc"
+        // via different labelled paths, only detectable with skew tracking.
+        let mut b = SfaBuilder::new();
+        let s = b.add_node();
+        let m1 = b.add_node();
+        let m2 = b.add_node();
+        let f = b.add_node();
+        b.add_edge(s, m1, vec![Emission::new("ab", 0.5)]);
+        b.add_edge(s, m2, vec![Emission::new("a", 0.5)]);
+        b.add_edge(m1, f, vec![Emission::new("c", 1.0)]);
+        b.add_edge(m2, f, vec![Emission::new("bc", 1.0)]);
+        let sfa = b.build(s, f).unwrap();
+        assert!(matches!(check_unique_paths(&sfa), Err(SfaError::AmbiguousString(_))));
+    }
+
+    #[test]
+    fn unambiguous_multichar_passes() {
+        // "ab"+"c" vs "a"+"bd": strings "abc" vs "abd" differ.
+        let mut b = SfaBuilder::new();
+        let s = b.add_node();
+        let m1 = b.add_node();
+        let m2 = b.add_node();
+        let f = b.add_node();
+        b.add_edge(s, m1, vec![Emission::new("ab", 0.5)]);
+        b.add_edge(s, m2, vec![Emission::new("a", 0.5)]);
+        b.add_edge(m1, f, vec![Emission::new("c", 1.0)]);
+        b.add_edge(m2, f, vec![Emission::new("bd", 1.0)]);
+        let sfa = b.build(s, f).unwrap();
+        check_unique_paths(&sfa).unwrap();
+    }
+
+    #[test]
+    fn parallel_emissions_on_one_edge_same_label_is_ambiguous() {
+        let mut b = SfaBuilder::new();
+        let s = b.add_node();
+        let f = b.add_node();
+        b.add_edge(s, f, vec![Emission::new("a", 0.5), Emission::new("a", 0.5)]);
+        let sfa = b.build(s, f).unwrap();
+        assert!(matches!(check_unique_paths(&sfa), Err(SfaError::AmbiguousString(_))));
+    }
+
+    #[test]
+    fn chain_from_string_is_unambiguous() {
+        let s = Sfa::from_string("hello world");
+        check_unique_paths(&s).unwrap();
+        check_stochastic(&s, 1e-12).unwrap();
+    }
+}

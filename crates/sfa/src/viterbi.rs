@@ -1,0 +1,148 @@
+//! Viterbi decoding: the maximum a-posteriori (MAP) string of an SFA.
+//!
+//! This is the "state of the art" baseline in the paper's comparison — what
+//! Google Books stores — computed with the standard dynamic program over
+//! the DAG in topological order (§3.1 cites Forney's Viterbi algorithm).
+//! Scores are accumulated in log-space so long lines cannot underflow.
+
+use crate::kbest::KBestPath;
+use crate::model::{EdgeId, NodeId, Sfa};
+
+/// Backpointer for one node in the Viterbi DP.
+#[derive(Clone, Copy)]
+struct Back {
+    logp: f64,
+    edge: EdgeId,
+    emission: u32,
+    from: NodeId,
+}
+
+/// Return the most likely labelled path, or `None` if no start-to-final
+/// path has positive probability (possible after aggressive pruning).
+pub fn map_path(sfa: &Sfa) -> Option<KBestPath> {
+    let slots = sfa.num_node_slots() as usize;
+    let mut best: Vec<Option<Back>> = vec![None; slots];
+    let order = sfa.topo_order();
+    // Start node has log-prob 0 and no backpointer; we mark it with a
+    // sentinel edge id.
+    let start = sfa.start() as usize;
+    best[start] = Some(Back { logp: 0.0, edge: u32::MAX, emission: 0, from: sfa.start() });
+
+    for &v in &order {
+        let Some(cur) = best[v as usize] else { continue };
+        for &eid in sfa.out_edges(v) {
+            let edge = sfa.edge(eid).expect("live adjacency");
+            for (i, em) in edge.emissions.iter().enumerate() {
+                if em.prob <= 0.0 {
+                    continue;
+                }
+                let cand = cur.logp + em.prob.ln();
+                let slot = &mut best[edge.to as usize];
+                if slot.map_or(true, |b| cand > b.logp) {
+                    *slot = Some(Back { logp: cand, edge: eid, emission: i as u32, from: v });
+                }
+            }
+        }
+    }
+
+    let fin = best[sfa.finish() as usize]?;
+    // Walk backpointers from finish to start.
+    let mut edges_rev: Vec<(EdgeId, u32)> = Vec::new();
+    let mut node = sfa.finish();
+    while node != sfa.start() {
+        let b = best[node as usize].expect("backpointer chain is complete");
+        edges_rev.push((b.edge, b.emission));
+        node = b.from;
+    }
+    edges_rev.reverse();
+    let mut string = String::new();
+    for &(eid, i) in &edges_rev {
+        string.push_str(&sfa.edge(eid).expect("live edge").emissions[i as usize].label);
+    }
+    Some(KBestPath { string, prob: fin.logp.exp(), edges: edges_rev })
+}
+
+/// The MAP string and its probability — the plain-text transcription that
+/// traditional OCR pipelines store.
+pub fn map_string(sfa: &Sfa) -> Option<(String, f64)> {
+    map_path(sfa).map(|p| (p.string, p.prob))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Emission, Sfa, SfaBuilder};
+
+    fn figure1() -> Sfa {
+        let mut b = SfaBuilder::new();
+        let n: Vec<_> = (0..6).map(|_| b.add_node()).collect();
+        b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
+        b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+        b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
+        b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
+        b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
+        b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+        b.build(n[0], n[5]).unwrap()
+    }
+
+    #[test]
+    fn figure1_map_is_f0_rd() {
+        // The paper highlights 'F0 rd' as the MAP with probability ≈ 0.21;
+        // the true text 'Ford' is NOT the MAP — the recall failure that
+        // motivates the whole system.
+        let (s, p) = map_string(&figure1()).unwrap();
+        assert_eq!(s, "F0 rd");
+        assert!((p - 0.8 * 0.6 * 0.6 * 0.8 * 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_of_deterministic_chain_is_the_string() {
+        let sfa = Sfa::from_string("United States");
+        let (s, p) = map_string(&sfa).unwrap();
+        assert_eq!(s, "United States");
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_matches_exhaustive_enumeration() {
+        let sfa = figure1();
+        let mut all = sfa.enumerate_strings(1000);
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let (s, p) = map_string(&sfa).unwrap();
+        assert_eq!(s, all[0].0);
+        assert!((p - all[0].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_path_edges_reconstruct_string() {
+        let sfa = figure1();
+        let path = map_path(&sfa).unwrap();
+        let mut s = String::new();
+        for (eid, i) in &path.edges {
+            s.push_str(&sfa.edge(*eid).unwrap().emissions[*i as usize].label);
+        }
+        assert_eq!(s, path.string);
+    }
+
+    #[test]
+    fn zero_probability_emissions_are_ignored() {
+        let mut b = SfaBuilder::new();
+        let a = b.add_node();
+        let z = b.add_node();
+        b.add_edge(a, z, vec![Emission::new("x", 0.0), Emission::new("y", 0.4)]);
+        let sfa = b.build(a, z).unwrap();
+        let (s, _) = map_string(&sfa).unwrap();
+        assert_eq!(s, "y");
+    }
+
+    #[test]
+    fn unreachable_finish_returns_none() {
+        let mut sfa = Sfa::from_string("ab");
+        // Remove the only edge into the final node.
+        let last: Vec<_> = sfa.in_edges(sfa.finish()).to_vec();
+        for e in last {
+            sfa.remove_edge(e).unwrap();
+        }
+        assert!(map_string(&sfa).is_none());
+    }
+}

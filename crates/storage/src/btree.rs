@@ -1,0 +1,594 @@
+//! A page-based B+-tree over byte-string keys with `u64` values.
+//!
+//! Used for the primary keys of the paper's Table 5 schema and as the
+//! index structure of §5.3 ("we implement the index as a relational table
+//! with a B+-tree on top of it"). Keys are arbitrary byte strings (up to
+//! [`MAX_KEY`]), values are `u64` (packed RIDs, blob ids, or posting
+//! payloads); range and prefix scans walk the leaf chain.
+//!
+//! Nodes are read-modify-written whole: a node is deserialized into an
+//! entry vector, mutated, and written back — simple, obviously correct,
+//! and plenty fast at 8 KiB pages. Splits are size-balanced so any node
+//! that fit before an insert fits after a split. Deletion is by key
+//! removal without rebalancing (lazy deletion), which matches the
+//! append-then-query workload of the paper.
+
+use crate::error::StorageError;
+use crate::pager::BufferPool;
+use crate::{PageId, NO_PAGE, PAGE_SIZE};
+
+/// Maximum key length in bytes.
+pub const MAX_KEY: usize = 1024;
+
+const LEAF: u8 = 1;
+const INTERNAL: u8 = 2;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { next: PageId, entries: Vec<(Vec<u8>, u64)> },
+    Internal { leftmost: PageId, entries: Vec<(Vec<u8>, PageId)> },
+}
+
+impl Node {
+    fn serialized_size(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                11 + entries.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
+            }
+            Node::Internal { entries, .. } => {
+                11 + entries.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
+            }
+        }
+    }
+
+    fn write(&self, buf: &mut [u8; PAGE_SIZE]) {
+        debug_assert!(self.serialized_size() <= PAGE_SIZE, "node overflow on write");
+        let mut pos = 0usize;
+        match self {
+            Node::Leaf { next, entries } => {
+                buf[pos] = LEAF;
+                pos += 1;
+                buf[pos..pos + 2].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                pos += 2;
+                buf[pos..pos + 8].copy_from_slice(&next.to_le_bytes());
+                pos += 8;
+                for (k, v) in entries {
+                    buf[pos..pos + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    pos += 2;
+                    buf[pos..pos + k.len()].copy_from_slice(k);
+                    pos += k.len();
+                    buf[pos..pos + 8].copy_from_slice(&v.to_le_bytes());
+                    pos += 8;
+                }
+            }
+            Node::Internal { leftmost, entries } => {
+                buf[pos] = INTERNAL;
+                pos += 1;
+                buf[pos..pos + 2].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                pos += 2;
+                buf[pos..pos + 8].copy_from_slice(&leftmost.to_le_bytes());
+                pos += 8;
+                for (k, c) in entries {
+                    buf[pos..pos + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    pos += 2;
+                    buf[pos..pos + k.len()].copy_from_slice(k);
+                    pos += k.len();
+                    buf[pos..pos + 8].copy_from_slice(&c.to_le_bytes());
+                    pos += 8;
+                }
+            }
+        }
+    }
+
+    fn read(page: PageId, buf: &[u8; PAGE_SIZE]) -> Result<Node, StorageError> {
+        let corrupt = |reason| StorageError::CorruptPage { page, reason };
+        let tag = buf[0];
+        let n = u16::from_le_bytes(buf[1..3].try_into().expect("len")) as usize;
+        let head = u64::from_le_bytes(buf[3..11].try_into().expect("len"));
+        let mut pos = 11usize;
+        let mut read_entries = |n: usize| -> Result<Vec<(Vec<u8>, u64)>, StorageError> {
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                if pos + 2 > PAGE_SIZE {
+                    return Err(corrupt("entry header out of range"));
+                }
+                let klen =
+                    u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("len")) as usize;
+                pos += 2;
+                if klen > MAX_KEY || pos + klen + 8 > PAGE_SIZE {
+                    return Err(corrupt("entry body out of range"));
+                }
+                let key = buf[pos..pos + klen].to_vec();
+                pos += klen;
+                let val = u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("len"));
+                pos += 8;
+                entries.push((key, val));
+            }
+            Ok(entries)
+        };
+        match tag {
+            LEAF => Ok(Node::Leaf { next: head, entries: read_entries(n)? }),
+            INTERNAL => Ok(Node::Internal { leftmost: head, entries: read_entries(n)? }),
+            _ => Err(corrupt("unknown node tag")),
+        }
+    }
+}
+
+/// A B+-tree handle. Only the meta page id needs to be persisted (the
+/// root pointer lives inside the meta page, so root splits do not touch
+/// the catalog).
+pub struct BTree {
+    meta: PageId,
+}
+
+impl BTree {
+    /// Create an empty tree; returns the handle whose `meta_page` goes in
+    /// the catalog.
+    pub fn create(pool: &BufferPool) -> Result<BTree, StorageError> {
+        let meta = pool.allocate()?;
+        let root = pool.allocate()?;
+        write_node(pool, root, &Node::Leaf { next: NO_PAGE, entries: Vec::new() })?;
+        let mut mp = pool.fetch_write(meta)?;
+        mp[0..8].copy_from_slice(&root.to_le_bytes());
+        drop(mp);
+        Ok(BTree { meta })
+    }
+
+    /// Reopen from the catalog.
+    pub fn open(meta: PageId) -> BTree {
+        BTree { meta }
+    }
+
+    /// The persisted meta page id.
+    pub fn meta_page(&self) -> PageId {
+        self.meta
+    }
+
+    fn root(&self, pool: &BufferPool) -> Result<PageId, StorageError> {
+        let mp = pool.fetch_read(self.meta)?;
+        Ok(u64::from_le_bytes(mp[0..8].try_into().expect("len")))
+    }
+
+    fn set_root(&self, pool: &BufferPool, root: PageId) -> Result<(), StorageError> {
+        let mut mp = pool.fetch_write(self.meta)?;
+        mp[0..8].copy_from_slice(&root.to_le_bytes());
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, pool: &BufferPool, key: &[u8]) -> Result<Option<u64>, StorageError> {
+        let mut pid = self.root(pool)?;
+        loop {
+            match read_node(pool, pid)? {
+                Node::Internal { leftmost, entries } => {
+                    pid = child_for(&entries, leftmost, key);
+                }
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| entries[i].1));
+                }
+            }
+        }
+    }
+
+    /// Insert or overwrite; returns the previous value if any.
+    pub fn insert(
+        &self,
+        pool: &BufferPool,
+        key: &[u8],
+        value: u64,
+    ) -> Result<Option<u64>, StorageError> {
+        if key.len() > MAX_KEY {
+            return Err(StorageError::TupleTooLarge { size: key.len(), max: MAX_KEY });
+        }
+        let root = self.root(pool)?;
+        let (old, split) = insert_rec(pool, root, key, value)?;
+        if let Some((sep, new_child)) = split {
+            let new_root = pool.allocate()?;
+            write_node(
+                pool,
+                new_root,
+                &Node::Internal { leftmost: root, entries: vec![(sep, new_child)] },
+            )?;
+            self.set_root(pool, new_root)?;
+        }
+        Ok(old)
+    }
+
+    /// Delete a key; returns whether it existed. Lazy (no rebalancing).
+    pub fn delete(&self, pool: &BufferPool, key: &[u8]) -> Result<bool, StorageError> {
+        let mut pid = self.root(pool)?;
+        loop {
+            match read_node(pool, pid)? {
+                Node::Internal { leftmost, entries } => {
+                    pid = child_for(&entries, leftmost, key);
+                }
+                Node::Leaf { next, mut entries } => {
+                    match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                        Ok(i) => {
+                            entries.remove(i);
+                            write_node(pool, pid, &Node::Leaf { next, entries })?;
+                            return Ok(true);
+                        }
+                        Err(_) => return Ok(false),
+                    }
+                }
+            }
+        }
+    }
+
+    /// All `(key, value)` pairs with `lo ≤ key < hi` (unbounded above when
+    /// `hi` is `None`), in key order.
+    pub fn scan_range(
+        &self,
+        pool: &BufferPool,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, u64)>, StorageError> {
+        let mut pid = self.root(pool)?;
+        loop {
+            match read_node(pool, pid)? {
+                Node::Internal { leftmost, entries } => {
+                    pid = child_for(&entries, leftmost, lo);
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        let mut out = Vec::new();
+        loop {
+            let Node::Leaf { next, entries } = read_node(pool, pid)? else {
+                return Err(StorageError::CorruptPage {
+                    page: pid,
+                    reason: "leaf chain reached an internal node",
+                });
+            };
+            for (k, v) in entries {
+                if k.as_slice() < lo {
+                    continue;
+                }
+                if let Some(hi) = hi {
+                    if k.as_slice() >= hi {
+                        return Ok(out);
+                    }
+                }
+                out.push((k, v));
+            }
+            if next == NO_PAGE {
+                return Ok(out);
+            }
+            pid = next;
+        }
+    }
+
+    /// All pairs whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(
+        &self,
+        pool: &BufferPool,
+        prefix: &[u8],
+    ) -> Result<Vec<(Vec<u8>, u64)>, StorageError> {
+        let hi = prefix_upper_bound(prefix);
+        self.scan_range(pool, prefix, hi.as_deref())
+    }
+
+    /// Total number of keys (walks every leaf).
+    pub fn count(&self, pool: &BufferPool) -> Result<usize, StorageError> {
+        Ok(self.scan_range(pool, &[], None)?.len())
+    }
+
+    /// Height of the tree (1 = a single leaf).
+    pub fn height(&self, pool: &BufferPool) -> Result<usize, StorageError> {
+        let mut pid = self.root(pool)?;
+        let mut h = 1;
+        loop {
+            match read_node(pool, pid)? {
+                Node::Internal { leftmost, .. } => {
+                    pid = leftmost;
+                    h += 1;
+                }
+                Node::Leaf { .. } => return Ok(h),
+            }
+        }
+    }
+}
+
+/// Smallest byte string strictly greater than every string with `prefix`,
+/// or `None` if no such bound exists (prefix is all `0xFF`).
+fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut hi = prefix.to_vec();
+    while let Some(&last) = hi.last() {
+        if last == 0xFF {
+            hi.pop();
+        } else {
+            *hi.last_mut().expect("non-empty") += 1;
+            return Some(hi);
+        }
+    }
+    None
+}
+
+fn child_for(entries: &[(Vec<u8>, PageId)], leftmost: PageId, key: &[u8]) -> PageId {
+    // Rightmost separator ≤ key; else leftmost child.
+    match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+        Ok(i) => entries[i].1,
+        Err(0) => leftmost,
+        Err(i) => entries[i - 1].1,
+    }
+}
+
+fn read_node(pool: &BufferPool, pid: PageId) -> Result<Node, StorageError> {
+    let page = pool.fetch_read(pid)?;
+    Node::read(pid, &page)
+}
+
+fn write_node(pool: &BufferPool, pid: PageId, node: &Node) -> Result<(), StorageError> {
+    let mut page = pool.fetch_write(pid)?;
+    node.write(&mut page);
+    Ok(())
+}
+
+/// Size-balanced split point: smallest index whose prefix reaches half the
+/// payload, kept within `1..len`.
+fn split_point<T>(entries: &[(Vec<u8>, T)]) -> usize {
+    let total: usize = entries.iter().map(|(k, _)| 2 + k.len() + 8).sum();
+    let mut acc = 0usize;
+    for (i, (k, _)) in entries.iter().enumerate() {
+        acc += 2 + k.len() + 8;
+        if acc >= total / 2 {
+            return (i + 1).clamp(1, entries.len() - 1);
+        }
+    }
+    entries.len() / 2
+}
+
+type SplitInfo = Option<(Vec<u8>, PageId)>;
+
+fn insert_rec(
+    pool: &BufferPool,
+    pid: PageId,
+    key: &[u8],
+    value: u64,
+) -> Result<(Option<u64>, SplitInfo), StorageError> {
+    match read_node(pool, pid)? {
+        Node::Leaf { next, mut entries } => {
+            let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                Ok(i) => {
+                    let old = entries[i].1;
+                    entries[i].1 = value;
+                    Some(old)
+                }
+                Err(i) => {
+                    entries.insert(i, (key.to_vec(), value));
+                    None
+                }
+            };
+            let node = Node::Leaf { next, entries };
+            if node.serialized_size() <= PAGE_SIZE {
+                write_node(pool, pid, &node)?;
+                return Ok((old, None));
+            }
+            // Split.
+            let Node::Leaf { next, mut entries } = node else { unreachable!() };
+            let mid = split_point(&entries);
+            let right_entries = entries.split_off(mid);
+            let sep = right_entries[0].0.clone();
+            let right_pid = pool.allocate()?;
+            write_node(pool, right_pid, &Node::Leaf { next, entries: right_entries })?;
+            write_node(pool, pid, &Node::Leaf { next: right_pid, entries })?;
+            Ok((old, Some((sep, right_pid))))
+        }
+        Node::Internal { leftmost, mut entries } => {
+            let child = child_for(&entries, leftmost, key);
+            let (old, split) = insert_rec(pool, child, key, value)?;
+            let Some((sep, new_child)) = split else {
+                return Ok((old, None));
+            };
+            let pos = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(&sep)) {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            };
+            entries.insert(pos, (sep, new_child));
+            let node = Node::Internal { leftmost, entries };
+            if node.serialized_size() <= PAGE_SIZE {
+                write_node(pool, pid, &node)?;
+                return Ok((old, None));
+            }
+            let Node::Internal { leftmost, mut entries } = node else { unreachable!() };
+            let mid = split_point(&entries);
+            let mut right_entries = entries.split_off(mid);
+            // Promote the first right entry; its child becomes the right
+            // node's leftmost pointer.
+            let (promoted, right_leftmost) = right_entries.remove(0);
+            let right_pid = pool.allocate()?;
+            write_node(
+                pool,
+                right_pid,
+                &Node::Internal { leftmost: right_leftmost, entries: right_entries },
+            )?;
+            write_node(pool, pid, &Node::Internal { leftmost, entries })?;
+            Ok((old, Some((promoted, right_pid))))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use std::collections::BTreeMap;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(Box::new(MemDisk::new()), 64)
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let pool = pool();
+        let t = BTree::create(&pool).unwrap();
+        assert_eq!(t.insert(&pool, b"b", 2).unwrap(), None);
+        assert_eq!(t.insert(&pool, b"a", 1).unwrap(), None);
+        assert_eq!(t.insert(&pool, b"c", 3).unwrap(), None);
+        assert_eq!(t.get(&pool, b"a").unwrap(), Some(1));
+        assert_eq!(t.get(&pool, b"b").unwrap(), Some(2));
+        assert_eq!(t.get(&pool, b"c").unwrap(), Some(3));
+        assert_eq!(t.get(&pool, b"d").unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_returns_old_value() {
+        let pool = pool();
+        let t = BTree::create(&pool).unwrap();
+        assert_eq!(t.insert(&pool, b"k", 1).unwrap(), None);
+        assert_eq!(t.insert(&pool, b"k", 2).unwrap(), Some(1));
+        assert_eq!(t.get(&pool, b"k").unwrap(), Some(2));
+        assert_eq!(t.count(&pool).unwrap(), 1);
+    }
+
+    #[test]
+    fn thousands_of_keys_split_and_stay_sorted() {
+        let pool = pool();
+        let t = BTree::create(&pool).unwrap();
+        let n = 5000u64;
+        for i in 0..n {
+            let key = format!("key{:08}", (i * 2654435761) % n);
+            t.insert(&pool, key.as_bytes(), i).unwrap();
+        }
+        assert!(t.height(&pool).unwrap() >= 2, "tree must have split");
+        let all = t.scan_range(&pool, &[], None).unwrap();
+        assert_eq!(all.len() as u64, n);
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0, "keys out of order");
+        }
+    }
+
+    #[test]
+    fn matches_btreemap_model_under_random_ops() {
+        let pool = pool();
+        let t = BTree::create(&pool).unwrap();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for step in 0..4000 {
+            let key = format!("k{:04}", rng.random_range(0..800u32)).into_bytes();
+            match rng.random_range(0..10u8) {
+                0..=5 => {
+                    let v = step as u64;
+                    assert_eq!(
+                        t.insert(&pool, &key, v).unwrap(),
+                        model.insert(key.clone(), v),
+                        "insert mismatch at step {step}"
+                    );
+                }
+                6..=7 => {
+                    assert_eq!(
+                        t.delete(&pool, &key).unwrap(),
+                        model.remove(&key).is_some(),
+                        "delete mismatch at step {step}"
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        t.get(&pool, &key).unwrap(),
+                        model.get(&key).copied(),
+                        "get mismatch at step {step}"
+                    );
+                }
+            }
+        }
+        let ours = t.scan_range(&pool, &[], None).unwrap();
+        let theirs: Vec<(Vec<u8>, u64)> =
+            model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn range_scan_respects_bounds() {
+        let pool = pool();
+        let t = BTree::create(&pool).unwrap();
+        for i in 0..100u64 {
+            t.insert(&pool, format!("{i:03}").as_bytes(), i).unwrap();
+        }
+        let mid = t.scan_range(&pool, b"020", Some(b"030")).unwrap();
+        assert_eq!(mid.len(), 10);
+        assert_eq!(mid[0].0, b"020".to_vec());
+        assert_eq!(mid[9].0, b"029".to_vec());
+        let tail = t.scan_range(&pool, b"098", None).unwrap();
+        assert_eq!(tail.len(), 2);
+    }
+
+    #[test]
+    fn prefix_scan_finds_exactly_prefixed_keys() {
+        let pool = pool();
+        let t = BTree::create(&pool).unwrap();
+        for term in ["public", "publication", "pub", "law", "president", "pq"] {
+            t.insert(&pool, term.as_bytes(), 1).unwrap();
+        }
+        let hits: Vec<String> = t
+            .scan_prefix(&pool, b"pub")
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| String::from_utf8(k).unwrap())
+            .collect();
+        assert_eq!(hits, vec!["pub", "public", "publication"]);
+    }
+
+    #[test]
+    fn prefix_upper_bound_handles_ff() {
+        assert_eq!(prefix_upper_bound(b"ab"), Some(b"ac".to_vec()));
+        assert_eq!(prefix_upper_bound(&[0x61, 0xFF]), Some(vec![0x62]));
+        assert_eq!(prefix_upper_bound(&[0xFF, 0xFF]), None);
+        assert_eq!(prefix_upper_bound(b""), None);
+    }
+
+    #[test]
+    fn large_keys_force_early_splits() {
+        let pool = pool();
+        let t = BTree::create(&pool).unwrap();
+        for i in 0..50u64 {
+            let key = vec![i as u8; MAX_KEY];
+            t.insert(&pool, &key, i).unwrap();
+        }
+        for i in 0..50u64 {
+            let key = vec![i as u8; MAX_KEY];
+            assert_eq!(t.get(&pool, &key).unwrap(), Some(i));
+        }
+        assert!(t.height(&pool).unwrap() >= 2);
+    }
+
+    #[test]
+    fn oversized_key_rejected() {
+        let pool = pool();
+        let t = BTree::create(&pool).unwrap();
+        let e = t.insert(&pool, &vec![0u8; MAX_KEY + 1], 0).unwrap_err();
+        assert!(matches!(e, StorageError::TupleTooLarge { .. }));
+    }
+
+    #[test]
+    fn reopen_by_meta_page() {
+        let pool = pool();
+        let meta;
+        {
+            let t = BTree::create(&pool).unwrap();
+            meta = t.meta_page();
+            for i in 0..2000u64 {
+                t.insert(&pool, format!("{i:05}").as_bytes(), i).unwrap();
+            }
+        }
+        let t = BTree::open(meta);
+        assert_eq!(t.get(&pool, b"01234").unwrap(), Some(1234));
+        assert_eq!(t.count(&pool).unwrap(), 2000);
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let pool = pool();
+        let t = BTree::create(&pool).unwrap();
+        assert_eq!(t.get(&pool, b"x").unwrap(), None);
+        assert!(!t.delete(&pool, b"x").unwrap());
+        assert_eq!(t.count(&pool).unwrap(), 0);
+        assert_eq!(t.height(&pool).unwrap(), 1);
+        assert!(t.scan_prefix(&pool, b"").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Heap files: unordered tuple storage over a linked chain of slotted
+//! pages, addressed by RID (page, slot) — the layout behind every table in
+//! the paper's Table 5 schema.
+
+
+use crate::error::StorageError;
+use crate::page::SlottedPage;
+use crate::pager::BufferPool;
+use crate::{PageId, NO_PAGE};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Record id: a physical tuple address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    /// Page id.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl Rid {
+    /// Pack into a u64 for storage in index values (page in the high 48
+    /// bits, slot in the low 16).
+    pub fn to_u64(self) -> u64 {
+        (self.page << 16) | self.slot as u64
+    }
+
+    /// Unpack from [`Rid::to_u64`].
+    pub fn from_u64(v: u64) -> Rid {
+        Rid { page: v >> 16, slot: (v & 0xFFFF) as u16 }
+    }
+}
+
+/// A heap file rooted at its first page.
+pub struct HeapFile {
+    first: PageId,
+    /// Cached tail page for O(1) appends; lazily discovered.
+    last_hint: AtomicU64,
+}
+
+impl HeapFile {
+    /// Create a fresh heap file (allocates and initializes its first page).
+    pub fn create(pool: &BufferPool) -> Result<HeapFile, StorageError> {
+        let first = pool.allocate()?;
+        let mut page = pool.fetch_write(first)?;
+        SlottedPage::init(&mut page);
+        Ok(HeapFile { first, last_hint: AtomicU64::new(first) })
+    }
+
+    /// Reopen a heap file by its first page (from the catalog).
+    pub fn open(first: PageId) -> HeapFile {
+        HeapFile { first, last_hint: AtomicU64::new(first) }
+    }
+
+    /// The first page (persisted in the catalog).
+    pub fn first_page(&self) -> PageId {
+        self.first
+    }
+
+    /// Append a tuple, growing the chain as needed.
+    pub fn insert(&self, pool: &BufferPool, tuple: &[u8]) -> Result<Rid, StorageError> {
+        if tuple.len() > crate::page::MAX_TUPLE {
+            return Err(StorageError::TupleTooLarge {
+                size: tuple.len(),
+                max: crate::page::MAX_TUPLE,
+            });
+        }
+        let mut pid = self.last_hint.load(Ordering::Relaxed);
+        loop {
+            let mut page = pool.fetch_write(pid)?;
+            let mut sp = SlottedPage::new(&mut page);
+            if let Some(slot) = sp.insert(tuple) {
+                self.last_hint.store(pid, Ordering::Relaxed);
+                return Ok(Rid { page: pid, slot });
+            }
+            let next = sp.next();
+            if next != NO_PAGE {
+                drop(page);
+                pid = next;
+                continue;
+            }
+            // Grow the chain.
+            let new_pid = pool.allocate()?;
+            sp.set_next(new_pid);
+            drop(page);
+            let mut new_page = pool.fetch_write(new_pid)?;
+            SlottedPage::init(&mut new_page);
+            drop(new_page);
+            pid = new_pid;
+        }
+    }
+
+    /// Fetch a tuple by RID.
+    pub fn get(&self, pool: &BufferPool, rid: Rid) -> Result<Vec<u8>, StorageError> {
+        let mut page = pool.fetch_write(rid.page)?;
+        let sp = SlottedPage::new(&mut page);
+        sp.get(rid.slot).map(|b| b.to_vec()).map_err(|_| StorageError::TupleNotFound {
+            page: rid.page,
+            slot: rid.slot,
+        })
+    }
+
+    /// Delete a tuple by RID (tombstone).
+    pub fn delete(&self, pool: &BufferPool, rid: Rid) -> Result<(), StorageError> {
+        let mut page = pool.fetch_write(rid.page)?;
+        let mut sp = SlottedPage::new(&mut page);
+        sp.delete(rid.slot).map_err(|_| StorageError::TupleNotFound {
+            page: rid.page,
+            slot: rid.slot,
+        })
+    }
+
+    /// Full scan in chain order. Tuples are copied out page by page, so
+    /// the iterator holds no page pins between steps.
+    pub fn scan<'p>(&self, pool: &'p BufferPool) -> HeapScan<'p> {
+        HeapScan { pool, next_page: self.first, buffer: Vec::new(), pos: 0, failed: false }
+    }
+}
+
+/// Iterator over `(Rid, tuple bytes)` of a heap file.
+pub struct HeapScan<'p> {
+    pool: &'p BufferPool,
+    next_page: PageId,
+    buffer: Vec<(Rid, Vec<u8>)>,
+    pos: usize,
+    failed: bool,
+}
+
+impl Iterator for HeapScan<'_> {
+    type Item = Result<(Rid, Vec<u8>), StorageError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if self.pos < self.buffer.len() {
+                let item = self.buffer[self.pos].clone();
+                self.pos += 1;
+                return Some(Ok(item));
+            }
+            if self.next_page == NO_PAGE {
+                return None;
+            }
+            let pid = self.next_page;
+            let mut page = match self.pool.fetch_write(pid) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            };
+            let sp = SlottedPage::new(&mut page);
+            self.buffer = sp
+                .iter()
+                .map(|(slot, t)| (Rid { page: pid, slot }, t.to_vec()))
+                .collect();
+            self.pos = 0;
+            self.next_page = sp.next();
+        }
+    }
+}
+
+/// Number of pages a heap file occupies (walks the chain).
+pub fn chain_length(pool: &BufferPool, first: PageId) -> Result<u64, StorageError> {
+    let mut n = 0;
+    let mut pid = first;
+    let limit = pool.page_count() + 1;
+    while pid != NO_PAGE {
+        n += 1;
+        if n > limit {
+            return Err(StorageError::CorruptPage { page: pid, reason: "page chain cycle" });
+        }
+        let mut page = pool.fetch_write(pid)?;
+        pid = SlottedPage::new(&mut page).next();
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::disk::PAGE_SIZE;
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(Box::new(MemDisk::new()), 16)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let pool = pool();
+        let heap = HeapFile::create(&pool).unwrap();
+        let r1 = heap.insert(&pool, b"alpha").unwrap();
+        let r2 = heap.insert(&pool, b"beta").unwrap();
+        assert_eq!(heap.get(&pool, r1).unwrap(), b"alpha");
+        assert_eq!(heap.get(&pool, r2).unwrap(), b"beta");
+    }
+
+    #[test]
+    fn grows_across_pages_and_scans_in_order() {
+        let pool = pool();
+        let heap = HeapFile::create(&pool).unwrap();
+        let tuple = vec![9u8; 1000];
+        let n = 50; // 50 KB ≫ one page
+        let mut rids = Vec::new();
+        for i in 0..n {
+            let mut t = tuple.clone();
+            t[0] = i as u8;
+            rids.push(heap.insert(&pool, &t).unwrap());
+        }
+        assert!(chain_length(&pool, heap.first_page()).unwrap() >= 7);
+        let scanned: Vec<(Rid, Vec<u8>)> =
+            heap.scan(&pool).collect::<Result<_, _>>().unwrap();
+        assert_eq!(scanned.len(), n);
+        for (i, (rid, t)) in scanned.iter().enumerate() {
+            assert_eq!(*rid, rids[i]);
+            assert_eq!(t[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn delete_hides_from_scan_and_get() {
+        let pool = pool();
+        let heap = HeapFile::create(&pool).unwrap();
+        let a = heap.insert(&pool, b"a").unwrap();
+        let b = heap.insert(&pool, b"b").unwrap();
+        heap.delete(&pool, a).unwrap();
+        assert!(heap.get(&pool, a).is_err());
+        let left: Vec<Vec<u8>> =
+            heap.scan(&pool).map(|r| r.unwrap().1).collect();
+        assert_eq!(left, vec![b"b".to_vec()]);
+        assert_eq!(heap.get(&pool, b).unwrap(), b"b");
+    }
+
+    #[test]
+    fn oversized_tuple_rejected() {
+        let pool = pool();
+        let heap = HeapFile::create(&pool).unwrap();
+        let e = heap.insert(&pool, &vec![0u8; PAGE_SIZE]).unwrap_err();
+        assert!(matches!(e, StorageError::TupleTooLarge { .. }));
+    }
+
+    #[test]
+    fn reopen_by_first_page() {
+        let pool = pool();
+        let first;
+        {
+            let heap = HeapFile::create(&pool).unwrap();
+            first = heap.first_page();
+            heap.insert(&pool, b"persisted").unwrap();
+        }
+        let heap = HeapFile::open(first);
+        let all: Vec<Vec<u8>> = heap.scan(&pool).map(|r| r.unwrap().1).collect();
+        assert_eq!(all, vec![b"persisted".to_vec()]);
+    }
+
+    #[test]
+    fn rid_u64_roundtrip() {
+        let rid = Rid { page: 123_456, slot: 789 };
+        assert_eq!(Rid::from_u64(rid.to_u64()), rid);
+    }
+
+    #[test]
+    fn scan_of_empty_heap_is_empty() {
+        let pool = pool();
+        let heap = HeapFile::create(&pool).unwrap();
+        assert_eq!(heap.scan(&pool).count(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: the paper's Figure 1, end to end.
+//!
+//! Builds the running-example SFA for an image reading "Ford", shows that
+//! the MAP transcription is wrong ('F0 rd'), that the probabilistic query
+//! still finds the claim, and that the Staccato approximation keeps the
+//! answer at a fraction of the size.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use staccato::approx::{approximate, StaccatoParams};
+use staccato::query::{eval_sfa, Query};
+use staccato::sfa::{codec, map_string, total_mass, Emission, SfaBuilder};
+
+fn main() {
+    // Figure 1(B): the simplified transducer OCRopus produced for the
+    // highlighted part of the scanned claim form.
+    let mut b = SfaBuilder::new();
+    let n: Vec<_> = (0..6).map(|_| b.add_node()).collect();
+    b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
+    b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+    b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
+    b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
+    b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
+    b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+    let sfa = b.build(n[0], n[5]).expect("Figure 1 SFA is valid");
+
+    let (map, p_map) = map_string(&sfa).expect("non-empty SFA");
+    println!("MAP transcription: {map:?} (p = {p_map:.3})");
+    println!("  -> a plain-text search for 'Ford' finds nothing.");
+
+    // Figure 1(C): SELECT ... WHERE DocData LIKE '%Ford%'
+    let query = Query::like("%Ford%").expect("valid LIKE pattern");
+    let p = eval_sfa(&query.dfa, &sfa);
+    println!("Pr[DocData LIKE '%Ford%'] over the full SFA = {p:.3}");
+    println!("  -> the claim is found with probability ~0.12, as in the paper.");
+
+    // Staccato approximation: 2 chunks, 2 strings per chunk.
+    let stac = approximate(&sfa, StaccatoParams::new(2, 2));
+    println!(
+        "\nStaccato(m=2, k=2): {} chunks, retained mass {:.3}, {} of {} bytes",
+        stac.edge_count(),
+        total_mass(&stac),
+        codec::encoded_size(&stac),
+        codec::encoded_size(&sfa),
+    );
+    let p_stac = eval_sfa(&query.dfa, &stac);
+    println!("Pr[... LIKE '%Ford%'] over the approximation = {p_stac:.3}");
+    for (s, p) in stac.enumerate_strings(16) {
+        println!("  retained string {s:?} (p = {p:.3})");
+    }
+}

@@ -1,0 +1,30 @@
+//! # staccato
+//!
+//! Facade crate for the Staccato reproduction: *Probabilistic Management of
+//! OCR Data using an RDBMS* (Kumar & Ré, VLDB 2011).
+//!
+//! Staccato keeps the probabilistic model produced by OCR — a stochastic
+//! finite automaton (SFA) per scanned line — inside a relational database
+//! and lets SQL `LIKE` / regex predicates run directly over it, trading
+//! recall for query performance through a chunk-based approximation.
+//!
+//! Each subsystem lives in its own crate and is re-exported here:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sfa`] | `staccato-sfa` | SFA model, Viterbi/k-best/mass inference, blob codec |
+//! | [`automata`] | `staccato-automata` | regex & LIKE → DFA compiler, dictionary trie |
+//! | [`approx`] | `staccato-core` | FindMinSFA, Collapse, greedy chunking, parameter tuning |
+//! | [`ocr`] | `staccato-ocr` | OCR channel simulator and the CA/LT/DB corpus generators |
+//! | [`storage`] | `staccato-storage` | pages, buffer pool, heap files, B+-tree, blob store, catalog |
+//! | [`query`] | `staccato-query` | representation stores, filescan/index executors, metrics |
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour and DESIGN.md for the
+//! experiment map.
+
+pub use staccato_automata as automata;
+pub use staccato_core as approx;
+pub use staccato_ocr as ocr;
+pub use staccato_query as query;
+pub use staccato_sfa as sfa;
+pub use staccato_storage as storage;

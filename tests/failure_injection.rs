@@ -1,0 +1,142 @@
+//! Failure injection: corrupt pages, truncated blobs, malformed patterns.
+//! Every failure must surface as a typed error — never a panic — on the
+//! user-facing paths.
+
+use staccato::approx::StaccatoParams;
+use staccato::ocr::{generate, ChannelConfig, CorpusKind};
+use staccato::query::exec::{filescan_query, Approach};
+use staccato::query::store::{LoadOptions, OcrStore};
+use staccato::query::{Query, QueryError};
+use staccato::sfa::codec;
+use staccato::storage::{BlobStore, ColumnType, Database, Schema, StorageError, Value};
+
+fn tiny_store() -> OcrStore {
+    let dataset = generate(CorpusKind::DbPapers, 8, 1);
+    let db = Database::in_memory(256).expect("db");
+    let opts = LoadOptions {
+        channel: ChannelConfig::compact(1),
+        kmap_k: 3,
+        staccato: StaccatoParams::new(4, 3),
+        parallelism: 1,
+    };
+    OcrStore::load(db, &dataset, &opts).expect("load")
+}
+
+#[test]
+fn corrupt_sfa_blob_surfaces_typed_error() {
+    let store = tiny_store();
+    // Find the first FullSFAData row's blob and stomp its magic bytes.
+    let (schema, heap) = store.table("FullSFAData").expect("table");
+    let (_, bytes) = heap.scan(store.db().pool()).next().expect("row").expect("scan");
+    let row = staccato::storage::row::decode_row(&schema, &bytes).expect("row");
+    let blob_page = row[1].as_blob().expect("blob id");
+    {
+        let mut page = store.db().pool().fetch_write(blob_page).expect("page");
+        // Blob page layout: [next u64][len u32][payload...]; payload starts
+        // with the SFA magic.
+        page[12..16].copy_from_slice(b"XXXX");
+    }
+    let query = Query::keyword("data").expect("pattern");
+    let err = filescan_query(&store, Approach::FullSfa, &query, 10).unwrap_err();
+    assert!(matches!(err, QueryError::Sfa(_)), "got {err:?}");
+    // Other representations are unaffected.
+    filescan_query(&store, Approach::Map, &query, 10).expect("MAP still works");
+    filescan_query(&store, Approach::Staccato, &query, 10).expect("STACCATO still works");
+}
+
+#[test]
+fn truncated_blob_chain_is_detected() {
+    let db = Database::in_memory(128).expect("db");
+    let data = vec![9u8; 20_000]; // 3 pages
+    let id = BlobStore::put(db.pool(), &data).expect("put");
+    // Break the chain: point the first page at a bogus page id.
+    {
+        let mut page = db.pool().fetch_write(id).expect("page");
+        page[0..8].copy_from_slice(&9999u64.to_le_bytes());
+    }
+    let err = BlobStore::get(db.pool(), id).unwrap_err();
+    assert!(
+        matches!(err, StorageError::PageOutOfBounds(_) | StorageError::CorruptBlob { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn malformed_patterns_do_not_panic() {
+    for bad in ["a(b", "*x", "[z-a]", r"\q", "a)b", "héllo"] {
+        assert!(Query::regex(bad).is_err(), "{bad:?} should be rejected");
+    }
+    for bad in ["abc\\", "héllo%"] {
+        assert!(Query::like(bad).is_err(), "{bad:?} should be rejected");
+    }
+}
+
+#[test]
+fn decoding_garbage_blobs_never_panics() {
+    // Fuzz-ish: random mutations of a valid blob must decode or error,
+    // never panic or over-allocate.
+    let sfa = staccato::sfa::Sfa::from_string("fuzz me gently");
+    let blob = codec::encode(&sfa);
+    for i in 0..blob.len() {
+        let mut m = blob.clone();
+        m[i] ^= 0xA5;
+        let _ = codec::decode(&m); // any Result is fine
+    }
+    // And pure garbage of various lengths.
+    for len in [0usize, 1, 3, 4, 16, 64] {
+        let garbage = vec![0xA5u8; len];
+        assert!(codec::decode(&garbage).is_err());
+    }
+}
+
+#[test]
+fn paper_table5_schema_fidelity() {
+    // The store must create exactly the paper's tables (Table 5 plus the
+    // MAPData split) with the right columns.
+    let store = tiny_store();
+    let expect: &[(&str, &[&str])] = &[
+        ("MasterData", &["DataKey", "DocName", "SFANum"]),
+        ("MAPData", &["DataKey", "Data", "LogProb"]),
+        ("kMAPData", &["DataKey", "LineNum", "Data", "LogProb"]),
+        ("FullSFAData", &["DataKey", "SFABlob"]),
+        ("StaccatoData", &["DataKey", "ChunkNum", "LineNum", "Data", "LogProb"]),
+        ("StaccatoGraph", &["DataKey", "GraphBlob"]),
+        ("GroundTruth", &["DataKey", "Data"]),
+    ];
+    for (table, cols) in expect {
+        let (schema, _) = store.table(table).unwrap_or_else(|_| panic!("missing {table}"));
+        let got: Vec<&str> = schema.cols.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(&got, cols, "columns of {table}");
+    }
+}
+
+#[test]
+fn schema_mismatch_rows_error_cleanly() {
+    let db = Database::in_memory(64).expect("db");
+    let schema = Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Text)]);
+    let heap = db.create_table("t", schema.clone()).expect("table");
+    // Insert bytes that are too short for the schema.
+    heap.insert(db.pool(), &[1, 2, 3]).expect("raw insert is allowed");
+    let (_, bytes) = heap.scan(db.pool()).next().expect("row").expect("scan");
+    assert!(matches!(
+        staccato::storage::row::decode_row(&schema, &bytes),
+        Err(StorageError::SchemaMismatch(_))
+    ));
+    // Wrong value type on encode.
+    assert!(staccato::storage::row::encode_row(
+        &schema,
+        &vec![Value::Text("x".into()), Value::Int(1)]
+    )
+    .is_err());
+}
+
+#[test]
+fn pool_too_small_for_pins_reports_exhaustion() {
+    let db = Database::in_memory(2).expect("db");
+    let p0 = db.pool().allocate().expect("page");
+    let p1 = db.pool().allocate().expect("page");
+    let p2 = db.pool().allocate().expect("page");
+    let _a = db.pool().fetch_read(p0).expect("pin 0");
+    let _b = db.pool().fetch_read(p1).expect("pin 1");
+    assert!(matches!(db.pool().fetch_read(p2), Err(StorageError::PoolExhausted)));
+}
