@@ -94,7 +94,11 @@ impl Dfa {
             }
             table[sid as usize] = row;
         }
-        Dfa { table, accept, start: start_id }
+        Dfa {
+            table,
+            accept,
+            start: start_id,
+        }
     }
 
     /// Moore partition-refinement minimization. Returns an equivalent DFA
@@ -107,8 +111,7 @@ impl Dfa {
             let mut sigs: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
             let mut next_part = vec![0u32; n];
             for s in 0..n {
-                let sig: Vec<u32> =
-                    self.table[s].iter().map(|&t| part[t as usize]).collect();
+                let sig: Vec<u32> = self.table[s].iter().map(|&t| part[t as usize]).collect();
                 let key = (part[s], sig);
                 let next_id = sigs.len() as u32;
                 let id = *sigs.entry(key).or_insert(next_id);
@@ -130,7 +133,11 @@ impl Dfa {
                 table[p][b] = part[self.table[s][b] as usize];
             }
         }
-        Dfa { table, accept, start: part[self.start as usize] }
+        Dfa {
+            table,
+            accept,
+            start: part[self.start as usize],
+        }
     }
 
     /// Number of states, including the dead state.
@@ -308,6 +315,10 @@ mod tests {
     fn state_count_reported() {
         let d = contains("President");
         // keyword of length 9 → about 11 states incl. dead/absorbing.
-        assert!(d.state_count() >= 10 && d.state_count() <= 12, "{}", d.state_count());
+        assert!(
+            d.state_count() >= 10 && d.state_count() <= 12,
+            "{}",
+            d.state_count()
+        );
     }
 }

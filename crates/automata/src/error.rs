@@ -13,13 +13,20 @@ pub struct PatternError {
 
 impl PatternError {
     pub(crate) fn new(position: usize, message: impl Into<String>) -> Self {
-        PatternError { position, message: message.into() }
+        PatternError {
+            position,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for PatternError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pattern error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "pattern error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 

@@ -41,7 +41,12 @@ impl Nfa {
 
     /// Compile an AST into an NFA.
     pub fn compile(ast: &Ast) -> Nfa {
-        let mut nfa = Nfa { trans: Vec::new(), eps: Vec::new(), start: 0, accept: 0 };
+        let mut nfa = Nfa {
+            trans: Vec::new(),
+            eps: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
         let start = nfa.new_state();
         let accept = nfa.new_state();
         nfa.start = start;
@@ -58,8 +63,11 @@ impl Nfa {
             Ast::Concat(parts) => {
                 let mut cur = from;
                 for (i, p) in parts.iter().enumerate() {
-                    let next =
-                        if i + 1 == parts.len() { to } else { self.new_state() };
+                    let next = if i + 1 == parts.len() {
+                        to
+                    } else {
+                        self.new_state()
+                    };
                     self.build(p, cur, next);
                     cur = next;
                 }

@@ -130,7 +130,11 @@ impl Ast {
     /// classes. Panics on non-ASCII input (callers validate first).
     pub fn literal(s: &str) -> Ast {
         assert!(s.is_ascii(), "patterns are ASCII");
-        Ast::Concat(s.bytes().map(|b| Ast::Class(ByteClass::single(b))).collect())
+        Ast::Concat(
+            s.bytes()
+                .map(|b| Ast::Class(ByteClass::single(b)))
+                .collect(),
+        )
     }
 
     /// Minimum length of any string in the language — used by index
@@ -153,12 +157,14 @@ impl Ast {
         match self {
             Ast::Empty => Some(0),
             Ast::Class(_) => Some(1),
-            Ast::Concat(parts) => {
-                parts.iter().map(Ast::max_len).try_fold(0usize, |a, b| b.map(|b| a + b))
-            }
-            Ast::Alt(parts) => {
-                parts.iter().map(Ast::max_len).try_fold(0usize, |a, b| b.map(|b| a.max(b)))
-            }
+            Ast::Concat(parts) => parts
+                .iter()
+                .map(Ast::max_len)
+                .try_fold(0usize, |a, b| b.map(|b| a + b)),
+            Ast::Alt(parts) => parts
+                .iter()
+                .map(Ast::max_len)
+                .try_fold(0usize, |a, b| b.map(|b| a.max(b))),
             Ast::Star(_) | Ast::Plus(_) => None,
             Ast::Opt(inner) => inner.max_len(),
         }
@@ -175,7 +181,10 @@ pub fn parse(pattern: &str) -> Result<Ast, PatternError> {
     if !pattern.is_ascii() {
         return Err(PatternError::new(0, "pattern must be ASCII"));
     }
-    let mut p = Parser { bytes: pattern.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: pattern.as_bytes(),
+        pos: 0,
+    };
     let ast = p.alt()?;
     if p.pos != p.bytes.len() {
         return Err(PatternError::new(p.pos, "unexpected ')'"));
@@ -202,7 +211,11 @@ impl<'a> Parser<'a> {
             self.bump();
             parts.push(self.concat()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one part") } else { Ast::Alt(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Ast::Alt(parts)
+        })
     }
 
     fn concat(&mut self) -> Result<Ast, PatternError> {
@@ -236,7 +249,9 @@ impl<'a> Parser<'a> {
 
     fn atom(&mut self) -> Result<Ast, PatternError> {
         let start = self.pos;
-        let b = self.bump().ok_or_else(|| PatternError::new(start, "unexpected end"))?;
+        let b = self
+            .bump()
+            .ok_or_else(|| PatternError::new(start, "unexpected end"))?;
         match b {
             b'(' => {
                 let inner = self.alt()?;
@@ -247,8 +262,9 @@ impl<'a> Parser<'a> {
             }
             b'[' => self.class(start),
             b'\\' => {
-                let esc =
-                    self.bump().ok_or_else(|| PatternError::new(start, "dangling escape"))?;
+                let esc = self
+                    .bump()
+                    .ok_or_else(|| PatternError::new(start, "dangling escape"))?;
                 match esc {
                     b'd' => Ok(Ast::Class(ByteClass::digits())),
                     b'x' => Ok(Ast::Class(ByteClass::any())),
@@ -262,9 +278,10 @@ impl<'a> Parser<'a> {
                     )),
                 }
             }
-            b'*' | b'+' | b'?' => {
-                Err(PatternError::new(start, "repetition operator with nothing to repeat"))
-            }
+            b'*' | b'+' | b'?' => Err(PatternError::new(
+                start,
+                "repetition operator with nothing to repeat",
+            )),
             b')' => Err(PatternError::new(start, "unbalanced ')'")),
             _ => {
                 if !(ALPHA_LO..=ALPHA_HI).contains(&b) {
@@ -290,7 +307,8 @@ impl<'a> Parser<'a> {
                 Some(b) => b,
             };
             let lo = if b == b'\\' {
-                self.bump().ok_or_else(|| PatternError::new(start, "dangling escape"))?
+                self.bump()
+                    .ok_or_else(|| PatternError::new(start, "dangling escape"))?
             } else {
                 b
             };
@@ -364,10 +382,14 @@ mod tests {
 
     #[test]
     fn class_ranges_and_negation() {
-        let Ast::Class(c) = parse("[a-c]").unwrap() else { panic!("expected class") };
+        let Ast::Class(c) = parse("[a-c]").unwrap() else {
+            panic!("expected class")
+        };
         assert!(c.contains(b'a') && c.contains(b'b') && c.contains(b'c'));
         assert!(!c.contains(b'd'));
-        let Ast::Class(n) = parse("[^a-c]").unwrap() else { panic!("expected class") };
+        let Ast::Class(n) = parse("[^a-c]").unwrap() else {
+            panic!("expected class")
+        };
         assert!(!n.contains(b'a'));
         assert!(n.contains(b'd'));
         assert!(n.contains(b' '));
@@ -375,7 +397,9 @@ mod tests {
 
     #[test]
     fn escapes_are_literal() {
-        let Ast::Class(c) = parse(r"\*").unwrap() else { panic!("expected class") };
+        let Ast::Class(c) = parse(r"\*").unwrap() else {
+            panic!("expected class")
+        };
         assert!(c.contains(b'*'));
         assert_eq!(c.len(), 1);
     }
@@ -387,7 +411,10 @@ mod tests {
         assert!(parse("a)").unwrap_err().message.contains("')'"));
         assert!(parse("[z-a]").unwrap_err().message.contains("reversed"));
         assert!(parse(r"\q").unwrap_err().message.contains("unknown escape"));
-        assert!(parse("[]").unwrap_err().message.contains("empty character class"));
+        assert!(parse("[]")
+            .unwrap_err()
+            .message
+            .contains("empty character class"));
         assert!(parse("[ab").unwrap_err().message.contains("unbalanced '['"));
         assert!(parse("héllo").unwrap_err().message.contains("ASCII"));
     }
@@ -410,7 +437,10 @@ mod tests {
         assert!(!any.contains(0x1F));
         let d = ByteClass::digits();
         assert_eq!(d.len(), 10);
-        assert_eq!(d.iter().collect::<Vec<_>>(), (b'0'..=b'9').collect::<Vec<_>>());
+        assert_eq!(
+            d.iter().collect::<Vec<_>>(),
+            (b'0'..=b'9').collect::<Vec<_>>()
+        );
         assert_eq!(d.negate().len(), any.len() - 10);
     }
 

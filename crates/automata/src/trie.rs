@@ -41,7 +41,10 @@ impl Trie {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut trie = Trie { nodes: vec![Node::default()], terms: Vec::new() };
+        let mut trie = Trie {
+            nodes: vec![Node::default()],
+            terms: Vec::new(),
+        };
         let mut seen: HashMap<String, ()> = HashMap::new();
         for term in terms {
             let folded = term.as_ref().to_ascii_lowercase();
@@ -77,7 +80,10 @@ impl Trie {
 
     fn child(&self, state: TrieState, b: u8) -> Option<TrieState> {
         let node = &self.nodes[state as usize];
-        node.children.binary_search_by_key(&b, |&(c, _)| c).ok().map(|i| node.children[i].1)
+        node.children
+            .binary_search_by_key(&b, |&(c, _)| c)
+            .ok()
+            .map(|i| node.children[i].1)
     }
 
     /// The root state.

@@ -10,13 +10,19 @@ use std::time::Duration;
 
 fn bench_automata(c: &mut Criterion) {
     let mut group = c.benchmark_group("automata");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("compile/keyword", |b| {
         b.iter(|| black_box(Dfa::compile_containment(&parse("President").unwrap())))
     });
     group.bench_function("compile/regex", |b| {
-        b.iter(|| black_box(Dfa::compile_containment(&parse(r"Public Law (8|9)\d").unwrap())))
+        b.iter(|| {
+            black_box(Dfa::compile_containment(
+                &parse(r"Public Law (8|9)\d").unwrap(),
+            ))
+        })
     });
 
     let dfa = Dfa::compile_containment(&parse(r"U.S.C. 2\d\d\d").unwrap());
@@ -25,7 +31,10 @@ fn bench_automata(c: &mut Criterion) {
         b.iter(|| black_box(dfa.is_accept(dfa.run_from(dfa.start(), doc))))
     });
 
-    let channel = Channel::new(ChannelConfig { seed: 3, ..ChannelConfig::default() });
+    let channel = Channel::new(ChannelConfig {
+        seed: 3,
+        ..ChannelConfig::default()
+    });
     let sfa = channel.line_to_sfa(doc, 3);
     group.bench_function("viterbi/75_chars_full_alphabet", |b| {
         b.iter(|| black_box(map_path(&sfa)))

@@ -8,12 +8,21 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_construction(c: &mut Criterion) {
-    let channel = Channel::new(ChannelConfig { seed: 7, ..ChannelConfig::default() });
+    let channel = Channel::new(ChannelConfig {
+        seed: 7,
+        ..ChannelConfig::default()
+    });
     let line = |n: usize| -> String {
-        "public law of the united states congress ".chars().cycle().take(n).collect()
+        "public law of the united states congress "
+            .chars()
+            .cycle()
+            .take(n)
+            .collect()
     };
     let mut group = c.benchmark_group("fig8_construction");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [50usize, 150] {
         let sfa = channel.line_to_sfa(&line(n), n as u64);
         group.bench_function(format!("n{n}/m1_k25"), |b| {

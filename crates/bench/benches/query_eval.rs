@@ -1,45 +1,51 @@
-//! Criterion bench for Table 4's runtime columns: one filescan per
-//! representation over the same corpus slice.
+//! Criterion bench for Table 4's runtime columns: one session-planned
+//! filescan per representation over the same corpus, through the real
+//! storage engine.
 //!
 //! Expected shape (paper §5.1): MAP ≪ k-MAP ≪ STACCATO ≪ FullSFA, with
 //! FullSFA 2–3 orders of magnitude above MAP.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use staccato_bench::mem::MemCorpus;
-use staccato_ocr::{ChannelConfig, CorpusKind};
-use staccato_query::Query;
+use staccato_core::StaccatoParams;
+use staccato_ocr::{generate, ChannelConfig, CorpusKind};
+use staccato_query::store::LoadOptions;
+use staccato_query::{Approach, QueryRequest, Staccato};
+use staccato_storage::Database;
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_approaches(c: &mut Criterion) {
-    let mut corpus = MemCorpus::build(
-        CorpusKind::CongressActs,
-        120,
-        42,
-        ChannelConfig { seed: 42, ..ChannelConfig::default() },
-    );
-    // Warm every representation outside the timers.
-    let _ = corpus.kmap(1);
-    let _ = corpus.kmap(25);
-    let _ = corpus.staccato(40, 25);
-    let keyword = Query::keyword("President").expect("pattern");
-    let regex = Query::regex(r"U.S.C. 2\d\d\d").expect("pattern");
+    let dataset = generate(CorpusKind::CongressActs, 120, 42);
+    let db = Database::in_memory(8192).unwrap();
+    let opts = LoadOptions {
+        channel: ChannelConfig {
+            seed: 42,
+            ..ChannelConfig::default()
+        },
+        kmap_k: 25,
+        staccato: StaccatoParams::new(40, 25),
+        ..Default::default()
+    };
+    let session = Staccato::load(db, &dataset, &opts).unwrap();
+    let keyword = QueryRequest::keyword("President").num_ans(100);
+    let regex = QueryRequest::regex(r"U.S.C. 2\d\d\d").num_ans(100);
 
     let mut group = c.benchmark_group("table4_filescan");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
-    for (qname, query) in [("keyword", &keyword), ("regex", &regex)] {
-        group.bench_function(format!("MAP/{qname}"), |b| {
-            b.iter(|| black_box(corpus.eval_map(query, 100)))
-        });
-        group.bench_function(format!("kMAP25/{qname}"), |b| {
-            b.iter(|| black_box(corpus.eval_kmap(25, query, 100)))
-        });
-        group.bench_function(format!("STACCATO_m40_k25/{qname}"), |b| {
-            b.iter(|| black_box(corpus.eval_staccato(40, 25, query, 100)))
-        });
-        group.bench_function(format!("FullSFA/{qname}"), |b| {
-            b.iter(|| black_box(corpus.eval_full(query, 100)))
-        });
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for (qname, request) in [("keyword", &keyword), ("regex", &regex)] {
+        for (label, approach) in [
+            ("MAP", Approach::Map),
+            ("kMAP25", Approach::KMap),
+            ("STACCATO_m40_k25", Approach::Staccato),
+            ("FullSFA", Approach::FullSfa),
+        ] {
+            let request = request.clone().approach(approach);
+            group.bench_function(format!("{label}/{qname}"), |b| {
+                b.iter(|| black_box(session.execute(&request).unwrap()))
+            });
+        }
     }
     group.finish();
 }

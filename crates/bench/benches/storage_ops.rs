@@ -8,14 +8,20 @@ use std::time::Duration;
 
 fn bench_storage(c: &mut Criterion) {
     let mut group = c.benchmark_group("storage");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     // B+-tree with 10k keys.
     let pool = BufferPool::new(Box::new(MemDisk::new()), 4096);
     let tree = BTree::create(&pool).unwrap();
     for i in 0..10_000u64 {
-        tree.insert(&pool, format!("key{:07}", (i * 2654435761) % 10_000).as_bytes(), i)
-            .unwrap();
+        tree.insert(
+            &pool,
+            format!("key{:07}", (i * 2654435761) % 10_000).as_bytes(),
+            i,
+        )
+        .unwrap();
     }
     group.bench_function("btree/get_hit", |b| {
         b.iter(|| black_box(tree.get(&pool, b"key0004217").unwrap()))

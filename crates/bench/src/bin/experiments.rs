@@ -15,11 +15,11 @@ use staccato_bench::timing::{fmt_duration, time_median};
 use staccato_bench::workload::{corpus_dictionary, table6_queries, QuerySpec};
 use staccato_core::{approximate, tune, SizeModel, StaccatoParams, TuningConstraints};
 use staccato_ocr::{generate, Channel, ChannelConfig, CorpusKind};
-use staccato_query::exec::{filescan_query, Answer, Approach};
-use staccato_query::invindex::{build_index, direct_posting_count, indexed_query, line_postings, project_eval, Posting};
+use staccato_query::exec::{Answer, Approach};
+use staccato_query::invindex::{direct_posting_count, line_postings, project_eval, Posting};
 use staccato_query::metrics::{evaluate_answers, ground_truth, Metrics};
-use staccato_query::store::{LoadOptions, OcrStore};
-use staccato_query::Query;
+use staccato_query::store::LoadOptions;
+use staccato_query::{PlanPreference, Query, QueryRequest, Staccato};
 use staccato_sfa::codec;
 use staccato_storage::Database;
 use std::collections::{BTreeSet, HashMap};
@@ -49,13 +49,21 @@ impl Ctx {
     }
 
     fn channel(&self) -> ChannelConfig {
-        ChannelConfig { seed: self.seed, ..ChannelConfig::default() }
+        ChannelConfig {
+            seed: self.seed,
+            ..ChannelConfig::default()
+        }
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut ctx = Ctx { seed: 42, reps: 3, full: false, lines_override: None };
+    let mut ctx = Ctx {
+        seed: 42,
+        reps: 3,
+        full: false,
+        lines_override: None,
+    };
     let mut which: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -70,8 +78,10 @@ fn main() {
         }
     }
     if which.is_empty() {
-        eprintln!("usage: experiments <t1|t2|t4|f4|f5|f6|f7|f8|f9|f10|f11|f15|f16|f19|all> \
-                   [--lines N] [--seed S] [--reps R] [--full]");
+        eprintln!(
+            "usage: experiments <t1|t2|t4|f4|f5|f6|f7|f8|f9|f10|f11|f15|f16|f19|all> \
+                   [--lines N] [--seed S] [--reps R] [--full]"
+        );
         std::process::exit(2);
     }
     let all = which.iter().any(|w| w == "all");
@@ -81,7 +91,11 @@ fn main() {
     println!();
     println!(
         "scale: {} (CA={}, LT={}, DB={}), seed={}, reps={}, NumAns={}",
-        if ctx.full { "paper (Table 2)" } else { "quarter" },
+        if ctx.full {
+            "paper (Table 2)"
+        } else {
+            "quarter"
+        },
         ctx.lines(CorpusKind::CongressActs),
         ctx.lines(CorpusKind::EnglishLit),
         ctx.lines(CorpusKind::DbPapers),
@@ -133,7 +147,10 @@ fn main() {
         e_f19(&ctx);
     }
     println!();
-    println!("_total experiment wall time: {}_", fmt_duration(started.elapsed()));
+    println!(
+        "_total experiment wall time: {}_",
+        fmt_duration(started.elapsed())
+    );
 }
 
 fn header(title: &str, what: &str) {
@@ -165,7 +182,11 @@ fn e_t1(ctx: &Ctx) {
     println!("| l | k-MAP k=25 | STACCATO m=l/4 | STACCATO m=l/2 | FullSFA |");
     println!("|---|---|---|---|---|");
     for l in [20usize, 40, 80, 160] {
-        let line: String = "abcdefg hij klmnop qrstu vw xyz ".chars().cycle().take(l).collect();
+        let line: String = "abcdefg hij klmnop qrstu vw xyz "
+            .chars()
+            .cycle()
+            .take(l)
+            .collect();
         let sfa = channel.line_to_sfa(&line, l as u64);
         let kmap: Vec<(String, f64)> = staccato_sfa::k_best_paths(&sfa, 25)
             .into_iter()
@@ -174,7 +195,8 @@ fn e_t1(ctx: &Ctx) {
         let stac_a = approximate(&sfa, StaccatoParams::new((l / 4).max(1), 25));
         let stac_b = approximate(&sfa, StaccatoParams::new((l / 2).max(1), 25));
         let t_kmap = time_median(ctx.reps * 3, || {
-            let _ = staccato_query::eval_strings(&q.dfa, kmap.iter().map(|(s, p)| (s.as_str(), *p)));
+            let _ =
+                staccato_query::eval_strings(&q.dfa, kmap.iter().map(|(s, p)| (s.as_str(), *p)));
         });
         let t_sa = time_median(ctx.reps * 3, || {
             let _ = staccato_query::eval_sfa(&q.dfa, &stac_a);
@@ -197,8 +219,11 @@ fn e_t1(ctx: &Ctx) {
     println!(
         "Space (bytes) for the l=80 line: kMAP(k=25)={}, STACCATO(m=20,k=25)={}, FullSFA={}",
         {
-            let line: String =
-                "abcdefg hij klmnop qrstu vw xyz ".chars().cycle().take(80).collect();
+            let line: String = "abcdefg hij klmnop qrstu vw xyz "
+                .chars()
+                .cycle()
+                .take(80)
+                .collect();
             let sfa = channel.line_to_sfa(&line, 80);
             staccato_sfa::k_best_paths(&sfa, 25)
                 .iter()
@@ -206,14 +231,20 @@ fn e_t1(ctx: &Ctx) {
                 .sum::<usize>()
         },
         {
-            let line: String =
-                "abcdefg hij klmnop qrstu vw xyz ".chars().cycle().take(80).collect();
+            let line: String = "abcdefg hij klmnop qrstu vw xyz "
+                .chars()
+                .cycle()
+                .take(80)
+                .collect();
             let sfa = channel.line_to_sfa(&line, 80);
             codec::encoded_size(&approximate(&sfa, StaccatoParams::new(20, 25)))
         },
         {
-            let line: String =
-                "abcdefg hij klmnop qrstu vw xyz ".chars().cycle().take(80).collect();
+            let line: String = "abcdefg hij klmnop qrstu vw xyz "
+                .chars()
+                .cycle()
+                .take(80)
+                .collect();
             codec::encoded_size(&channel.line_to_sfa(&line, 80))
         }
     );
@@ -230,7 +261,11 @@ fn e_t2(ctx: &Ctx) {
     );
     println!("| dataset | pages | SFAs | size as SFAs | size as text | blow-up |");
     println!("|---|---|---|---|---|---|");
-    for kind in [CorpusKind::CongressActs, CorpusKind::EnglishLit, CorpusKind::DbPapers] {
+    for kind in [
+        CorpusKind::CongressActs,
+        CorpusKind::EnglishLit,
+        CorpusKind::DbPapers,
+    ] {
         let corpus = MemCorpus::build(kind, ctx.lines(kind), ctx.seed, ctx.channel());
         let sfa_mb = corpus.full_bytes() as f64 / 1e6;
         let text_kb = corpus.text_bytes() as f64 / 1e3;
@@ -257,7 +292,11 @@ fn e_t4(ctx: &Ctx) {
          Paper shape: MAP precision 1.0 with recall as low as ~0.3 on regexes; FullSFA \
          recall 1.0 with low precision, 2–3 orders of magnitude slower; Staccato between.",
     );
-    for kind in [CorpusKind::CongressActs, CorpusKind::EnglishLit, CorpusKind::DbPapers] {
+    for kind in [
+        CorpusKind::CongressActs,
+        CorpusKind::EnglishLit,
+        CorpusKind::DbPapers,
+    ] {
         let dataset = generate(kind, ctx.lines(kind), ctx.seed);
         let db = Database::in_memory(8192).expect("db");
         let opts = LoadOptions {
@@ -267,12 +306,12 @@ fn e_t4(ctx: &Ctx) {
             ..Default::default()
         };
         let t0 = Instant::now();
-        let store = OcrStore::load(db, &dataset, &opts).expect("load");
+        let session = Staccato::load(db, &dataset, &opts).expect("load");
         println!();
         println!(
             "### {} ({} lines; loaded in {})",
             kind.short_name(),
-            store.line_count(),
+            session.line_count(),
             fmt_duration(t0.elapsed())
         );
         println!();
@@ -280,13 +319,16 @@ fn e_t4(ctx: &Ctx) {
         println!("|---|---|---|---|---|---|---|---|---|---|");
         for spec in table6_queries(kind) {
             let query = Query::regex(spec.pattern).expect("workload pattern");
-            let truth = ground_truth(&store, &query).expect("truth");
+            let truth = ground_truth(session.store(), &query).expect("truth");
             let mut cells_pr = Vec::new();
             let mut cells_t = Vec::new();
             for ap in Approach::all() {
+                let request = QueryRequest::regex(spec.pattern)
+                    .approach(ap)
+                    .num_ans(NUM_ANS);
                 let mut answers: Vec<Answer> = Vec::new();
                 let t = time_median(ctx.reps, || {
-                    answers = filescan_query(&store, ap, &query, NUM_ANS).expect("query");
+                    answers = session.execute(&request).expect("query").answers;
                 });
                 cells_pr.push(pr(&evaluate_answers(&answers, &truth)));
                 cells_t.push(fmt_duration(t));
@@ -319,8 +361,12 @@ fn e_f4(ctx: &Ctx) {
         "Paper shape: MAP fast/low-recall, FullSFA slow/recall-1, Staccato in the middle \
          on both axes.",
     );
-    let mut corpus =
-        MemCorpus::build(CorpusKind::CongressActs, ctx.lines(CorpusKind::CongressActs), ctx.seed, ctx.channel());
+    let mut corpus = MemCorpus::build(
+        CorpusKind::CongressActs,
+        ctx.lines(CorpusKind::CongressActs),
+        ctx.seed,
+        ctx.channel(),
+    );
     println!("| query | engine | recall | runtime |");
     println!("|---|---|---|---|");
     for pattern in ["President", r"U.S.C. 2\d\d\d"] {
@@ -328,7 +374,11 @@ fn e_f4(ctx: &Ctx) {
         let truth = corpus.ground_truth(&query);
         let row = |name: &str, answers: Vec<Answer>, t: std::time::Duration| {
             let m = evaluate_answers(&answers, &truth);
-            println!("| `{pattern}` | {name} | {:.2} | {} |", m.recall, fmt_duration(t));
+            println!(
+                "| `{pattern}` | {name} | {:.2} | {} |",
+                m.recall,
+                fmt_duration(t)
+            );
         };
         let _ = corpus.kmap(1); // build outside the timer
         let mut a = Vec::new();
@@ -336,7 +386,9 @@ fn e_f4(ctx: &Ctx) {
         row("MAP", a, t);
         let _ = corpus.staccato(10, 100); // build outside the timer
         let mut a = Vec::new();
-        let t = time_median(ctx.reps, || a = corpus.eval_staccato(10, 100, &query, NUM_ANS));
+        let t = time_median(ctx.reps, || {
+            a = corpus.eval_staccato(10, 100, &query, NUM_ANS)
+        });
         row("STACCATO", a, t);
         let mut a = Vec::new();
         let t = time_median(ctx.reps, || a = corpus.eval_full(&query, NUM_ANS));
@@ -353,8 +405,7 @@ fn e_f5(ctx: &Ctx) {
         "Linear-ish in k at fixed m (A); exponential in m at fixed k (B) — the paper's \
          k=50 series overflows u64 beyond m=60, which motivates dictionary-based indexing.",
     );
-    let corpus =
-        MemCorpus::build(CorpusKind::CongressActs, 40, ctx.seed, ctx.channel());
+    let corpus = MemCorpus::build(CorpusKind::CongressActs, 40, ctx.seed, ctx.channel());
     // Pick the longest line so m can go high.
     let (idx, _) = corpus
         .clean
@@ -383,7 +434,11 @@ fn e_f5(ctx: &Ctx) {
         for m in [1usize, 10, 20, 40, 60, M_MAX] {
             let approx = approximate(&sfa, StaccatoParams::new(m, k));
             let count = direct_posting_count(&approx);
-            let marker = if count > u64::MAX as f64 { " (>u64)" } else { "" };
+            let marker = if count > u64::MAX as f64 {
+                " (>u64)"
+            } else {
+                ""
+            };
             cells.push(format!("{:.1}{marker}", count.log10()));
         }
         println!("| k={k} | {} |", cells.join(" | "));
@@ -424,8 +479,15 @@ fn e_f6(ctx: &Ctx, precision_mode: bool) {
         println!();
         println!("### `{pattern}` (truth = {})", truth.len());
         println!();
-        let metric_cols = if precision_mode { "precision / F1" } else { "recall / runtime" };
-        println!("| engine \\ k ({metric_cols}) | {} |", ks.map(|k| k.to_string()).join(" | "));
+        let metric_cols = if precision_mode {
+            "precision / F1"
+        } else {
+            "recall / runtime"
+        };
+        println!(
+            "| engine \\ k ({metric_cols}) | {} |",
+            ks.map(|k| k.to_string()).join(" | ")
+        );
         println!("|---|{}|", ks.map(|_| "---").join("|"));
         // k-MAP row.
         let mut cells = Vec::new();
@@ -455,7 +517,11 @@ fn e_f6(ctx: &Ctx, precision_mode: bool) {
                     format!("{:.2}/{}", met.recall, fmt_duration(t))
                 });
             }
-            let label = if m == M_MAX { "Max".to_string() } else { m.to_string() };
+            let label = if m == M_MAX {
+                "Max".to_string()
+            } else {
+                m.to_string()
+            };
             println!("| STACCATO m={label} | {} |", cells.join(" | "));
         }
         // FullSFA row.
@@ -491,14 +557,22 @@ fn e_f7(ctx: &Ctx) {
     let runs: [(&str, Vec<String>); 3] = [
         (
             "keyword length",
-            vec!["that", "federal", "Commission", "United States", "Attorney General"]
-                .into_iter()
-                .map(String::from)
-                .collect(),
+            vec![
+                "that",
+                "federal",
+                "Commission",
+                "United States",
+                "Attorney General",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
         ),
         (
             "simple wildcards (\\d)",
-            (0..4).map(|n| format!("U.S.C. 2{}", r"\d".repeat(n))).collect(),
+            (0..4)
+                .map(|n| format!("U.S.C. 2{}", r"\d".repeat(n)))
+                .collect(),
         ),
         (
             "complex wildcards ((\\x)*)",
@@ -522,7 +596,9 @@ fn e_f7(ctx: &Ctx) {
             let mut a = Vec::new();
             let tk = time_median(ctx.reps, || a = corpus.eval_kmap(25, &query, NUM_ANS));
             let mk = evaluate_answers(&a, &truth);
-            let ts = time_median(ctx.reps, || a = corpus.eval_staccato(40, 25, &query, NUM_ANS));
+            let ts = time_median(ctx.reps, || {
+                a = corpus.eval_staccato(40, 25, &query, NUM_ANS)
+            });
             let ms = evaluate_answers(&a, &truth);
             let tf = time_median(ctx.reps, || a = corpus.eval_full(&query, NUM_ANS));
             let mf = evaluate_answers(&a, &truth);
@@ -552,11 +628,19 @@ fn e_f8(ctx: &Ctx) {
     );
     let channel = Channel::new(ctx.channel());
     let mk_line = |n: usize| -> String {
-        "public law of the united states congress ".chars().cycle().take(n).collect()
+        "public law of the united states congress "
+            .chars()
+            .cycle()
+            .take(n)
+            .collect()
     };
     println!("| n (chars) | m=1 k=100 | m=40 k=100 |");
     println!("|---|---|---|");
-    let sizes: &[usize] = if ctx.full { &[50, 100, 200, 300, 400, 500] } else { &[50, 100, 200, 300] };
+    let sizes: &[usize] = if ctx.full {
+        &[50, 100, 200, 300, 400, 500]
+    } else {
+        &[50, 100, 200, 300]
+    };
     for &n in sizes {
         let sfa = channel.line_to_sfa(&mk_line(n), n as u64);
         let t1 = time_median(1, || {
@@ -575,7 +659,15 @@ fn e_f8(ctx: &Ctx) {
     println!();
     println!("| m | construction time |");
     println!("|---|---|");
-    let mut ms: Vec<usize> = vec![edges + 10, edges, edges * 3 / 4, edges / 2, edges / 4, 10, 1];
+    let mut ms: Vec<usize> = vec![
+        edges + 10,
+        edges,
+        edges * 3 / 4,
+        edges / 2,
+        edges / 4,
+        10,
+        1,
+    ];
     ms.dedup();
     for m in ms {
         let t = time_median(1, || {
@@ -607,7 +699,11 @@ fn e_f9(ctx: &Ctx) {
          rises and the advantage shrinks.",
     );
     // Part 1: through the real storage engine at the default parameters.
-    let dataset = generate(CorpusKind::CongressActs, ctx.lines(CorpusKind::CongressActs), ctx.seed);
+    let dataset = generate(
+        CorpusKind::CongressActs,
+        ctx.lines(CorpusKind::CongressActs),
+        ctx.seed,
+    );
     let db = Database::in_memory(8192).expect("db");
     let opts = LoadOptions {
         channel: ctx.channel(),
@@ -615,35 +711,43 @@ fn e_f9(ctx: &Ctx) {
         staccato: StaccatoParams::new(40, 25),
         ..Default::default()
     };
-    let store = OcrStore::load(db, &dataset, &opts).expect("load");
+    let mut session = Staccato::load(db, &dataset, &opts).expect("load");
     let dict = corpus_dictionary(&dataset, 2000);
     let trie = staccato_automata::Trie::build(&dict);
     let t0 = Instant::now();
-    let index = build_index(&store, &trie, "inv").expect("index build");
+    let posting_count = session.register_index(&trie, "inv").expect("index build");
     let build_time = t0.elapsed();
     let query = Query::regex(r"Public Law (8|9)\d").expect("pattern");
+    let request = QueryRequest::regex(r"Public Law (8|9)\d").num_ans(NUM_ANS);
+    assert!(session.plan(&request).expect("plan").is_index_probe());
+    let scan_request = request
+        .clone()
+        .plan_preference(PlanPreference::ForceFileScan);
     let mut a_scan = Vec::new();
     let t_scan = time_median(ctx.reps, || {
-        a_scan = filescan_query(&store, Approach::Staccato, &query, NUM_ANS).expect("scan");
+        a_scan = session.execute(&scan_request).expect("scan").answers;
     });
     let mut a_idx = Vec::new();
     let t_idx = time_median(ctx.reps, || {
-        a_idx = indexed_query(&store, &index, &query, NUM_ANS).expect("probe");
+        a_idx = session.execute(&request).expect("probe").answers;
     });
     let same: BTreeSet<i64> = a_scan.iter().map(|a| a.data_key).collect();
     let same2: BTreeSet<i64> = a_idx.iter().map(|a| a.data_key).collect();
     println!(
-        "RDBMS path (m=40, k=25): dictionary {} terms ({} trie states), {} postings, \
+        "RDBMS path (m=40, k=25): dictionary {} terms ({} trie states), {posting_count} postings, \
          built in {}.",
         trie.term_count(),
         trie.state_count(),
-        index.posting_count,
         fmt_duration(build_time)
     );
     println!();
     println!("| plan | runtime | answers | answer sets equal |");
     println!("|---|---|---|---|");
-    println!("| filescan | {} | {} | |", fmt_duration(t_scan), a_scan.len());
+    println!(
+        "| filescan | {} | {} | |",
+        fmt_duration(t_scan),
+        a_scan.len()
+    );
     println!(
         "| index probe + projection | {} | {} | {} |",
         fmt_duration(t_idx),
@@ -662,8 +766,11 @@ fn e_f9(ctx: &Ctx) {
     println!();
     println!("| m | k | selectivity of 'public' | probe runtime | scan runtime | probe/scan |");
     println!("|---|---|---|---|---|---|");
-    let combos: &[(usize, usize)] =
-        if ctx.full { &[(1, 1), (1, 25), (10, 25), (40, 1), (40, 25), (100, 25)] } else { &[(1, 25), (10, 25), (40, 25)] };
+    let combos: &[(usize, usize)] = if ctx.full {
+        &[(1, 1), (1, 25), (10, 25), (40, 1), (40, 25), (100, 25)]
+    } else {
+        &[(1, 25), (10, 25), (40, 25)]
+    };
     for &(m, k) in combos {
         let rep = corpus.staccato(m, k);
         // Build the per-term postings for this setting.
@@ -692,7 +799,10 @@ fn e_f9(ctx: &Ctx) {
                     }
                 }
                 if best > 0.0 {
-                    answers.push(Answer { data_key: *i as i64, probability: best });
+                    answers.push(Answer {
+                        data_key: *i as i64,
+                        probability: best,
+                    });
                 }
             }
             let _ = staccato_query::exec::rank_answers(answers, NUM_ANS);
@@ -724,8 +834,7 @@ fn e_f10(ctx: &Ctx) {
     println!("| lines | MAP | STACCATO m=10 k=50 | STACCATO m=40 k=50 | FullSFA |");
     println!("|---|---|---|---|---|");
     for mult in [1usize, 2, 4, 8] {
-        let mut corpus =
-            MemCorpus::build(CorpusKind::Books, base * mult, ctx.seed, ctx.channel());
+        let mut corpus = MemCorpus::build(CorpusKind::Books, base * mult, ctx.seed, ctx.channel());
         let _ = corpus.kmap(1);
         let t_map = time_median(ctx.reps, || {
             let _ = corpus.eval_map(&query, NUM_ANS);
@@ -764,15 +873,20 @@ fn e_f11(ctx: &Ctx) {
     );
     let lines = if ctx.full { 400 } else { 120 };
     let mut corpus = MemCorpus::build(CorpusKind::CongressActs, lines, ctx.seed, ctx.channel());
-    let queries: Vec<Query> = ["President", "Commission", "employment", r"Public Law (8|9)\d", r"U.S.C. 2\d\d\d"]
-        .iter()
-        .map(|p| Query::regex(p).expect("pattern"))
-        .collect();
+    let queries: Vec<Query> = [
+        "President",
+        "Commission",
+        "employment",
+        r"Public Law (8|9)\d",
+        r"U.S.C. 2\d\d\d",
+    ]
+    .iter()
+    .map(|p| Query::regex(p).expect("pattern"))
+    .collect();
     let truths: Vec<BTreeSet<i64>> = queries.iter().map(|q| corpus.ground_truth(q)).collect();
     let budget = corpus.full_bytes() as f64 * 0.10;
-    let model = SizeModel::from_line_lengths(
-        &corpus.clean.iter().map(|l| l.len()).collect::<Vec<_>>(),
-    );
+    let model =
+        SizeModel::from_line_lengths(&corpus.clean.iter().map(|l| l.len()).collect::<Vec<_>>());
     let constraints = TuningConstraints {
         size_budget_bytes: budget,
         recall_target: 0.9,
@@ -812,8 +926,7 @@ fn e_f11(ctx: &Ctx) {
     for m in grid {
         let mut cells = Vec::new();
         for k in grid {
-            let size_frac =
-                corpus.staccato_bytes(m, k) as f64 / corpus.full_bytes() as f64 * 100.0;
+            let size_frac = corpus.staccato_bytes(m, k) as f64 / corpus.full_bytes() as f64 * 100.0;
             let recall = avg_recall(&mut corpus, m, k);
             if size_frac <= 10.0 && recall >= 0.9 {
                 let better = match best {
@@ -829,9 +942,9 @@ fn e_f11(ctx: &Ctx) {
         println!("| {m} | {} |", cells.join(" | "));
     }
     match best {
-        Some((m, k, r)) => println!(
-            "\nExhaustive grid optimum within constraints: m={m}, k={k}, recall {r:.2}."
-        ),
+        Some((m, k, r)) => {
+            println!("\nExhaustive grid optimum within constraints: m={m}, k={k}, recall {r:.2}.")
+        }
         None => println!("\nExhaustive grid found no feasible point within constraints."),
     }
 }

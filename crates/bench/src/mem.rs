@@ -64,11 +64,21 @@ impl MemCorpus {
             .enumerate()
             .map(|(i, (_, _, l))| (i as u64, l.to_string()))
             .collect();
-        let par = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        let full_blobs =
-            par_map(par, &work, |(id, text)| codec::encode(&ch.line_to_sfa(text, *id)));
+        let par = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let full_blobs = par_map(par, &work, |(id, text)| {
+            codec::encode(&ch.line_to_sfa(text, *id))
+        });
         let clean = work.into_iter().map(|(_, l)| l).collect();
-        MemCorpus { dataset, clean, full_blobs, kmap_cache: HashMap::new(), stac_cache: HashMap::new(), parallelism: par }
+        MemCorpus {
+            dataset,
+            clean,
+            full_blobs,
+            kmap_cache: HashMap::new(),
+            stac_cache: HashMap::new(),
+            parallelism: par,
+        }
     }
 
     /// Number of lines (= SFAs).
@@ -93,7 +103,10 @@ impl MemCorpus {
         }
         let rep: Vec<Vec<(String, f64)>> = par_map(self.parallelism, &self.full_blobs, |blob| {
             let sfa = codec::decode(blob).expect("stored blob");
-            k_best_paths(&sfa, k).into_iter().map(|p| (p.string, p.prob)).collect()
+            k_best_paths(&sfa, k)
+                .into_iter()
+                .map(|p| (p.string, p.prob))
+                .collect()
         });
         let rep = Arc::new(rep);
         self.kmap_cache.insert(k, rep.clone());
@@ -133,7 +146,11 @@ impl MemCorpus {
         self.clean
             .iter()
             .enumerate()
-            .filter(|(_, l)| query.dfa.is_accept(query.dfa.run_from(query.dfa.start(), l)))
+            .filter(|(_, l)| {
+                query
+                    .dfa
+                    .is_accept(query.dfa.run_from(query.dfa.start(), l))
+            })
             .map(|(i, _)| i as i64)
             .collect()
     }
@@ -177,7 +194,10 @@ impl MemCorpus {
             .enumerate()
             .map(|(i, blob)| {
                 let sfa = codec::decode(blob).expect("stored blob");
-                Answer { data_key: i as i64, probability: eval_sfa(&query.dfa, &sfa) }
+                Answer {
+                    data_key: i as i64,
+                    probability: eval_sfa(&query.dfa, &sfa),
+                }
             })
             .collect();
         rank_answers(answers, num_ans)
@@ -197,7 +217,10 @@ impl MemCorpus {
             .enumerate()
             .map(|(i, blob)| {
                 let sfa = codec::decode(blob).expect("stored blob");
-                Answer { data_key: i as i64, probability: eval_sfa(&query.dfa, &sfa) }
+                Answer {
+                    data_key: i as i64,
+                    probability: eval_sfa(&query.dfa, &sfa),
+                }
             })
             .collect();
         rank_answers(answers, num_ans)
@@ -244,7 +267,10 @@ mod tests {
         let m_map = evaluate_answers(&c.eval_map(&q, 100), &truth);
         let m_full = evaluate_answers(&c.eval_full(&q, 100), &truth);
         assert!(m_full.recall >= m_map.recall - 1e-12);
-        assert!((m_full.recall - 1.0).abs() < 1e-9, "FullSFA recall must be 1");
+        assert!(
+            (m_full.recall - 1.0).abs() < 1e-9,
+            "FullSFA recall must be 1"
+        );
     }
 
     #[test]

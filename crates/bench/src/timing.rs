@@ -42,7 +42,10 @@ mod tests {
                 std::thread::sleep(Duration::from_millis(20));
             }
         });
-        assert!(d < Duration::from_millis(15), "median leaked the outlier: {d:?}");
+        assert!(
+            d < Duration::from_millis(15),
+            "median leaked the outlier: {d:?}"
+        );
         assert_eq!(calls, 5);
     }
 

@@ -18,35 +18,127 @@ pub struct QuerySpec {
 pub fn table6_queries(kind: CorpusKind) -> Vec<QuerySpec> {
     match kind {
         CorpusKind::CongressActs => vec![
-            QuerySpec { id: "CA1", pattern: "Attorney", keyword: true },
-            QuerySpec { id: "CA2", pattern: "Commission", keyword: true },
-            QuerySpec { id: "CA3", pattern: "employment", keyword: true },
-            QuerySpec { id: "CA4", pattern: "President", keyword: true },
-            QuerySpec { id: "CA5", pattern: "United States", keyword: true },
-            QuerySpec { id: "CA6", pattern: r"Public Law (8|9)\d", keyword: false },
-            QuerySpec { id: "CA7", pattern: r"U.S.C. 2\d\d\d", keyword: false },
+            QuerySpec {
+                id: "CA1",
+                pattern: "Attorney",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "CA2",
+                pattern: "Commission",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "CA3",
+                pattern: "employment",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "CA4",
+                pattern: "President",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "CA5",
+                pattern: "United States",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "CA6",
+                pattern: r"Public Law (8|9)\d",
+                keyword: false,
+            },
+            QuerySpec {
+                id: "CA7",
+                pattern: r"U.S.C. 2\d\d\d",
+                keyword: false,
+            },
         ],
         CorpusKind::DbPapers => vec![
-            QuerySpec { id: "DB1", pattern: "accuracy", keyword: true },
-            QuerySpec { id: "DB2", pattern: "confidence", keyword: true },
-            QuerySpec { id: "DB3", pattern: "database", keyword: true },
-            QuerySpec { id: "DB4", pattern: "lineage", keyword: true },
-            QuerySpec { id: "DB5", pattern: "Trio", keyword: true },
-            QuerySpec { id: "DB6", pattern: r"Sec(\x)*\d", keyword: false },
-            QuerySpec { id: "DB7", pattern: r"\x\x\x\d\d", keyword: false },
+            QuerySpec {
+                id: "DB1",
+                pattern: "accuracy",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "DB2",
+                pattern: "confidence",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "DB3",
+                pattern: "database",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "DB4",
+                pattern: "lineage",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "DB5",
+                pattern: "Trio",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "DB6",
+                pattern: r"Sec(\x)*\d",
+                keyword: false,
+            },
+            QuerySpec {
+                id: "DB7",
+                pattern: r"\x\x\x\d\d",
+                keyword: false,
+            },
         ],
         CorpusKind::EnglishLit => vec![
-            QuerySpec { id: "LT1", pattern: "Brinkmann", keyword: true },
-            QuerySpec { id: "LT2", pattern: "Hitler", keyword: true },
-            QuerySpec { id: "LT3", pattern: "Jonathan", keyword: true },
-            QuerySpec { id: "LT4", pattern: "Kerouac", keyword: true },
-            QuerySpec { id: "LT5", pattern: "Third Reich", keyword: true },
-            QuerySpec { id: "LT6", pattern: r"19\d\d, \d\d", keyword: false },
-            QuerySpec { id: "LT7", pattern: r"spontan(\x)*", keyword: false },
+            QuerySpec {
+                id: "LT1",
+                pattern: "Brinkmann",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "LT2",
+                pattern: "Hitler",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "LT3",
+                pattern: "Jonathan",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "LT4",
+                pattern: "Kerouac",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "LT5",
+                pattern: "Third Reich",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "LT6",
+                pattern: r"19\d\d, \d\d",
+                keyword: false,
+            },
+            QuerySpec {
+                id: "LT7",
+                pattern: r"spontan(\x)*",
+                keyword: false,
+            },
         ],
         CorpusKind::Books => vec![
-            QuerySpec { id: "GB1", pattern: "President", keyword: true },
-            QuerySpec { id: "GB2", pattern: r"Public Law (8|9)\d", keyword: false },
+            QuerySpec {
+                id: "GB1",
+                pattern: "President",
+                keyword: true,
+            },
+            QuerySpec {
+                id: "GB2",
+                pattern: r"Public Law (8|9)\d",
+                keyword: false,
+            },
         ],
     }
 }
@@ -78,10 +170,14 @@ mod tests {
 
     #[test]
     fn twenty_one_paper_queries() {
-        let total: usize = [CorpusKind::CongressActs, CorpusKind::EnglishLit, CorpusKind::DbPapers]
-            .iter()
-            .map(|&k| table6_queries(k).len())
-            .sum();
+        let total: usize = [
+            CorpusKind::CongressActs,
+            CorpusKind::EnglishLit,
+            CorpusKind::DbPapers,
+        ]
+        .iter()
+        .map(|&k| table6_queries(k).len())
+        .sum();
         assert_eq!(total, 21);
     }
 

@@ -24,9 +24,8 @@ pub fn extract_region(sfa: &Sfa, region: &Region) -> (Sfa, Vec<(NodeId, NodeId)>
         let new = b.add_node();
         map.push((n, new));
     }
-    let lookup = |old: NodeId| -> Option<NodeId> {
-        map.iter().find(|&&(o, _)| o == old).map(|&(_, n)| n)
-    };
+    let lookup =
+        |old: NodeId| -> Option<NodeId> { map.iter().find(|&&(o, _)| o == old).map(|&(_, n)| n) };
     for (_, e) in sfa.edges() {
         if let (Some(from), Some(to)) = (lookup(e.from), lookup(e.to)) {
             b.add_edge(from, to, e.emissions.clone());
@@ -47,7 +46,10 @@ pub fn region_top_k(sfa: &Sfa, region: &Region, k: usize) -> Vec<Emission> {
     let (sub, _) = extract_region(sfa, region);
     k_best_paths(&sub, k)
         .into_iter()
-        .map(|p| Emission { label: p.string, prob: p.prob })
+        .map(|p| Emission {
+            label: p.string,
+            prob: p.prob,
+        })
         .collect()
 }
 
@@ -62,7 +64,10 @@ pub fn region_top_k(sfa: &Sfa, region: &Region, k: usize) -> Vec<Emission> {
 /// live SFAs always have one.
 pub fn collapse(sfa: &mut Sfa, region: &Region, k: usize) -> staccato_sfa::EdgeId {
     let emissions = region_top_k(sfa, region, k);
-    assert!(!emissions.is_empty(), "collapse of a region with no retained strings");
+    assert!(
+        !emissions.is_empty(),
+        "collapse of a region with no retained strings"
+    );
     let member = |n: NodeId| region.nodes.binary_search(&n).is_ok();
     let doomed: Vec<_> = sfa
         .edges()
@@ -73,7 +78,8 @@ pub fn collapse(sfa: &mut Sfa, region: &Region, k: usize) -> staccato_sfa::EdgeI
         sfa.remove_edge(id).expect("edge was live");
     }
     for n in region.interior() {
-        sfa.remove_node(n).expect("interior nodes have no surviving edges");
+        sfa.remove_node(n)
+            .expect("interior nodes have no surviving edges");
     }
     sfa.add_edge(region.entry, region.exit, emissions)
         .expect("entry and exit stay alive")
@@ -110,8 +116,11 @@ mod tests {
         assert_eq!(e.emissions[0].label, "bc");
         assert!((e.emissions[0].prob - 0.5).abs() < 1e-12);
         // The SFA still emits exactly aef and abcd.
-        let mut strings: Vec<String> =
-            s.enumerate_strings(100).into_iter().map(|(t, _)| t).collect();
+        let mut strings: Vec<String> = s
+            .enumerate_strings(100)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
         strings.sort();
         assert_eq!(strings, vec!["abcd".to_string(), "aef".to_string()]);
         check_structure(&s).unwrap();
@@ -126,8 +135,11 @@ mod tests {
         let reach = Reach::new(&s);
         let region = find_min_sfa(&s, &reach, &[1, 2, 4]);
         collapse(&mut s, &region, 10);
-        let mut strings: Vec<String> =
-            s.enumerate_strings(100).into_iter().map(|(t, _)| t).collect();
+        let mut strings: Vec<String> = s
+            .enumerate_strings(100)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
         strings.sort();
         assert_eq!(strings, vec!["abcd".to_string(), "aef".to_string()]);
         // The whole tail collapsed into a single edge (0→1 plus 1→5).
@@ -186,8 +198,11 @@ mod tests {
         let (sub, map) = extract_region(&s, &region);
         check_structure(&sub).unwrap();
         assert_eq!(map.len(), region.nodes.len());
-        let mut strings: Vec<String> =
-            sub.enumerate_strings(100).into_iter().map(|(t, _)| t).collect();
+        let mut strings: Vec<String> = sub
+            .enumerate_strings(100)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
         strings.sort();
         assert_eq!(strings, vec!["bcd".to_string(), "ef".to_string()]);
     }

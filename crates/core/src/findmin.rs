@@ -62,7 +62,11 @@ impl Reach {
             }
             desc[vi * words + (vi >> 6)] |= 1u64 << (vi & 63);
         }
-        Reach { words_per_row: words, desc, rank }
+        Reach {
+            words_per_row: words,
+            desc,
+            rank,
+        }
     }
 
     /// `a ≤ b`: is `b` reachable from `a` (including `a == b`)?
@@ -93,7 +97,10 @@ pub struct Region {
 impl Region {
     /// Interior nodes (everything but entry and exit).
     pub fn interior(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().copied().filter(move |&n| n != self.entry && n != self.exit)
+        self.nodes
+            .iter()
+            .copied()
+            .filter(move |&n| n != self.entry && n != self.exit)
     }
 }
 
@@ -108,19 +115,19 @@ fn validate_region(sfa: &Sfa, set: &[bool]) -> Option<(NodeId, NodeId)> {
             continue;
         }
         members += 1;
-        let has_induced_in =
-            sfa.in_edges(n).iter().any(|&e| set[sfa.edge(e).expect("live").from as usize]);
-        let has_induced_out =
-            sfa.out_edges(n).iter().any(|&e| set[sfa.edge(e).expect("live").to as usize]);
-        if !has_induced_in {
-            if entry.replace(n).is_some() {
-                return None; // two entries
-            }
+        let has_induced_in = sfa
+            .in_edges(n)
+            .iter()
+            .any(|&e| set[sfa.edge(e).expect("live").from as usize]);
+        let has_induced_out = sfa
+            .out_edges(n)
+            .iter()
+            .any(|&e| set[sfa.edge(e).expect("live").to as usize]);
+        if !has_induced_in && entry.replace(n).is_some() {
+            return None; // two entries
         }
-        if !has_induced_out {
-            if exit.replace(n).is_some() {
-                return None; // two exits
-            }
+        if !has_induced_out && exit.replace(n).is_some() {
+            return None; // two exits
         }
     }
     let (entry, exit) = (entry?, exit?);
@@ -166,7 +173,10 @@ pub fn find_min_sfa(sfa: &Sfa, reach: &Reach, seed: &[NodeId]) -> Region {
         // Repair 1: unique start. A member can serve as the start iff it
         // precedes every member; otherwise add the least common ancestor
         // and the nodes between it and the whole set.
-        let start_node = members.iter().copied().find(|&c| members.iter().all(|&x| reach.le(c, x)));
+        let start_node = members
+            .iter()
+            .copied()
+            .find(|&c| members.iter().all(|&x| reach.le(c, x)));
         if start_node.is_none() {
             // LCA: the common ancestor with the greatest topological rank.
             let lca = sfa
@@ -184,7 +194,10 @@ pub fn find_min_sfa(sfa: &Sfa, reach: &Reach, seed: &[NodeId]) -> Region {
 
         // Repair 2: unique end, symmetric via the greatest common
         // descendant (Figure 3D's case).
-        let end_node = members.iter().copied().find(|&c| members.iter().all(|&x| reach.le(x, c)));
+        let end_node = members
+            .iter()
+            .copied()
+            .find(|&c| members.iter().all(|&x| reach.le(x, c)));
         if end_node.is_none() {
             let gcd = sfa
                 .nodes()

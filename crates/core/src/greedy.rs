@@ -96,12 +96,15 @@ pub fn approximate(original: &Sfa, params: StaccatoParams) -> Sfa {
                     let cached = cache.entry(key).or_insert_with(|| {
                         let region = find_min_sfa(&sfa, &reach, &[x, y, z]);
                         let loss = local_loss(&sfa, &region, k);
-                        Cached { region, local_loss: loss }
+                        Cached {
+                            region,
+                            local_loss: loss,
+                        }
                     });
                     let loss = fwd[cached.region.entry as usize]
                         * cached.local_loss
                         * bwd[cached.region.exit as usize];
-                    if best.as_ref().map_or(true, |(b, _, _)| loss < *b) {
+                    if best.as_ref().is_none_or(|(b, _, _)| loss < *b) {
                         best = Some((loss, key, cached.region.clone()));
                     }
                 }
@@ -121,10 +124,7 @@ pub fn approximate(original: &Sfa, params: StaccatoParams) -> Sfa {
         // (their seed nodes may be gone or their sub-SFA changed).
         let touched = |n: NodeId| region.nodes.binary_search(&n).is_ok();
         cache.retain(|&(x, y, z), c| {
-            !(touched(x)
-                || touched(y)
-                || touched(z)
-                || c.region.nodes.iter().any(|&n| touched(n)))
+            !(touched(x) || touched(y) || touched(z) || c.region.nodes.iter().any(|&n| touched(n)))
         });
     }
 
@@ -206,8 +206,11 @@ mod tests {
     #[test]
     fn no_new_strings_ever() {
         let s = figure2();
-        let original: std::collections::HashSet<String> =
-            s.enumerate_strings(10_000).into_iter().map(|(t, _)| t).collect();
+        let original: std::collections::HashSet<String> = s
+            .enumerate_strings(10_000)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
         for (m, k) in [(1, 2), (2, 2), (3, 1), (2, 100), (4, 3)] {
             let approx = approximate(&s, StaccatoParams::new(m, k));
             for (t, _) in approx.enumerate_strings(10_000) {
@@ -235,12 +238,28 @@ mod tests {
         // and unique-path across parameter settings.
         let mut b = SfaBuilder::new();
         let n: Vec<NodeId> = (0..6).map(|_| b.add_node()).collect();
-        b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
-        b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+        b.add_edge(
+            n[0],
+            n[1],
+            vec![Emission::new("F", 0.8), Emission::new("T", 0.2)],
+        );
+        b.add_edge(
+            n[1],
+            n[2],
+            vec![Emission::new("0", 0.6), Emission::new("o", 0.4)],
+        );
         b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
         b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
-        b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
-        b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+        b.add_edge(
+            n[3],
+            n[4],
+            vec![Emission::new("r", 0.8), Emission::new("m", 0.2)],
+        );
+        b.add_edge(
+            n[4],
+            n[5],
+            vec![Emission::new("d", 0.9), Emission::new("3", 0.1)],
+        );
         let s = b.build(n[0], n[5]).unwrap();
         for (m, k) in [(1, 4), (2, 4), (3, 2), (4, 2), (6, 3)] {
             let approx = approximate(&s, StaccatoParams::new(m, k));
@@ -260,8 +279,16 @@ mod tests {
         let n: Vec<NodeId> = (0..5).map(|_| b.add_node()).collect();
         b.add_edge(n[0], n[1], vec![Emission::new("a", 1.0)]);
         b.add_edge(n[1], n[2], vec![Emission::new("b", 1.0)]);
-        b.add_edge(n[2], n[3], vec![Emission::new("c", 0.5), Emission::new("r", 0.5)]);
-        b.add_edge(n[3], n[4], vec![Emission::new("d", 0.5), Emission::new("s", 0.5)]);
+        b.add_edge(
+            n[2],
+            n[3],
+            vec![Emission::new("c", 0.5), Emission::new("r", 0.5)],
+        );
+        b.add_edge(
+            n[3],
+            n[4],
+            vec![Emission::new("d", 0.5), Emission::new("s", 0.5)],
+        );
         let s = b.build(n[0], n[4]).unwrap();
         let approx = approximate(&s, StaccatoParams::new(3, 1));
         // Merging (0,1)+(1,2) loses nothing; the result keeps mass 0.25

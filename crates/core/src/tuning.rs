@@ -134,7 +134,12 @@ where
             }
             Some((k, recall)) => {
                 if recall >= constraints.recall_target {
-                    best = Some(TuningOutcome { m, k, recall, evaluations });
+                    best = Some(TuningOutcome {
+                        m,
+                        k,
+                        recall,
+                        evaluations,
+                    });
                     if mid == 1 {
                         break;
                     }
@@ -159,7 +164,10 @@ mod tests {
         // §5.5: 1590 SFAs; the paper's fitted equation is 20mk + 58k =
         // 45540 (in their units); ours uses 16·lines per chunk and Σl per
         // path.
-        SizeModel { per_chunk_bytes: 20.0, per_path_bytes: 58.0 }
+        SizeModel {
+            per_chunk_bytes: 20.0,
+            per_path_bytes: 58.0,
+        }
     }
 
     #[test]
@@ -210,12 +218,18 @@ mod tests {
         // fails the target.
         let m_down = outcome.m - 5;
         if m_down >= 5 {
-            let k_down = model.k_for_budget(m_down, constraints.size_budget_bytes, 5).unwrap();
+            let k_down = model
+                .k_for_budget(m_down, constraints.size_budget_bytes, 5)
+                .unwrap();
             let r_down = (0.5 + 0.01 * m_down as f64 + 0.0005 * k_down as f64).min(1.0);
             assert!(r_down < 0.9);
         }
         // Binary search touches O(log) grid points, not all 40.
-        assert!(outcome.evaluations <= 8, "{} evaluations", outcome.evaluations);
+        assert!(
+            outcome.evaluations <= 8,
+            "{} evaluations",
+            outcome.evaluations
+        );
     }
 
     #[test]
@@ -241,8 +255,11 @@ mod tests {
             step: 5,
             max_m: 10_000,
         };
-        let outcome =
-            tune(&model, &constraints, |m, _| if m >= 50 { 0.95 } else { 0.1 });
+        let outcome = tune(
+            &model,
+            &constraints,
+            |m, _| if m >= 50 { 0.95 } else { 0.1 },
+        );
         let o = outcome.expect("feasible in the affordable range");
         assert!(o.m >= 50);
         assert!(model.predicted_size(o.m, o.k) <= constraints.size_budget_bytes);

@@ -84,7 +84,11 @@ impl ChannelConfig {
     /// A lightweight configuration for unit tests: few emissions per edge,
     /// same structure.
     pub fn compact(seed: u64) -> Self {
-        ChannelConfig { seed, full_alphabet: false, ..Default::default() }
+        ChannelConfig {
+            seed,
+            full_alphabet: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -140,7 +144,8 @@ impl Channel {
         if bytes.is_empty() {
             bytes.push(b' ');
         }
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ line_id.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ line_id.wrapping_mul(0x9E3779B97F4A7C15));
         // Per-line degradation: errors cluster on bad scans.
         let quality = if rng.random_bool(self.config.bad_line_rate) {
             self.config.bad_line_factor
@@ -158,7 +163,7 @@ impl Channel {
 
             // Missed-space branch: " x" may have been read as "x".
             if c == b' '
-                && next.map_or(false, |n| n.is_ascii_alphanumeric())
+                && next.is_some_and(|n| n.is_ascii_alphanumeric())
                 && i + 1 < bytes.len()
                 && rng.random_bool(self.config.space_branch_rate)
             {
@@ -167,10 +172,22 @@ impl Channel {
                 let w = b.add_node();
                 let sw = self.config.space_skip_weight;
                 // Branch A: the space was seen (non-alphanumeric support).
-                b.add_edge(cur, w, self.distribution(c, 1.0 - sw, Support::NonAlnum, quality, &mut rng));
-                b.add_edge(w, v, self.distribution(n, 1.0, Support::Full, quality, &mut rng));
+                b.add_edge(
+                    cur,
+                    w,
+                    self.distribution(c, 1.0 - sw, Support::NonAlnum, quality, &mut rng),
+                );
+                b.add_edge(
+                    w,
+                    v,
+                    self.distribution(n, 1.0, Support::Full, quality, &mut rng),
+                );
                 // Branch B: the space was missed (alphanumeric support).
-                b.add_edge(cur, v, self.distribution(n, sw, Support::Alnum, quality, &mut rng));
+                b.add_edge(
+                    cur,
+                    v,
+                    self.distribution(n, sw, Support::Alnum, quality, &mut rng),
+                );
                 cur = v;
                 i += 2;
                 continue;
@@ -188,11 +205,25 @@ impl Channel {
                         b.add_edge(
                             cur,
                             w,
-                            self.distribution(c, 1.0 - mw, Support::Excluding(merged), quality, &mut rng),
+                            self.distribution(
+                                c,
+                                1.0 - mw,
+                                Support::Excluding(merged),
+                                quality,
+                                &mut rng,
+                            ),
                         );
-                        b.add_edge(w, v, self.distribution(n, 1.0, Support::Full, quality, &mut rng));
+                        b.add_edge(
+                            w,
+                            v,
+                            self.distribution(n, 1.0, Support::Full, quality, &mut rng),
+                        );
                         // Branch B: the merged glyph, alone on its edge.
-                        b.add_edge(cur, v, vec![Emission::new((merged as char).to_string(), mw)]);
+                        b.add_edge(
+                            cur,
+                            v,
+                            vec![Emission::new((merged as char).to_string(), mw)],
+                        );
                         cur = v;
                         i += 2;
                         continue;
@@ -202,11 +233,16 @@ impl Channel {
 
             // Plain chain position.
             let v = b.add_node();
-            b.add_edge(cur, v, self.distribution(c, 1.0, Support::Full, quality, &mut rng));
+            b.add_edge(
+                cur,
+                v,
+                self.distribution(c, 1.0, Support::Full, quality, &mut rng),
+            );
             cur = v;
             i += 1;
         }
-        b.build(start, cur).expect("channel output is structurally valid by construction")
+        b.build(start, cur)
+            .expect("channel output is structurally valid by construction")
     }
 
     /// Build the emission distribution for true character `c`, normalized
@@ -280,8 +316,9 @@ impl Channel {
         }
         // Noise floor across the rest of the (restricted) alphabet.
         if self.config.full_alphabet {
-            let rest: Vec<u8> =
-                (LO..=HI).filter(|&b| support.allows(b) && !used[b as usize]).collect();
+            let rest: Vec<u8> = (LO..=HI)
+                .filter(|&b| support.allows(b) && !used[b as usize])
+                .collect();
             if !rest.is_empty() {
                 let share = self.config.noise_floor / rest.len() as f64;
                 for b in rest {
@@ -331,7 +368,9 @@ fn _node_id_type_check(n: NodeId) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use staccato_sfa::{check_stochastic, check_structure, check_unique_paths, map_string, total_mass};
+    use staccato_sfa::{
+        check_stochastic, check_structure, check_unique_paths, map_string, total_mass,
+    };
 
     fn compact_channel(seed: u64) -> Channel {
         Channel::new(ChannelConfig::compact(seed))
@@ -382,7 +421,10 @@ mod tests {
             let p_truth = staccato_sfa::string_probability(&sfa, line);
             assert!(p_truth > 0.0, "line id {id}: truth lost");
             let (map, p_map) = map_string(&sfa).unwrap();
-            assert!(p_map >= p_truth - 1e-12, "MAP cannot be less likely than the truth");
+            assert!(
+                p_map >= p_truth - 1e-12,
+                "MAP cannot be less likely than the truth"
+            );
             let _ = map;
         }
     }
@@ -410,9 +452,15 @@ mod tests {
         let ch = Channel::new(ChannelConfig::compact(7));
         let a = ch.line_to_sfa("identical", 5);
         let b = ch.line_to_sfa("identical", 5);
-        assert_eq!(staccato_sfa::codec::encode(&a), staccato_sfa::codec::encode(&b));
+        assert_eq!(
+            staccato_sfa::codec::encode(&a),
+            staccato_sfa::codec::encode(&b)
+        );
         let c = ch.line_to_sfa("identical", 6);
-        assert_ne!(staccato_sfa::codec::encode(&a), staccato_sfa::codec::encode(&c));
+        assert_ne!(
+            staccato_sfa::codec::encode(&a),
+            staccato_sfa::codec::encode(&c)
+        );
     }
 
     #[test]

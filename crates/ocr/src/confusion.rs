@@ -27,21 +27,19 @@ impl Default for ErrorRates {
         // (1-0.022)^9 ≈ 0.82 for a 9-letter keyword; (1-0.09)^4 ≈ 0.69 per
         // 4-digit group — composed with surrounding text this yields the
         // paper's keyword ≈ 0.8 / regex ≈ 0.3–0.5 MAP recall bands.
-        ErrorRates { letter: 0.022, digit: 0.09, other: 0.04 }
+        ErrorRates {
+            letter: 0.022,
+            digit: 0.09,
+            other: 0.04,
+        }
     }
 }
 
 /// The confusion model: confusable sets plus mergeable glyph pairs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ConfusionModel {
     /// Error rates by character class.
     pub rates: ErrorRates,
-}
-
-impl Default for ConfusionModel {
-    fn default() -> Self {
-        ConfusionModel { rates: ErrorRates::default() }
-    }
 }
 
 /// Classic visually-confusable alternatives for a glyph. The first entries
@@ -134,8 +132,8 @@ impl ConfusionModel {
         } else if c.is_ascii_lowercase() {
             // Drift to an adjacent letter of the alphabet.
             let delta: i16 = if rng.random_bool(0.5) { 1 } else { -1 };
-            let shifted = (c as i16 - b'a' as i16 + delta).rem_euclid(26) as u8 + b'a';
-            shifted
+
+            (c as i16 - b'a' as i16 + delta).rem_euclid(26) as u8 + b'a'
         } else {
             b'#'
         }

@@ -92,10 +92,12 @@ impl Dataset {
 
     /// Iterate `(doc index, line index within doc, line text)`.
     pub fn lines(&self) -> impl Iterator<Item = (usize, usize, &str)> {
-        self.docs
-            .iter()
-            .enumerate()
-            .flat_map(|(di, d)| d.lines.iter().enumerate().map(move |(li, l)| (di, li, l.as_str())))
+        self.docs.iter().enumerate().flat_map(|(di, d)| {
+            d.lines
+                .iter()
+                .enumerate()
+                .map(move |(li, l)| (di, li, l.as_str()))
+        })
     }
 }
 
@@ -109,36 +111,171 @@ struct Injection {
 fn word_bank(kind: CorpusKind) -> &'static [&'static str] {
     match kind {
         CorpusKind::CongressActs => &[
-            "the", "act", "shall", "be", "amended", "by", "striking", "out", "section",
-            "subsection", "paragraph", "clause", "and", "inserting", "in", "lieu", "thereof",
-            "federal", "agency", "secretary", "provided", "that", "no", "funds", "authorized",
-            "appropriated", "under", "this", "title", "may", "used", "for", "purposes", "of",
-            "chapter", "code", "pursuant", "to", "regulations", "issued", "hereunder", "state",
-            "governor", "report", "committee", "senate", "house", "representatives", "fiscal",
-            "year", "term", "means", "any", "person", "entity", "program", "assistance",
+            "the",
+            "act",
+            "shall",
+            "be",
+            "amended",
+            "by",
+            "striking",
+            "out",
+            "section",
+            "subsection",
+            "paragraph",
+            "clause",
+            "and",
+            "inserting",
+            "in",
+            "lieu",
+            "thereof",
+            "federal",
+            "agency",
+            "secretary",
+            "provided",
+            "that",
+            "no",
+            "funds",
+            "authorized",
+            "appropriated",
+            "under",
+            "this",
+            "title",
+            "may",
+            "used",
+            "for",
+            "purposes",
+            "of",
+            "chapter",
+            "code",
+            "pursuant",
+            "to",
+            "regulations",
+            "issued",
+            "hereunder",
+            "state",
+            "governor",
+            "report",
+            "committee",
+            "senate",
+            "house",
+            "representatives",
+            "fiscal",
+            "year",
+            "term",
+            "means",
+            "any",
+            "person",
+            "entity",
+            "program",
+            "assistance",
         ],
         CorpusKind::EnglishLit => &[
-            "the", "novel", "poem", "writes", "chapter", "poetry", "prose", "narrative",
-            "author", "criticism", "literary", "war", "memory", "history", "german", "voice",
-            "reader", "language", "image", "essay", "translation", "modern", "period", "his",
-            "her", "work", "of", "and", "in", "a", "on", "with", "text", "style", "lyric",
-            "postwar", "years", "berlin", "exile", "silence", "ruins", "generation", "motif",
-            "irony", "stanza", "verse", "volume", "published", "early", "late", "influence",
+            "the",
+            "novel",
+            "poem",
+            "writes",
+            "chapter",
+            "poetry",
+            "prose",
+            "narrative",
+            "author",
+            "criticism",
+            "literary",
+            "war",
+            "memory",
+            "history",
+            "german",
+            "voice",
+            "reader",
+            "language",
+            "image",
+            "essay",
+            "translation",
+            "modern",
+            "period",
+            "his",
+            "her",
+            "work",
+            "of",
+            "and",
+            "in",
+            "a",
+            "on",
+            "with",
+            "text",
+            "style",
+            "lyric",
+            "postwar",
+            "years",
+            "berlin",
+            "exile",
+            "silence",
+            "ruins",
+            "generation",
+            "motif",
+            "irony",
+            "stanza",
+            "verse",
+            "volume",
+            "published",
+            "early",
+            "late",
+            "influence",
         ],
         CorpusKind::DbPapers => &[
-            "query", "table", "tuple", "relation", "join", "index", "transaction", "schema",
-            "probabilistic", "data", "system", "algorithm", "the", "of", "and", "we", "in",
-            "for", "results", "model", "approach", "section", "evaluation", "performance",
-            "storage", "disk", "buffer", "page", "scan", "cost", "optimizer", "plan",
-            "processing", "uncertain", "semantics", "tuples", "queries", "runtime", "figure",
-            "experiments", "show", "that", "our", "baseline", "approximate", "using",
+            "query",
+            "table",
+            "tuple",
+            "relation",
+            "join",
+            "index",
+            "transaction",
+            "schema",
+            "probabilistic",
+            "data",
+            "system",
+            "algorithm",
+            "the",
+            "of",
+            "and",
+            "we",
+            "in",
+            "for",
+            "results",
+            "model",
+            "approach",
+            "section",
+            "evaluation",
+            "performance",
+            "storage",
+            "disk",
+            "buffer",
+            "page",
+            "scan",
+            "cost",
+            "optimizer",
+            "plan",
+            "processing",
+            "uncertain",
+            "semantics",
+            "tuples",
+            "queries",
+            "runtime",
+            "figure",
+            "experiments",
+            "show",
+            "that",
+            "our",
+            "baseline",
+            "approximate",
+            "using",
         ],
         CorpusKind::Books => &[
-            "the", "and", "of", "to", "a", "in", "that", "he", "was", "it", "his", "her",
-            "with", "as", "had", "for", "on", "at", "by", "but", "from", "they", "she",
-            "which", "or", "we", "an", "there", "were", "their", "been", "has", "when",
-            "who", "will", "more", "no", "if", "out", "so", "said", "what", "up", "its",
-            "about", "into", "than", "them", "can", "only", "other", "time", "new", "some",
+            "the", "and", "of", "to", "a", "in", "that", "he", "was", "it", "his", "her", "with",
+            "as", "had", "for", "on", "at", "by", "but", "from", "they", "she", "which", "or",
+            "we", "an", "there", "were", "their", "been", "has", "when", "who", "will", "more",
+            "no", "if", "out", "so", "said", "what", "up", "its", "about", "into", "than", "them",
+            "can", "only", "other", "time", "new", "some",
         ],
     }
 }
@@ -151,14 +288,35 @@ fn injections(kind: CorpusKind) -> Vec<Injection> {
     match kind {
         // Rates ≈ paper ground-truth count / 1590 lines (Table 6).
         CorpusKind::CongressActs => vec![
-            Injection { rate: 0.040, build: |_| "Attorney General".into() },
-            Injection { rate: 0.080, build: |_| "Commission".into() },
-            Injection { rate: 0.046, build: |_| "employment".into() },
-            Injection { rate: 0.040, build: |_| "President".into() },
-            Injection { rate: 0.040, build: |_| "United States".into() },
+            Injection {
+                rate: 0.040,
+                build: |_| "Attorney General".into(),
+            },
+            Injection {
+                rate: 0.080,
+                build: |_| "Commission".into(),
+            },
+            Injection {
+                rate: 0.046,
+                build: |_| "employment".into(),
+            },
+            Injection {
+                rate: 0.040,
+                build: |_| "President".into(),
+            },
+            Injection {
+                rate: 0.040,
+                build: |_| "United States".into(),
+            },
             Injection {
                 rate: 0.042,
-                build: |rng| format!("Public Law {}{}", if rng.random_bool(0.5) { 8 } else { 9 }, digit(rng)),
+                build: |rng| {
+                    format!(
+                        "Public Law {}{}",
+                        if rng.random_bool(0.5) { 8 } else { 9 },
+                        digit(rng)
+                    )
+                },
             },
             Injection {
                 rate: 0.040,
@@ -167,33 +325,73 @@ fn injections(kind: CorpusKind) -> Vec<Injection> {
         ],
         // Rates ≈ count / 1211 (Table 6).
         CorpusKind::EnglishLit => vec![
-            Injection { rate: 0.076, build: |_| "Brinkmann".into() },
-            Injection { rate: 0.040, build: |_| "Hitler".into() },
-            Injection { rate: 0.040, build: |_| "Jonathan".into() },
-            Injection { rate: 0.040, build: |_| "Kerouac".into() },
-            Injection { rate: 0.040, build: |_| "Third Reich".into() },
+            Injection {
+                rate: 0.076,
+                build: |_| "Brinkmann".into(),
+            },
+            Injection {
+                rate: 0.040,
+                build: |_| "Hitler".into(),
+            },
+            Injection {
+                rate: 0.040,
+                build: |_| "Jonathan".into(),
+            },
+            Injection {
+                rate: 0.040,
+                build: |_| "Kerouac".into(),
+            },
+            Injection {
+                rate: 0.040,
+                build: |_| "Third Reich".into(),
+            },
             Injection {
                 rate: 0.042,
                 build: |rng| {
-                    format!("19{}{}, {}{}", digit(rng), digit(rng), digit(rng), digit(rng))
+                    format!(
+                        "19{}{}, {}{}",
+                        digit(rng),
+                        digit(rng),
+                        digit(rng),
+                        digit(rng)
+                    )
                 },
             },
             Injection {
                 rate: 0.082,
                 build: |rng| {
-                    ["spontaneous", "spontaneously", "spontaneity", "spontaneous prose"]
-                        [rng.random_range(0..4)]
+                    [
+                        "spontaneous",
+                        "spontaneously",
+                        "spontaneity",
+                        "spontaneous prose",
+                    ][rng.random_range(0..4usize)]
                     .into()
                 },
             },
         ],
         // Rates ≈ count / 627 (Table 6).
         CorpusKind::DbPapers => vec![
-            Injection { rate: 0.104, build: |_| "accuracy".into() },
-            Injection { rate: 0.057, build: |_| "confidence".into() },
-            Injection { rate: 0.069, build: |_| "database".into() },
-            Injection { rate: 0.132, build: |_| "lineage".into() },
-            Injection { rate: 0.108, build: |_| "Trio".into() },
+            Injection {
+                rate: 0.104,
+                build: |_| "accuracy".into(),
+            },
+            Injection {
+                rate: 0.057,
+                build: |_| "confidence".into(),
+            },
+            Injection {
+                rate: 0.069,
+                build: |_| "database".into(),
+            },
+            Injection {
+                rate: 0.132,
+                build: |_| "lineage".into(),
+            },
+            Injection {
+                rate: 0.108,
+                build: |_| "Trio".into(),
+            },
             Injection {
                 rate: 0.053,
                 build: |rng| format!("Sec. {} {}", digit(rng), digit(rng)),
@@ -204,10 +402,19 @@ fn injections(kind: CorpusKind) -> Vec<Injection> {
             },
         ],
         CorpusKind::Books => vec![
-            Injection { rate: 0.040, build: |_| "President".into() },
             Injection {
                 rate: 0.040,
-                build: |rng| format!("Public Law {}{}", if rng.random_bool(0.5) { 8 } else { 9 }, digit(rng)),
+                build: |_| "President".into(),
+            },
+            Injection {
+                rate: 0.040,
+                build: |rng| {
+                    format!(
+                        "Public Law {}{}",
+                        if rng.random_bool(0.5) { 8 } else { 9 },
+                        digit(rng)
+                    )
+                },
             },
         ],
     }
@@ -220,7 +427,10 @@ pub fn generate(kind: CorpusKind, lines: usize, seed: u64) -> Dataset {
     let bank = word_bank(kind);
     let injectors = injections(kind);
     let mut docs: Vec<Document> = Vec::new();
-    let mut cur = Document { name: format!("{}_doc_000", kind.short_name()), lines: Vec::new() };
+    let mut cur = Document {
+        name: format!("{}_doc_000", kind.short_name()),
+        lines: Vec::new(),
+    };
 
     for _ in 0..lines {
         let target = rng.random_range(38..68usize);
@@ -254,9 +464,15 @@ pub fn generate(kind: CorpusKind, lines: usize, seed: u64) -> Dataset {
             if rng.random_bool(inj.rate) {
                 let phrase = (inj.build)(&mut rng);
                 // Insert at a word boundary.
-                let spaces: Vec<usize> =
-                    line.char_indices().filter(|&(_, c)| c == ' ').map(|(i, _)| i).collect();
-                if let Some(&pos) = spaces.get(rng.random_range(0..spaces.len().max(1)).min(spaces.len().saturating_sub(1))) {
+                let spaces: Vec<usize> = line
+                    .char_indices()
+                    .filter(|&(_, c)| c == ' ')
+                    .map(|(i, _)| i)
+                    .collect();
+                if let Some(&pos) = spaces.get(
+                    rng.random_range(0..spaces.len().max(1))
+                        .min(spaces.len().saturating_sub(1)),
+                ) {
                     line.insert_str(pos + 1, &format!("{phrase} "));
                 } else {
                     line.push(' ');
@@ -269,14 +485,21 @@ pub fn generate(kind: CorpusKind, lines: usize, seed: u64) -> Dataset {
             let n = docs.len() + 1;
             docs.push(std::mem::replace(
                 &mut cur,
-                Document { name: format!("{}_doc_{n:03}", kind.short_name()), lines: Vec::new() },
+                Document {
+                    name: format!("{}_doc_{n:03}", kind.short_name()),
+                    lines: Vec::new(),
+                },
             ));
         }
     }
     if !cur.lines.is_empty() {
         docs.push(cur);
     }
-    Dataset { name: kind.short_name().to_string(), kind, docs }
+    Dataset {
+        name: kind.short_name().to_string(),
+        kind,
+        docs,
+    }
 }
 
 #[cfg(test)]
@@ -311,9 +534,15 @@ mod tests {
         // Rates are calibrated to keep ground truth statistically useful
         // at reduced scales (a 0.04 floor on the rarest paper terms).
         let commission = count("Commission");
-        assert!((60..=220).contains(&commission), "Commission lines: {commission}");
+        assert!(
+            (60..=220).contains(&commission),
+            "Commission lines: {commission}"
+        );
         let president = count("President");
-        assert!((30..=110).contains(&president), "President lines: {president}");
+        assert!(
+            (30..=110).contains(&president),
+            "President lines: {president}"
+        );
         let usc = count("U.S.C. 2");
         assert!((30..=110).contains(&usc), "U.S.C. lines: {usc}");
     }
@@ -337,8 +566,15 @@ mod tests {
         ] {
             let d = generate(kind, 200, 3);
             for (_, _, l) in d.lines() {
-                assert!(l.bytes().all(|b| (0x20..=0x7E).contains(&b)), "{kind:?}: {l:?}");
-                assert!(l.len() >= 20 && l.len() <= 120, "{kind:?} length {}: {l:?}", l.len());
+                assert!(
+                    l.bytes().all(|b| (0x20..=0x7E).contains(&b)),
+                    "{kind:?}: {l:?}"
+                );
+                assert!(
+                    l.len() >= 20 && l.len() <= 120,
+                    "{kind:?} length {}: {l:?}",
+                    l.len()
+                );
             }
         }
     }

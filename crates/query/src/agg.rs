@@ -52,7 +52,11 @@ pub fn count_distribution(answers: &[Answer]) -> Vec<f64> {
 
 /// `P[COUNT(*) ≥ threshold]` over the answer relation.
 pub fn threshold_probability(answers: &[Answer], threshold: usize) -> f64 {
-    count_distribution(answers).into_iter().skip(threshold).sum::<f64>().min(1.0)
+    count_distribution(answers)
+        .into_iter()
+        .skip(threshold)
+        .sum::<f64>()
+        .min(1.0)
 }
 
 #[cfg(test)]
@@ -62,7 +66,10 @@ mod tests {
     fn answers(ps: &[f64]) -> Vec<Answer> {
         ps.iter()
             .enumerate()
-            .map(|(i, &p)| Answer { data_key: i as i64, probability: p })
+            .map(|(i, &p)| Answer {
+                data_key: i as i64,
+                probability: p,
+            })
             .collect()
     }
 
@@ -116,5 +123,47 @@ mod tests {
         assert!((threshold_probability(&a, 2) - 0.5).abs() < 1e-12);
         assert!((threshold_probability(&a, 0) - 1.0).abs() < 1e-12);
         assert_eq!(threshold_probability(&a, 4), 0.0);
+    }
+
+    #[test]
+    fn empty_answer_set_aggregates() {
+        // An empty probabilistic relation: COUNT(*) is certainly zero.
+        let d = count_distribution(&[]);
+        assert_eq!(d, vec![1.0]);
+        assert_eq!(expected_count(&[]), 0.0);
+        assert_eq!(expected_sum(&[], |_| Some(1.0)), 0.0);
+        assert_eq!(threshold_probability(&[], 0), 1.0);
+        assert_eq!(threshold_probability(&[], 1), 0.0);
+    }
+
+    #[test]
+    fn single_answer_is_a_bernoulli() {
+        let a = answers(&[0.3]);
+        let d = count_distribution(&a);
+        assert_eq!(d.len(), 2);
+        assert!((d[0] - 0.7).abs() < 1e-12);
+        assert!((d[1] - 0.3).abs() < 1e-12);
+        assert!((expected_count(&a) - 0.3).abs() < 1e-12);
+        assert!((threshold_probability(&a, 1) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_beyond_distribution_is_zero() {
+        let a = answers(&[0.9, 0.8]);
+        // There are only 2 events; counts of 3+ are impossible.
+        assert_eq!(threshold_probability(&a, 3), 0.0);
+        assert_eq!(threshold_probability(&a, 1000), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_probabilities_are_clamped() {
+        // Answers straight from a projection overestimate can exceed 1.0;
+        // the DP must clamp instead of producing a negative mass.
+        let a = answers(&[1.5, -0.25]);
+        let d = count_distribution(&a);
+        assert_eq!(d.len(), 3);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(d.iter().all(|&p| (0.0..=1.0).contains(&p)), "{d:?}");
+        assert!((threshold_probability(&a, 1) - 1.0).abs() < 1e-12);
     }
 }

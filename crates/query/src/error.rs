@@ -20,6 +20,8 @@ pub enum QueryError {
     NotAnchored(String),
     /// The requested term is not in the index dictionary.
     TermNotInDictionary(String),
+    /// An index probe was forced but no registered index can serve it.
+    NoUsableIndex(String),
 }
 
 impl fmt::Display for QueryError {
@@ -36,6 +38,9 @@ impl fmt::Display for QueryError {
             }
             QueryError::TermNotInDictionary(t) => {
                 write!(f, "anchor term {t:?} is not in the index dictionary")
+            }
+            QueryError::NoUsableIndex(why) => {
+                write!(f, "index probe is not executable: {why}")
             }
         }
     }
@@ -76,12 +81,18 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: QueryError = PatternError { position: 0, message: "x".into() }.into();
+        let e: QueryError = PatternError {
+            position: 0,
+            message: "x".into(),
+        }
+        .into();
         assert!(e.to_string().contains("bad pattern"));
         let e: QueryError = StorageError::PoolExhausted.into();
         assert!(e.to_string().contains("storage"));
         let e: QueryError = SfaError::BadMagic.into();
         assert!(e.to_string().contains("SFA"));
-        assert!(QueryError::NotAnchored("(a|b)".into()).to_string().contains("anchor"));
+        assert!(QueryError::NotAnchored("(a|b)".into())
+            .to_string()
+            .contains("anchor"));
     }
 }

@@ -71,7 +71,10 @@ pub fn eval_sfa(dfa: &Dfa, sfa: &Sfa) -> f64 {
     }
 
     let fin = &vectors[sfa.finish() as usize];
-    (0..q).filter(|&s| dfa.is_accept(s as u32)).map(|s| fin.get(s).copied().unwrap_or(0.0)).sum()
+    (0..q)
+        .filter(|&s| dfa.is_accept(s as u32))
+        .map(|s| fin.get(s).copied().unwrap_or(0.0))
+        .sum()
 }
 
 #[cfg(test)]
@@ -83,12 +86,28 @@ mod tests {
     fn figure1() -> Sfa {
         let mut b = SfaBuilder::new();
         let n: Vec<_> = (0..6).map(|_| b.add_node()).collect();
-        b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
-        b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+        b.add_edge(
+            n[0],
+            n[1],
+            vec![Emission::new("F", 0.8), Emission::new("T", 0.2)],
+        );
+        b.add_edge(
+            n[1],
+            n[2],
+            vec![Emission::new("0", 0.6), Emission::new("o", 0.4)],
+        );
         b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
         b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
-        b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
-        b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+        b.add_edge(
+            n[3],
+            n[4],
+            vec![Emission::new("r", 0.8), Emission::new("m", 0.2)],
+        );
+        b.add_edge(
+            n[4],
+            n[5],
+            vec![Emission::new("d", 0.9), Emission::new("3", 0.1)],
+        );
         b.build(n[0], n[5]).unwrap()
     }
 
@@ -113,7 +132,10 @@ mod tests {
                 .map(|(_, p)| p)
                 .sum();
             let dp = eval_sfa(&q.dfa, &sfa);
-            assert!((dp - brute).abs() < 1e-12, "pattern {pattern:?}: dp={dp} brute={brute}");
+            assert!(
+                (dp - brute).abs() < 1e-12,
+                "pattern {pattern:?}: dp={dp} brute={brute}"
+            );
         }
     }
 
@@ -135,8 +157,7 @@ mod tests {
     #[test]
     fn eval_strings_sums_disjoint_events() {
         let q = Query::keyword("Ford").unwrap();
-        let strings =
-            vec![("a Ford here", 0.25), ("no match", 0.5), ("Ford Ford", 0.1)];
+        let strings = [("a Ford here", 0.25), ("no match", 0.5), ("Ford Ford", 0.1)];
         let p = eval_strings(&q.dfa, strings.iter().map(|(s, p)| (*s, *p)));
         assert!((p - 0.35).abs() < 1e-12);
     }
@@ -147,8 +168,16 @@ mod tests {
         // matches may straddle a chunk boundary.
         let mut b = SfaBuilder::new();
         let n: Vec<_> = (0..3).map(|_| b.add_node()).collect();
-        b.add_edge(n[0], n[1], vec![Emission::new("my Fo", 0.6), Emission::new("my F0", 0.4)]);
-        b.add_edge(n[1], n[2], vec![Emission::new("rd car", 0.7), Emission::new("rd  ar", 0.3)]);
+        b.add_edge(
+            n[0],
+            n[1],
+            vec![Emission::new("my Fo", 0.6), Emission::new("my F0", 0.4)],
+        );
+        b.add_edge(
+            n[1],
+            n[2],
+            vec![Emission::new("rd car", 0.7), Emission::new("rd  ar", 0.3)],
+        );
         let sfa = b.build(n[0], n[2]).unwrap();
         let q = Query::keyword("Ford").unwrap();
         // P(contains 'Ford') = P("my Fo") · 1.0 (both right chunks complete it).
@@ -169,7 +198,10 @@ mod tests {
         let mut sfa = figure1();
         let full = eval_sfa(&Query::keyword("Ford").unwrap().dfa, &sfa);
         // Remove the 'o' emission: 'Ford' becomes impossible.
-        sfa.edge_mut(1).unwrap().emissions.retain(|e| e.label != "o");
+        sfa.edge_mut(1)
+            .unwrap()
+            .emissions
+            .retain(|e| e.label != "o");
         let pruned = eval_sfa(&Query::keyword("Ford").unwrap().dfa, &sfa);
         assert!(full > 0.0 && pruned == 0.0);
     }

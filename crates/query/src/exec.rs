@@ -1,16 +1,34 @@
-//! Filescan executors for the four access methods and top-NumAns ranking.
+//! Streaming filescan executors for the four access methods and bounded
+//! top-NumAns ranking.
 //!
-//! All four return a *probabilistic relation*: `(DataKey, probability)`
+//! All four produce a *probabilistic relation*: `(DataKey, probability)`
 //! rows ranked by probability, truncated to `NumAns` (the paper sets 100,
 //! "greater than the number of answers in the ground truth"). A line is
 //! an answer iff its match probability is positive; FullSFA's noise floor
 //! makes almost every line weakly positive, which is exactly why its
 //! precision collapses while recall is perfect (§5.1).
+//!
+//! Execution is pull-based: each executor consumes a row cursor from
+//! [`OcrStore`] one line at a time and feeds a bounded [`TopK`] heap, so
+//! memory stays `O(NumAns + one line)` regardless of corpus size. The
+//! parallel SFA executor keeps the scan sequential (one buffer pool) and
+//! fans the CPU-heavy blob decode + DFA evaluation out to worker threads
+//! over a bounded channel (§5.4: the per-line probability computations
+//! are independent, so the scan partitions trivially).
+//!
+//! These executors are plumbing; the public entry point is
+//! [`Staccato::execute`](crate::session::Staccato::execute) with a
+//! [`QueryRequest`](crate::plan::QueryRequest).
 
 use crate::error::QueryError;
 use crate::eval::{eval_sfa, eval_strings};
+use crate::plan::ExecStats;
 use crate::query::Query;
 use crate::store::OcrStore;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 /// Which representation a query runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,7 +56,12 @@ impl Approach {
 
     /// All four, in the paper's column order.
     pub fn all() -> [Approach; 4] {
-        [Approach::Map, Approach::KMap, Approach::FullSfa, Approach::Staccato]
+        [
+            Approach::Map,
+            Approach::KMap,
+            Approach::FullSfa,
+            Approach::Staccato,
+        ]
     }
 }
 
@@ -51,28 +74,242 @@ pub struct Answer {
     pub probability: f64,
 }
 
+/// `Answer` with the ranking order: higher probability first, ties broken
+/// by smaller DataKey. `Ord` is total because probabilities are clamped
+/// finite by construction (NaN compares as equal, keeping the heap sane).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RankedAnswer(Answer);
+
+impl Eq for RankedAnswer {}
+
+impl Ord for RankedAnswer {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // "greater" = better = higher probability, then smaller key.
+        self.0
+            .probability
+            .partial_cmp(&other.0.probability)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.0.data_key.cmp(&self.0.data_key))
+    }
+}
+
+impl PartialOrd for RankedAnswer {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded top-k accumulator: a min-heap of the best `k` answers seen so
+/// far. `push` is `O(log k)`; a full filescan ranks in `O(n log k)`
+/// instead of the full `O(n log n)` sort the first revision paid.
+#[derive(Debug)]
+pub struct TopK {
+    cap: usize,
+    heap: BinaryHeap<std::cmp::Reverse<RankedAnswer>>,
+}
+
+impl TopK {
+    /// Keep the best `cap` answers.
+    pub fn new(cap: usize) -> TopK {
+        TopK {
+            cap,
+            heap: BinaryHeap::with_capacity(cap.min(4096).saturating_add(1)),
+        }
+    }
+
+    /// Offer one answer. Non-positive probabilities are not answers.
+    pub fn push(&mut self, answer: Answer) {
+        if answer.probability <= 0.0 || self.cap == 0 {
+            return;
+        }
+        let entry = std::cmp::Reverse(RankedAnswer(answer));
+        if self.heap.len() < self.cap {
+            self.heap.push(entry);
+        } else if let Some(worst) = self.heap.peek() {
+            if entry.0 > worst.0 {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// Answers currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the accumulator empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Finish: answers in rank order (probability descending, DataKey
+    /// ascending on ties).
+    pub fn into_ranked(self) -> Vec<Answer> {
+        let mut out: Vec<RankedAnswer> = self.heap.into_iter().map(|r| r.0).collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out.into_iter().map(|r| r.0).collect()
+    }
+}
+
 /// Rank candidate answers: positive probability only, descending, ties by
-/// DataKey, truncated to `num_ans`.
-pub fn rank_answers(mut answers: Vec<Answer>, num_ans: usize) -> Vec<Answer> {
-    answers.retain(|a| a.probability > 0.0);
-    answers.sort_by(|a, b| {
-        b.probability
-            .partial_cmp(&a.probability)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.data_key.cmp(&b.data_key))
-    });
-    answers.truncate(num_ans);
-    answers
+/// DataKey, truncated to `num_ans`. Heap-bounded: `O(n log num_ans)`.
+pub fn rank_answers(answers: Vec<Answer>, num_ans: usize) -> Vec<Answer> {
+    let mut topk = TopK::new(num_ans);
+    for a in answers {
+        topk.push(a);
+    }
+    topk.into_ranked()
+}
+
+/// Streaming filescan over `approach`, evaluating lines on up to
+/// `parallelism` workers, counting into `stats`.
+pub(crate) fn exec_filescan(
+    store: &OcrStore,
+    approach: Approach,
+    query: &Query,
+    num_ans: usize,
+    parallelism: usize,
+    stats: &mut ExecStats,
+) -> Result<Vec<Answer>, QueryError> {
+    let mut topk = TopK::new(num_ans);
+    match approach {
+        Approach::Map => {
+            for item in store.map_cursor()? {
+                let (key, s, p) = item?;
+                stats.rows_scanned += 1;
+                stats.lines_evaluated += 1;
+                topk.push(Answer {
+                    data_key: key,
+                    probability: eval_strings(&query.dfa, std::iter::once((s.as_str(), p))),
+                });
+            }
+        }
+        Approach::KMap => {
+            for item in store.kmap_cursor()? {
+                let (key, strings) = item?;
+                stats.rows_scanned += strings.len() as u64;
+                stats.lines_evaluated += 1;
+                topk.push(Answer {
+                    data_key: key,
+                    probability: eval_strings(
+                        &query.dfa,
+                        strings.iter().map(|(s, p)| (s.as_str(), *p)),
+                    ),
+                });
+            }
+        }
+        Approach::FullSfa | Approach::Staccato => {
+            let cursor = match approach {
+                Approach::FullSfa => store.full_sfa_blobs()?,
+                _ => store.staccato_blobs()?,
+            };
+            if parallelism <= 1 {
+                for item in cursor {
+                    let (key, blob) = item?;
+                    stats.rows_scanned += 1;
+                    stats.lines_evaluated += 1;
+                    let sfa = staccato_sfa::codec::decode(&blob)?;
+                    topk.push(Answer {
+                        data_key: key,
+                        probability: eval_sfa(&query.dfa, &sfa),
+                    });
+                }
+            } else {
+                parallel_sfa_scan(cursor, query, parallelism, stats, &mut topk)?;
+            }
+        }
+    }
+    Ok(topk.into_ranked())
+}
+
+/// Fan blob decode + evaluation out to workers while this thread drives
+/// the (sequential) heap scan and folds answers into the heap.
+fn parallel_sfa_scan(
+    cursor: crate::store::BlobCursor<'_>,
+    query: &Query,
+    parallelism: usize,
+    stats: &mut ExecStats,
+    topk: &mut TopK,
+) -> Result<(), QueryError> {
+    std::thread::scope(|scope| -> Result<(), QueryError> {
+        // Bounded work queue: the scan stays ahead of the workers without
+        // ever materializing more than a window of blobs.
+        let (work_tx, work_rx) = mpsc::sync_channel::<(i64, Vec<u8>)>(parallelism * 4);
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let (ans_tx, ans_rx) = mpsc::channel::<Result<Answer, QueryError>>();
+        for _ in 0..parallelism {
+            let work_rx = Arc::clone(&work_rx);
+            let ans_tx = ans_tx.clone();
+            scope.spawn(move || loop {
+                let next = work_rx.lock().expect("queue lock").recv();
+                let Ok((key, blob)) = next else { break };
+                let result = staccato_sfa::codec::decode(&blob)
+                    .map(|sfa| Answer {
+                        data_key: key,
+                        probability: eval_sfa(&query.dfa, &sfa),
+                    })
+                    .map_err(QueryError::from);
+                if ans_tx.send(result).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(ans_tx);
+
+        fn fold(
+            result: Result<Answer, QueryError>,
+            stats: &mut ExecStats,
+            topk: &mut TopK,
+            eval_error: &mut Option<QueryError>,
+        ) {
+            match result {
+                Ok(answer) => {
+                    stats.lines_evaluated += 1;
+                    topk.push(answer);
+                }
+                Err(e) => *eval_error = Some(e),
+            }
+        }
+        let mut scan_error = None;
+        let mut eval_error = None;
+        for item in cursor {
+            match item {
+                Ok((key, blob)) => {
+                    stats.rows_scanned += 1;
+                    if work_tx.send((key, blob)).is_err() {
+                        break; // all workers gone (only on panic)
+                    }
+                    // Drain whatever the workers have finished so the
+                    // answer channel stays O(workers), not O(corpus).
+                    while let Ok(result) = ans_rx.try_recv() {
+                        fold(result, stats, topk, &mut eval_error);
+                    }
+                }
+                Err(e) => {
+                    scan_error = Some(e);
+                    break;
+                }
+            }
+        }
+        drop(work_tx);
+
+        for result in ans_rx {
+            fold(result, stats, topk, &mut eval_error);
+        }
+        match (scan_error, eval_error) {
+            (Some(e), _) | (None, Some(e)) => Err(e),
+            (None, None) => Ok(()),
+        }
+    })
 }
 
 /// Run `query` over the chosen representation with a full filescan,
 /// evaluating lines on `threads` worker threads.
-///
-/// §5.4 of the paper: "One can speedup query answering in all of the
-/// approaches by partitioning the dataset across multiple machines" — the
-/// probability computations are independent per line, so the scan
-/// partitions trivially. The scan itself stays sequential (one buffer
-/// pool); only the CPU-heavy decode + DFA evaluation fans out.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Staccato::execute` with `QueryRequest::...parallelism(n)` instead"
+)]
 pub fn filescan_query_parallel(
     store: &OcrStore,
     approach: Approach,
@@ -80,85 +317,23 @@ pub fn filescan_query_parallel(
     num_ans: usize,
     threads: usize,
 ) -> Result<Vec<Answer>, QueryError> {
-    let threads = threads.max(1);
-    if threads == 1 {
-        return filescan_query(store, approach, query, num_ans);
-    }
-    match approach {
-        // String representations are cheap to evaluate; the scan
-        // dominates, so parallelism buys nothing — run sequentially.
-        Approach::Map | Approach::KMap => filescan_query(store, approach, query, num_ans),
-        Approach::FullSfa | Approach::Staccato => {
-            let rows = match approach {
-                Approach::FullSfa => store.scan_full_sfa()?,
-                _ => store.scan_staccato()?,
-            };
-            let chunk = rows.len().div_ceil(threads).max(1);
-            let mut answers: Vec<Answer> = Vec::with_capacity(rows.len());
-            let results: Vec<Vec<Answer>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = rows
-                    .chunks(chunk)
-                    .map(|slice| {
-                        scope.spawn(move || {
-                            slice
-                                .iter()
-                                .map(|(key, sfa)| Answer {
-                                    data_key: *key,
-                                    probability: eval_sfa(&query.dfa, sfa),
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            });
-            for r in results {
-                answers.extend(r);
-            }
-            Ok(rank_answers(answers, num_ans))
-        }
-    }
+    let mut stats = ExecStats::default();
+    exec_filescan(store, approach, query, num_ans, threads.max(1), &mut stats)
 }
 
 /// Run `query` over the chosen representation with a full filescan.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Staccato::execute` with a `QueryRequest` instead"
+)]
 pub fn filescan_query(
     store: &OcrStore,
     approach: Approach,
     query: &Query,
     num_ans: usize,
 ) -> Result<Vec<Answer>, QueryError> {
-    let candidates: Vec<Answer> = match approach {
-        Approach::Map => store
-            .scan_map()?
-            .into_iter()
-            .map(|(key, s, p)| Answer {
-                data_key: key,
-                probability: eval_strings(&query.dfa, std::iter::once((s.as_str(), p))),
-            })
-            .collect(),
-        Approach::KMap => store
-            .scan_kmap()?
-            .into_iter()
-            .map(|(key, strings)| Answer {
-                data_key: key,
-                probability: eval_strings(
-                    &query.dfa,
-                    strings.iter().map(|(s, p)| (s.as_str(), *p)),
-                ),
-            })
-            .collect(),
-        Approach::FullSfa => store
-            .scan_full_sfa()?
-            .into_iter()
-            .map(|(key, sfa)| Answer { data_key: key, probability: eval_sfa(&query.dfa, &sfa) })
-            .collect(),
-        Approach::Staccato => store
-            .scan_staccato()?
-            .into_iter()
-            .map(|(key, sfa)| Answer { data_key: key, probability: eval_sfa(&query.dfa, &sfa) })
-            .collect(),
-    };
-    Ok(rank_answers(candidates, num_ans))
+    let mut stats = ExecStats::default();
+    exec_filescan(store, approach, query, num_ans, 1, &mut stats)
 }
 
 #[cfg(test)]
@@ -181,18 +356,62 @@ mod tests {
         (OcrStore::load(db, &dataset, &opts).unwrap(), dataset)
     }
 
+    fn run(store: &OcrStore, approach: Approach, query: &Query, num_ans: usize) -> Vec<Answer> {
+        let mut stats = ExecStats::default();
+        exec_filescan(store, approach, query, num_ans, 1, &mut stats).unwrap()
+    }
+
     #[test]
     fn rank_answers_orders_and_truncates() {
         let raw = vec![
-            Answer { data_key: 1, probability: 0.2 },
-            Answer { data_key: 2, probability: 0.0 },
-            Answer { data_key: 3, probability: 0.9 },
-            Answer { data_key: 4, probability: 0.2 },
+            Answer {
+                data_key: 1,
+                probability: 0.2,
+            },
+            Answer {
+                data_key: 2,
+                probability: 0.0,
+            },
+            Answer {
+                data_key: 3,
+                probability: 0.9,
+            },
+            Answer {
+                data_key: 4,
+                probability: 0.2,
+            },
         ];
         let ranked = rank_answers(raw, 2);
         assert_eq!(ranked.len(), 2);
         assert_eq!(ranked[0].data_key, 3);
         assert_eq!(ranked[1].data_key, 1); // tie with 4 broken by key
+    }
+
+    #[test]
+    fn topk_equals_full_sort_on_adversarial_ties() {
+        // Many duplicate probabilities so heap tie-breaks are exercised.
+        let answers: Vec<Answer> = (0..200)
+            .map(|i| Answer {
+                data_key: 199 - i,
+                probability: ((i % 7) as f64) / 7.0,
+            })
+            .collect();
+        for num_ans in [1usize, 3, 50, 200, 500] {
+            let mut sorted = answers.clone();
+            sorted.retain(|a| a.probability > 0.0);
+            sorted.sort_by(|a, b| {
+                b.probability
+                    .partial_cmp(&a.probability)
+                    .unwrap()
+                    .then(a.data_key.cmp(&b.data_key))
+            });
+            sorted.truncate(num_ans);
+            assert_eq!(
+                rank_answers(answers.clone(), num_ans),
+                sorted,
+                "num_ans={num_ans}"
+            );
+        }
     }
 
     #[test]
@@ -207,8 +426,8 @@ mod tests {
             .collect();
         assert!(!truth.is_empty(), "corpus must contain the term");
 
-        let map = filescan_query(&store, Approach::Map, &query, 100).unwrap();
-        let full = filescan_query(&store, Approach::FullSfa, &query, 100).unwrap();
+        let map = run(&store, Approach::Map, &query, 100);
+        let full = run(&store, Approach::FullSfa, &query, 100);
         let found = |answers: &[Answer], key: i64| answers.iter().any(|a| a.data_key == key);
         // FullSFA must find every true line (the truth always survives in
         // the full model).
@@ -228,17 +447,26 @@ mod tests {
         let (store, _) = store_with(15, 23);
         let query = Query::keyword("data").unwrap();
         let by_key = |answers: Vec<Answer>| -> std::collections::HashMap<i64, f64> {
-            answers.into_iter().map(|a| (a.data_key, a.probability)).collect()
+            answers
+                .into_iter()
+                .map(|a| (a.data_key, a.probability))
+                .collect()
         };
-        let map = by_key(filescan_query(&store, Approach::Map, &query, 1000).unwrap());
-        let kmap = by_key(filescan_query(&store, Approach::KMap, &query, 1000).unwrap());
-        let stac = by_key(filescan_query(&store, Approach::Staccato, &query, 1000).unwrap());
-        let full = by_key(filescan_query(&store, Approach::FullSfa, &query, 1000).unwrap());
+        let map = by_key(run(&store, Approach::Map, &query, 1000));
+        let kmap = by_key(run(&store, Approach::KMap, &query, 1000));
+        let stac = by_key(run(&store, Approach::Staccato, &query, 1000));
+        let full = by_key(run(&store, Approach::FullSfa, &query, 1000));
         for (key, p) in &map {
-            assert!(kmap.get(key).copied().unwrap_or(0.0) >= p - 1e-9, "kMAP < MAP at {key}");
+            assert!(
+                kmap.get(key).copied().unwrap_or(0.0) >= p - 1e-9,
+                "kMAP < MAP at {key}"
+            );
         }
         for (key, p) in &stac {
-            assert!(full.get(key).copied().unwrap_or(0.0) >= p - 1e-9, "Full < Stac at {key}");
+            assert!(
+                full.get(key).copied().unwrap_or(0.0) >= p - 1e-9,
+                "Full < Stac at {key}"
+            );
         }
     }
 
@@ -247,7 +475,7 @@ mod tests {
         let (store, _) = store_with(30, 7);
         // 'a' appears nearly everywhere → FullSFA matches nearly all lines.
         let query = Query::keyword("a").unwrap();
-        let full = filescan_query(&store, Approach::FullSfa, &query, 5).unwrap();
+        let full = run(&store, Approach::FullSfa, &query, 5);
         assert_eq!(full.len(), 5);
         for w in full.windows(2) {
             assert!(w[0].probability >= w[1].probability);
@@ -266,14 +494,45 @@ mod tests {
         for pattern in ["database", r"Sec(\x)*\d"] {
             let query = Query::regex(pattern).unwrap();
             for ap in Approach::all() {
-                let seq = filescan_query(&store, ap, &query, 1000).unwrap();
-                let par = filescan_query_parallel(&store, ap, &query, 1000, 4).unwrap();
+                let mut seq_stats = ExecStats::default();
+                let seq = exec_filescan(&store, ap, &query, 1000, 1, &mut seq_stats).unwrap();
+                let mut par_stats = ExecStats::default();
+                let par = exec_filescan(&store, ap, &query, 1000, 4, &mut par_stats).unwrap();
                 assert_eq!(seq.len(), par.len(), "{} {pattern}", ap.name());
                 for (a, b) in seq.iter().zip(&par) {
                     assert_eq!(a.data_key, b.data_key);
                     assert!((a.probability - b.probability).abs() < 1e-12);
                 }
+                assert_eq!(seq_stats.rows_scanned, par_stats.rows_scanned);
+                assert_eq!(seq_stats.lines_evaluated, par_stats.lines_evaluated);
             }
         }
+    }
+
+    #[test]
+    fn filescan_stats_count_rows_and_lines() {
+        let (store, _) = store_with(12, 3);
+        let query = Query::keyword("data").unwrap();
+        let mut stats = ExecStats::default();
+        exec_filescan(&store, Approach::Staccato, &query, 100, 1, &mut stats).unwrap();
+        assert_eq!(stats.rows_scanned, 12);
+        assert_eq!(stats.lines_evaluated, 12);
+        assert_eq!(stats.postings_probed, 0);
+        // k-MAP scans k rows per line but still evaluates one line each.
+        let mut stats = ExecStats::default();
+        exec_filescan(&store, Approach::KMap, &query, 100, 1, &mut stats).unwrap();
+        assert_eq!(stats.lines_evaluated, 12);
+        assert!(stats.rows_scanned > 12, "k-MAP reads k rows per line");
+    }
+
+    #[test]
+    fn deprecated_shims_still_answer() {
+        let (store, _) = store_with(10, 5);
+        let query = Query::keyword("data").unwrap();
+        #[allow(deprecated)]
+        let a = filescan_query(&store, Approach::Map, &query, 10).unwrap();
+        #[allow(deprecated)]
+        let b = filescan_query_parallel(&store, Approach::Map, &query, 10, 4).unwrap();
+        assert_eq!(a, b);
     }
 }

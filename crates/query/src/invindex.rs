@@ -19,7 +19,8 @@
 //! "Projection").
 
 use crate::error::QueryError;
-use crate::exec::{rank_answers, Answer};
+use crate::exec::{Answer, TopK};
+use crate::plan::ExecStats;
 use crate::query::Query;
 use crate::store::OcrStore;
 use staccato_automata::{TermId, Trie};
@@ -44,7 +45,11 @@ impl Posting {
     }
 
     fn unpack(v: u64) -> Posting {
-        Posting { edge: (v >> 32) as u32, path: (v >> 16) as u16, offset: v as u16 }
+        Posting {
+            edge: (v >> 32) as u32,
+            path: (v >> 16) as u16,
+            offset: v as u16,
+        }
     }
 }
 
@@ -54,6 +59,18 @@ pub struct InvertedIndex {
     dict: BTree,
     /// Number of postings inserted (Figure 19/20's index size).
     pub posting_count: u64,
+}
+
+impl InvertedIndex {
+    /// Is `term` in the index dictionary? (The planner's legality check:
+    /// distinguishes "no matches" from "term not indexed".)
+    pub fn contains_term(
+        &self,
+        pool: &staccato_storage::BufferPool,
+        term: &str,
+    ) -> Result<bool, QueryError> {
+        Ok(self.dict.get(pool, term.as_bytes())?.is_some())
+    }
 }
 
 /// Algorithm 3–4: all dictionary-term start locations in one chunk graph.
@@ -91,7 +108,11 @@ pub fn line_postings(trie: &Trie, sfa: &Sfa) -> Vec<(TermId, Posting)> {
                         if let Some(term) = trie.terminal(nxt) {
                             found.insert((
                                 term,
-                                Posting { edge: eid, path: path_idx as u16, offset: start },
+                                Posting {
+                                    edge: eid,
+                                    path: path_idx as u16,
+                                    offset: start,
+                                },
                             ));
                         }
                         survivors.push((nxt, start));
@@ -102,7 +123,11 @@ pub fn line_postings(trie: &Trie, sfa: &Sfa) -> Vec<(TermId, Posting)> {
                     if let Some(term) = trie.terminal(nxt) {
                         found.insert((
                             term,
-                            Posting { edge: eid, path: path_idx as u16, offset: j as u16 },
+                            Posting {
+                                edge: eid,
+                                path: path_idx as u16,
+                                offset: j as u16,
+                            },
                         ));
                     }
                     survivors.push((nxt, j as u16));
@@ -110,8 +135,14 @@ pub fn line_postings(trie: &Trie, sfa: &Sfa) -> Vec<(TermId, Posting)> {
                 live = survivors;
             }
             for (st, start) in live {
-                outgoing
-                    .push((st, Posting { edge: eid, path: path_idx as u16, offset: start }));
+                outgoing.push((
+                    st,
+                    Posting {
+                        edge: eid,
+                        path: path_idx as u16,
+                        offset: start,
+                    },
+                ));
             }
             // Continue incoming augmented walks through this string
             // (Algorithm 4's second loop).
@@ -150,11 +181,7 @@ pub fn line_postings(trie: &Trie, sfa: &Sfa) -> Vec<(TermId, Posting)> {
 /// Creates two B+-trees in the store's database: `<name>_postings` and
 /// `<name>_dict` (dictionary membership, so probes can tell "no matches"
 /// apart from "term not indexed").
-pub fn build_index(
-    store: &OcrStore,
-    trie: &Trie,
-    name: &str,
-) -> Result<InvertedIndex, QueryError> {
+pub fn build_index(store: &OcrStore, trie: &Trie, name: &str) -> Result<InvertedIndex, QueryError> {
     let postings = store.create_index(&format!("{name}_postings"))?;
     let dict = store.create_index(&format!("{name}_dict"))?;
     let pool = store.db().pool();
@@ -162,7 +189,8 @@ pub fn build_index(
         dict.insert(pool, trie.term(tid).as_bytes(), 1)?;
     }
     let mut posting_count = 0u64;
-    for (key, graph) in store.scan_staccato()? {
+    for item in store.staccato_cursor()? {
+        let (key, graph) = item?;
         let mut seq_per_term: HashMap<TermId, u32> = HashMap::new();
         for (term, posting) in line_postings(trie, &graph) {
             let seq = seq_per_term.entry(term).or_insert(0);
@@ -176,7 +204,11 @@ pub fn build_index(
             posting_count += 1;
         }
     }
-    Ok(InvertedIndex { postings, dict, posting_count })
+    Ok(InvertedIndex {
+        postings,
+        dict,
+        posting_count,
+    })
 }
 
 /// All postings for `term`, grouped by line.
@@ -190,8 +222,9 @@ pub fn probe_term(
     let pool = store.db().pool();
     let mut grouped: Vec<(i64, Vec<Posting>)> = Vec::new();
     for (k, v) in index.postings.scan_prefix(pool, &prefix)? {
-        let key_bytes: [u8; 8] =
-            k[prefix.len()..prefix.len() + 8].try_into().expect("posting key layout");
+        let key_bytes: [u8; 8] = k[prefix.len()..prefix.len() + 8]
+            .try_into()
+            .expect("posting key layout");
         let data_key = i64::from_be_bytes(key_bytes);
         let posting = Posting::unpack(v);
         match grouped.last_mut() {
@@ -217,8 +250,8 @@ pub fn project_eval(sfa: &Sfa, query: &Query, from: NodeId, depth: usize) -> f64
         }
         for &eid in sfa.out_edges(v) {
             let to = sfa.edge(eid).expect("live").to;
-            if !dist.contains_key(&to) {
-                dist.insert(to, d + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(to) {
+                e.insert(d + 1);
                 frontier.push(to);
             }
         }
@@ -237,7 +270,9 @@ pub fn project_eval(sfa: &Sfa, query: &Query, from: NodeId, depth: usize) -> f64
         if !dist.contains_key(&v) {
             continue;
         }
-        let Some(src) = vectors.remove(&v) else { continue };
+        let Some(src) = vectors.remove(&v) else {
+            continue;
+        };
         for &eid in sfa.out_edges(v) {
             let edge = sfa.edge(eid).expect("live");
             if !dist.contains_key(&edge.to) {
@@ -256,8 +291,7 @@ pub fn project_eval(sfa: &Sfa, query: &Query, from: NodeId, depth: usize) -> f64
                     if dfa.is_accept(s2) {
                         matched += add;
                     } else {
-                        vectors.entry(edge.to).or_insert_with(|| vec![0.0; q])[s2 as usize] +=
-                            add;
+                        vectors.entry(edge.to).or_insert_with(|| vec![0.0; q])[s2 as usize] += add;
                     }
                 }
             }
@@ -268,30 +302,41 @@ pub fn project_eval(sfa: &Sfa, query: &Query, from: NodeId, depth: usize) -> f64
 
 /// Index-assisted execution of a left-anchored query (§5.3's protocol):
 /// look up the anchor, fetch candidate lines point-wise, evaluate on the
-/// projection, rank. The returned *answer set* equals a Staccato filescan
-/// for anchored patterns; probabilities are the projection's
-/// (over)estimate conditioned on the match starting at a posted location.
-pub fn indexed_query(
+/// projection, rank, counting work into `stats`. The returned *answer
+/// set* equals a Staccato filescan for anchored patterns; probabilities
+/// are the projection's (over)estimate conditioned on the match starting
+/// at a posted location.
+pub(crate) fn exec_index_probe(
     store: &OcrStore,
     index: &InvertedIndex,
     query: &Query,
     num_ans: usize,
+    stats: &mut ExecStats,
 ) -> Result<Vec<Answer>, QueryError> {
     let anchor = query
         .anchor
         .clone()
         .ok_or_else(|| QueryError::NotAnchored(query.pattern.clone()))?;
-    if index.dict.get(store.db().pool(), anchor.as_bytes())?.is_none() {
+    if index
+        .dict
+        .get(store.db().pool(), anchor.as_bytes())?
+        .is_none()
+    {
         return Err(QueryError::TermNotInDictionary(anchor));
     }
     let depth = query.max_span().unwrap_or(usize::MAX);
-    let mut answers = Vec::new();
+    let mut topk = TopK::new(num_ans);
     for (data_key, posts) in probe_term(store, index, &anchor)? {
+        stats.postings_probed += posts.len() as u64;
         let graph = store.get_staccato_graph(data_key)?;
+        stats.rows_scanned += 1;
+        stats.lines_evaluated += 1;
         let mut best = 0.0f64;
         let mut seen_nodes: HashSet<NodeId> = HashSet::new();
         for p in posts {
-            let Some(edge) = graph.edge(p.edge) else { continue };
+            let Some(edge) = graph.edge(p.edge) else {
+                continue;
+            };
             // Distinct start nodes only; several postings on one edge
             // evaluate identically from its source.
             if !seen_nodes.insert(edge.from) {
@@ -300,11 +345,27 @@ pub fn indexed_query(
             let score = project_eval(&graph, query, edge.from, depth.saturating_add(1));
             best = best.max(score);
         }
-        if best > 0.0 {
-            answers.push(Answer { data_key, probability: best });
-        }
+        topk.push(Answer {
+            data_key,
+            probability: best,
+        });
     }
-    Ok(rank_answers(answers, num_ans))
+    Ok(topk.into_ranked())
+}
+
+/// Index-assisted execution of a left-anchored query.
+#[deprecated(
+    since = "0.2.0",
+    note = "register the index on a `Staccato` session and use `execute` instead"
+)]
+pub fn indexed_query(
+    store: &OcrStore,
+    index: &InvertedIndex,
+    query: &Query,
+    num_ans: usize,
+) -> Result<Vec<Answer>, QueryError> {
+    let mut stats = ExecStats::default();
+    exec_index_probe(store, index, query, num_ans, &mut stats)
 }
 
 /// Figure 5's counter: how many postings *direct* indexing of one chunk
@@ -343,7 +404,8 @@ pub fn direct_posting_count_log10(sfa: &Sfa) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::{filescan_query, Approach};
+    use crate::plan::{PlanPreference, QueryRequest};
+    use crate::session::Staccato;
     use crate::store::{LoadOptions, OcrStore};
     use staccato_core::StaccatoParams;
     use staccato_ocr::{generate, ChannelConfig, CorpusKind};
@@ -355,8 +417,16 @@ mod tests {
     fn straddle_graph() -> Sfa {
         let mut b = SfaBuilder::new();
         let n: Vec<_> = (0..3).map(|_| b.add_node()).collect();
-        b.add_edge(n[0], n[1], vec![Emission::new("my Fo", 0.6), Emission::new("my F0", 0.4)]);
-        b.add_edge(n[1], n[2], vec![Emission::new("rd car", 0.7), Emission::new("rd  ar", 0.3)]);
+        b.add_edge(
+            n[0],
+            n[1],
+            vec![Emission::new("my Fo", 0.6), Emission::new("my F0", 0.4)],
+        );
+        b.add_edge(
+            n[1],
+            n[2],
+            vec![Emission::new("rd car", 0.7), Emission::new("rd  ar", 0.3)],
+        );
         b.build(n[0], n[2]).unwrap()
     }
 
@@ -369,10 +439,17 @@ mod tests {
         assert!(terms.contains(&"car"));
         // 'my' starts at edge 0 offset 0 on both paths.
         let my_id = trie.lookup("my").unwrap();
-        let my_posts: Vec<&Posting> =
-            posts.iter().filter(|(t, _)| *t == my_id).map(|(_, p)| p).collect();
-        assert!(my_posts.iter().any(|p| p.edge == 0 && p.offset == 0 && p.path == 0));
-        assert!(my_posts.iter().any(|p| p.edge == 0 && p.offset == 0 && p.path == 1));
+        let my_posts: Vec<&Posting> = posts
+            .iter()
+            .filter(|(t, _)| *t == my_id)
+            .map(|(_, p)| p)
+            .collect();
+        assert!(my_posts
+            .iter()
+            .any(|p| p.edge == 0 && p.offset == 0 && p.path == 0));
+        assert!(my_posts
+            .iter()
+            .any(|p| p.edge == 0 && p.offset == 0 && p.path == 1));
     }
 
     #[test]
@@ -442,26 +519,32 @@ mod tests {
 
     #[test]
     fn indexed_query_matches_filescan_answer_set() {
-        let store = anchored_store();
+        let mut session = Staccato::open(anchored_store());
         let trie = Trie::build(["public", "president", "commission"]);
-        let index = build_index(&store, &trie, "inv").unwrap();
-        assert!(index.posting_count > 0);
+        let postings = session.register_index(&trie, "inv").unwrap();
+        assert!(postings > 0);
 
         for pattern in ["President", r"Public Law (8|9)\d"] {
-            let query = Query::regex(pattern).unwrap();
-            let via_scan: std::collections::BTreeSet<i64> =
-                filescan_query(&store, Approach::Staccato, &query, 1000)
-                    .unwrap()
-                    .into_iter()
-                    .map(|a| a.data_key)
-                    .collect();
-            let via_index: std::collections::BTreeSet<i64> =
-                indexed_query(&store, &index, &query, 1000)
-                    .unwrap()
-                    .into_iter()
-                    .map(|a| a.data_key)
-                    .collect();
-            assert_eq!(via_scan, via_index, "answer sets differ for {pattern:?}");
+            let probe = session
+                .execute(&QueryRequest::regex(pattern).num_ans(1000))
+                .unwrap();
+            assert!(probe.plan.is_index_probe(), "{pattern:?} should auto-probe");
+            let scan = session
+                .execute(
+                    &QueryRequest::regex(pattern)
+                        .num_ans(1000)
+                        .plan_preference(PlanPreference::ForceFileScan),
+                )
+                .unwrap();
+            assert!(!scan.plan.is_index_probe());
+            let keys = |answers: &[Answer]| -> std::collections::BTreeSet<i64> {
+                answers.iter().map(|a| a.data_key).collect()
+            };
+            assert_eq!(
+                keys(&scan.answers),
+                keys(&probe.answers),
+                "answer sets differ for {pattern:?}"
+            );
         }
     }
 
@@ -471,8 +554,9 @@ mod tests {
         let trie = Trie::build(["public"]);
         let index = build_index(&store, &trie, "inv2").unwrap();
         let query = Query::regex(r"\d\d\d").unwrap();
+        let mut stats = ExecStats::default();
         assert!(matches!(
-            indexed_query(&store, &index, &query, 10),
+            exec_index_probe(&store, &index, &query, 10, &mut stats),
             Err(QueryError::NotAnchored(_))
         ));
     }
@@ -482,16 +566,23 @@ mod tests {
         let store = anchored_store();
         let trie = Trie::build(["public"]);
         let index = build_index(&store, &trie, "inv3").unwrap();
+        assert!(index.contains_term(store.db().pool(), "public").unwrap());
+        assert!(!index.contains_term(store.db().pool(), "president").unwrap());
         let query = Query::keyword("President").unwrap();
+        let mut stats = ExecStats::default();
         assert!(matches!(
-            indexed_query(&store, &index, &query, 10),
+            exec_index_probe(&store, &index, &query, 10, &mut stats),
             Err(QueryError::TermNotInDictionary(_))
         ));
     }
 
     #[test]
     fn posting_pack_roundtrip() {
-        let p = Posting { edge: 123_456, path: 42, offset: 999 };
+        let p = Posting {
+            edge: 123_456,
+            path: 42,
+            offset: 999,
+        };
         assert_eq!(Posting::unpack(p.pack()), p);
     }
 }

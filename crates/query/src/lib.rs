@@ -4,22 +4,59 @@
 //! layer that makes `SELECT … WHERE DocData LIKE '%Ford%'` work when
 //! `DocData` is a distribution over strings.
 //!
-//! * [`query`] — the user-facing [`query::Query`]: a `LIKE` pattern or
+//! ## The session API
+//!
+//! All querying goes through a [`Staccato`] session. A session wraps a
+//! loaded [`OcrStore`], owns any registered §4 inverted indexes, and
+//! executes declarative [`QueryRequest`]s: the planner compiles each
+//! request into an explicit [`Plan`] — a (possibly parallel) streaming
+//! `FileScan`, or an `IndexProbe` chosen automatically when the pattern
+//! is left-anchored and a registered index covers the anchor — and every
+//! result carries the chosen plan and its [`ExecStats`]:
+//!
+//! ```ignore
+//! let mut session = Staccato::load(db, &dataset, &LoadOptions::default())?;
+//! session.register_index(&trie, "inv")?;
+//! let out = session.execute(
+//!     &QueryRequest::like("%Ford%")
+//!         .approach(Approach::Staccato)
+//!         .num_ans(100)
+//!         .parallelism(8),
+//! )?;
+//! println!("{}", session.explain(&QueryRequest::like("%Ford%"))?);
+//! ```
+//!
+//! Execution is streaming end to end: executors pull rows one line at a
+//! time from the store's cursors and rank through a bounded top-k heap,
+//! so query memory is `O(NumAns + one line)` regardless of corpus size.
+//!
+//! ## Modules
+//!
+//! * [`session`] — the [`Staccato`] session object and [`QueryOutput`];
+//! * [`plan`] — [`QueryRequest`], the [`Plan`] enum, the planner, and
+//!   [`ExecStats`];
+//! * [`query`] — the compiled [`query::Query`]: a `LIKE` pattern or
 //!   regex compiled to a containment DFA, with its left anchor and length
 //!   bounds for index use;
 //! * [`eval`] — probability computation: `Pr[q]` over an SFA via the
 //!   forward dynamic program of [Kimelfeld & Ré / Ré et al.], and over
 //!   string sets for MAP/k-MAP (each string is a disjoint event, §3);
-//! * [`store`] — the Table 5 schema: loading a corpus through the OCR
-//!   channel into MasterData / kMAPData / FullSFAData / StaccatoData /
-//!   StaccatoGraph / GroundTruth tables;
-//! * [`exec`] — filescan executors for the four access methods and
-//!   top-NumAns answer ranking;
+//! * [`store`] — the Table 5 schema and its streaming row cursors:
+//!   loading a corpus through the OCR channel into MasterData / kMAPData /
+//!   FullSFAData / StaccatoData / StaccatoGraph / GroundTruth tables;
+//! * [`exec`] — streaming filescan executors for the four access methods
+//!   and the bounded [`exec::TopK`] answer ranking;
 //! * [`metrics`] — ground truth and precision/recall/F1 (the paper's
 //!   quality measures);
+//! * [`agg`] — probabilistic aggregation (`E[COUNT]`, `E[SUM]`, the
+//!   Poisson–binomial count distribution) over answer relations;
 //! * [`invindex`] — §4's dictionary-based inverted index: construction
 //!   (Algorithms 3–4), the direct-indexing blow-up counter (Figure 5),
 //!   probing with left anchors, and BFS projection.
+//!
+//! The pre-session free functions (`filescan_query`,
+//! `filescan_query_parallel`, `indexed_query`) and the materializing
+//! `OcrStore::scan_*` methods remain as deprecated shims for one release.
 
 pub mod agg;
 pub mod error;
@@ -27,14 +64,23 @@ pub mod eval;
 pub mod exec;
 pub mod invindex;
 pub mod metrics;
+pub mod plan;
 pub mod query;
+pub mod session;
 pub mod store;
 
 pub use agg::{count_distribution, expected_count, expected_sum, threshold_probability};
 pub use error::QueryError;
 pub use eval::{eval_sfa, eval_strings};
-pub use exec::{filescan_query, filescan_query_parallel, Answer, Approach};
-pub use invindex::{build_index, direct_posting_count_log10, indexed_query, InvertedIndex};
+pub use exec::{Answer, Approach, TopK};
+pub use invindex::{build_index, direct_posting_count_log10, InvertedIndex};
 pub use metrics::{evaluate_answers, ground_truth, Metrics};
+pub use plan::{Dialect, ExecStats, Plan, PlanPreference, QueryRequest};
 pub use query::Query;
+pub use session::{QueryOutput, Staccato};
 pub use store::{LoadOptions, OcrStore, RepresentationSizes};
+
+#[allow(deprecated)]
+pub use exec::{filescan_query, filescan_query_parallel};
+#[allow(deprecated)]
+pub use invindex::indexed_query;

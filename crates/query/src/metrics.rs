@@ -34,7 +34,11 @@ pub fn ground_truth(store: &OcrStore, query: &Query) -> Result<BTreeSet<i64>, Qu
     Ok(store
         .ground_truth_lines()?
         .into_iter()
-        .filter(|(_, text)| query.dfa.is_accept(query.dfa.run_from(query.dfa.start(), text)))
+        .filter(|(_, text)| {
+            query
+                .dfa
+                .is_accept(query.dfa.run_from(query.dfa.start(), text))
+        })
         .map(|(key, _)| key)
         .collect())
 }
@@ -42,9 +46,15 @@ pub fn ground_truth(store: &OcrStore, query: &Query) -> Result<BTreeSet<i64>, Qu
 /// Compare ranked answers against ground truth.
 pub fn evaluate_answers(answers: &[Answer], truth: &BTreeSet<i64>) -> Metrics {
     let answered = answers.len();
-    let true_positives = answers.iter().filter(|a| truth.contains(&a.data_key)).count();
-    let precision =
-        if answered == 0 { 0.0 } else { true_positives as f64 / answered as f64 };
+    let true_positives = answers
+        .iter()
+        .filter(|a| truth.contains(&a.data_key))
+        .count();
+    let precision = if answered == 0 {
+        0.0
+    } else {
+        true_positives as f64 / answered as f64
+    };
     let recall = if truth.is_empty() {
         // With empty truth any answer is wrong; recall is vacuously 1.
         1.0
@@ -56,7 +66,14 @@ pub fn evaluate_answers(answers: &[Answer], truth: &BTreeSet<i64>) -> Metrics {
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    Metrics { precision, recall, f1, true_positives, answered, truth_size: truth.len() }
+    Metrics {
+        precision,
+        recall,
+        f1,
+        true_positives,
+        answered,
+        truth_size: truth.len(),
+    }
 }
 
 #[cfg(test)]
@@ -64,7 +81,12 @@ mod tests {
     use super::*;
 
     fn answers(keys: &[i64]) -> Vec<Answer> {
-        keys.iter().map(|&k| Answer { data_key: k, probability: 0.5 }).collect()
+        keys.iter()
+            .map(|&k| Answer {
+                data_key: k,
+                probability: 0.5,
+            })
+            .collect()
     }
 
     #[test]

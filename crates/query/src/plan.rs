@@ -1,0 +1,373 @@
+//! The query planner: [`QueryRequest`] in, [`Plan`] out.
+//!
+//! The paper's interface is SQL — the user writes one `LIKE`/regex
+//! predicate (Figure 1C) and the system decides how to run it; §4/§5.3
+//! stress that index-assisted execution is *transparent*. This module is
+//! that decision point for the reproduction: a request names the pattern,
+//! representation, and answer budget, and [`plan_request`] compiles it
+//! into an explicit access path —
+//!
+//! * [`Plan::FileScan`] — stream every line of the representation through
+//!   the containment DFA (optionally on several worker threads, §5.4);
+//! * [`Plan::IndexProbe`] — look the pattern's left anchor up in a
+//!   registered §4 inverted index, point-fetch the candidate lines, and
+//!   evaluate only their projections.
+//!
+//! The probe is chosen automatically when the representation is Staccato,
+//! the pattern is left-anchored (§2.1), and a registered index covers the
+//! anchor term; otherwise the planner falls back to a filescan. Forcing
+//! either path is supported for plan-quality experiments and tests.
+
+use crate::error::QueryError;
+use crate::exec::Approach;
+use crate::query::Query;
+use crate::session::Staccato;
+use std::time::Duration;
+
+/// Which pattern dialect a request carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dialect {
+    /// SQL `LIKE` (`%Ford%`): the pattern constrains the whole string.
+    Like,
+    /// The paper's regex dialect, containment semantics.
+    Regex,
+}
+
+/// Planner override.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PlanPreference {
+    /// Let the planner choose (index probe when legal, else filescan).
+    #[default]
+    Auto,
+    /// Always filescan, even when an index could serve the query.
+    ForceFileScan,
+    /// Require the index probe; planning errors if it is not legal.
+    ForceIndexProbe,
+}
+
+/// A declarative query: what to match, over which representation, with
+/// what answer budget. Built fluently, executed by
+/// [`Staccato::execute`](crate::session::Staccato::execute):
+///
+/// ```ignore
+/// let out = session.execute(
+///     &QueryRequest::like("%Ford%").approach(Approach::Staccato).num_ans(100).parallelism(8),
+/// )?;
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The pattern text.
+    pub pattern: String,
+    /// The pattern dialect.
+    pub dialect: Dialect,
+    /// The representation this request targets.
+    pub approach: Approach,
+    /// The answer budget.
+    pub num_ans: usize,
+    /// The requested filescan parallelism.
+    pub parallelism: usize,
+    /// The planner override.
+    pub preference: PlanPreference,
+}
+
+impl QueryRequest {
+    fn new(pattern: &str, dialect: Dialect) -> QueryRequest {
+        QueryRequest {
+            pattern: pattern.to_string(),
+            dialect,
+            approach: Approach::Staccato,
+            // The paper's NumAns default: 100, "greater than the number of
+            // answers in the ground truth".
+            num_ans: 100,
+            parallelism: 1,
+            preference: PlanPreference::Auto,
+        }
+    }
+
+    /// A SQL `LIKE` predicate (`%Ford%`).
+    pub fn like(pattern: &str) -> QueryRequest {
+        QueryRequest::new(pattern, Dialect::Like)
+    }
+
+    /// A regex in the paper's dialect, containment semantics.
+    pub fn regex(pattern: &str) -> QueryRequest {
+        QueryRequest::new(pattern, Dialect::Regex)
+    }
+
+    /// A keyword containment query (a regex with no metacharacters).
+    pub fn keyword(word: &str) -> QueryRequest {
+        QueryRequest::new(word, Dialect::Regex)
+    }
+
+    /// Choose the representation to query (default: Staccato).
+    pub fn approach(mut self, approach: Approach) -> QueryRequest {
+        self.approach = approach;
+        self
+    }
+
+    /// Cap the ranked answer relation at `num_ans` rows (default: 100).
+    pub fn num_ans(mut self, num_ans: usize) -> QueryRequest {
+        self.num_ans = num_ans;
+        self
+    }
+
+    /// Evaluate filescan lines on up to `threads` workers (default: 1).
+    pub fn parallelism(mut self, threads: usize) -> QueryRequest {
+        self.parallelism = threads.max(1);
+        self
+    }
+
+    /// Override the planner's plan choice (default: automatic).
+    pub fn plan_preference(mut self, preference: PlanPreference) -> QueryRequest {
+        self.preference = preference;
+        self
+    }
+
+    /// Compile the pattern to a [`Query`] (containment DFA + anchor).
+    pub fn compile(&self) -> Result<Query, QueryError> {
+        match self.dialect {
+            Dialect::Like => Query::like(&self.pattern),
+            Dialect::Regex => Query::regex(&self.pattern),
+        }
+    }
+}
+
+/// An explicit, executable access path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Plan {
+    /// Stream the whole representation through the query DFA.
+    FileScan {
+        /// Representation scanned.
+        approach: Approach,
+        /// Worker threads evaluating lines (1 = sequential).
+        parallelism: usize,
+    },
+    /// Probe a registered inverted index with the pattern's left anchor,
+    /// point-fetch candidates, evaluate projections (§4).
+    IndexProbe {
+        /// Name of the registered index.
+        index: String,
+        /// The anchor term looked up.
+        anchor: String,
+    },
+}
+
+impl Plan {
+    /// Short plan-kind label for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Plan::FileScan { .. } => "FileScan",
+            Plan::IndexProbe { .. } => "IndexProbe",
+        }
+    }
+
+    /// Is this an index probe?
+    pub fn is_index_probe(&self) -> bool {
+        matches!(self, Plan::IndexProbe { .. })
+    }
+}
+
+/// Execution counters attached to every result — the reproduction's
+/// `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Physical table rows read (heap rows for scans, point fetches for
+    /// probes).
+    pub rows_scanned: u64,
+    /// Lines whose match probability was computed.
+    pub lines_evaluated: u64,
+    /// Index postings retrieved (0 for filescans).
+    pub postings_probed: u64,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+}
+
+/// Compile `request` into the access path [`Staccato::execute`] will run.
+///
+/// Auto planning picks [`Plan::IndexProbe`] exactly when the request
+/// targets the Staccato representation, the compiled pattern has a left
+/// anchor, and some registered index's dictionary contains that anchor;
+/// anything else filescans. Forced probes surface the precise reason they
+/// are illegal instead of silently degrading.
+pub fn plan_request(
+    session: &Staccato,
+    request: &QueryRequest,
+    query: &Query,
+) -> Result<Plan, QueryError> {
+    let filescan = Plan::FileScan {
+        approach: request.approach,
+        // String representations are cheap to evaluate; the scan
+        // dominates, so the executor runs them sequentially (§5.4) and
+        // the reported plan must say so.
+        parallelism: match request.approach {
+            Approach::Map | Approach::KMap => 1,
+            Approach::FullSfa | Approach::Staccato => request.parallelism,
+        },
+    };
+    match request.preference {
+        PlanPreference::ForceFileScan => Ok(filescan),
+        PlanPreference::Auto => {
+            if request.approach != Approach::Staccato {
+                return Ok(filescan);
+            }
+            let Some(anchor) = query.anchor.as_deref() else {
+                return Ok(filescan);
+            };
+            match session.index_covering(anchor)? {
+                Some(name) => Ok(Plan::IndexProbe {
+                    index: name.to_string(),
+                    anchor: anchor.to_string(),
+                }),
+                None => Ok(filescan),
+            }
+        }
+        PlanPreference::ForceIndexProbe => {
+            if request.approach != Approach::Staccato {
+                return Err(QueryError::NoUsableIndex(format!(
+                    "index probes run over the Staccato representation, not {}",
+                    request.approach.name()
+                )));
+            }
+            let anchor = query
+                .anchor
+                .clone()
+                .ok_or_else(|| QueryError::NotAnchored(request.pattern.clone()))?;
+            match session.index_covering(&anchor)? {
+                Some(name) => Ok(Plan::IndexProbe {
+                    index: name.to_string(),
+                    anchor,
+                }),
+                None if session.index_names().is_empty() => Err(QueryError::NoUsableIndex(
+                    "no inverted index registered on this session".to_string(),
+                )),
+                None => Err(QueryError::TermNotInDictionary(anchor)),
+            }
+        }
+    }
+}
+
+/// Human-readable plan report (the `EXPLAIN` text).
+pub fn render_explain(request: &QueryRequest, query: &Query, plan: &Plan) -> String {
+    let mut out = String::new();
+    let dialect = match request.dialect {
+        Dialect::Like => "LIKE",
+        Dialect::Regex => "regex",
+    };
+    out.push_str(&format!(
+        "Query: {} {:?} over {} (NumAns = {})\n",
+        dialect,
+        request.pattern,
+        request.approach.name(),
+        request.num_ans
+    ));
+    let span = match query.max_span() {
+        Some(hi) => format!("{}..={hi}", query.min_span()),
+        None => format!("{}..", query.min_span()),
+    };
+    out.push_str(&format!(
+        "  anchor: {}, match span: {span}, DFA states: {}\n",
+        query.anchor.as_deref().unwrap_or("none"),
+        query.dfa.state_count()
+    ));
+    match plan {
+        Plan::FileScan {
+            approach,
+            parallelism,
+        } => {
+            out.push_str(&format!("Plan: FileScan over {}\n", approach.name()));
+            out.push_str(&format!(
+                "  -> stream {} rows through the containment DFA ({} worker{})\n",
+                approach.name(),
+                parallelism,
+                if *parallelism == 1 { "" } else { "s" }
+            ));
+            out.push_str(&format!(
+                "  -> top-{} answers by probability (bounded heap)\n",
+                request.num_ans
+            ));
+        }
+        Plan::IndexProbe { index, anchor } => {
+            out.push_str(&format!("Plan: IndexProbe via {index:?}\n"));
+            out.push_str(&format!("  -> probe postings for anchor {anchor:?}\n"));
+            out.push_str("  -> point-fetch candidate StaccatoGraph rows via the primary B+-tree\n");
+            out.push_str("  -> evaluate each candidate on its projection (span-bounded BFS)\n");
+            out.push_str(&format!(
+                "  -> top-{} answers by probability (bounded heap)\n",
+                request.num_ans
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_fluency() {
+        let req = QueryRequest::like("%Ford%");
+        assert_eq!(req.approach, Approach::Staccato);
+        assert_eq!(req.num_ans, 100);
+        assert_eq!(req.parallelism, 1);
+        assert_eq!(req.preference, PlanPreference::Auto);
+        let req = req.approach(Approach::Map).num_ans(10).parallelism(0);
+        assert_eq!(req.approach, Approach::Map);
+        assert_eq!(req.num_ans, 10);
+        assert_eq!(req.parallelism, 1, "parallelism clamps to >= 1");
+    }
+
+    #[test]
+    fn compile_respects_dialect() {
+        let like = QueryRequest::like("%Ford%").compile().unwrap();
+        assert!(like.dfa.accepts("a Ford here"));
+        let exact = QueryRequest::like("Ford").compile().unwrap();
+        assert!(!exact.dfa.accepts("a Ford here"));
+        let kw = QueryRequest::keyword("Ford").compile().unwrap();
+        assert!(kw.dfa.accepts("a Ford here"));
+        assert!(QueryRequest::regex("a(b").compile().is_err());
+    }
+
+    #[test]
+    fn plan_kind_labels() {
+        let scan = Plan::FileScan {
+            approach: Approach::Map,
+            parallelism: 2,
+        };
+        let probe = Plan::IndexProbe {
+            index: "inv".into(),
+            anchor: "ford".into(),
+        };
+        assert_eq!(scan.kind(), "FileScan");
+        assert!(!scan.is_index_probe());
+        assert_eq!(probe.kind(), "IndexProbe");
+        assert!(probe.is_index_probe());
+    }
+
+    #[test]
+    fn explain_renders_both_plans() {
+        let req = QueryRequest::regex(r"Public Law (8|9)\d").parallelism(4);
+        let query = req.compile().unwrap();
+        let scan = render_explain(
+            &req,
+            &query,
+            &Plan::FileScan {
+                approach: Approach::Staccato,
+                parallelism: 4,
+            },
+        );
+        assert!(scan.contains("FileScan"), "{scan}");
+        assert!(scan.contains("4 workers"), "{scan}");
+        assert!(scan.contains("anchor: public"), "{scan}");
+        let probe = render_explain(
+            &req,
+            &query,
+            &Plan::IndexProbe {
+                index: "inv".into(),
+                anchor: "public".into(),
+            },
+        );
+        assert!(probe.contains("IndexProbe"), "{probe}");
+        assert!(probe.contains("\"public\""), "{probe}");
+    }
+}

@@ -1,0 +1,313 @@
+//! The `Staccato` session: the single entry point for querying a loaded
+//! OCR store.
+//!
+//! A session wraps an [`OcrStore`], owns any registered §4 inverted
+//! indexes, and executes [`QueryRequest`]s: compile the pattern, let the
+//! planner pick a [`Plan`], run the matching streaming executor, and
+//! return the ranked answers together with the plan and its
+//! [`ExecStats`]. This mirrors the paper's posture that probabilistic
+//! queries are ordinary SQL — the user states *what* to match
+//! (`LIKE '%Ford%'`) and the engine decides *how* (filescan vs.
+//! index-assisted probe), transparently.
+//!
+//! ```ignore
+//! let mut session = Staccato::load(db, &dataset, &LoadOptions::default())?;
+//! session.register_index(&trie, "inv")?;
+//! let out = session.execute(
+//!     &QueryRequest::like("%Ford%").approach(Approach::Staccato).num_ans(100),
+//! )?;
+//! println!("{} answers via {}", out.answers.len(), out.plan.kind());
+//! ```
+
+use crate::error::QueryError;
+use crate::exec::{exec_filescan, Answer};
+use crate::invindex::{build_index, exec_index_probe, InvertedIndex};
+use crate::plan::{plan_request, render_explain, ExecStats, Plan, QueryRequest};
+use crate::store::{LoadOptions, OcrStore, RepresentationSizes};
+use staccato_automata::Trie;
+use staccato_ocr::Dataset;
+use staccato_storage::Database;
+use std::time::Instant;
+
+/// One registered inverted index.
+struct RegisteredIndex {
+    name: String,
+    index: InvertedIndex,
+}
+
+/// A query session over a loaded OCR store.
+pub struct Staccato {
+    store: OcrStore,
+    indexes: Vec<RegisteredIndex>,
+}
+
+/// Everything one execution returns: the ranked probabilistic relation,
+/// the plan that produced it, and the execution counters.
+#[derive(Debug)]
+pub struct QueryOutput {
+    /// Ranked `(DataKey, probability)` rows, truncated to `num_ans`.
+    pub answers: Vec<Answer>,
+    /// The access path the planner chose.
+    pub plan: Plan,
+    /// Counters and wall time for this execution.
+    pub stats: ExecStats,
+}
+
+impl Staccato {
+    /// Open a session over an already-loaded store.
+    pub fn open(store: OcrStore) -> Staccato {
+        Staccato {
+            store,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Load `dataset` into `db` under all four representations and open a
+    /// session over the result.
+    pub fn load(
+        db: Database,
+        dataset: &Dataset,
+        opts: &LoadOptions,
+    ) -> Result<Staccato, QueryError> {
+        Ok(Staccato::open(OcrStore::load(db, dataset, opts)?))
+    }
+
+    /// The underlying store (representation cursors, point lookups).
+    pub fn store(&self) -> &OcrStore {
+        &self.store
+    }
+
+    /// Give the store back, dropping the session.
+    pub fn into_store(self) -> OcrStore {
+        self.store
+    }
+
+    /// Number of lines (SFAs) loaded.
+    pub fn line_count(&self) -> usize {
+        self.store.line_count()
+    }
+
+    /// Representation sizes measured at load time.
+    pub fn sizes(&self) -> RepresentationSizes {
+        self.store.sizes()
+    }
+
+    /// Build a §4 dictionary inverted index over the Staccato
+    /// representation and register it with the planner under `name`.
+    /// Returns the number of postings inserted.
+    pub fn register_index(&mut self, trie: &Trie, name: &str) -> Result<u64, QueryError> {
+        let index = build_index(&self.store, trie, name)?;
+        let postings = index.posting_count;
+        self.indexes.push(RegisteredIndex {
+            name: name.to_string(),
+            index,
+        });
+        Ok(postings)
+    }
+
+    /// A registered index by name.
+    pub fn index(&self, name: &str) -> Option<&InvertedIndex> {
+        self.indexes
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| &r.index)
+    }
+
+    /// Names of all registered indexes, in registration order.
+    pub fn index_names(&self) -> Vec<&str> {
+        self.indexes.iter().map(|r| r.name.as_str()).collect()
+    }
+
+    /// The first registered index whose dictionary contains `term`
+    /// (planner hook).
+    pub(crate) fn index_covering(&self, term: &str) -> Result<Option<&str>, QueryError> {
+        for reg in &self.indexes {
+            if reg.index.contains_term(self.store.db().pool(), term)? {
+                return Ok(Some(reg.name.as_str()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Compile `request` and choose its access path without executing.
+    pub fn plan(&self, request: &QueryRequest) -> Result<Plan, QueryError> {
+        let query = request.compile()?;
+        plan_request(self, request, &query)
+    }
+
+    /// The `EXPLAIN` text: the compiled pattern, its anchor, and the
+    /// chosen plan, human-readable.
+    pub fn explain(&self, request: &QueryRequest) -> Result<String, QueryError> {
+        let query = request.compile()?;
+        let plan = plan_request(self, request, &query)?;
+        Ok(render_explain(request, &query, &plan))
+    }
+
+    /// Execute `request`: plan, run, rank, and account.
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryOutput, QueryError> {
+        let query = request.compile()?;
+        let plan = plan_request(self, request, &query)?;
+        let mut stats = ExecStats::default();
+        let started = Instant::now();
+        let answers = match &plan {
+            Plan::FileScan {
+                approach,
+                parallelism,
+            } => exec_filescan(
+                &self.store,
+                *approach,
+                &query,
+                request.num_ans,
+                *parallelism,
+                &mut stats,
+            )?,
+            Plan::IndexProbe { index, .. } => {
+                let index = self
+                    .index(index)
+                    .expect("planner only returns registered indexes");
+                exec_index_probe(&self.store, index, &query, request.num_ans, &mut stats)?
+            }
+        };
+        stats.wall = started.elapsed();
+        Ok(QueryOutput {
+            answers,
+            plan,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Approach;
+    use crate::plan::PlanPreference;
+    use staccato_core::StaccatoParams;
+    use staccato_ocr::{generate, ChannelConfig, CorpusKind};
+
+    fn session(lines: usize, seed: u64) -> Staccato {
+        let dataset = generate(CorpusKind::CongressActs, lines, seed);
+        let db = Database::in_memory(1024).unwrap();
+        let opts = LoadOptions {
+            channel: ChannelConfig::compact(seed),
+            kmap_k: 8,
+            staccato: StaccatoParams::new(10, 8),
+            parallelism: 2,
+        };
+        Staccato::load(db, &dataset, &opts).unwrap()
+    }
+
+    #[test]
+    fn execute_reports_plan_and_stats() {
+        let s = session(30, 5);
+        let out = s
+            .execute(&QueryRequest::keyword("President").approach(Approach::Map))
+            .unwrap();
+        assert_eq!(
+            out.plan,
+            Plan::FileScan {
+                approach: Approach::Map,
+                parallelism: 1
+            }
+        );
+        assert_eq!(out.stats.rows_scanned, 30);
+        assert_eq!(out.stats.lines_evaluated, 30);
+        assert!(out.answers.iter().all(|a| a.probability > 0.0));
+    }
+
+    #[test]
+    fn no_index_means_filescan_even_when_anchored() {
+        let s = session(20, 9);
+        let plan = s.plan(&QueryRequest::keyword("President")).unwrap();
+        assert_eq!(
+            plan,
+            Plan::FileScan {
+                approach: Approach::Staccato,
+                parallelism: 1
+            }
+        );
+    }
+
+    #[test]
+    fn registered_index_flips_anchored_queries_to_probe() {
+        let mut s = session(40, 21);
+        let postings = s
+            .register_index(&Trie::build(["president", "public"]), "inv")
+            .unwrap();
+        assert!(postings > 0);
+        let plan = s.plan(&QueryRequest::keyword("President")).unwrap();
+        assert_eq!(
+            plan,
+            Plan::IndexProbe {
+                index: "inv".into(),
+                anchor: "president".into()
+            }
+        );
+        // Unanchored stays a scan; anchor outside the dictionary too.
+        assert!(!s
+            .plan(&QueryRequest::regex(r"\d\d\d"))
+            .unwrap()
+            .is_index_probe());
+        assert!(!s
+            .plan(&QueryRequest::keyword("Commission"))
+            .unwrap()
+            .is_index_probe());
+        // Other representations never probe.
+        assert!(!s
+            .plan(&QueryRequest::keyword("President").approach(Approach::FullSfa))
+            .unwrap()
+            .is_index_probe());
+    }
+
+    #[test]
+    fn forced_probe_surfaces_reasons() {
+        let mut s = session(20, 2);
+        let force = |req: QueryRequest| req.plan_preference(PlanPreference::ForceIndexProbe);
+        assert!(matches!(
+            s.plan(&force(QueryRequest::keyword("President"))),
+            Err(QueryError::NoUsableIndex(_))
+        ));
+        s.register_index(&Trie::build(["public"]), "inv").unwrap();
+        assert!(matches!(
+            s.plan(&force(QueryRequest::keyword("President"))),
+            Err(QueryError::TermNotInDictionary(_))
+        ));
+        assert!(matches!(
+            s.plan(&force(QueryRequest::regex(r"\d\d\d"))),
+            Err(QueryError::NotAnchored(_))
+        ));
+        assert!(matches!(
+            s.plan(&force(
+                QueryRequest::keyword("public").approach(Approach::Map)
+            )),
+            Err(QueryError::NoUsableIndex(_))
+        ));
+    }
+
+    #[test]
+    fn probe_stats_count_postings() {
+        let mut s = session(50, 31);
+        s.register_index(&Trie::build(["public"]), "inv").unwrap();
+        let out = s
+            .execute(&QueryRequest::regex(r"Public Law (8|9)\d"))
+            .unwrap();
+        assert!(out.plan.is_index_probe());
+        assert!(out.stats.postings_probed > 0);
+        assert!(
+            out.stats.rows_scanned <= 50,
+            "probe fetches candidates only"
+        );
+    }
+
+    #[test]
+    fn explain_mentions_the_chosen_path() {
+        let mut s = session(25, 7);
+        let req = QueryRequest::keyword("President");
+        assert!(s.explain(&req).unwrap().contains("FileScan"));
+        s.register_index(&Trie::build(["president"]), "inv")
+            .unwrap();
+        let text = s.explain(&req).unwrap();
+        assert!(text.contains("IndexProbe"), "{text}");
+        assert!(text.contains("president"), "{text}");
+    }
+}

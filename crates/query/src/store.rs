@@ -25,7 +25,7 @@ use staccato_core::{approximate, StaccatoParams};
 use staccato_ocr::{Channel, ChannelConfig, Dataset};
 use staccato_sfa::{codec, k_best_paths, Sfa};
 use staccato_storage::{
-    BlobStore, BTree, ColumnType, Database, HeapFile, Rid, Schema, Value,
+    BTree, BlobStore, BufferPool, ColumnType, Database, HeapFile, HeapScan, Rid, Schema, Value,
 };
 
 /// Loader options.
@@ -47,7 +47,9 @@ impl Default for LoadOptions {
             channel: ChannelConfig::default(),
             kmap_k: 25,
             staccato: StaccatoParams::new(40, 25),
-            parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
         }
     }
 }
@@ -97,8 +99,12 @@ fn build_line(channel: &Channel, opts: &LoadOptions, line: &str, line_id: u64) -
     let stac_blob = codec::encode(&stac);
     // Chunk rows: edges in topological order are the chunks; each emission
     // is one retained string.
-    let order_rank: std::collections::HashMap<u32, usize> =
-        stac.topo_order().iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let order_rank: std::collections::HashMap<u32, usize> = stac
+        .topo_order()
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
     let mut chunk_edges: Vec<_> = stac.edges().collect();
     chunk_edges.sort_by_key(|(_, e)| (order_rank[&e.from], order_rank[&e.to]));
     let mut stac_chunks = Vec::new();
@@ -120,7 +126,11 @@ fn build_line(channel: &Channel, opts: &LoadOptions, line: &str, line_id: u64) -
 
 impl OcrStore {
     /// Load a dataset into `db`, building all representations.
-    pub fn load(db: Database, dataset: &Dataset, opts: &LoadOptions) -> Result<OcrStore, QueryError> {
+    pub fn load(
+        db: Database,
+        dataset: &Dataset,
+        opts: &LoadOptions,
+    ) -> Result<OcrStore, QueryError> {
         let channel = Channel::new(opts.channel.clone());
 
         // Phase 1: per-line construction, parallel across lines.
@@ -128,7 +138,12 @@ impl OcrStore {
             .lines()
             .enumerate()
             .map(|(global, (di, li, text))| {
-                (dataset.docs[di].name.clone(), li as i64, global as u64, text.to_string())
+                (
+                    dataset.docs[di].name.clone(),
+                    li as i64,
+                    global as u64,
+                    text.to_string(),
+                )
             })
             .collect();
         let par = opts.parallelism.max(1);
@@ -136,8 +151,10 @@ impl OcrStore {
         let mut artifacts: Vec<Option<LineArtifacts>> = Vec::with_capacity(work.len());
         artifacts.resize_with(work.len(), || None);
         std::thread::scope(|scope| {
-            for (w_idx, (slice, out)) in
-                work.chunks(chunk).zip(artifacts.chunks_mut(chunk)).enumerate()
+            for (w_idx, (slice, out)) in work
+                .chunks(chunk)
+                .zip(artifacts.chunks_mut(chunk))
+                .enumerate()
             {
                 let channel = &channel;
                 let opts_ref = &opts;
@@ -195,7 +212,10 @@ impl OcrStore {
         )?;
         let stacg_t = db.create_table(
             "StaccatoGraph",
-            Schema::new(&[("DataKey", ColumnType::Int), ("GraphBlob", ColumnType::Blob)]),
+            Schema::new(&[
+                ("DataKey", ColumnType::Int),
+                ("GraphBlob", ColumnType::Blob),
+            ]),
         )?;
         let truth_t = db.create_table(
             "GroundTruth",
@@ -228,7 +248,11 @@ impl OcrStore {
                     pool,
                     &enc(
                         &map_schema(),
-                        &vec![Value::Int(key), Value::Text(s.clone()), Value::Float(p.ln())],
+                        &vec![
+                            Value::Int(key),
+                            Value::Text(s.clone()),
+                            Value::Float(p.ln()),
+                        ],
                     )?,
                 )?;
             }
@@ -251,7 +275,10 @@ impl OcrStore {
             let full_blob = BlobStore::put(pool, &art.full_blob)?;
             let rid = full_t.insert(
                 pool,
-                &enc(&blob_schema("SFABlob"), &vec![Value::Int(key), Value::Blob(full_blob)])?,
+                &enc(
+                    &blob_schema("SFABlob"),
+                    &vec![Value::Int(key), Value::Blob(full_blob)],
+                )?,
             )?;
             full_pk.insert(pool, &key.to_be_bytes(), rid.to_u64())?;
 
@@ -274,16 +301,26 @@ impl OcrStore {
             let stac_blob = BlobStore::put(pool, &art.stac_blob)?;
             let rid = stacg_t.insert(
                 pool,
-                &enc(&blob_schema("GraphBlob"), &vec![Value::Int(key), Value::Blob(stac_blob)])?,
+                &enc(
+                    &blob_schema("GraphBlob"),
+                    &vec![Value::Int(key), Value::Blob(stac_blob)],
+                )?,
             )?;
             stacg_pk.insert(pool, &key.to_be_bytes(), rid.to_u64())?;
 
             truth_t.insert(
                 pool,
-                &enc(&truth_schema(), &vec![Value::Int(key), Value::Text(art.clean.clone())])?,
+                &enc(
+                    &truth_schema(),
+                    &vec![Value::Int(key), Value::Text(art.clean.clone())],
+                )?,
             )?;
         }
-        Ok(OcrStore { db, lines: work.len(), sizes })
+        Ok(OcrStore {
+            db,
+            lines: work.len(),
+            sizes,
+        })
     }
 
     /// The underlying database.
@@ -301,66 +338,102 @@ impl OcrStore {
         self.sizes
     }
 
-    /// Scan the MAP strings: `(DataKey, string, probability)`.
-    pub fn scan_map(&self) -> Result<Vec<(i64, String, f64)>, QueryError> {
+    /// Streaming cursor over the MAP strings: `(DataKey, string, prob)`.
+    ///
+    /// One row is decoded per `next()` call; nothing is materialized. This
+    /// (and its siblings below) is what the executors consume — the
+    /// full-corpus `scan_*` vectors the first revision built are gone from
+    /// the hot path.
+    pub fn map_cursor(&self) -> Result<MapCursor<'_>, QueryError> {
         let (schema, heap) = self.db.table("MAPData")?;
-        let mut out = Vec::new();
-        for item in heap.scan(self.db.pool()) {
-            let (_, bytes) = item?;
-            let row = staccato_storage::row::decode_row(&schema, &bytes)?;
-            out.push((
-                row[0].as_int().expect("schema"),
-                row[1].as_text().expect("schema").to_string(),
-                row[2].as_float().expect("schema").exp(),
-            ));
-        }
-        Ok(out)
+        Ok(MapCursor {
+            schema,
+            scan: heap.scan(self.db.pool()),
+        })
     }
 
-    /// Scan k-MAP strings grouped by line: `(DataKey, [(string, prob)])`.
-    /// Rows are stored clustered by DataKey, so grouping is a single pass.
-    pub fn scan_kmap(&self) -> Result<Vec<(i64, Vec<(String, f64)>)>, QueryError> {
+    /// Streaming cursor over k-MAP strings grouped by line:
+    /// `(DataKey, [(string, prob)])`. Rows are stored clustered by
+    /// DataKey, so grouping is a single buffered pass.
+    pub fn kmap_cursor(&self) -> Result<KmapCursor<'_>, QueryError> {
         let (schema, heap) = self.db.table("kMAPData")?;
-        let mut out: Vec<(i64, Vec<(String, f64)>)> = Vec::new();
-        for item in heap.scan(self.db.pool()) {
-            let (_, bytes) = item?;
-            let row = staccato_storage::row::decode_row(&schema, &bytes)?;
-            let key = row[0].as_int().expect("schema");
-            let s = row[2].as_text().expect("schema").to_string();
-            let p = row[3].as_float().expect("schema").exp();
-            match out.last_mut() {
-                Some((k, v)) if *k == key => v.push((s, p)),
-                _ => out.push((key, vec![(s, p)])),
-            }
-        }
-        Ok(out)
+        Ok(KmapCursor {
+            schema,
+            scan: heap.scan(self.db.pool()),
+            pending: None,
+            done: false,
+        })
     }
 
-    fn scan_blob_table(
-        &self,
-        table: &str,
-    ) -> Result<Vec<(i64, Sfa)>, QueryError> {
+    fn blob_cursor(&self, table: &'static str) -> Result<BlobCursor<'_>, QueryError> {
         let (schema, heap) = self.db.table(table)?;
-        let mut out = Vec::new();
-        for item in heap.scan(self.db.pool()) {
-            let (_, bytes) = item?;
-            let row = staccato_storage::row::decode_row(&schema, &bytes)?;
-            let key = row[0].as_int().expect("schema");
-            let blob = row[1].as_blob().expect("schema");
-            let data = BlobStore::get(self.db.pool(), blob)?;
-            out.push((key, codec::decode(&data)?));
-        }
-        Ok(out)
+        Ok(BlobCursor {
+            schema,
+            scan: heap.scan(self.db.pool()),
+            pool: self.db.pool(),
+        })
     }
 
-    /// Scan and decode every full SFA.
+    /// Streaming cursor over *encoded* full-SFA blobs: `(DataKey, bytes)`.
+    /// Decoding is left to the consumer so parallel executors can decode
+    /// off the scan thread.
+    pub fn full_sfa_blobs(&self) -> Result<BlobCursor<'_>, QueryError> {
+        self.blob_cursor("FullSFAData")
+    }
+
+    /// Streaming cursor over encoded Staccato graph blobs.
+    pub fn staccato_blobs(&self) -> Result<BlobCursor<'_>, QueryError> {
+        self.blob_cursor("StaccatoGraph")
+    }
+
+    /// Streaming cursor over decoded full SFAs: `(DataKey, Sfa)`.
+    pub fn full_sfa_cursor(&self) -> Result<SfaCursor<'_>, QueryError> {
+        Ok(SfaCursor {
+            inner: self.full_sfa_blobs()?,
+        })
+    }
+
+    /// Streaming cursor over decoded Staccato chunk graphs.
+    pub fn staccato_cursor(&self) -> Result<SfaCursor<'_>, QueryError> {
+        Ok(SfaCursor {
+            inner: self.staccato_blobs()?,
+        })
+    }
+
+    /// Materialized MAP scan.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `map_cursor` (or `Staccato::execute`) instead"
+    )]
+    pub fn scan_map(&self) -> Result<Vec<(i64, String, f64)>, QueryError> {
+        self.map_cursor()?.collect()
+    }
+
+    /// Materialized k-MAP scan.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `kmap_cursor` (or `Staccato::execute`) instead"
+    )]
+    pub fn scan_kmap(&self) -> Result<Vec<KmapGroup>, QueryError> {
+        self.kmap_cursor()?.collect()
+    }
+
+    /// Materialized full-SFA scan.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `full_sfa_cursor` (or `Staccato::execute`) instead"
+    )]
     pub fn scan_full_sfa(&self) -> Result<Vec<(i64, Sfa)>, QueryError> {
-        self.scan_blob_table("FullSFAData")
+        self.full_sfa_cursor()?.collect()
     }
 
-    /// Scan and decode every Staccato chunk graph.
+    /// Materialized Staccato graph scan.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `staccato_cursor` (or `Staccato::execute`) instead"
+    )]
     pub fn scan_staccato(&self) -> Result<Vec<(i64, Sfa)>, QueryError> {
-        self.scan_blob_table("StaccatoGraph")
+        self.staccato_cursor()?.collect()
     }
 
     /// Point-fetch one Staccato graph through its primary-key B+-tree —
@@ -400,6 +473,118 @@ impl OcrStore {
     /// Create (or reopen) a named auxiliary B+-tree, e.g. for indexes.
     pub fn create_index(&self, name: &str) -> Result<BTree, QueryError> {
         Ok(self.db.create_index(name)?)
+    }
+}
+
+/// Streaming cursor over `MAPData`: yields `(DataKey, string, prob)`.
+pub struct MapCursor<'s> {
+    schema: Schema,
+    scan: HeapScan<'s>,
+}
+
+impl Iterator for MapCursor<'_> {
+    type Item = Result<(i64, String, f64), QueryError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.scan.next()?;
+        Some(item.map_err(QueryError::from).and_then(|(_, bytes)| {
+            let row = staccato_storage::row::decode_row(&self.schema, &bytes)?;
+            Ok((
+                row[0].as_int().expect("schema"),
+                row[1].as_text().expect("schema").to_string(),
+                row[2].as_float().expect("schema").exp(),
+            ))
+        }))
+    }
+}
+
+/// One k-MAP line group: `(DataKey, [(string, prob)])`.
+pub type KmapGroup = (i64, Vec<(String, f64)>);
+
+/// Streaming cursor over `kMAPData`, grouping clustered rows by DataKey:
+/// yields `(DataKey, [(string, prob)])`. Buffers one line's strings at a
+/// time — never the corpus.
+pub struct KmapCursor<'s> {
+    schema: Schema,
+    scan: HeapScan<'s>,
+    pending: Option<KmapGroup>,
+    done: bool,
+}
+
+impl Iterator for KmapCursor<'_> {
+    type Item = Result<KmapGroup, QueryError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match self.scan.next() {
+                None => {
+                    self.done = true;
+                    return self.pending.take().map(Ok);
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+                Some(Ok((_, bytes))) => {
+                    let row = match staccato_storage::row::decode_row(&self.schema, &bytes) {
+                        Ok(row) => row,
+                        Err(e) => {
+                            self.done = true;
+                            return Some(Err(e.into()));
+                        }
+                    };
+                    let key = row[0].as_int().expect("schema");
+                    let s = row[2].as_text().expect("schema").to_string();
+                    let p = row[3].as_float().expect("schema").exp();
+                    match &mut self.pending {
+                        Some((k, v)) if *k == key => v.push((s, p)),
+                        Some(_) => {
+                            let group = self.pending.replace((key, vec![(s, p)]));
+                            return group.map(Ok);
+                        }
+                        None => self.pending = Some((key, vec![(s, p)])),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streaming cursor over a blob table: yields `(DataKey, encoded bytes)`.
+pub struct BlobCursor<'s> {
+    schema: Schema,
+    scan: HeapScan<'s>,
+    pool: &'s BufferPool,
+}
+
+impl Iterator for BlobCursor<'_> {
+    type Item = Result<(i64, Vec<u8>), QueryError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.scan.next()?;
+        Some(item.map_err(QueryError::from).and_then(|(_, bytes)| {
+            let row = staccato_storage::row::decode_row(&self.schema, &bytes)?;
+            let key = row[0].as_int().expect("schema");
+            let blob = row[1].as_blob().expect("schema");
+            Ok((key, BlobStore::get(self.pool, blob)?))
+        }))
+    }
+}
+
+/// Streaming cursor decoding each blob into an [`Sfa`]: `(DataKey, Sfa)`.
+pub struct SfaCursor<'s> {
+    inner: BlobCursor<'s>,
+}
+
+impl Iterator for SfaCursor<'_> {
+    type Item = Result<(i64, Sfa), QueryError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        Some(item.and_then(|(key, data)| Ok((key, codec::decode(&data)?))))
     }
 }
 
@@ -467,19 +652,37 @@ mod tests {
     fn load_populates_all_tables() {
         let store = tiny_store();
         assert_eq!(store.line_count(), 12);
-        assert_eq!(store.scan_map().unwrap().len(), 12);
-        let kmap = store.scan_kmap().unwrap();
+        assert_eq!(store.map_cursor().unwrap().count(), 12);
+        let kmap: Vec<_> = store
+            .kmap_cursor()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert_eq!(kmap.len(), 12);
         assert!(kmap.iter().all(|(_, v)| !v.is_empty() && v.len() <= 5));
-        assert_eq!(store.scan_full_sfa().unwrap().len(), 12);
-        assert_eq!(store.scan_staccato().unwrap().len(), 12);
+        assert_eq!(store.full_sfa_cursor().unwrap().count(), 12);
+        assert_eq!(store.staccato_cursor().unwrap().count(), 12);
         assert_eq!(store.ground_truth_lines().unwrap().len(), 12);
+    }
+
+    #[test]
+    fn deprecated_scans_equal_cursors() {
+        let store = tiny_store();
+        #[allow(deprecated)]
+        let via_scan = store.scan_map().unwrap();
+        let via_cursor: Vec<_> = store
+            .map_cursor()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(via_scan, via_cursor);
     }
 
     #[test]
     fn kmap_strings_sorted_by_probability() {
         let store = tiny_store();
-        for (_, strings) in store.scan_kmap().unwrap() {
+        for item in store.kmap_cursor().unwrap() {
+            let (_, strings) = item.unwrap();
             for w in strings.windows(2) {
                 assert!(w[0].1 >= w[1].1 - 1e-12);
             }
@@ -489,7 +692,8 @@ mod tests {
     #[test]
     fn staccato_graph_has_at_most_m_chunks() {
         let store = tiny_store();
-        for (_, g) in store.scan_staccato().unwrap() {
+        for item in store.staccato_cursor().unwrap() {
+            let (_, g) = item.unwrap();
             assert!(g.edge_count() <= 8);
             for (_, e) in g.edges() {
                 assert!(e.emissions.len() <= 5);
@@ -500,7 +704,11 @@ mod tests {
     #[test]
     fn point_lookup_matches_scan() {
         let store = tiny_store();
-        let all = store.scan_staccato().unwrap();
+        let all: Vec<_> = store
+            .staccato_cursor()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
         let (key, via_scan) = &all[7];
         let via_pk = store.get_staccato_graph(*key).unwrap();
         assert_eq!(codec::encode(via_scan), codec::encode(&via_pk));

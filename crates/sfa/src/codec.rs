@@ -83,15 +83,21 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, SfaError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len checked")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("len checked"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32, SfaError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len checked")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("len checked"),
+        ))
     }
 
     fn f64(&mut self) -> Result<f64, SfaError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("len checked"),
+        ))
     }
 
     fn remaining(&self) -> usize {
@@ -111,13 +117,19 @@ pub fn decode(buf: &[u8]) -> Result<Sfa, SfaError> {
     // Each live node needs at least one incident edge entry; a count far
     // beyond the blob size is corruption.
     if nodes as usize > buf.len() {
-        return Err(SfaError::CorruptCount { what: "node", count: nodes as u64 });
+        return Err(SfaError::CorruptCount {
+            what: "node",
+            count: nodes as u64,
+        });
     }
     let start = r.u32()?;
     let finish = r.u32()?;
     let edge_count = r.u32()?;
     if edge_count as u64 * 12 > r.remaining() as u64 {
-        return Err(SfaError::CorruptCount { what: "edge", count: edge_count as u64 });
+        return Err(SfaError::CorruptCount {
+            what: "edge",
+            count: edge_count as u64,
+        });
     }
     let mut b = crate::model::SfaBuilder::new();
     for _ in 0..nodes {
@@ -134,27 +146,37 @@ pub fn decode(buf: &[u8]) -> Result<Sfa, SfaError> {
         }
         let n_em = r.u32()?;
         if n_em as u64 * 10 > r.remaining() as u64 {
-            return Err(SfaError::CorruptCount { what: "emission", count: n_em as u64 });
+            return Err(SfaError::CorruptCount {
+                what: "emission",
+                count: n_em as u64,
+            });
         }
         let mut emissions = Vec::with_capacity(n_em as usize);
         for _ in 0..n_em {
             let len = r.u16()? as usize;
             let label_bytes = r.take(len)?;
-            let label =
-                std::str::from_utf8(label_bytes).map_err(|_| SfaError::BadLabel)?.to_string();
+            let label = std::str::from_utf8(label_bytes)
+                .map_err(|_| SfaError::BadLabel)?
+                .to_string();
             let prob = r.f64()?;
             if label.is_empty() {
                 return Err(SfaError::EmptyLabel { edge: edge_idx });
             }
             if !prob.is_finite() || !(0.0..=1.0 + 1e-9).contains(&prob) {
-                return Err(SfaError::BadProbability { edge: edge_idx, prob });
+                return Err(SfaError::BadProbability {
+                    edge: edge_idx,
+                    prob,
+                });
             }
             emissions.push(Emission { label, prob });
         }
         // Route through the checked Sfa::add_edge rather than the panicking
         // builder helper: blobs are untrusted input.
         if emissions.is_empty() {
-            return Err(SfaError::CorruptCount { what: "emission", count: 0 });
+            return Err(SfaError::CorruptCount {
+                what: "emission",
+                count: 0,
+            });
         }
         b.try_add_edge(from, to, emissions)?;
     }
@@ -181,12 +203,28 @@ mod tests {
     fn figure1() -> Sfa {
         let mut b = SfaBuilder::new();
         let n: Vec<_> = (0..6).map(|_| b.add_node()).collect();
-        b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
-        b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+        b.add_edge(
+            n[0],
+            n[1],
+            vec![Emission::new("F", 0.8), Emission::new("T", 0.2)],
+        );
+        b.add_edge(
+            n[1],
+            n[2],
+            vec![Emission::new("0", 0.6), Emission::new("o", 0.4)],
+        );
         b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
         b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
-        b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
-        b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+        b.add_edge(
+            n[3],
+            n[4],
+            vec![Emission::new("r", 0.8), Emission::new("m", 0.2)],
+        );
+        b.add_edge(
+            n[4],
+            n[5],
+            vec![Emission::new("d", 0.9), Emission::new("3", 0.1)],
+        );
         b.build(n[0], n[5]).unwrap()
     }
 
@@ -217,7 +255,11 @@ mod tests {
         let mut b = SfaBuilder::new();
         let s = b.add_node();
         let f = b.add_node();
-        b.add_edge(s, f, vec![Emission::new("Ford", 0.6), Emission::new("F0 rd", 0.4)]);
+        b.add_edge(
+            s,
+            f,
+            vec![Emission::new("Ford", 0.6), Emission::new("F0 rd", 0.4)],
+        );
         let sfa = b.build(s, f).unwrap();
         let back = decode(&encode(&sfa)).unwrap();
         assert_eq!(back.edge(0).unwrap().emissions[0].label, "Ford");
@@ -264,7 +306,10 @@ mod tests {
         let len = blob.len();
         // The last 8 bytes are the final emission's probability.
         blob[len - 8..].copy_from_slice(&42.0f64.to_le_bytes());
-        assert!(matches!(decode(&blob).unwrap_err(), SfaError::BadProbability { .. }));
+        assert!(matches!(
+            decode(&blob).unwrap_err(),
+            SfaError::BadProbability { .. }
+        ));
     }
 
     #[test]
@@ -285,8 +330,11 @@ mod tests {
     #[test]
     fn tombstoned_graph_encodes_compacted() {
         let mut sfa = figure1();
-        let incident: Vec<_> =
-            sfa.edges().filter(|(_, e)| e.from == 3 || e.to == 3).map(|(id, _)| id).collect();
+        let incident: Vec<_> = sfa
+            .edges()
+            .filter(|(_, e)| e.from == 3 || e.to == 3)
+            .map(|(id, _)| id)
+            .collect();
         for id in incident {
             sfa.remove_edge(id).unwrap();
         }

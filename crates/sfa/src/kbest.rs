@@ -79,7 +79,11 @@ pub fn k_best_paths(sfa: &Sfa, k: usize) -> Vec<KBestPath> {
             }
         }
         // Stable sort keeps discovery order among ties → deterministic.
-        scratch.sort_by(|a, b| b.logp.partial_cmp(&a.logp).unwrap_or(std::cmp::Ordering::Equal));
+        scratch.sort_by(|a, b| {
+            b.logp
+                .partial_cmp(&a.logp)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         scratch.truncate(k);
         cands[v as usize] = scratch.clone();
     }
@@ -99,7 +103,11 @@ pub fn k_best_paths(sfa: &Sfa, k: usize) -> Vec<KBestPath> {
         for &(eid, i) in &edges_rev {
             string.push_str(&sfa.edge(eid).expect("live edge").emissions[i as usize].label);
         }
-        out.push(KBestPath { string, prob: c.logp.exp(), edges: edges_rev });
+        out.push(KBestPath {
+            string,
+            prob: c.logp.exp(),
+            edges: edges_rev,
+        });
     }
     out
 }
@@ -112,12 +120,28 @@ mod tests {
     fn figure1() -> Sfa {
         let mut b = SfaBuilder::new();
         let n: Vec<_> = (0..6).map(|_| b.add_node()).collect();
-        b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
-        b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+        b.add_edge(
+            n[0],
+            n[1],
+            vec![Emission::new("F", 0.8), Emission::new("T", 0.2)],
+        );
+        b.add_edge(
+            n[1],
+            n[2],
+            vec![Emission::new("0", 0.6), Emission::new("o", 0.4)],
+        );
         b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
         b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
-        b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
-        b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+        b.add_edge(
+            n[3],
+            n[4],
+            vec![Emission::new("r", 0.8), Emission::new("m", 0.2)],
+        );
+        b.add_edge(
+            n[4],
+            n[5],
+            vec![Emission::new("d", 0.9), Emission::new("3", 0.1)],
+        );
         b.build(n[0], n[5]).unwrap()
     }
 
@@ -129,22 +153,38 @@ mod tests {
         b.add_edge(
             n[0],
             n[1],
-            vec![Emission::new("a", 0.6), Emission::new("p", 0.2), Emission::new("w", 0.1)],
+            vec![
+                Emission::new("a", 0.6),
+                Emission::new("p", 0.2),
+                Emission::new("w", 0.1),
+            ],
         );
         b.add_edge(
             n[1],
             n[2],
-            vec![Emission::new("b", 0.5), Emission::new("q", 0.3), Emission::new("x", 0.2)],
+            vec![
+                Emission::new("b", 0.5),
+                Emission::new("q", 0.3),
+                Emission::new("x", 0.2),
+            ],
         );
         b.add_edge(
             n[2],
             n[3],
-            vec![Emission::new("c", 0.4), Emission::new("r", 0.3), Emission::new("y", 0.1)],
+            vec![
+                Emission::new("c", 0.4),
+                Emission::new("r", 0.3),
+                Emission::new("y", 0.1),
+            ],
         );
         b.add_edge(
             n[3],
             n[4],
-            vec![Emission::new("d", 0.7), Emission::new("s", 0.2), Emission::new("z", 0.1)],
+            vec![
+                Emission::new("d", 0.7),
+                Emission::new("s", 0.2),
+                Emission::new("z", 0.1),
+            ],
         );
         b.build(n[0], n[4]).unwrap()
     }
@@ -180,7 +220,12 @@ mod tests {
         all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         let top = k_best_paths(&sfa, 5);
         for (i, p) in top.iter().enumerate() {
-            assert!((p.prob - all[i].1).abs() < 1e-9, "rank {i}: {} vs {}", p.prob, all[i].1);
+            assert!(
+                (p.prob - all[i].1).abs() < 1e-9,
+                "rank {i}: {} vs {}",
+                p.prob,
+                all[i].1
+            );
         }
     }
 
@@ -202,7 +247,10 @@ mod tests {
         let top = k_best_paths(&figure1(), 1000);
         assert_eq!(top.len(), 24);
         let total: f64 = top.iter().map(|p| p.prob).sum();
-        assert!((total - 1.0).abs() < 1e-9, "all paths account for all mass, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "all paths account for all mass, got {total}"
+        );
     }
 
     #[test]

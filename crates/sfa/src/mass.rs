@@ -133,12 +133,28 @@ mod tests {
     fn figure1() -> Sfa {
         let mut b = SfaBuilder::new();
         let n: Vec<_> = (0..6).map(|_| b.add_node()).collect();
-        b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
-        b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+        b.add_edge(
+            n[0],
+            n[1],
+            vec![Emission::new("F", 0.8), Emission::new("T", 0.2)],
+        );
+        b.add_edge(
+            n[1],
+            n[2],
+            vec![Emission::new("0", 0.6), Emission::new("o", 0.4)],
+        );
         b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
         b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
-        b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
-        b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+        b.add_edge(
+            n[3],
+            n[4],
+            vec![Emission::new("r", 0.8), Emission::new("m", 0.2)],
+        );
+        b.add_edge(
+            n[4],
+            n[5],
+            vec![Emission::new("d", 0.9), Emission::new("3", 0.1)],
+        );
         b.build(n[0], n[5]).unwrap()
     }
 
@@ -208,8 +224,16 @@ mod tests {
         let s = b.add_node();
         let m = b.add_node();
         let f = b.add_node();
-        b.add_edge(s, m, vec![Emission::new("ab", 0.5), Emission::new("a", 0.5)]);
-        b.add_edge(m, f, vec![Emission::new("c", 0.6), Emission::new("bc", 0.4)]);
+        b.add_edge(
+            s,
+            m,
+            vec![Emission::new("ab", 0.5), Emission::new("a", 0.5)],
+        );
+        b.add_edge(
+            m,
+            f,
+            vec![Emission::new("c", 0.6), Emission::new("bc", 0.4)],
+        );
         let sfa = b.build(s, f).unwrap();
         // "abc" is emitted by two labelled paths: ab+c (0.3) and a+bc (0.2).
         assert!((string_probability(&sfa, "abc") - 0.5).abs() < 1e-12);
@@ -229,7 +253,11 @@ mod tests {
     #[test]
     fn kl_divergence_is_neg_log_retained_mass() {
         let mut sfa = figure1();
-        assert_eq!(kl_divergence(&sfa), 0.0, "unpruned model has zero divergence");
+        assert_eq!(
+            kl_divergence(&sfa),
+            0.0,
+            "unpruned model has zero divergence"
+        );
         sfa.edge_mut(0).unwrap().emissions.pop(); // retain mass 0.8
         assert!((kl_divergence(&sfa) - (-(0.8f64).ln())).abs() < 1e-12);
     }

@@ -34,7 +34,10 @@ pub struct Emission {
 impl Emission {
     /// Convenience constructor.
     pub fn new(label: impl Into<String>, prob: f64) -> Self {
-        Emission { label: label.into(), prob }
+        Emission {
+            label: label.into(),
+            prob,
+        }
     }
 }
 
@@ -58,7 +61,11 @@ impl Edge {
 }
 
 fn sort_emissions(emissions: &mut [Emission]) {
-    emissions.sort_by(|a, b| b.prob.partial_cmp(&a.prob).unwrap_or(std::cmp::Ordering::Equal));
+    emissions.sort_by(|a, b| {
+        b.prob
+            .partial_cmp(&a.prob)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 }
 
 /// A generalized stochastic finite automaton.
@@ -173,7 +180,8 @@ impl Sfa {
     /// Panics if the live subgraph contains a cycle, which indicates a bug
     /// in a caller that mutated the graph; validated SFAs are acyclic.
     pub fn topo_order(&self) -> Vec<NodeId> {
-        self.try_topo_order().expect("SFA invariant violated: graph has a cycle")
+        self.try_topo_order()
+            .expect("SFA invariant violated: graph has a cycle")
     }
 
     /// Fallible variant of [`Sfa::topo_order`].
@@ -202,7 +210,10 @@ impl Sfa {
             head += 1;
             order.push(v);
             for &eid in &self.out[v as usize] {
-                let to = self.edges[eid as usize].as_ref().expect("live adjacency").to;
+                let to = self.edges[eid as usize]
+                    .as_ref()
+                    .expect("live adjacency")
+                    .to;
                 indeg[to as usize] -= 1;
                 if indeg[to as usize] == 0 {
                     queue.push(to);
@@ -247,10 +258,17 @@ impl Sfa {
                 return Err(SfaError::EmptyLabel { edge: id });
             }
             if !em.prob.is_finite() || em.prob < 0.0 || em.prob > 1.0 + 1e-9 {
-                return Err(SfaError::BadProbability { edge: id, prob: emissions[i].prob });
+                return Err(SfaError::BadProbability {
+                    edge: id,
+                    prob: emissions[i].prob,
+                });
             }
         }
-        self.edges.push(Some(Edge { from, to, emissions }));
+        self.edges.push(Some(Edge {
+            from,
+            to,
+            emissions,
+        }));
         self.out[from as usize].push(id);
         self.inn[to as usize].push(id);
         self.live_edges += 1;
@@ -259,7 +277,10 @@ impl Sfa {
 
     /// Remove a live edge. Returns the removed edge.
     pub fn remove_edge(&mut self, id: EdgeId) -> Result<Edge, SfaError> {
-        let slot = self.edges.get_mut(id as usize).ok_or(SfaError::InvalidEdge(id))?;
+        let slot = self
+            .edges
+            .get_mut(id as usize)
+            .ok_or(SfaError::InvalidEdge(id))?;
         let edge = slot.take().ok_or(SfaError::InvalidEdge(id))?;
         self.out[edge.from as usize].retain(|&e| e != id);
         self.inn[edge.to as usize].retain(|&e| e != id);
@@ -298,8 +319,12 @@ impl Sfa {
             live_edges: 0,
         };
         for (_, e) in self.edges() {
-            out.add_edge(remap[e.from as usize], remap[e.to as usize], e.emissions.clone())
-                .expect("compacting a live edge cannot fail");
+            out.add_edge(
+                remap[e.from as usize],
+                remap[e.to as usize],
+                e.emissions.clone(),
+            )
+            .expect("compacting a live edge cannot fail");
         }
         out
     }
@@ -416,7 +441,9 @@ impl SfaBuilder {
     /// Panics if an emission is malformed (empty label / bad probability) or
     /// an endpoint does not exist — builder misuse is a programming error.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, emissions: Vec<Emission>) -> EdgeId {
-        self.inner().add_edge(from, to, emissions).expect("malformed edge passed to SfaBuilder")
+        self.inner()
+            .add_edge(from, to, emissions)
+            .expect("malformed edge passed to SfaBuilder")
     }
 
     /// Finish building, declaring the start and final nodes, and validate
@@ -445,12 +472,28 @@ mod tests {
     pub(crate) fn figure1() -> Sfa {
         let mut b = SfaBuilder::new();
         let n: Vec<NodeId> = (0..6).map(|_| b.add_node()).collect();
-        b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
-        b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+        b.add_edge(
+            n[0],
+            n[1],
+            vec![Emission::new("F", 0.8), Emission::new("T", 0.2)],
+        );
+        b.add_edge(
+            n[1],
+            n[2],
+            vec![Emission::new("0", 0.6), Emission::new("o", 0.4)],
+        );
         b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
         b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
-        b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
-        b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+        b.add_edge(
+            n[3],
+            n[4],
+            vec![Emission::new("r", 0.8), Emission::new("m", 0.2)],
+        );
+        b.add_edge(
+            n[4],
+            n[5],
+            vec![Emission::new("d", 0.9), Emission::new("3", 0.1)],
+        );
         b.build(n[0], n[5]).unwrap()
     }
 
@@ -509,7 +552,11 @@ mod tests {
         let s = figure1();
         let strings = s.enumerate_strings(100);
         let get = |t: &str| {
-            strings.iter().find(|(x, _)| x == t).map(|(_, p)| *p).unwrap_or(0.0)
+            strings
+                .iter()
+                .find(|(x, _)| x == t)
+                .map(|(_, p)| *p)
+                .unwrap_or(0.0)
         };
         // Paper: 'F0 rd' has probability 0.8*0.6*0.6*0.8*0.9 ≈ 0.207
         assert!((get("F0 rd") - 0.8 * 0.6 * 0.6 * 0.8 * 0.9).abs() < 1e-12);
@@ -524,7 +571,9 @@ mod tests {
         let removed = s.remove_edge(0).unwrap();
         assert_eq!(s.edge_count(), before - 1);
         assert!(s.edge(0).is_none());
-        let id = s.add_edge(removed.from, removed.to, removed.emissions).unwrap();
+        let id = s
+            .add_edge(removed.from, removed.to, removed.emissions)
+            .unwrap();
         assert_eq!(s.edge_count(), before);
         assert!(s.edge(id).is_some());
     }
@@ -532,7 +581,10 @@ mod tests {
     #[test]
     fn remove_node_requires_no_incident_edges() {
         let mut s = figure1();
-        assert!(matches!(s.remove_node(3), Err(SfaError::Disconnected { node: 3 })));
+        assert!(matches!(
+            s.remove_node(3),
+            Err(SfaError::Disconnected { node: 3 })
+        ));
         // Detach node 3 first.
         let incident: Vec<EdgeId> = s
             .edges()

@@ -6,9 +6,9 @@
 //! * [`check_structure`] — DAG with a unique start/final and no stranded
 //!   nodes. Holds for **every** SFA in the system, including Staccato
 //!   approximations (`FindMinSFA` exists precisely to preserve it).
-//! * [`check_stochastic`] — outgoing emission mass of each non-final node is
-//!   1. Holds for raw OCR output; pruned representations (k-MAP, Staccato)
-//!   intentionally fail it since they discard probability mass.
+//! * [`check_stochastic`] — outgoing emission mass of each non-final node
+//!   is 1. Holds for raw OCR output; pruned representations (k-MAP,
+//!   Staccato) intentionally fail it since they discard probability mass.
 //! * [`check_unique_paths`] — no string is emitted by two distinct labelled
 //!   paths (§2.2). Guaranteed by OCRopus output; required for the
 //!   tractability results of the paper (Theorem 3.1's contrast).
@@ -122,8 +122,9 @@ pub fn check_unique_paths(sfa: &Sfa) -> Result<(), SfaError> {
             if st.diverged {
                 // Reconstruct a witness string lazily: any emitted string
                 // works for the error message; use the MAP string.
-                let witness =
-                    crate::viterbi::map_string(sfa).map(|(s, _)| s).unwrap_or_default();
+                let witness = crate::viterbi::map_string(sfa)
+                    .map(|(s, _)| s)
+                    .unwrap_or_default();
                 return Err(SfaError::AmbiguousString(witness));
             }
             continue;
@@ -177,7 +178,11 @@ pub fn check_unique_paths(sfa: &Sfa) -> Result<(), SfaError> {
             }
         } else {
             // Only the behind side advances, consuming the skew.
-            let (behind, ahead_node) = if st.a_ahead { (st.b, st.a) } else { (st.a, st.b) };
+            let (behind, ahead_node) = if st.a_ahead {
+                (st.b, st.a)
+            } else {
+                (st.a, st.b)
+            };
             for &e in sfa.out_edges(behind) {
                 let edge = sfa.edge(e).expect("live adjacency");
                 for em in &edge.emissions {
@@ -209,7 +214,13 @@ pub fn check_unique_paths(sfa: &Sfa) -> Result<(), SfaError> {
                     push(
                         &mut seen,
                         &mut queue,
-                        St { a: na, b: nb, skew, a_ahead, diverged: st.diverged },
+                        St {
+                            a: na,
+                            b: nb,
+                            skew,
+                            a_ahead,
+                            diverged: st.diverged,
+                        },
                     );
                 }
             }
@@ -226,12 +237,28 @@ mod tests {
     fn figure1() -> Sfa {
         let mut b = SfaBuilder::new();
         let n: Vec<_> = (0..6).map(|_| b.add_node()).collect();
-        b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
-        b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+        b.add_edge(
+            n[0],
+            n[1],
+            vec![Emission::new("F", 0.8), Emission::new("T", 0.2)],
+        );
+        b.add_edge(
+            n[1],
+            n[2],
+            vec![Emission::new("0", 0.6), Emission::new("o", 0.4)],
+        );
         b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
         b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
-        b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
-        b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+        b.add_edge(
+            n[3],
+            n[4],
+            vec![Emission::new("r", 0.8), Emission::new("m", 0.2)],
+        );
+        b.add_edge(
+            n[4],
+            n[5],
+            vec![Emission::new("d", 0.9), Emission::new("3", 0.1)],
+        );
         b.build(n[0], n[5]).unwrap()
     }
 
@@ -290,7 +317,10 @@ mod tests {
         b.add_edge(m1, f, vec![Emission::new("b", 1.0)]);
         b.add_edge(m2, f, vec![Emission::new("b", 1.0)]);
         let sfa = b.build(s, f).unwrap();
-        assert!(matches!(check_unique_paths(&sfa), Err(SfaError::AmbiguousString(_))));
+        assert!(matches!(
+            check_unique_paths(&sfa),
+            Err(SfaError::AmbiguousString(_))
+        ));
     }
 
     #[test]
@@ -307,7 +337,10 @@ mod tests {
         b.add_edge(m1, f, vec![Emission::new("c", 1.0)]);
         b.add_edge(m2, f, vec![Emission::new("bc", 1.0)]);
         let sfa = b.build(s, f).unwrap();
-        assert!(matches!(check_unique_paths(&sfa), Err(SfaError::AmbiguousString(_))));
+        assert!(matches!(
+            check_unique_paths(&sfa),
+            Err(SfaError::AmbiguousString(_))
+        ));
     }
 
     #[test]
@@ -333,7 +366,10 @@ mod tests {
         let f = b.add_node();
         b.add_edge(s, f, vec![Emission::new("a", 0.5), Emission::new("a", 0.5)]);
         let sfa = b.build(s, f).unwrap();
-        assert!(matches!(check_unique_paths(&sfa), Err(SfaError::AmbiguousString(_))));
+        assert!(matches!(
+            check_unique_paths(&sfa),
+            Err(SfaError::AmbiguousString(_))
+        ));
     }
 
     #[test]

@@ -26,10 +26,17 @@ pub fn map_path(sfa: &Sfa) -> Option<KBestPath> {
     // Start node has log-prob 0 and no backpointer; we mark it with a
     // sentinel edge id.
     let start = sfa.start() as usize;
-    best[start] = Some(Back { logp: 0.0, edge: u32::MAX, emission: 0, from: sfa.start() });
+    best[start] = Some(Back {
+        logp: 0.0,
+        edge: u32::MAX,
+        emission: 0,
+        from: sfa.start(),
+    });
 
     for &v in &order {
-        let Some(cur) = best[v as usize] else { continue };
+        let Some(cur) = best[v as usize] else {
+            continue;
+        };
         for &eid in sfa.out_edges(v) {
             let edge = sfa.edge(eid).expect("live adjacency");
             for (i, em) in edge.emissions.iter().enumerate() {
@@ -38,8 +45,13 @@ pub fn map_path(sfa: &Sfa) -> Option<KBestPath> {
                 }
                 let cand = cur.logp + em.prob.ln();
                 let slot = &mut best[edge.to as usize];
-                if slot.map_or(true, |b| cand > b.logp) {
-                    *slot = Some(Back { logp: cand, edge: eid, emission: i as u32, from: v });
+                if slot.is_none_or(|b| cand > b.logp) {
+                    *slot = Some(Back {
+                        logp: cand,
+                        edge: eid,
+                        emission: i as u32,
+                        from: v,
+                    });
                 }
             }
         }
@@ -59,7 +71,11 @@ pub fn map_path(sfa: &Sfa) -> Option<KBestPath> {
     for &(eid, i) in &edges_rev {
         string.push_str(&sfa.edge(eid).expect("live edge").emissions[i as usize].label);
     }
-    Some(KBestPath { string, prob: fin.logp.exp(), edges: edges_rev })
+    Some(KBestPath {
+        string,
+        prob: fin.logp.exp(),
+        edges: edges_rev,
+    })
 }
 
 /// The MAP string and its probability — the plain-text transcription that
@@ -76,12 +92,28 @@ mod tests {
     fn figure1() -> Sfa {
         let mut b = SfaBuilder::new();
         let n: Vec<_> = (0..6).map(|_| b.add_node()).collect();
-        b.add_edge(n[0], n[1], vec![Emission::new("F", 0.8), Emission::new("T", 0.2)]);
-        b.add_edge(n[1], n[2], vec![Emission::new("0", 0.6), Emission::new("o", 0.4)]);
+        b.add_edge(
+            n[0],
+            n[1],
+            vec![Emission::new("F", 0.8), Emission::new("T", 0.2)],
+        );
+        b.add_edge(
+            n[1],
+            n[2],
+            vec![Emission::new("0", 0.6), Emission::new("o", 0.4)],
+        );
         b.add_edge(n[2], n[3], vec![Emission::new(" ", 0.6)]);
         b.add_edge(n[2], n[4], vec![Emission::new("r", 0.4)]);
-        b.add_edge(n[3], n[4], vec![Emission::new("r", 0.8), Emission::new("m", 0.2)]);
-        b.add_edge(n[4], n[5], vec![Emission::new("d", 0.9), Emission::new("3", 0.1)]);
+        b.add_edge(
+            n[3],
+            n[4],
+            vec![Emission::new("r", 0.8), Emission::new("m", 0.2)],
+        );
+        b.add_edge(
+            n[4],
+            n[5],
+            vec![Emission::new("d", 0.9), Emission::new("3", 0.1)],
+        );
         b.build(n[0], n[5]).unwrap()
     }
 

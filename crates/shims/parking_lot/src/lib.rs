@@ -1,0 +1,304 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Provides the surface `staccato-storage` uses: a non-poisoning
+//! [`Mutex`], and an [`RwLock`] with both borrowed (`read`/`write`) and
+//! Arc-owned (`read_arc`/`write_arc`, the `arc_lock` feature) guards. The
+//! rwlock is a classic mutex+condvar implementation — writer-preference
+//! fairness and parking-lot-grade speed are out of scope; the buffer pool
+//! needs correctness, owned guards, and multi-guard reads. Swap this
+//! crate for the registry `parking_lot` when a network is available.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Marker type standing in for `parking_lot::RawRwLock` in guard
+/// signatures (`ArcRwLockReadGuard<RawRwLock, T>`).
+pub struct RawRwLock(());
+
+/// Guard-type aliases matching `parking_lot::lock_api`.
+pub mod lock_api {
+    pub use crate::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
+}
+
+// ---------------------------------------------------------------- Mutex --
+
+/// Non-poisoning mutex: `lock()` returns the guard directly.
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, ignoring poisoning (parking_lot has none).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            guard: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: StdMutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+// --------------------------------------------------------------- RwLock --
+
+struct RwState {
+    /// Active readers; `usize::MAX` encodes an active writer.
+    readers: usize,
+}
+
+/// Readers-writer lock with Arc-owned guard support.
+pub struct RwLock<T: ?Sized> {
+    state: StdMutex<RwState>,
+    cond: Condvar,
+    data: UnsafeCell<T>,
+}
+
+// Safety: access to `data` is mediated by the reader/writer protocol.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Wrap `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            state: StdMutex::new(RwState { readers: 0 }),
+            cond: Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn acquire_read(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while s.readers == usize::MAX {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.readers += 1;
+    }
+
+    fn acquire_write(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while s.readers != 0 {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.readers = usize::MAX;
+    }
+
+    fn release_read(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.readers -= 1;
+        if s.readers == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    fn release_write(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.readers = 0;
+        self.cond.notify_all();
+    }
+
+    /// Borrowed shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.acquire_read();
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Borrowed exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.acquire_write();
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Owned shared access through an `Arc` (parking_lot's `arc_lock`).
+    pub fn read_arc(this: &Arc<RwLock<T>>) -> ArcRwLockReadGuard<RawRwLock, T> {
+        this.acquire_read();
+        ArcRwLockReadGuard {
+            lock: this.clone(),
+            _raw: PhantomData,
+        }
+    }
+
+    /// Owned exclusive access through an `Arc` (parking_lot's `arc_lock`).
+    pub fn write_arc(this: &Arc<RwLock<T>>) -> ArcRwLockWriteGuard<RawRwLock, T> {
+        this.acquire_write();
+        ArcRwLockWriteGuard {
+            lock: this.clone(),
+            _raw: PhantomData,
+        }
+    }
+}
+
+/// Borrowed read guard.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: reader count > 0 excludes writers.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release_read();
+    }
+}
+
+/// Borrowed write guard.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: exclusive hold.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: exclusive hold.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release_write();
+    }
+}
+
+/// Owned read guard keeping its lock alive via `Arc`.
+pub struct ArcRwLockReadGuard<R, T: ?Sized> {
+    lock: Arc<RwLock<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T: ?Sized> std::ops::Deref for ArcRwLockReadGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: reader count > 0 excludes writers.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<R, T: ?Sized> Drop for ArcRwLockReadGuard<R, T> {
+    fn drop(&mut self) {
+        self.lock.release_read();
+    }
+}
+
+/// Owned write guard keeping its lock alive via `Arc`.
+pub struct ArcRwLockWriteGuard<R, T: ?Sized> {
+    lock: Arc<RwLock<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T: ?Sized> std::ops::Deref for ArcRwLockWriteGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: exclusive hold.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<R, T: ?Sized> std::ops::DerefMut for ArcRwLockWriteGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: exclusive hold.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<R, T: ?Sized> Drop for ArcRwLockWriteGuard<R, T> {
+    fn drop(&mut self) {
+        self.lock.release_write();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn rwlock_shared_then_exclusive() {
+        let l = Arc::new(RwLock::new(vec![1, 2]));
+        {
+            let a = RwLock::read_arc(&l);
+            let b = l.read(); // two concurrent readers
+            assert_eq!(a.len() + b.len(), 4);
+        }
+        {
+            let mut w = RwLock::write_arc(&l);
+            w.push(3);
+        }
+        assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn arc_guard_outlives_binding_scope() {
+        let guard;
+        {
+            let l = Arc::new(RwLock::new(7u8));
+            guard = RwLock::read_arc(&l);
+        } // original Arc dropped; guard keeps the lock alive
+        assert_eq!(*guard, 7);
+    }
+
+    #[test]
+    fn writer_excludes_readers_across_threads() {
+        let l = Arc::new(RwLock::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = l.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let mut w = RwLock::write_arc(&l);
+                    *w += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 4000);
+    }
+}

@@ -142,10 +142,19 @@ mod tests {
     #[test]
     fn exact_boundary_sizes() {
         let pool = pool();
-        for size in [BLOB_PAYLOAD - 1, BLOB_PAYLOAD, BLOB_PAYLOAD + 1, 2 * BLOB_PAYLOAD] {
+        for size in [
+            BLOB_PAYLOAD - 1,
+            BLOB_PAYLOAD,
+            BLOB_PAYLOAD + 1,
+            2 * BLOB_PAYLOAD,
+        ] {
             let data = vec![7u8; size];
             let id = BlobStore::put(&pool, &data).unwrap();
-            assert_eq!(BlobStore::get(&pool, id).unwrap().len(), size, "size {size}");
+            assert_eq!(
+                BlobStore::get(&pool, id).unwrap().len(),
+                size,
+                "size {size}"
+            );
         }
     }
 

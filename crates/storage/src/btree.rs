@@ -25,8 +25,14 @@ const INTERNAL: u8 = 2;
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { next: PageId, entries: Vec<(Vec<u8>, u64)> },
-    Internal { leftmost: PageId, entries: Vec<(Vec<u8>, PageId)> },
+    Leaf {
+        next: PageId,
+        entries: Vec<(Vec<u8>, u64)>,
+    },
+    Internal {
+        leftmost: PageId,
+        entries: Vec<(Vec<u8>, PageId)>,
+    },
 }
 
 impl Node {
@@ -42,7 +48,10 @@ impl Node {
     }
 
     fn write(&self, buf: &mut [u8; PAGE_SIZE]) {
-        debug_assert!(self.serialized_size() <= PAGE_SIZE, "node overflow on write");
+        debug_assert!(
+            self.serialized_size() <= PAGE_SIZE,
+            "node overflow on write"
+        );
         let mut pos = 0usize;
         match self {
             Node::Leaf { next, entries } => {
@@ -92,8 +101,7 @@ impl Node {
                 if pos + 2 > PAGE_SIZE {
                     return Err(corrupt("entry header out of range"));
                 }
-                let klen =
-                    u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("len")) as usize;
+                let klen = u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("len")) as usize;
                 pos += 2;
                 if klen > MAX_KEY || pos + klen + 8 > PAGE_SIZE {
                     return Err(corrupt("entry body out of range"));
@@ -107,8 +115,14 @@ impl Node {
             Ok(entries)
         };
         match tag {
-            LEAF => Ok(Node::Leaf { next: head, entries: read_entries(n)? }),
-            INTERNAL => Ok(Node::Internal { leftmost: head, entries: read_entries(n)? }),
+            LEAF => Ok(Node::Leaf {
+                next: head,
+                entries: read_entries(n)?,
+            }),
+            INTERNAL => Ok(Node::Internal {
+                leftmost: head,
+                entries: read_entries(n)?,
+            }),
             _ => Err(corrupt("unknown node tag")),
         }
     }
@@ -127,7 +141,14 @@ impl BTree {
     pub fn create(pool: &BufferPool) -> Result<BTree, StorageError> {
         let meta = pool.allocate()?;
         let root = pool.allocate()?;
-        write_node(pool, root, &Node::Leaf { next: NO_PAGE, entries: Vec::new() })?;
+        write_node(
+            pool,
+            root,
+            &Node::Leaf {
+                next: NO_PAGE,
+                entries: Vec::new(),
+            },
+        )?;
         let mut mp = pool.fetch_write(meta)?;
         mp[0..8].copy_from_slice(&root.to_le_bytes());
         drop(mp);
@@ -181,7 +202,10 @@ impl BTree {
         value: u64,
     ) -> Result<Option<u64>, StorageError> {
         if key.len() > MAX_KEY {
-            return Err(StorageError::TupleTooLarge { size: key.len(), max: MAX_KEY });
+            return Err(StorageError::TupleTooLarge {
+                size: key.len(),
+                max: MAX_KEY,
+            });
         }
         let root = self.root(pool)?;
         let (old, split) = insert_rec(pool, root, key, value)?;
@@ -190,7 +214,10 @@ impl BTree {
             write_node(
                 pool,
                 new_root,
-                &Node::Internal { leftmost: root, entries: vec![(sep, new_child)] },
+                &Node::Internal {
+                    leftmost: root,
+                    entries: vec![(sep, new_child)],
+                },
             )?;
             self.set_root(pool, new_root)?;
         }
@@ -228,13 +255,8 @@ impl BTree {
         hi: Option<&[u8]>,
     ) -> Result<Vec<(Vec<u8>, u64)>, StorageError> {
         let mut pid = self.root(pool)?;
-        loop {
-            match read_node(pool, pid)? {
-                Node::Internal { leftmost, entries } => {
-                    pid = child_for(&entries, leftmost, lo);
-                }
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Internal { leftmost, entries } = read_node(pool, pid)? {
+            pid = child_for(&entries, leftmost, lo);
         }
         let mut out = Vec::new();
         loop {
@@ -369,16 +391,35 @@ fn insert_rec(
                 return Ok((old, None));
             }
             // Split.
-            let Node::Leaf { next, mut entries } = node else { unreachable!() };
+            let Node::Leaf { next, mut entries } = node else {
+                unreachable!()
+            };
             let mid = split_point(&entries);
             let right_entries = entries.split_off(mid);
             let sep = right_entries[0].0.clone();
             let right_pid = pool.allocate()?;
-            write_node(pool, right_pid, &Node::Leaf { next, entries: right_entries })?;
-            write_node(pool, pid, &Node::Leaf { next: right_pid, entries })?;
+            write_node(
+                pool,
+                right_pid,
+                &Node::Leaf {
+                    next,
+                    entries: right_entries,
+                },
+            )?;
+            write_node(
+                pool,
+                pid,
+                &Node::Leaf {
+                    next: right_pid,
+                    entries,
+                },
+            )?;
             Ok((old, Some((sep, right_pid))))
         }
-        Node::Internal { leftmost, mut entries } => {
+        Node::Internal {
+            leftmost,
+            mut entries,
+        } => {
             let child = child_for(&entries, leftmost, key);
             let (old, split) = insert_rec(pool, child, key, value)?;
             let Some((sep, new_child)) = split else {
@@ -394,7 +435,13 @@ fn insert_rec(
                 write_node(pool, pid, &node)?;
                 return Ok((old, None));
             }
-            let Node::Internal { leftmost, mut entries } = node else { unreachable!() };
+            let Node::Internal {
+                leftmost,
+                mut entries,
+            } = node
+            else {
+                unreachable!()
+            };
             let mid = split_point(&entries);
             let mut right_entries = entries.split_off(mid);
             // Promote the first right entry; its child becomes the right
@@ -404,7 +451,10 @@ fn insert_rec(
             write_node(
                 pool,
                 right_pid,
-                &Node::Internal { leftmost: right_leftmost, entries: right_entries },
+                &Node::Internal {
+                    leftmost: right_leftmost,
+                    entries: right_entries,
+                },
             )?;
             write_node(pool, pid, &Node::Internal { leftmost, entries })?;
             Ok((old, Some((promoted, right_pid))))
@@ -498,8 +548,7 @@ mod tests {
             }
         }
         let ours = t.scan_range(&pool, &[], None).unwrap();
-        let theirs: Vec<(Vec<u8>, u64)> =
-            model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let theirs: Vec<(Vec<u8>, u64)> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
         assert_eq!(ours, theirs);
     }
 

@@ -60,7 +60,10 @@ struct CatReader<'a> {
 impl<'a> CatReader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
         if self.buf.len() - self.pos < n {
-            return Err(StorageError::CorruptPage { page: 0, reason: "catalog truncated" });
+            return Err(StorageError::CorruptPage {
+                page: 0,
+                reason: "catalog truncated",
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -78,8 +81,10 @@ impl<'a> CatReader<'a> {
     fn string(&mut self) -> Result<String, StorageError> {
         let len = self.u16()? as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| StorageError::CorruptPage { page: 0, reason: "catalog name not UTF-8" })
+        String::from_utf8(bytes.to_vec()).map_err(|_| StorageError::CorruptPage {
+            page: 0,
+            reason: "catalog name not UTF-8",
+        })
     }
 }
 
@@ -134,14 +139,21 @@ impl Catalog {
                 cols.push((cn, ct));
             }
             let first_page = r.u64()?;
-            cat.tables
-                .insert(name.clone(), TableDef { name, schema: Schema { cols }, first_page });
+            cat.tables.insert(
+                name.clone(),
+                TableDef {
+                    name,
+                    schema: Schema { cols },
+                    first_page,
+                },
+            );
         }
         let nindexes = r.u16()?;
         for _ in 0..nindexes {
             let name = r.string()?;
             let meta_page = r.u64()?;
-            cat.indexes.insert(name.clone(), IndexDef { name, meta_page });
+            cat.indexes
+                .insert(name.clone(), IndexDef { name, meta_page });
         }
         Ok(cat)
     }
@@ -163,7 +175,10 @@ impl Database {
         anchor[0..4].copy_from_slice(MAGIC);
         anchor[4..12].copy_from_slice(&NO_PAGE.to_le_bytes());
         drop(anchor);
-        Ok(Database { pool, catalog: Mutex::new(Catalog::default()) })
+        Ok(Database {
+            pool,
+            catalog: Mutex::new(Catalog::default()),
+        })
     }
 
     /// Create an in-memory database (tests, CPU-bound experiments).
@@ -181,7 +196,10 @@ impl Database {
         let pool = BufferPool::new(Box::new(FileDisk::open(path)?), frames);
         let anchor = pool.fetch_read(0)?;
         if &anchor[0..4] != MAGIC {
-            return Err(StorageError::CorruptPage { page: 0, reason: "bad database magic" });
+            return Err(StorageError::CorruptPage {
+                page: 0,
+                reason: "bad database magic",
+            });
         }
         let cat_blob = u64::from_le_bytes(anchor[4..12].try_into().expect("len"));
         drop(anchor);
@@ -190,7 +208,10 @@ impl Database {
         } else {
             Catalog::decode(&BlobStore::get(&pool, cat_blob)?)?
         };
-        Ok(Database { pool, catalog: Mutex::new(catalog) })
+        Ok(Database {
+            pool,
+            catalog: Mutex::new(catalog),
+        })
     }
 
     /// The buffer pool (for direct heap/btree/blob operations).
@@ -207,7 +228,11 @@ impl Database {
         let heap = HeapFile::create(&self.pool)?;
         cat.tables.insert(
             name.to_string(),
-            TableDef { name: name.to_string(), schema, first_page: heap.first_page() },
+            TableDef {
+                name: name.to_string(),
+                schema,
+                first_page: heap.first_page(),
+            },
         );
         Ok(heap)
     }
@@ -215,8 +240,10 @@ impl Database {
     /// Look up a table.
     pub fn table(&self, name: &str) -> Result<(Schema, HeapFile), StorageError> {
         let cat = self.catalog.lock();
-        let def =
-            cat.tables.get(name).ok_or_else(|| StorageError::NoSuchObject(name.to_string()))?;
+        let def = cat
+            .tables
+            .get(name)
+            .ok_or_else(|| StorageError::NoSuchObject(name.to_string()))?;
         Ok((def.schema.clone(), HeapFile::open(def.first_page)))
     }
 
@@ -227,16 +254,23 @@ impl Database {
             return Err(StorageError::DuplicateObject(name.to_string()));
         }
         let tree = BTree::create(&self.pool)?;
-        cat.indexes
-            .insert(name.to_string(), IndexDef { name: name.to_string(), meta_page: tree.meta_page() });
+        cat.indexes.insert(
+            name.to_string(),
+            IndexDef {
+                name: name.to_string(),
+                meta_page: tree.meta_page(),
+            },
+        );
         Ok(tree)
     }
 
     /// Look up an index.
     pub fn index(&self, name: &str) -> Result<BTree, StorageError> {
         let cat = self.catalog.lock();
-        let def =
-            cat.indexes.get(name).ok_or_else(|| StorageError::NoSuchObject(name.to_string()))?;
+        let def = cat
+            .indexes
+            .get(name)
+            .ok_or_else(|| StorageError::NoSuchObject(name.to_string()))?;
         Ok(BTree::open(def.meta_page))
     }
 
@@ -280,8 +314,15 @@ mod tests {
         let db = Database::in_memory(32).unwrap();
         let heap = db.create_table("Claims", claims_schema()).unwrap();
         let (schema, _) = db.table("Claims").unwrap();
-        let row = vec![Value::Int(1), Value::Int(2010), Value::Float(5.0), Value::Blob(0)];
-        let rid = heap.insert(db.pool(), &encode_row(&schema, &row).unwrap()).unwrap();
+        let row = vec![
+            Value::Int(1),
+            Value::Int(2010),
+            Value::Float(5.0),
+            Value::Blob(0),
+        ];
+        let rid = heap
+            .insert(db.pool(), &encode_row(&schema, &row).unwrap())
+            .unwrap();
         let bytes = heap.get(db.pool(), rid).unwrap();
         assert_eq!(decode_row(&schema, &bytes).unwrap(), row);
     }
@@ -295,14 +336,23 @@ mod tests {
             Err(StorageError::DuplicateObject(_))
         ));
         db.create_index("i").unwrap();
-        assert!(matches!(db.create_index("i"), Err(StorageError::DuplicateObject(_))));
+        assert!(matches!(
+            db.create_index("i"),
+            Err(StorageError::DuplicateObject(_))
+        ));
     }
 
     #[test]
     fn missing_objects_error() {
         let db = Database::in_memory(32).unwrap();
-        assert!(matches!(db.table("nope"), Err(StorageError::NoSuchObject(_))));
-        assert!(matches!(db.index("nope"), Err(StorageError::NoSuchObject(_))));
+        assert!(matches!(
+            db.table("nope"),
+            Err(StorageError::NoSuchObject(_))
+        ));
+        assert!(matches!(
+            db.index("nope"),
+            Err(StorageError::NoSuchObject(_))
+        ));
     }
 
     #[test]
@@ -310,9 +360,19 @@ mod tests {
         let mut cat = Catalog::default();
         cat.tables.insert(
             "Claims".into(),
-            TableDef { name: "Claims".into(), schema: claims_schema(), first_page: 7 },
+            TableDef {
+                name: "Claims".into(),
+                schema: claims_schema(),
+                first_page: 7,
+            },
         );
-        cat.indexes.insert("inv".into(), IndexDef { name: "inv".into(), meta_page: 9 });
+        cat.indexes.insert(
+            "inv".into(),
+            IndexDef {
+                name: "inv".into(),
+                meta_page: 9,
+            },
+        );
         let bytes = cat.encode();
         assert_eq!(Catalog::decode(&bytes).unwrap(), cat);
     }
@@ -325,14 +385,25 @@ mod tests {
         let rid;
         {
             let db = Database::create(&path, 32).unwrap();
-            let heap = db.create_table("MasterData", Schema::new(&[
-                ("DataKey", ColumnType::Int),
-                ("DocName", ColumnType::Text),
-                ("SFANum", ColumnType::Int),
-            ])).unwrap();
+            let heap = db
+                .create_table(
+                    "MasterData",
+                    Schema::new(&[
+                        ("DataKey", ColumnType::Int),
+                        ("DocName", ColumnType::Text),
+                        ("SFANum", ColumnType::Int),
+                    ]),
+                )
+                .unwrap();
             let schema = db.table("MasterData").unwrap().0;
-            let row = vec![Value::Int(1), Value::Text("CA_doc_000".into()), Value::Int(17)];
-            rid = heap.insert(db.pool(), &encode_row(&schema, &row).unwrap()).unwrap();
+            let row = vec![
+                Value::Int(1),
+                Value::Text("CA_doc_000".into()),
+                Value::Int(17),
+            ];
+            rid = heap
+                .insert(db.pool(), &encode_row(&schema, &row).unwrap())
+                .unwrap();
             let idx = db.create_index("pk").unwrap();
             idx.insert(db.pool(), b"1", rid.to_u64()).unwrap();
             db.save().unwrap();
@@ -344,7 +415,9 @@ mod tests {
             let (schema, heap) = db.table("MasterData").unwrap();
             let idx = db.index("pk").unwrap();
             let found = idx.get(db.pool(), b"1").unwrap().unwrap();
-            let bytes = heap.get(db.pool(), crate::heap::Rid::from_u64(found)).unwrap();
+            let bytes = heap
+                .get(db.pool(), crate::heap::Rid::from_u64(found))
+                .unwrap();
             let row = decode_row(&schema, &bytes).unwrap();
             assert_eq!(row[1].as_text(), Some("CA_doc_000"));
             assert_eq!(row[2].as_int(), Some(17));

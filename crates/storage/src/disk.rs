@@ -39,15 +39,19 @@ impl MemDisk {
 
 impl Disk for MemDisk {
     fn read_page(&mut self, pid: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
-        let page =
-            self.pages.get(pid as usize).ok_or(StorageError::PageOutOfBounds(pid))?;
+        let page = self
+            .pages
+            .get(pid as usize)
+            .ok_or(StorageError::PageOutOfBounds(pid))?;
         buf.copy_from_slice(&page[..]);
         Ok(())
     }
 
     fn write_page(&mut self, pid: PageId, buf: &[u8]) -> Result<(), StorageError> {
-        let page =
-            self.pages.get_mut(pid as usize).ok_or(StorageError::PageOutOfBounds(pid))?;
+        let page = self
+            .pages
+            .get_mut(pid as usize)
+            .ok_or(StorageError::PageOutOfBounds(pid))?;
         page.copy_from_slice(buf);
         Ok(())
     }
@@ -94,7 +98,10 @@ impl FileDisk {
                 reason: "file length is not a multiple of the page size",
             });
         }
-        Ok(FileDisk { file, pages: len / PAGE_SIZE as u64 })
+        Ok(FileDisk {
+            file,
+            pages: len / PAGE_SIZE as u64,
+        })
     }
 
     fn check(&self, pid: PageId) -> Result<(), StorageError> {
@@ -198,7 +205,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ragged.db");
         std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).unwrap();
-        assert!(matches!(FileDisk::open(&path), Err(StorageError::CorruptPage { .. })));
+        assert!(matches!(
+            FileDisk::open(&path),
+            Err(StorageError::CorruptPage { .. })
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

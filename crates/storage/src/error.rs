@@ -75,8 +75,14 @@ mod tests {
     fn display_covers_variants() {
         let cases: Vec<StorageError> = vec![
             StorageError::PageOutOfBounds(9),
-            StorageError::CorruptPage { page: 1, reason: "bad slot" },
-            StorageError::TupleTooLarge { size: 9000, max: 8000 },
+            StorageError::CorruptPage {
+                page: 1,
+                reason: "bad slot",
+            },
+            StorageError::TupleTooLarge {
+                size: 9000,
+                max: 8000,
+            },
             StorageError::TupleNotFound { page: 2, slot: 3 },
             StorageError::PoolExhausted,
             StorageError::NoSuchObject("t".into()),

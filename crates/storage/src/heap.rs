@@ -2,7 +2,6 @@
 //! pages, addressed by RID (page, slot) — the layout behind every table in
 //! the paper's Table 5 schema.
 
-
 use crate::error::StorageError;
 use crate::page::SlottedPage;
 use crate::pager::BufferPool;
@@ -27,7 +26,10 @@ impl Rid {
 
     /// Unpack from [`Rid::to_u64`].
     pub fn from_u64(v: u64) -> Rid {
-        Rid { page: v >> 16, slot: (v & 0xFFFF) as u16 }
+        Rid {
+            page: v >> 16,
+            slot: (v & 0xFFFF) as u16,
+        }
     }
 }
 
@@ -44,12 +46,18 @@ impl HeapFile {
         let first = pool.allocate()?;
         let mut page = pool.fetch_write(first)?;
         SlottedPage::init(&mut page);
-        Ok(HeapFile { first, last_hint: AtomicU64::new(first) })
+        Ok(HeapFile {
+            first,
+            last_hint: AtomicU64::new(first),
+        })
     }
 
     /// Reopen a heap file by its first page (from the catalog).
     pub fn open(first: PageId) -> HeapFile {
-        HeapFile { first, last_hint: AtomicU64::new(first) }
+        HeapFile {
+            first,
+            last_hint: AtomicU64::new(first),
+        }
     }
 
     /// The first page (persisted in the catalog).
@@ -94,26 +102,35 @@ impl HeapFile {
     pub fn get(&self, pool: &BufferPool, rid: Rid) -> Result<Vec<u8>, StorageError> {
         let mut page = pool.fetch_write(rid.page)?;
         let sp = SlottedPage::new(&mut page);
-        sp.get(rid.slot).map(|b| b.to_vec()).map_err(|_| StorageError::TupleNotFound {
-            page: rid.page,
-            slot: rid.slot,
-        })
+        sp.get(rid.slot)
+            .map(|b| b.to_vec())
+            .map_err(|_| StorageError::TupleNotFound {
+                page: rid.page,
+                slot: rid.slot,
+            })
     }
 
     /// Delete a tuple by RID (tombstone).
     pub fn delete(&self, pool: &BufferPool, rid: Rid) -> Result<(), StorageError> {
         let mut page = pool.fetch_write(rid.page)?;
         let mut sp = SlottedPage::new(&mut page);
-        sp.delete(rid.slot).map_err(|_| StorageError::TupleNotFound {
-            page: rid.page,
-            slot: rid.slot,
-        })
+        sp.delete(rid.slot)
+            .map_err(|_| StorageError::TupleNotFound {
+                page: rid.page,
+                slot: rid.slot,
+            })
     }
 
     /// Full scan in chain order. Tuples are copied out page by page, so
     /// the iterator holds no page pins between steps.
     pub fn scan<'p>(&self, pool: &'p BufferPool) -> HeapScan<'p> {
-        HeapScan { pool, next_page: self.first, buffer: Vec::new(), pos: 0, failed: false }
+        HeapScan {
+            pool,
+            next_page: self.first,
+            buffer: Vec::new(),
+            pos: 0,
+            failed: false,
+        }
     }
 }
 
@@ -169,7 +186,10 @@ pub fn chain_length(pool: &BufferPool, first: PageId) -> Result<u64, StorageErro
     while pid != NO_PAGE {
         n += 1;
         if n > limit {
-            return Err(StorageError::CorruptPage { page: pid, reason: "page chain cycle" });
+            return Err(StorageError::CorruptPage {
+                page: pid,
+                reason: "page chain cycle",
+            });
         }
         let mut page = pool.fetch_write(pid)?;
         pid = SlottedPage::new(&mut page).next();
@@ -179,9 +199,9 @@ pub fn chain_length(pool: &BufferPool, first: PageId) -> Result<u64, StorageErro
 
 #[cfg(test)]
 mod tests {
-    use crate::disk::PAGE_SIZE;
     use super::*;
     use crate::disk::MemDisk;
+    use crate::disk::PAGE_SIZE;
 
     fn pool() -> BufferPool {
         BufferPool::new(Box::new(MemDisk::new()), 16)
@@ -210,8 +230,7 @@ mod tests {
             rids.push(heap.insert(&pool, &t).unwrap());
         }
         assert!(chain_length(&pool, heap.first_page()).unwrap() >= 7);
-        let scanned: Vec<(Rid, Vec<u8>)> =
-            heap.scan(&pool).collect::<Result<_, _>>().unwrap();
+        let scanned: Vec<(Rid, Vec<u8>)> = heap.scan(&pool).collect::<Result<_, _>>().unwrap();
         assert_eq!(scanned.len(), n);
         for (i, (rid, t)) in scanned.iter().enumerate() {
             assert_eq!(*rid, rids[i]);
@@ -227,8 +246,7 @@ mod tests {
         let b = heap.insert(&pool, b"b").unwrap();
         heap.delete(&pool, a).unwrap();
         assert!(heap.get(&pool, a).is_err());
-        let left: Vec<Vec<u8>> =
-            heap.scan(&pool).map(|r| r.unwrap().1).collect();
+        let left: Vec<Vec<u8>> = heap.scan(&pool).map(|r| r.unwrap().1).collect();
         assert_eq!(left, vec![b"b".to_vec()]);
         assert_eq!(heap.get(&pool, b).unwrap(), b"b");
     }
@@ -257,7 +275,10 @@ mod tests {
 
     #[test]
     fn rid_u64_roundtrip() {
-        let rid = Rid { page: 123_456, slot: 789 };
+        let rid = Rid {
+            page: 123_456,
+            slot: 789,
+        };
         assert_eq!(Rid::from_u64(rid.to_u64()), rid);
     }
 

@@ -132,7 +132,10 @@ impl<'a> SlottedPage<'a> {
         }
         let (o, l) = (o as usize, l as usize);
         if o + l > PAGE_SIZE || o < HEADER {
-            return Err(StorageError::CorruptPage { page: 0, reason: "slot out of range" });
+            return Err(StorageError::CorruptPage {
+                page: 0,
+                reason: "slot out of range",
+            });
         }
         Ok(&self.buf[o..o + l])
     }
@@ -192,7 +195,7 @@ mod tests {
             n += 1;
         }
         // 8192 - 14 header; each tuple costs 104 → ~78 tuples.
-        assert!(n >= 75 && n <= 80, "inserted {n}");
+        assert!((75..=80).contains(&n), "inserted {n}");
         // Everything is still readable.
         for i in 0..n {
             assert_eq!(p.get(i as u16).unwrap(), &tuple[..]);
@@ -215,7 +218,10 @@ mod tests {
         let b = p.insert(b"alive").unwrap();
         p.delete(a).unwrap();
         assert!(matches!(p.get(a), Err(StorageError::TupleNotFound { .. })));
-        assert!(matches!(p.delete(a), Err(StorageError::TupleNotFound { .. })));
+        assert!(matches!(
+            p.delete(a),
+            Err(StorageError::TupleNotFound { .. })
+        ));
         assert_eq!(p.get(b).unwrap(), b"alive");
         let live: Vec<u16> = p.iter().map(|(s, _)| s).collect();
         assert_eq!(live, vec![b]);

@@ -103,13 +103,17 @@ impl BufferPool {
     /// Fetch a page for reading.
     pub fn fetch_read(&self, pid: PageId) -> Result<PageRead, StorageError> {
         let arc = self.fetch_arc(pid, false)?;
-        Ok(PageRead { guard: RwLock::read_arc(&arc) })
+        Ok(PageRead {
+            guard: RwLock::read_arc(&arc),
+        })
     }
 
     /// Fetch a page for writing (marks it dirty).
     pub fn fetch_write(&self, pid: PageId) -> Result<PageWrite, StorageError> {
         let arc = self.fetch_arc(pid, true)?;
-        Ok(PageWrite { guard: RwLock::write_arc(&arc) })
+        Ok(PageWrite {
+            guard: RwLock::write_arc(&arc),
+        })
     }
 
     /// Allocate a fresh zeroed page on disk and return its id.
@@ -175,7 +179,12 @@ impl BufferPool {
 
         if inner.frames.len() < inner.capacity {
             let idx = inner.frames.len();
-            inner.frames.push(Frame { pid, data: arc.clone(), dirty, last_used: tick });
+            inner.frames.push(Frame {
+                pid,
+                data: arc.clone(),
+                dirty,
+                last_used: tick,
+            });
             inner.table.insert(pid, idx);
             return Ok(arc);
         }
@@ -201,7 +210,12 @@ impl BufferPool {
         }
         inner.stats.evictions += 1;
         inner.table.remove(&old_pid);
-        inner.frames[victim] = Frame { pid, data: arc.clone(), dirty, last_used: tick };
+        inner.frames[victim] = Frame {
+            pid,
+            data: arc.clone(),
+            dirty,
+            last_used: tick,
+        };
         inner.table.insert(pid, victim);
         Ok(arc)
     }
@@ -302,7 +316,10 @@ mod tests {
     #[test]
     fn out_of_bounds_page_errors() {
         let p = pool(2, 1);
-        assert!(matches!(p.fetch_read(9), Err(StorageError::PageOutOfBounds(9))));
+        assert!(matches!(
+            p.fetch_read(9),
+            Err(StorageError::PageOutOfBounds(9))
+        ));
     }
 
     #[test]
@@ -312,7 +329,7 @@ mod tests {
         let _ = p.fetch_read(1).unwrap(); // newer
         let _ = p.fetch_read(0).unwrap(); // refresh 0 → 1 is now LRU
         let _ = p.fetch_read(2).unwrap(); // evicts 1
-        // 0 still cached: hit.
+                                          // 0 still cached: hit.
         let before = p.stats().hits;
         let _ = p.fetch_read(0).unwrap();
         assert_eq!(p.stats().hits, before + 1);

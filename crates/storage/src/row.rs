@@ -31,7 +31,9 @@ pub struct Schema {
 impl Schema {
     /// Build a schema from `(name, type)` pairs.
     pub fn new(cols: &[(&str, ColumnType)]) -> Schema {
-        Schema { cols: cols.iter().map(|(n, t)| (n.to_string(), *t)).collect() }
+        Schema {
+            cols: cols.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
+        }
     }
 
     /// Index of a named column.
@@ -109,7 +111,11 @@ pub fn encode_row(schema: &Schema, row: &Row) -> Result<Vec<u8>, StorageError> {
                 out.extend_from_slice(&(s.len() as u32).to_le_bytes());
                 out.extend_from_slice(s.as_bytes());
             }
-            _ => return Err(StorageError::SchemaMismatch("value type does not match column")),
+            _ => {
+                return Err(StorageError::SchemaMismatch(
+                    "value type does not match column",
+                ))
+            }
         }
     }
     Ok(out)
@@ -139,8 +145,7 @@ pub fn decode_row(schema: &Schema, bytes: &[u8]) -> Result<Row, StorageError> {
                 take(&mut pos, 8)?.try_into().expect("len"),
             ))),
             ColumnType::Text => {
-                let len =
-                    u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len")) as usize;
+                let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len")) as usize;
                 let s = take(&mut pos, len)?;
                 row.push(Value::Text(
                     std::str::from_utf8(s)
@@ -191,8 +196,12 @@ mod tests {
     #[test]
     fn claims_row_roundtrip() {
         let schema = claims_schema();
-        let row: Row =
-            vec![Value::Int(7), Value::Int(2010), Value::Float(1200.50), Value::Blob(3)];
+        let row: Row = vec![
+            Value::Int(7),
+            Value::Int(2010),
+            Value::Float(1200.50),
+            Value::Blob(3),
+        ];
         let bytes = encode_row(&schema, &row).unwrap();
         let back = decode_row(&schema, &bytes).unwrap();
         assert_eq!(back[1].as_int(), Some(2010));

@@ -4,32 +4,35 @@
 //!
 //! Loads a literature corpus through the OCR channel into the RDBMS with
 //! all four representations, then searches for a rare name and for a
-//! date-like regex, reporting precision/recall per access method — the
-//! recall-sensitive scholar should not use the MAP text.
+//! date-like regex through the session API, reporting precision/recall
+//! per access method — the recall-sensitive scholar should not use the
+//! MAP text.
 //!
 //! Run with: `cargo run --release --example digital_humanities`
 
 use staccato::approx::StaccatoParams;
 use staccato::ocr::{generate, ChannelConfig, CorpusKind};
-use staccato::query::exec::{filescan_query, Approach};
 use staccato::query::metrics::{evaluate_answers, ground_truth};
-use staccato::query::store::{LoadOptions, OcrStore};
-use staccato::query::Query;
+use staccato::query::store::LoadOptions;
 use staccato::storage::Database;
+use staccato::{Approach, QueryRequest, Staccato};
 
 fn main() {
     let lines = 250;
     let dataset = generate(CorpusKind::EnglishLit, lines, 7);
     let db = Database::in_memory(4096).expect("database");
     let opts = LoadOptions {
-        channel: ChannelConfig { seed: 7, ..ChannelConfig::default() },
+        channel: ChannelConfig {
+            seed: 7,
+            ..ChannelConfig::default()
+        },
         kmap_k: 25,
         staccato: StaccatoParams::new(40, 25),
         ..Default::default()
     };
     println!("Scanning {lines} lines of the literature corpus through the OCR channel…");
-    let store = OcrStore::load(db, &dataset, &opts).expect("load store");
-    let sizes = store.sizes();
+    let session = Staccato::load(db, &dataset, &opts).expect("load store");
+    let sizes = session.sizes();
     println!(
         "Loaded. text={}kB, MAP={}kB, k-MAP={}kB, STACCATO={}kB, FullSFA={}MB\n",
         sizes.text / 1000,
@@ -40,17 +43,24 @@ fn main() {
     );
 
     for pattern in ["Kerouac", r"19\d\d, \d\d"] {
-        let query = Query::regex(pattern).expect("pattern");
-        let truth = ground_truth(&store, &query).expect("ground truth");
-        println!("query `{pattern}` — {} true lines in the corpus", truth.len());
-        println!("| engine | found | precision | recall |");
-        println!("|---|---|---|---|");
+        let request = QueryRequest::regex(pattern).num_ans(100);
+        let query = request.compile().expect("pattern");
+        let truth = ground_truth(session.store(), &query).expect("ground truth");
+        println!(
+            "query `{pattern}` — {} true lines in the corpus",
+            truth.len()
+        );
+        println!("| engine | plan | found | precision | recall |");
+        println!("|---|---|---|---|---|");
         for ap in Approach::all() {
-            let answers = filescan_query(&store, ap, &query, 100).expect("query");
-            let m = evaluate_answers(&answers, &truth);
+            let out = session
+                .execute(&request.clone().approach(ap))
+                .expect("query");
+            let m = evaluate_answers(&out.answers, &truth);
             println!(
-                "| {} | {}/{} | {:.2} | {:.2} |",
+                "| {} | {} | {}/{} | {:.2} | {:.2} |",
                 ap.name(),
+                out.plan.kind(),
                 m.true_positives,
                 m.truth_size,
                 m.precision,

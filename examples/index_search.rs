@@ -1,20 +1,19 @@
-//! Dictionary-based inverted indexing over OCR SFAs (§4 of the paper).
+//! Dictionary-based inverted indexing over OCR SFAs (§4 of the paper),
+//! through the session API.
 //!
-//! Builds the CA-style corpus in the RDBMS, constructs the trie-automaton
-//! index over a dictionary, and runs an anchored regular expression both
-//! by filescan and through the index (probe → point fetch → projection),
-//! comparing answers and wall-clock time.
+//! Builds the CA-style corpus in the RDBMS, registers a trie-automaton
+//! index over a dictionary, and runs an anchored regular expression twice
+//! — once letting the planner pick the index probe, once forcing the
+//! filescan — comparing answers, plans, and wall-clock time.
 //!
 //! Run with: `cargo run --release --example index_search`
 
 use staccato::approx::StaccatoParams;
 use staccato::automata::Trie;
 use staccato::ocr::{generate, ChannelConfig, CorpusKind};
-use staccato::query::exec::{filescan_query, Approach};
-use staccato::query::invindex::{build_index, indexed_query};
-use staccato::query::store::{LoadOptions, OcrStore};
-use staccato::query::Query;
+use staccato::query::store::LoadOptions;
 use staccato::storage::Database;
+use staccato::{PlanPreference, QueryRequest, Staccato};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -22,13 +21,16 @@ fn main() {
     let dataset = generate(CorpusKind::CongressActs, 300, 13);
     let db = Database::in_memory(8192).expect("database");
     let opts = LoadOptions {
-        channel: ChannelConfig { seed: 13, ..ChannelConfig::default() },
+        channel: ChannelConfig {
+            seed: 13,
+            ..ChannelConfig::default()
+        },
         kmap_k: 25,
         staccato: StaccatoParams::new(40, 25),
         ..Default::default()
     };
     println!("Loading {} lines into the store…", dataset.total_lines());
-    let store = OcrStore::load(db, &dataset, &opts).expect("load");
+    let mut session = Staccato::load(db, &dataset, &opts).expect("load");
 
     // Dictionary: every word of the clean corpus (as §4 suggests, terms
     // "extracted from a known clean text corpus").
@@ -42,34 +44,49 @@ fn main() {
     }
     let trie = Trie::build(&terms);
     let t0 = Instant::now();
-    let index = build_index(&store, &trie, "inv").expect("build index");
+    let postings = session.register_index(&trie, "inv").expect("build index");
     println!(
-        "Indexed {} terms ({} trie states) -> {} postings in {:?}\n",
+        "Indexed {} terms ({} trie states) -> {postings} postings in {:?}\n",
         trie.term_count(),
         trie.state_count(),
-        index.posting_count,
         t0.elapsed()
     );
 
-    // An anchored regular expression (anchor term: 'public').
-    let query = Query::regex(r"Public Law (8|9)\d").expect("pattern");
-    println!("query `{}` (left anchor: {:?})", query.pattern, query.anchor);
+    // An anchored regular expression (anchor term: 'public'). With the
+    // index registered the planner picks the probe on its own.
+    let request = QueryRequest::regex(r"Public Law (8|9)\d").num_ans(100);
+    println!("{}", session.explain(&request).expect("explain"));
 
-    let t0 = Instant::now();
-    let scan = filescan_query(&store, Approach::Staccato, &query, 100).expect("filescan");
-    let t_scan = t0.elapsed();
+    let probe = session.execute(&request).expect("index probe");
+    let scan = session
+        .execute(
+            &request
+                .clone()
+                .plan_preference(PlanPreference::ForceFileScan),
+        )
+        .expect("filescan");
 
-    let t0 = Instant::now();
-    let probe = indexed_query(&store, &index, &query, 100).expect("index probe");
-    let t_probe = t0.elapsed();
-
-    let scan_keys: BTreeSet<i64> = scan.iter().map(|a| a.data_key).collect();
-    let probe_keys: BTreeSet<i64> = probe.iter().map(|a| a.data_key).collect();
-    println!("filescan:    {} answers in {t_scan:?}", scan.len());
-    println!("index probe: {} answers in {t_probe:?}", probe.len());
+    let probe_keys: BTreeSet<i64> = probe.answers.iter().map(|a| a.data_key).collect();
+    let scan_keys: BTreeSet<i64> = scan.answers.iter().map(|a| a.data_key).collect();
+    println!(
+        "{:>22}: {} answers in {:?} ({} rows, {} postings)",
+        scan.plan.kind(),
+        scan.answers.len(),
+        scan.stats.wall,
+        scan.stats.rows_scanned,
+        scan.stats.postings_probed
+    );
+    println!(
+        "{:>22}: {} answers in {:?} ({} rows, {} postings)",
+        probe.plan.kind(),
+        probe.answers.len(),
+        probe.stats.wall,
+        probe.stats.rows_scanned,
+        probe.stats.postings_probed
+    );
     println!(
         "answer sets identical: {} — speedup {:.1}x",
         scan_keys == probe_keys,
-        t_scan.as_secs_f64() / t_probe.as_secs_f64()
+        scan.stats.wall.as_secs_f64() / probe.stats.wall.as_secs_f64()
     );
 }

@@ -7,79 +7,97 @@
 //! ```
 //!
 //! `DocData` is OCR output — a distribution over strings — so the result
-//! is a probabilistic relation. This example builds the table inside the
-//! storage engine, runs the query against the MAP text and against the
-//! retained SFA, and shows the recall difference.
+//! is a probabilistic relation. This example loads the claim forms into
+//! the RDBMS through the session API, runs the `LIKE` predicate against
+//! the MAP text and against the retained SFA via [`Staccato::execute`],
+//! applies the deterministic `Year = 2010` predicate to the answer
+//! relation, and aggregates.
 //!
 //! Run with: `cargo run --example insurance_claims`
 
-use staccato::ocr::{Channel, ChannelConfig};
-use staccato::query::exec::Answer;
-use staccato::query::{eval_sfa, eval_strings, expected_count, expected_sum, Query};
-use staccato::sfa::{codec, map_string};
-use staccato::storage::{
-    BlobStore, ColumnType, Database, Schema, Value,
-};
+use staccato::approx::StaccatoParams;
+use staccato::ocr::{ChannelConfig, CorpusKind, Dataset, Document};
+use staccato::query::store::LoadOptions;
+use staccato::query::{expected_count, expected_sum};
+use staccato::storage::Database;
+use staccato::{Approach, QueryRequest, Staccato};
+use std::collections::HashMap;
 
 fn main() {
-    let db = Database::in_memory(256).expect("in-memory database");
-    let schema = Schema::new(&[
-        ("DocID", ColumnType::Int),
-        ("Year", ColumnType::Int),
-        ("Loss", ColumnType::Float),
-        ("DocData", ColumnType::Blob),
-    ]);
-    let claims = db.create_table("Claims", schema.clone()).expect("create table");
-
-    // Scan a few claim forms through the OCR channel.
-    let channel = Channel::new(ChannelConfig { seed: 2010, ..ChannelConfig::default() });
-    let forms = [
-        (1, 2010, 1200.0, "my Ford pickup was hit in the parking lot"),
-        (2, 2010, 540.5, "hail damage to a Toyota sedan on Elm St"),
-        (3, 2009, 980.0, "Ford sedan rear ended at a stop light"),
-        (4, 2010, 310.0, "Ford van side mirror broken by a cart"),
-        (5, 2010, 7750.0, "kitchen fire spread to the garage"),
+    // The scanned claim forms: DocID and the deterministic attributes
+    // live alongside the OCR'd DocData (DataKey = insertion order).
+    let forms: [(i64, f64, &str); 5] = [
+        (2010, 1200.0, "my Ford pickup was hit in the parking lot"),
+        (2010, 540.5, "hail damage to a Toyota sedan on Elm St"),
+        (2009, 980.0, "Ford sedan rear ended at a stop light"),
+        (2010, 310.0, "Ford van side mirror broken by a cart"),
+        (2010, 7750.0, "kitchen fire spread to the garage"),
     ];
-    for (doc_id, year, loss, text) in forms {
-        let sfa = channel.line_to_sfa(text, doc_id as u64);
-        let blob = BlobStore::put(db.pool(), &codec::encode(&sfa)).expect("store blob");
-        let row = vec![
-            Value::Int(doc_id),
-            Value::Int(year),
-            Value::Float(loss),
-            Value::Blob(blob),
-        ];
-        claims
-            .insert(db.pool(), &staccato::storage::row::encode_row(&schema, &row).expect("row"))
-            .expect("insert");
-    }
+    let attrs: HashMap<i64, (i64, f64)> = forms
+        .iter()
+        .enumerate()
+        .map(|(key, (year, loss, _))| (key as i64, (*year, *loss)))
+        .collect();
+    let dataset = Dataset {
+        name: "Claims".into(),
+        kind: CorpusKind::Books,
+        docs: vec![Document {
+            name: "claim-forms".into(),
+            lines: forms.iter().map(|(_, _, text)| text.to_string()).collect(),
+        }],
+    };
 
-    let query = Query::like("%Ford%").expect("LIKE pattern");
+    let db = Database::in_memory(512).expect("in-memory database");
+    let opts = LoadOptions {
+        channel: ChannelConfig {
+            seed: 2010,
+            ..ChannelConfig::default()
+        },
+        kmap_k: 5,
+        staccato: StaccatoParams::new(10, 5),
+        parallelism: 2,
+    };
+    let session = Staccato::load(db, &dataset, &opts).expect("load claims");
+
+    let request = QueryRequest::like("%Ford%").num_ans(10);
     println!("SELECT DocID, Loss FROM Claims WHERE Year = 2010 AND DocData LIKE '%Ford%';\n");
+    let via_map = session
+        .execute(&request.clone().approach(Approach::Map))
+        .expect("MAP");
+    let via_sfa = session
+        .execute(&request.clone().approach(Approach::FullSfa))
+        .expect("SFA");
+    let p_map: HashMap<i64, f64> = via_map
+        .answers
+        .iter()
+        .map(|a| (a.data_key, a.probability))
+        .collect();
+
     println!("| DocID | Loss | Pr (MAP text) | Pr (full SFA) |");
     println!("|---|---|---|---|");
-    let (schema, heap) = db.table("Claims").expect("table exists");
-    let mut answers: Vec<Answer> = Vec::new();
-    let mut losses: Vec<(i64, f64)> = Vec::new();
-    for item in heap.scan(db.pool()) {
-        let (_, bytes) = item.expect("scan");
-        let row = staccato::storage::row::decode_row(&schema, &bytes).expect("row");
-        let year = row[1].as_int().expect("Year");
-        if year != 2010 {
-            continue; // the deterministic predicate
-        }
-        let doc_id = row[0].as_int().expect("DocID");
-        let loss = row[2].as_float().expect("Loss");
-        let blob = row[3].as_blob().expect("DocData");
-        let sfa = codec::decode(&BlobStore::get(db.pool(), blob).expect("blob"))
-            .expect("stored SFA decodes");
-        let (map, p_map) = map_string(&sfa).expect("MAP");
-        let p_text = eval_strings(&query.dfa, std::iter::once((map.as_str(), p_map)));
-        let p_sfa = eval_sfa(&query.dfa, &sfa);
-        println!("| {doc_id} | {loss:.2} | {p_text:.4} | {p_sfa:.4} |");
-        answers.push(Answer { data_key: doc_id, probability: p_sfa });
-        losses.push((doc_id, loss));
+    // The probabilistic predicate ran in the engine; apply the
+    // deterministic Year filter to the answer relation.
+    let answers_2010: Vec<_> = via_sfa
+        .answers
+        .iter()
+        .filter(|a| attrs[&a.data_key].0 == 2010)
+        .copied()
+        .collect();
+    for a in &answers_2010 {
+        let (_, loss) = attrs[&a.data_key];
+        println!(
+            "| {} | {loss:.2} | {:.4} | {:.4} |",
+            a.data_key,
+            p_map.get(&a.data_key).copied().unwrap_or(0.0),
+            a.probability
+        );
     }
+    println!(
+        "\n(plan: {}, {} lines evaluated in {:?})",
+        via_sfa.plan.kind(),
+        via_sfa.stats.lines_evaluated,
+        via_sfa.stats.wall
+    );
     println!(
         "\nClaims whose MAP transcription corrupted 'Ford' still surface through the \
          probabilistic query — the paper's motivating recall gap."
@@ -87,10 +105,7 @@ fn main() {
     // Probabilistic aggregation over the answer relation (§7's direction).
     println!(
         "\nE[COUNT(*)] = {:.3} matching 2010 claims; E[SUM(Loss)] = ${:.2}",
-        expected_count(&answers),
-        expected_sum(&answers, |key| losses
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|(_, l)| *l)),
+        expected_count(&answers_2010),
+        expected_sum(&answers_2010, |key| attrs.get(&key).map(|(_, loss)| *loss)),
     );
 }

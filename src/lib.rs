@@ -19,6 +19,17 @@
 //! | [`storage`] | `staccato-storage` | pages, buffer pool, heap files, B+-tree, blob store, catalog |
 //! | [`query`] | `staccato-query` | representation stores, filescan/index executors, metrics |
 //!
+//! Querying goes through the [`Staccato`] session API: open (or load) a
+//! store, optionally register a §4 inverted index, and execute
+//! [`QueryRequest`]s — the planner picks the access path (filescan vs.
+//! index probe) and every result reports its plan and [`ExecStats`].
+//!
+//! ```ignore
+//! use staccato::{Approach, QueryRequest, Staccato};
+//! let mut session = Staccato::load(db, &dataset, &opts)?;
+//! let out = session.execute(&QueryRequest::like("%Ford%").num_ans(100))?;
+//! ```
+//!
 //! See `examples/quickstart.rs` for an end-to-end tour and DESIGN.md for the
 //! experiment map.
 
@@ -28,3 +39,7 @@ pub use staccato_ocr as ocr;
 pub use staccato_query as query;
 pub use staccato_sfa as sfa;
 pub use staccato_storage as storage;
+
+pub use staccato_query::{
+    Answer, Approach, ExecStats, Plan, PlanPreference, QueryOutput, QueryRequest, Staccato,
+};

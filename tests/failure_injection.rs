@@ -4,13 +4,13 @@
 
 use staccato::approx::StaccatoParams;
 use staccato::ocr::{generate, ChannelConfig, CorpusKind};
-use staccato::query::exec::{filescan_query, Approach};
-use staccato::query::store::{LoadOptions, OcrStore};
+use staccato::query::store::LoadOptions;
 use staccato::query::{Query, QueryError};
 use staccato::sfa::codec;
 use staccato::storage::{BlobStore, ColumnType, Database, Schema, StorageError, Value};
+use staccato::{Approach, QueryRequest, Staccato};
 
-fn tiny_store() -> OcrStore {
+fn tiny_session() -> Staccato {
     let dataset = generate(CorpusKind::DbPapers, 8, 1);
     let db = Database::in_memory(256).expect("db");
     let opts = LoadOptions {
@@ -19,15 +19,20 @@ fn tiny_store() -> OcrStore {
         staccato: StaccatoParams::new(4, 3),
         parallelism: 1,
     };
-    OcrStore::load(db, &dataset, &opts).expect("load")
+    Staccato::load(db, &dataset, &opts).expect("load")
 }
 
 #[test]
 fn corrupt_sfa_blob_surfaces_typed_error() {
-    let store = tiny_store();
+    let session = tiny_session();
+    let store = session.store();
     // Find the first FullSFAData row's blob and stomp its magic bytes.
     let (schema, heap) = store.table("FullSFAData").expect("table");
-    let (_, bytes) = heap.scan(store.db().pool()).next().expect("row").expect("scan");
+    let (_, bytes) = heap
+        .scan(store.db().pool())
+        .next()
+        .expect("row")
+        .expect("scan");
     let row = staccato::storage::row::decode_row(&schema, &bytes).expect("row");
     let blob_page = row[1].as_blob().expect("blob id");
     {
@@ -36,12 +41,23 @@ fn corrupt_sfa_blob_surfaces_typed_error() {
         // with the SFA magic.
         page[12..16].copy_from_slice(b"XXXX");
     }
-    let query = Query::keyword("data").expect("pattern");
-    let err = filescan_query(&store, Approach::FullSfa, &query, 10).unwrap_err();
+    let request = QueryRequest::keyword("data").num_ans(10);
+    let err = session
+        .execute(&request.clone().approach(Approach::FullSfa))
+        .unwrap_err();
     assert!(matches!(err, QueryError::Sfa(_)), "got {err:?}");
+    // The parallel executor must surface the same typed error.
+    let err = session
+        .execute(&request.clone().approach(Approach::FullSfa).parallelism(4))
+        .unwrap_err();
+    assert!(matches!(err, QueryError::Sfa(_)), "parallel got {err:?}");
     // Other representations are unaffected.
-    filescan_query(&store, Approach::Map, &query, 10).expect("MAP still works");
-    filescan_query(&store, Approach::Staccato, &query, 10).expect("STACCATO still works");
+    session
+        .execute(&request.clone().approach(Approach::Map))
+        .expect("MAP still works");
+    session
+        .execute(&request.approach(Approach::Staccato))
+        .expect("STACCATO still works");
 }
 
 #[test]
@@ -56,7 +72,10 @@ fn truncated_blob_chain_is_detected() {
     }
     let err = BlobStore::get(db.pool(), id).unwrap_err();
     assert!(
-        matches!(err, StorageError::PageOutOfBounds(_) | StorageError::CorruptBlob { .. }),
+        matches!(
+            err,
+            StorageError::PageOutOfBounds(_) | StorageError::CorruptBlob { .. }
+        ),
         "got {err}"
     );
 }
@@ -93,18 +112,24 @@ fn decoding_garbage_blobs_never_panics() {
 fn paper_table5_schema_fidelity() {
     // The store must create exactly the paper's tables (Table 5 plus the
     // MAPData split) with the right columns.
-    let store = tiny_store();
+    let session = tiny_session();
+    let store = session.store();
     let expect: &[(&str, &[&str])] = &[
         ("MasterData", &["DataKey", "DocName", "SFANum"]),
         ("MAPData", &["DataKey", "Data", "LogProb"]),
         ("kMAPData", &["DataKey", "LineNum", "Data", "LogProb"]),
         ("FullSFAData", &["DataKey", "SFABlob"]),
-        ("StaccatoData", &["DataKey", "ChunkNum", "LineNum", "Data", "LogProb"]),
+        (
+            "StaccatoData",
+            &["DataKey", "ChunkNum", "LineNum", "Data", "LogProb"],
+        ),
         ("StaccatoGraph", &["DataKey", "GraphBlob"]),
         ("GroundTruth", &["DataKey", "Data"]),
     ];
     for (table, cols) in expect {
-        let (schema, _) = store.table(table).unwrap_or_else(|_| panic!("missing {table}"));
+        let (schema, _) = store
+            .table(table)
+            .unwrap_or_else(|_| panic!("missing {table}"));
         let got: Vec<&str> = schema.cols.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(&got, cols, "columns of {table}");
     }
@@ -116,7 +141,8 @@ fn schema_mismatch_rows_error_cleanly() {
     let schema = Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Text)]);
     let heap = db.create_table("t", schema.clone()).expect("table");
     // Insert bytes that are too short for the schema.
-    heap.insert(db.pool(), &[1, 2, 3]).expect("raw insert is allowed");
+    heap.insert(db.pool(), &[1, 2, 3])
+        .expect("raw insert is allowed");
     let (_, bytes) = heap.scan(db.pool()).next().expect("row").expect("scan");
     assert!(matches!(
         staccato::storage::row::decode_row(&schema, &bytes),
@@ -138,5 +164,8 @@ fn pool_too_small_for_pins_reports_exhaustion() {
     let p2 = db.pool().allocate().expect("page");
     let _a = db.pool().fetch_read(p0).expect("pin 0");
     let _b = db.pool().fetch_read(p1).expect("pin 1");
-    assert!(matches!(db.pool().fetch_read(p2), Err(StorageError::PoolExhausted)));
+    assert!(matches!(
+        db.pool().fetch_read(p2),
+        Err(StorageError::PoolExhausted)
+    ));
 }

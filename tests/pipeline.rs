@@ -4,15 +4,14 @@
 use staccato::approx::StaccatoParams;
 use staccato::automata::Trie;
 use staccato::ocr::{generate, ChannelConfig, CorpusKind};
-use staccato::query::exec::{filescan_query, Approach};
-use staccato::query::invindex::{build_index, indexed_query};
 use staccato::query::metrics::{evaluate_answers, ground_truth};
-use staccato::query::store::{LoadOptions, OcrStore};
+use staccato::query::store::LoadOptions;
 use staccato::query::Query;
 use staccato::storage::Database;
+use staccato::{Approach, PlanPreference, QueryRequest, Staccato};
 use std::collections::BTreeSet;
 
-fn load(kind: CorpusKind, lines: usize, seed: u64, m: usize, k: usize) -> OcrStore {
+fn load(kind: CorpusKind, lines: usize, seed: u64, m: usize, k: usize) -> Staccato {
     let dataset = generate(kind, lines, seed);
     let db = Database::in_memory(2048).expect("db");
     let opts = LoadOptions {
@@ -21,21 +20,23 @@ fn load(kind: CorpusKind, lines: usize, seed: u64, m: usize, k: usize) -> OcrSto
         staccato: StaccatoParams::new(m, k),
         parallelism: 2,
     };
-    OcrStore::load(db, &dataset, &opts).expect("load")
+    Staccato::load(db, &dataset, &opts).expect("load")
 }
 
 #[test]
 fn recall_ordering_map_kmap_staccato_fullsfa() {
-    let store = load(CorpusKind::CongressActs, 80, 17, 12, 8);
+    let session = load(CorpusKind::CongressActs, 80, 17, 12, 8);
     for pattern in ["President", "Commission", r"U.S.C. 2\d\d\d"] {
         let query = Query::regex(pattern).expect("pattern");
-        let truth = ground_truth(&store, &query).expect("truth");
+        let truth = ground_truth(session.store(), &query).expect("truth");
         if truth.is_empty() {
             continue;
         }
         let recall = |ap: Approach| {
-            let answers = filescan_query(&store, ap, &query, 1000).expect("query");
-            evaluate_answers(&answers, &truth).recall
+            let out = session
+                .execute(&QueryRequest::regex(pattern).approach(ap).num_ans(1000))
+                .expect("query");
+            evaluate_answers(&out.answers, &truth).recall
         };
         let (r_map, r_kmap, r_full, r_stac) = (
             recall(Approach::Map),
@@ -45,10 +46,22 @@ fn recall_ordering_map_kmap_staccato_fullsfa() {
         );
         // The paper's central ordering: MAP ≤ k-MAP ≤ FullSFA = 1 and
         // MAP ≤ STACCATO ≤ FullSFA.
-        assert!(r_map <= r_kmap + 1e-9, "{pattern}: MAP {r_map} > kMAP {r_kmap}");
-        assert!(r_kmap <= r_full + 1e-9, "{pattern}: kMAP {r_kmap} > Full {r_full}");
-        assert!(r_map <= r_stac + 1e-9, "{pattern}: MAP {r_map} > Stac {r_stac}");
-        assert!((r_full - 1.0).abs() < 1e-9, "{pattern}: FullSFA recall {r_full} != 1");
+        assert!(
+            r_map <= r_kmap + 1e-9,
+            "{pattern}: MAP {r_map} > kMAP {r_kmap}"
+        );
+        assert!(
+            r_kmap <= r_full + 1e-9,
+            "{pattern}: kMAP {r_kmap} > Full {r_full}"
+        );
+        assert!(
+            r_map <= r_stac + 1e-9,
+            "{pattern}: MAP {r_map} > Stac {r_stac}"
+        );
+        assert!(
+            (r_full - 1.0).abs() < 1e-9,
+            "{pattern}: FullSFA recall {r_full} != 1"
+        );
     }
 }
 
@@ -62,22 +75,40 @@ fn fullsfa_precision_collapses_under_numans() {
     let dataset = generate(CorpusKind::CongressActs, 120, 3);
     let db = Database::in_memory(4096).expect("db");
     let opts = LoadOptions {
-        channel: ChannelConfig { seed: 3, ..ChannelConfig::default() },
+        channel: ChannelConfig {
+            seed: 3,
+            ..ChannelConfig::default()
+        },
         kmap_k: 8,
         staccato: StaccatoParams::new(12, 8),
         parallelism: 2,
     };
-    let store = OcrStore::load(db, &dataset, &opts).expect("load");
+    let session = Staccato::load(db, &dataset, &opts).expect("load");
     let query = Query::keyword("President").expect("pattern");
-    let truth = ground_truth(&store, &query).expect("truth");
-    let answers = filescan_query(&store, Approach::FullSfa, &query, 100).expect("query");
-    assert_eq!(answers.len(), 100, "FullSFA must fill NumAns with weak answers");
-    let m = evaluate_answers(&answers, &truth);
+    let truth = ground_truth(session.store(), &query).expect("truth");
+    let request = QueryRequest::keyword("President").num_ans(100);
+    let out = session
+        .execute(&request.clone().approach(Approach::FullSfa))
+        .expect("query");
+    assert_eq!(
+        out.answers.len(),
+        100,
+        "FullSFA must fill NumAns with weak answers"
+    );
+    assert_eq!(out.stats.lines_evaluated, 120);
+    let m = evaluate_answers(&out.answers, &truth);
     assert!((m.recall - 1.0).abs() < 1e-9);
-    assert!(m.precision < 0.5, "precision {p} should collapse", p = m.precision);
+    assert!(
+        m.precision < 0.5,
+        "precision {p} should collapse",
+        p = m.precision
+    );
     // MAP stays high-precision.
     let m_map = evaluate_answers(
-        &filescan_query(&store, Approach::Map, &query, 100).expect("query"),
+        &session
+            .execute(&request.approach(Approach::Map))
+            .expect("query")
+            .answers,
         &truth,
     );
     assert!(m_map.precision > 0.9, "MAP precision {}", m_map.precision);
@@ -85,15 +116,20 @@ fn fullsfa_precision_collapses_under_numans() {
 
 #[test]
 fn staccato_probabilities_bounded_by_fullsfa() {
-    let store = load(CorpusKind::DbPapers, 40, 9, 6, 4);
-    let query = Query::keyword("database").expect("pattern");
-    let full: std::collections::HashMap<i64, f64> =
-        filescan_query(&store, Approach::FullSfa, &query, 10_000)
-            .expect("query")
-            .into_iter()
-            .map(|a| (a.data_key, a.probability))
-            .collect();
-    for a in filescan_query(&store, Approach::Staccato, &query, 10_000).expect("query") {
+    let session = load(CorpusKind::DbPapers, 40, 9, 6, 4);
+    let request = QueryRequest::keyword("database").num_ans(10_000);
+    let full: std::collections::HashMap<i64, f64> = session
+        .execute(&request.clone().approach(Approach::FullSfa))
+        .expect("query")
+        .answers
+        .into_iter()
+        .map(|a| (a.data_key, a.probability))
+        .collect();
+    for a in session
+        .execute(&request.approach(Approach::Staccato))
+        .expect("query")
+        .answers
+    {
         let p_full = full.get(&a.data_key).copied().unwrap_or(0.0);
         assert!(
             a.probability <= p_full + 1e-9,
@@ -107,7 +143,7 @@ fn staccato_probabilities_bounded_by_fullsfa() {
 
 #[test]
 fn index_and_filescan_agree_across_queries() {
-    let store = load(CorpusKind::CongressActs, 90, 21, 10, 8);
+    let mut session = load(CorpusKind::CongressActs, 90, 21, 10, 8);
     let dataset = generate(CorpusKind::CongressActs, 90, 21);
     let dict: BTreeSet<String> = dataset
         .lines()
@@ -119,19 +155,24 @@ fn index_and_filescan_agree_across_queries() {
         })
         .collect();
     let trie = Trie::build(&dict);
-    let index = build_index(&store, &trie, "inv").expect("index");
+    session.register_index(&trie, "inv").expect("index");
     for pattern in ["President", "Commission", r"Public Law (8|9)\d"] {
-        let query = Query::regex(pattern).expect("pattern");
-        let scan: BTreeSet<i64> = filescan_query(&store, Approach::Staccato, &query, 10_000)
-            .expect("scan")
-            .into_iter()
-            .map(|a| a.data_key)
-            .collect();
-        let probe: BTreeSet<i64> = indexed_query(&store, &index, &query, 10_000)
-            .expect("probe")
-            .into_iter()
-            .map(|a| a.data_key)
-            .collect();
+        let request = QueryRequest::regex(pattern).num_ans(10_000);
+        let scan_out = session
+            .execute(
+                &request
+                    .clone()
+                    .plan_preference(PlanPreference::ForceFileScan),
+            )
+            .expect("scan");
+        assert!(!scan_out.plan.is_index_probe());
+        let probe_out = session.execute(&request).expect("probe");
+        assert!(
+            probe_out.plan.is_index_probe(),
+            "{pattern} should auto-probe"
+        );
+        let scan: BTreeSet<i64> = scan_out.answers.into_iter().map(|a| a.data_key).collect();
+        let probe: BTreeSet<i64> = probe_out.answers.into_iter().map(|a| a.data_key).collect();
         assert_eq!(scan, probe, "answer sets differ for {pattern}");
     }
 }
@@ -151,10 +192,10 @@ fn store_persists_to_disk_and_reopens() {
             staccato: StaccatoParams::new(5, 4),
             parallelism: 1,
         };
-        let store = OcrStore::load(db, &dataset, &opts).expect("load");
+        let session = Staccato::load(db, &dataset, &opts).expect("load");
         let query = Query::keyword("lineage").expect("pattern");
-        expected_truth = ground_truth(&store, &query).expect("truth");
-        store.db().save().expect("save");
+        expected_truth = ground_truth(session.store(), &query).expect("truth");
+        session.store().db().save().expect("save");
     }
     {
         // Reopen from the file; tables and blobs must be intact.
@@ -167,7 +208,10 @@ fn store_persists_to_disk_and_reopens() {
             let (_, bytes) = item.expect("scan");
             let row = staccato::storage::row::decode_row(&schema, &bytes).expect("row");
             let text = row[1].as_text().expect("text");
-            if query.dfa.is_accept(query.dfa.run_from(query.dfa.start(), text)) {
+            if query
+                .dfa
+                .is_accept(query.dfa.run_from(query.dfa.start(), text))
+            {
                 truth.insert(row[0].as_int().expect("key"));
             }
         }
@@ -178,12 +222,20 @@ fn store_persists_to_disk_and_reopens() {
 
 #[test]
 fn like_and_regex_queries_agree_on_keywords() {
-    let store = load(CorpusKind::EnglishLit, 50, 2, 8, 6);
-    let like = Query::like("%Brinkmann%").expect("like");
-    let regex = Query::keyword("Brinkmann").expect("regex");
+    let session = load(CorpusKind::EnglishLit, 50, 2, 8, 6);
     for ap in [Approach::Map, Approach::KMap, Approach::Staccato] {
-        let a: Vec<_> = filescan_query(&store, ap, &like, 1000).expect("like query");
-        let b: Vec<_> = filescan_query(&store, ap, &regex, 1000).expect("regex query");
+        let a = session
+            .execute(&QueryRequest::like("%Brinkmann%").approach(ap).num_ans(1000))
+            .expect("like query")
+            .answers;
+        let b = session
+            .execute(
+                &QueryRequest::keyword("Brinkmann")
+                    .approach(ap)
+                    .num_ans(1000),
+            )
+            .expect("regex query")
+            .answers;
         assert_eq!(a.len(), b.len(), "{}", ap.name());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.data_key, y.data_key);
@@ -199,15 +251,20 @@ fn tuning_produces_feasible_parameters_end_to_end() {
     use staccato_bench::MemCorpus;
 
     let mut corpus = MemCorpus::build(CorpusKind::CongressActs, 60, 11, ChannelConfig::compact(11));
-    let queries: Vec<Query> =
-        ["President", "Commission"].iter().map(|p| Query::keyword(p).expect("kw")).collect();
+    let queries: Vec<Query> = ["President", "Commission"]
+        .iter()
+        .map(|p| Query::keyword(p).expect("kw"))
+        .collect();
     let truths: Vec<BTreeSet<i64>> = queries.iter().map(|q| corpus.ground_truth(q)).collect();
-    let model = SizeModel::from_line_lengths(
-        &corpus.clean.iter().map(|l| l.len()).collect::<Vec<_>>(),
-    );
+    let model =
+        SizeModel::from_line_lengths(&corpus.clean.iter().map(|l| l.len()).collect::<Vec<_>>());
     let budget = corpus.full_bytes() as f64 * 0.5; // generous for the tiny corpus
-    let constraints =
-        TuningConstraints { size_budget_bytes: budget, recall_target: 0.5, step: 5, max_m: 30 };
+    let constraints = TuningConstraints {
+        size_budget_bytes: budget,
+        recall_target: 0.5,
+        step: 5,
+        max_m: 30,
+    };
     let outcome = tune(&model, &constraints, |m, k| {
         let mut total = 0.0;
         for (q, t) in queries.iter().zip(&truths) {

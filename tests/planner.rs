@@ -1,0 +1,161 @@
+//! Planner correctness: the access path must never change the answer.
+//!
+//! The §4 contract is that index-assisted execution is transparent — for
+//! an anchored pattern the probe returns the same answer *set* as the
+//! filescan it replaces — and the planner must only pick the probe when
+//! it is actually legal (Staccato representation, left anchor, registered
+//! index covering the anchor term).
+
+use staccato::approx::StaccatoParams;
+use staccato::automata::Trie;
+use staccato::ocr::{generate, ChannelConfig, CorpusKind};
+use staccato::query::store::LoadOptions;
+use staccato::storage::Database;
+use staccato::{Approach, Plan, PlanPreference, QueryRequest, Staccato};
+use std::collections::BTreeSet;
+
+fn session(lines: usize, seed: u64) -> Staccato {
+    let dataset = generate(CorpusKind::CongressActs, lines, seed);
+    let db = Database::in_memory(2048).expect("db");
+    let opts = LoadOptions {
+        channel: ChannelConfig::compact(seed),
+        kmap_k: 8,
+        staccato: StaccatoParams::new(10, 8),
+        parallelism: 2,
+    };
+    Staccato::load(db, &dataset, &opts).expect("load")
+}
+
+fn keys(answers: &[staccato::Answer]) -> BTreeSet<i64> {
+    answers.iter().map(|a| a.data_key).collect()
+}
+
+#[test]
+fn probe_and_filescan_answer_sets_agree_across_approaches() {
+    let mut s = session(80, 33);
+    s.register_index(&Trie::build(["public", "president", "commission"]), "inv")
+        .expect("index");
+    for pattern in ["President", "Commission", r"Public Law (8|9)\d"] {
+        for approach in Approach::all() {
+            let request = QueryRequest::regex(pattern)
+                .approach(approach)
+                .num_ans(10_000);
+            let auto = s.execute(&request).expect("auto plan");
+            let scan = s
+                .execute(
+                    &request
+                        .clone()
+                        .plan_preference(PlanPreference::ForceFileScan),
+                )
+                .expect("forced filescan");
+            // Only the Staccato representation may route through the index…
+            assert_eq!(
+                auto.plan.is_index_probe(),
+                approach == Approach::Staccato,
+                "{pattern} over {}",
+                approach.name()
+            );
+            assert!(!scan.plan.is_index_probe());
+            // …and when it does, the answer set must not change.
+            assert_eq!(
+                keys(&auto.answers),
+                keys(&scan.answers),
+                "{pattern} over {} answers diverged",
+                approach.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn filescan_probabilities_identical_under_any_parallelism() {
+    let s = session(40, 8);
+    for approach in Approach::all() {
+        let request = QueryRequest::regex(r"U.S.C. 2\d\d\d")
+            .approach(approach)
+            .num_ans(1000);
+        let seq = s.execute(&request).expect("sequential");
+        let par = s
+            .execute(&request.clone().parallelism(4))
+            .expect("parallel");
+        assert_eq!(seq.answers.len(), par.answers.len(), "{}", approach.name());
+        for (a, b) in seq.answers.iter().zip(&par.answers) {
+            assert_eq!(a.data_key, b.data_key);
+            assert!((a.probability - b.probability).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn explain_reports_probe_only_when_index_and_anchor_exist() {
+    let mut s = session(30, 12);
+    let anchored = QueryRequest::keyword("President");
+    let unanchored = QueryRequest::regex(r"\d\d\d");
+
+    // No index registered: everything filescans.
+    assert!(s.explain(&anchored).expect("explain").contains("FileScan"));
+    assert!(!s
+        .explain(&anchored)
+        .expect("explain")
+        .contains("IndexProbe"));
+
+    s.register_index(&Trie::build(["president"]), "inv")
+        .expect("index");
+
+    // Anchored + covered term: probe, and the report names index + anchor.
+    let text = s.explain(&anchored).expect("explain");
+    assert!(text.contains("IndexProbe"), "{text}");
+    assert!(text.contains("\"inv\""), "{text}");
+    assert!(text.contains("president"), "{text}");
+
+    // No anchor: still a filescan.
+    let text = s.explain(&unanchored).expect("explain");
+    assert!(
+        text.contains("FileScan") && !text.contains("IndexProbe"),
+        "{text}"
+    );
+    // Anchor outside the dictionary: filescan.
+    let text = s
+        .explain(&QueryRequest::keyword("Commission"))
+        .expect("explain");
+    assert!(
+        text.contains("FileScan") && !text.contains("IndexProbe"),
+        "{text}"
+    );
+    // Non-Staccato representation: filescan.
+    let text = s
+        .explain(&anchored.clone().approach(Approach::FullSfa))
+        .expect("explain");
+    assert!(
+        text.contains("FileScan") && !text.contains("IndexProbe"),
+        "{text}"
+    );
+}
+
+#[test]
+fn plan_matches_execution_and_stats_fill_in() {
+    let mut s = session(35, 27);
+    s.register_index(&Trie::build(["president"]), "inv")
+        .expect("index");
+    let request = QueryRequest::keyword("President").num_ans(50);
+    let planned = s.plan(&request).expect("plan");
+    let out = s.execute(&request).expect("execute");
+    assert_eq!(planned, out.plan);
+    assert_eq!(
+        planned,
+        Plan::IndexProbe {
+            index: "inv".into(),
+            anchor: "president".into()
+        }
+    );
+    assert!(out.stats.postings_probed > 0);
+    assert!(out.stats.rows_scanned as usize <= s.line_count());
+    assert!(out.stats.wall.as_nanos() > 0);
+
+    // The forced scan reads every line instead.
+    let scan = s
+        .execute(&request.plan_preference(PlanPreference::ForceFileScan))
+        .expect("scan");
+    assert_eq!(scan.stats.rows_scanned as usize, s.line_count());
+    assert_eq!(scan.stats.postings_probed, 0);
+}

@@ -15,7 +15,8 @@ use std::collections::HashSet;
 /// occasional two-branch bubbles, distinct characters per position so the
 /// unique path property holds by construction.
 fn sfa_strategy() -> impl Strategy<Value = Sfa> {
-    let position = prop::collection::vec((prop::sample::select(&[2usize, 3, 4]), any::<u32>()), 2..8);
+    let position =
+        prop::collection::vec((prop::sample::select([2usize, 3, 4]), any::<u32>()), 2..8);
     (position, any::<bool>()).prop_map(|(positions, bubble)| {
         let mut b = SfaBuilder::new();
         let start = b.add_node();
