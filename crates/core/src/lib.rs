@@ -13,7 +13,7 @@
 //! * [`findmin`] — `FindMinSFA` (Algorithm 1): grow a seed node set into
 //!   the minimal region that forms a valid sub-SFA (unique entry, unique
 //!   exit, no external edges on interior nodes).
-//! * [`collapse`] — replace a region with a single edge holding the
+//! * [`mod@collapse`] — replace a region with a single edge holding the
 //!   region's top-k strings (`Collapse`). By Proposition 3.1 this is the
 //!   mass-optimal choice per chunk.
 //! * [`greedy`] — Algorithm 2: repeatedly collapse the adjacent-edge-pair

@@ -13,8 +13,101 @@
 //! * [`count_distribution`] — the full Poisson–binomial distribution of
 //!   `COUNT(*)`, computed by the classic `O(n²)` dynamic program, from
 //!   which [`threshold_probability`] answers `P[COUNT(*) ≥ τ]`.
+//!
+//! The SQL front-end's aggregate projections (`SELECT COUNT(*) | SUM(Prob)
+//! | AVG(Prob)`) execute through [`StreamingAggregate`]: a constant-space
+//! accumulator the executors fold every qualifying line into, so aggregate
+//! plans never materialize the answer relation. `SUM(Prob)` is exactly
+//! [`expected_count`] by linearity of expectation (the Koch–Olteanu
+//! confidence-aggregation view); `COUNT(*)` counts the tuples of the
+//! answer relation (positive probability, above any `Prob >=` threshold).
 
 use crate::exec::Answer;
+
+/// An aggregate projection of the SQL surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateFunc {
+    /// `COUNT(*)` — number of tuples in the answer relation.
+    CountStar,
+    /// `SUM(Prob)` — `Σᵢ pᵢ`, i.e. `E[COUNT(*)]` by linearity.
+    SumProb,
+    /// `AVG(Prob)` — mean probability of the answer tuples (0 when empty).
+    AvgProb,
+}
+
+impl AggregateFunc {
+    /// The SQL spelling, as it appears in a `SELECT` list.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            AggregateFunc::CountStar => "COUNT(*)",
+            AggregateFunc::SumProb => "SUM(Prob)",
+            AggregateFunc::AvgProb => "AVG(Prob)",
+        }
+    }
+}
+
+/// One computed aggregate: which function ran and the scalar it produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateResult {
+    /// The aggregate that was evaluated.
+    pub func: AggregateFunc,
+    /// Its value over the answer relation.
+    pub value: f64,
+}
+
+/// Constant-space accumulator for the SQL aggregates.
+///
+/// Executors fold one [`Answer`] per line; rows with non-positive
+/// probability or below `min_prob` are not part of the answer relation and
+/// are skipped — the same qualification the ranked path's `TopK` applies.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingAggregate {
+    min_prob: f64,
+    rows: u64,
+    sum: f64,
+}
+
+impl StreamingAggregate {
+    /// Accumulator over answers with probability `>= min_prob` (and
+    /// `> 0`). The threshold is sanitized by
+    /// [`crate::exec::sanitize_min_prob`].
+    pub fn new(min_prob: f64) -> StreamingAggregate {
+        StreamingAggregate {
+            min_prob: crate::exec::sanitize_min_prob(min_prob),
+            rows: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Fold one line's answer into the accumulator.
+    pub fn fold(&mut self, answer: Answer) {
+        if !crate::exec::qualifies(answer.probability, self.min_prob) {
+            return;
+        }
+        self.rows += 1;
+        self.sum += answer.probability;
+    }
+
+    /// Tuples folded so far (the `COUNT(*)` numerator).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Finish: the value of `func` over everything folded so far.
+    pub fn finish(&self, func: AggregateFunc) -> f64 {
+        match func {
+            AggregateFunc::CountStar => self.rows as f64,
+            AggregateFunc::SumProb => self.sum,
+            AggregateFunc::AvgProb => {
+                if self.rows == 0 {
+                    0.0
+                } else {
+                    self.sum / self.rows as f64
+                }
+            }
+        }
+    }
+}
 
 /// Expected number of matching lines: `Σᵢ pᵢ`.
 pub fn expected_count(answers: &[Answer]) -> f64 {
@@ -153,6 +246,33 @@ mod tests {
         // There are only 2 events; counts of 3+ are impossible.
         assert_eq!(threshold_probability(&a, 3), 0.0);
         assert_eq!(threshold_probability(&a, 1000), 0.0);
+    }
+
+    #[test]
+    fn streaming_aggregate_matches_batch_helpers() {
+        let a = answers(&[0.5, 0.25, 1.0, 0.0]);
+        let mut agg = StreamingAggregate::new(0.0);
+        for &x in &a {
+            agg.fold(x);
+        }
+        // The zero-probability row is not a tuple of the answer relation.
+        assert_eq!(agg.finish(AggregateFunc::CountStar), 3.0);
+        assert!((agg.finish(AggregateFunc::SumProb) - expected_count(&a)).abs() < 1e-12);
+        assert!((agg.finish(AggregateFunc::AvgProb) - 1.75 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_aggregate_respects_threshold_and_empty_input() {
+        let mut agg = StreamingAggregate::new(0.5);
+        for &x in &answers(&[0.49, 0.5, 0.9]) {
+            agg.fold(x);
+        }
+        assert_eq!(agg.rows(), 2);
+        assert!((agg.finish(AggregateFunc::SumProb) - 1.4).abs() < 1e-12);
+        let empty = StreamingAggregate::new(0.0);
+        assert_eq!(empty.finish(AggregateFunc::CountStar), 0.0);
+        assert_eq!(empty.finish(AggregateFunc::SumProb), 0.0);
+        assert_eq!(empty.finish(AggregateFunc::AvgProb), 0.0, "AVG over empty");
     }
 
     #[test]

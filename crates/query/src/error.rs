@@ -1,5 +1,6 @@
 //! Query-layer error type.
 
+use crate::sql::SqlError;
 use staccato_automata::PatternError;
 use staccato_sfa::SfaError;
 use staccato_storage::StorageError;
@@ -22,6 +23,10 @@ pub enum QueryError {
     TermNotInDictionary(String),
     /// An index probe was forced but no registered index can serve it.
     NoUsableIndex(String),
+    /// A SQL statement failed to lex, parse, lower, or bind.
+    Sql(SqlError),
+    /// `register_index` was called with a name that is already registered.
+    DuplicateIndex(String),
 }
 
 impl fmt::Display for QueryError {
@@ -42,6 +47,10 @@ impl fmt::Display for QueryError {
             QueryError::NoUsableIndex(why) => {
                 write!(f, "index probe is not executable: {why}")
             }
+            QueryError::Sql(e) => write!(f, "SQL error: {e}"),
+            QueryError::DuplicateIndex(name) => {
+                write!(f, "an index named {name:?} is already registered")
+            }
         }
     }
 }
@@ -52,6 +61,7 @@ impl std::error::Error for QueryError {
             QueryError::Pattern(e) => Some(e),
             QueryError::Storage(e) => Some(e),
             QueryError::Sfa(e) => Some(e),
+            QueryError::Sql(e) => Some(e),
             _ => None,
         }
     }
@@ -72,6 +82,12 @@ impl From<StorageError> for QueryError {
 impl From<SfaError> for QueryError {
     fn from(e: SfaError) -> Self {
         QueryError::Sfa(e)
+    }
+}
+
+impl From<SqlError> for QueryError {
+    fn from(e: SqlError) -> Self {
+        QueryError::Sql(e)
     }
 }
 

@@ -7,7 +7,7 @@
 //!
 //! For SFAs (FullSFA, Staccato chunk graphs) the evaluation is the
 //! forward dynamic program over `(SFA node, DFA state)` pairs: the
-//! matrix-multiplication algorithm of [45] specialised to a deterministic
+//! matrix-multiplication algorithm of \[45\] specialised to a deterministic
 //! query automaton — linear in the data size and (at most) quadratic in
 //! the number of DFA states, matching Table 1's cost model.
 

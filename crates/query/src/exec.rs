@@ -20,6 +20,7 @@
 //! [`Staccato::execute`](crate::session::Staccato::execute) with a
 //! [`QueryRequest`](crate::plan::QueryRequest).
 
+use crate::agg::StreamingAggregate;
 use crate::error::QueryError;
 use crate::eval::{eval_sfa, eval_strings};
 use crate::plan::ExecStats;
@@ -65,6 +66,30 @@ impl Approach {
     }
 }
 
+/// Is a line with this match probability a tuple of the answer relation?
+/// The single qualification rule shared by the ranked ([`TopK`]) and
+/// aggregate ([`crate::agg::StreamingAggregate`]) sinks: positive
+/// probability, at or above the request's `Prob >=` threshold.
+pub fn qualifies(probability: f64, min_prob: f64) -> bool {
+    probability > 0.0 && probability >= min_prob
+}
+
+/// Normalize a user-supplied probability threshold: NaN means "no
+/// threshold", everything else clamps into `[0, 1]`. Applied at every
+/// public entry point that accepts one
+/// ([`QueryRequest::min_prob`](crate::plan::QueryRequest::min_prob),
+/// [`TopK::with_min_prob`], [`StreamingAggregate::new`]), so a NaN can
+/// never silently drop every answer.
+///
+/// [`StreamingAggregate::new`]: crate::agg::StreamingAggregate::new
+pub fn sanitize_min_prob(min_prob: f64) -> f64 {
+    if min_prob.is_nan() {
+        0.0
+    } else {
+        min_prob.clamp(0.0, 1.0)
+    }
+}
+
 /// One row of the probabilistic answer relation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Answer {
@@ -105,21 +130,32 @@ impl PartialOrd for RankedAnswer {
 #[derive(Debug)]
 pub struct TopK {
     cap: usize,
+    min_prob: f64,
     heap: BinaryHeap<std::cmp::Reverse<RankedAnswer>>,
 }
 
 impl TopK {
     /// Keep the best `cap` answers.
     pub fn new(cap: usize) -> TopK {
+        TopK::with_min_prob(cap, 0.0)
+    }
+
+    /// Keep the best `cap` answers with probability `>= min_prob` — the
+    /// SQL `AND Prob >= t` filter, applied before anything enters the
+    /// heap so below-threshold rows cost nothing to rank. The threshold
+    /// is sanitized by [`sanitize_min_prob`].
+    pub fn with_min_prob(cap: usize, min_prob: f64) -> TopK {
         TopK {
             cap,
+            min_prob: sanitize_min_prob(min_prob),
             heap: BinaryHeap::with_capacity(cap.min(4096).saturating_add(1)),
         }
     }
 
-    /// Offer one answer. Non-positive probabilities are not answers.
+    /// Offer one answer. Non-positive or below-threshold probabilities
+    /// are not answers.
     pub fn push(&mut self, answer: Answer) {
-        if answer.probability <= 0.0 || self.cap == 0 {
+        if !qualifies(answer.probability, self.min_prob) || self.cap == 0 {
             return;
         }
         let entry = std::cmp::Reverse(RankedAnswer(answer));
@@ -162,24 +198,47 @@ pub fn rank_answers(answers: Vec<Answer>, num_ans: usize) -> Vec<Answer> {
     topk.into_ranked()
 }
 
+/// Where executors deliver per-line answers: the bounded ranking heap for
+/// `SELECT DataKey` queries, or the constant-space accumulator for
+/// aggregate projections. Both apply the same qualification (positive
+/// probability, above any threshold), so switching the projection never
+/// changes which lines count as answers.
+#[derive(Debug)]
+pub(crate) enum Sink<'a> {
+    /// Rank into a bounded top-k heap.
+    Ranked(&'a mut TopK),
+    /// Fold into a streaming aggregate.
+    Aggregate(&'a mut StreamingAggregate),
+}
+
+impl Sink<'_> {
+    /// Deliver one line's answer.
+    pub(crate) fn offer(&mut self, answer: Answer) {
+        match self {
+            Sink::Ranked(topk) => topk.push(answer),
+            Sink::Aggregate(agg) => agg.fold(answer),
+        }
+    }
+}
+
 /// Streaming filescan over `approach`, evaluating lines on up to
-/// `parallelism` workers, counting into `stats`.
+/// `parallelism` workers, delivering answers into `sink`, counting into
+/// `stats`.
 pub(crate) fn exec_filescan(
     store: &OcrStore,
     approach: Approach,
     query: &Query,
-    num_ans: usize,
     parallelism: usize,
+    sink: &mut Sink<'_>,
     stats: &mut ExecStats,
-) -> Result<Vec<Answer>, QueryError> {
-    let mut topk = TopK::new(num_ans);
+) -> Result<(), QueryError> {
     match approach {
         Approach::Map => {
             for item in store.map_cursor()? {
                 let (key, s, p) = item?;
                 stats.rows_scanned += 1;
                 stats.lines_evaluated += 1;
-                topk.push(Answer {
+                sink.offer(Answer {
                     data_key: key,
                     probability: eval_strings(&query.dfa, std::iter::once((s.as_str(), p))),
                 });
@@ -190,7 +249,7 @@ pub(crate) fn exec_filescan(
                 let (key, strings) = item?;
                 stats.rows_scanned += strings.len() as u64;
                 stats.lines_evaluated += 1;
-                topk.push(Answer {
+                sink.offer(Answer {
                     data_key: key,
                     probability: eval_strings(
                         &query.dfa,
@@ -210,27 +269,27 @@ pub(crate) fn exec_filescan(
                     stats.rows_scanned += 1;
                     stats.lines_evaluated += 1;
                     let sfa = staccato_sfa::codec::decode(&blob)?;
-                    topk.push(Answer {
+                    sink.offer(Answer {
                         data_key: key,
                         probability: eval_sfa(&query.dfa, &sfa),
                     });
                 }
             } else {
-                parallel_sfa_scan(cursor, query, parallelism, stats, &mut topk)?;
+                parallel_sfa_scan(cursor, query, parallelism, stats, sink)?;
             }
         }
     }
-    Ok(topk.into_ranked())
+    Ok(())
 }
 
 /// Fan blob decode + evaluation out to workers while this thread drives
-/// the (sequential) heap scan and folds answers into the heap.
+/// the (sequential) heap scan and folds answers into the sink.
 fn parallel_sfa_scan(
     cursor: crate::store::BlobCursor<'_>,
     query: &Query,
     parallelism: usize,
     stats: &mut ExecStats,
-    topk: &mut TopK,
+    sink: &mut Sink<'_>,
 ) -> Result<(), QueryError> {
     std::thread::scope(|scope| -> Result<(), QueryError> {
         // Bounded work queue: the scan stays ahead of the workers without
@@ -260,13 +319,13 @@ fn parallel_sfa_scan(
         fn fold(
             result: Result<Answer, QueryError>,
             stats: &mut ExecStats,
-            topk: &mut TopK,
+            sink: &mut Sink<'_>,
             eval_error: &mut Option<QueryError>,
         ) {
             match result {
                 Ok(answer) => {
                     stats.lines_evaluated += 1;
-                    topk.push(answer);
+                    sink.offer(answer);
                 }
                 Err(e) => *eval_error = Some(e),
             }
@@ -283,7 +342,7 @@ fn parallel_sfa_scan(
                     // Drain whatever the workers have finished so the
                     // answer channel stays O(workers), not O(corpus).
                     while let Ok(result) = ans_rx.try_recv() {
-                        fold(result, stats, topk, &mut eval_error);
+                        fold(result, stats, sink, &mut eval_error);
                     }
                 }
                 Err(e) => {
@@ -295,7 +354,7 @@ fn parallel_sfa_scan(
         drop(work_tx);
 
         for result in ans_rx {
-            fold(result, stats, topk, &mut eval_error);
+            fold(result, stats, sink, &mut eval_error);
         }
         match (scan_error, eval_error) {
             (Some(e), _) | (None, Some(e)) => Err(e),
@@ -318,7 +377,16 @@ pub fn filescan_query_parallel(
     threads: usize,
 ) -> Result<Vec<Answer>, QueryError> {
     let mut stats = ExecStats::default();
-    exec_filescan(store, approach, query, num_ans, threads.max(1), &mut stats)
+    let mut topk = TopK::new(num_ans);
+    exec_filescan(
+        store,
+        approach,
+        query,
+        threads.max(1),
+        &mut Sink::Ranked(&mut topk),
+        &mut stats,
+    )?;
+    Ok(topk.into_ranked())
 }
 
 /// Run `query` over the chosen representation with a full filescan.
@@ -333,7 +401,16 @@ pub fn filescan_query(
     num_ans: usize,
 ) -> Result<Vec<Answer>, QueryError> {
     let mut stats = ExecStats::default();
-    exec_filescan(store, approach, query, num_ans, 1, &mut stats)
+    let mut topk = TopK::new(num_ans);
+    exec_filescan(
+        store,
+        approach,
+        query,
+        1,
+        &mut Sink::Ranked(&mut topk),
+        &mut stats,
+    )?;
+    Ok(topk.into_ranked())
 }
 
 #[cfg(test)]
@@ -358,7 +435,17 @@ mod tests {
 
     fn run(store: &OcrStore, approach: Approach, query: &Query, num_ans: usize) -> Vec<Answer> {
         let mut stats = ExecStats::default();
-        exec_filescan(store, approach, query, num_ans, 1, &mut stats).unwrap()
+        let mut topk = TopK::new(num_ans);
+        exec_filescan(
+            store,
+            approach,
+            query,
+            1,
+            &mut Sink::Ranked(&mut topk),
+            &mut stats,
+        )
+        .unwrap();
+        topk.into_ranked()
     }
 
     #[test]
@@ -495,9 +582,29 @@ mod tests {
             let query = Query::regex(pattern).unwrap();
             for ap in Approach::all() {
                 let mut seq_stats = ExecStats::default();
-                let seq = exec_filescan(&store, ap, &query, 1000, 1, &mut seq_stats).unwrap();
+                let mut seq_topk = TopK::new(1000);
+                exec_filescan(
+                    &store,
+                    ap,
+                    &query,
+                    1,
+                    &mut Sink::Ranked(&mut seq_topk),
+                    &mut seq_stats,
+                )
+                .unwrap();
+                let seq = seq_topk.into_ranked();
                 let mut par_stats = ExecStats::default();
-                let par = exec_filescan(&store, ap, &query, 1000, 4, &mut par_stats).unwrap();
+                let mut par_topk = TopK::new(1000);
+                exec_filescan(
+                    &store,
+                    ap,
+                    &query,
+                    4,
+                    &mut Sink::Ranked(&mut par_topk),
+                    &mut par_stats,
+                )
+                .unwrap();
+                let par = par_topk.into_ranked();
                 assert_eq!(seq.len(), par.len(), "{} {pattern}", ap.name());
                 for (a, b) in seq.iter().zip(&par) {
                     assert_eq!(a.data_key, b.data_key);
@@ -509,20 +616,110 @@ mod tests {
         }
     }
 
+    fn stats_of(store: &OcrStore, approach: Approach, query: &Query) -> ExecStats {
+        let mut stats = ExecStats::default();
+        let mut topk = TopK::new(100);
+        exec_filescan(
+            store,
+            approach,
+            query,
+            1,
+            &mut Sink::Ranked(&mut topk),
+            &mut stats,
+        )
+        .unwrap();
+        stats
+    }
+
     #[test]
     fn filescan_stats_count_rows_and_lines() {
         let (store, _) = store_with(12, 3);
         let query = Query::keyword("data").unwrap();
-        let mut stats = ExecStats::default();
-        exec_filescan(&store, Approach::Staccato, &query, 100, 1, &mut stats).unwrap();
+        let stats = stats_of(&store, Approach::Staccato, &query);
         assert_eq!(stats.rows_scanned, 12);
         assert_eq!(stats.lines_evaluated, 12);
         assert_eq!(stats.postings_probed, 0);
         // k-MAP scans k rows per line but still evaluates one line each.
-        let mut stats = ExecStats::default();
-        exec_filescan(&store, Approach::KMap, &query, 100, 1, &mut stats).unwrap();
+        let stats = stats_of(&store, Approach::KMap, &query);
         assert_eq!(stats.lines_evaluated, 12);
         assert!(stats.rows_scanned > 12, "k-MAP reads k rows per line");
+    }
+
+    #[test]
+    fn topk_threshold_drops_rows_before_the_heap() {
+        let answers: Vec<Answer> = [0.1, 0.5, 0.49999, 0.9, 0.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Answer {
+                data_key: i as i64,
+                probability: p,
+            })
+            .collect();
+        let mut topk = TopK::with_min_prob(10, 0.5);
+        for &a in &answers {
+            topk.push(a);
+        }
+        let ranked = topk.into_ranked();
+        assert_eq!(
+            ranked.iter().map(|a| a.data_key).collect::<Vec<_>>(),
+            vec![3, 1]
+        );
+        // Threshold 0.0 behaves exactly like the unthresholded heap.
+        let mut a = TopK::new(10);
+        let mut b = TopK::with_min_prob(10, 0.0);
+        for &x in &answers {
+            a.push(x);
+            b.push(x);
+        }
+        assert_eq!(a.into_ranked(), b.into_ranked());
+        // Threshold 1.0 keeps only certain answers.
+        let mut c = TopK::with_min_prob(10, 1.0);
+        for &x in &answers {
+            c.push(x);
+        }
+        assert!(c.is_empty());
+        c.push(Answer {
+            data_key: 9,
+            probability: 1.0,
+        });
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_sink_agrees_with_ranked_sink_on_qualification() {
+        let (store, _) = store_with(15, 19);
+        let query = Query::keyword("data").unwrap();
+        for min_prob in [0.0, 0.3, 1.0] {
+            let mut stats = ExecStats::default();
+            let mut topk = TopK::with_min_prob(10_000, min_prob);
+            exec_filescan(
+                &store,
+                Approach::Staccato,
+                &query,
+                1,
+                &mut Sink::Ranked(&mut topk),
+                &mut stats,
+            )
+            .unwrap();
+            let ranked = topk.into_ranked();
+            let mut agg = crate::agg::StreamingAggregate::new(min_prob);
+            let mut stats = ExecStats::default();
+            exec_filescan(
+                &store,
+                Approach::Staccato,
+                &query,
+                1,
+                &mut Sink::Aggregate(&mut agg),
+                &mut stats,
+            )
+            .unwrap();
+            assert_eq!(agg.rows() as usize, ranked.len(), "min_prob={min_prob}");
+            let sum: f64 = ranked.iter().map(|a| a.probability).sum();
+            assert!(
+                (agg.finish(crate::agg::AggregateFunc::SumProb) - sum).abs() < 1e-12,
+                "min_prob={min_prob}"
+            );
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! "Projection").
 
 use crate::error::QueryError;
-use crate::exec::{Answer, TopK};
+use crate::exec::{Answer, Sink, TopK};
 use crate::plan::ExecStats;
 use crate::query::Query;
 use crate::store::OcrStore;
@@ -310,9 +310,9 @@ pub(crate) fn exec_index_probe(
     store: &OcrStore,
     index: &InvertedIndex,
     query: &Query,
-    num_ans: usize,
+    sink: &mut Sink<'_>,
     stats: &mut ExecStats,
-) -> Result<Vec<Answer>, QueryError> {
+) -> Result<(), QueryError> {
     let anchor = query
         .anchor
         .clone()
@@ -325,7 +325,6 @@ pub(crate) fn exec_index_probe(
         return Err(QueryError::TermNotInDictionary(anchor));
     }
     let depth = query.max_span().unwrap_or(usize::MAX);
-    let mut topk = TopK::new(num_ans);
     for (data_key, posts) in probe_term(store, index, &anchor)? {
         stats.postings_probed += posts.len() as u64;
         let graph = store.get_staccato_graph(data_key)?;
@@ -345,12 +344,12 @@ pub(crate) fn exec_index_probe(
             let score = project_eval(&graph, query, edge.from, depth.saturating_add(1));
             best = best.max(score);
         }
-        topk.push(Answer {
+        sink.offer(Answer {
             data_key,
             probability: best,
         });
     }
-    Ok(topk.into_ranked())
+    Ok(())
 }
 
 /// Index-assisted execution of a left-anchored query.
@@ -365,7 +364,15 @@ pub fn indexed_query(
     num_ans: usize,
 ) -> Result<Vec<Answer>, QueryError> {
     let mut stats = ExecStats::default();
-    exec_index_probe(store, index, query, num_ans, &mut stats)
+    let mut topk = TopK::new(num_ans);
+    exec_index_probe(
+        store,
+        index,
+        query,
+        &mut Sink::Ranked(&mut topk),
+        &mut stats,
+    )?;
+    Ok(topk.into_ranked())
 }
 
 /// Figure 5's counter: how many postings *direct* indexing of one chunk
@@ -555,8 +562,15 @@ mod tests {
         let index = build_index(&store, &trie, "inv2").unwrap();
         let query = Query::regex(r"\d\d\d").unwrap();
         let mut stats = ExecStats::default();
+        let mut topk = TopK::new(10);
         assert!(matches!(
-            exec_index_probe(&store, &index, &query, 10, &mut stats),
+            exec_index_probe(
+                &store,
+                &index,
+                &query,
+                &mut Sink::Ranked(&mut topk),
+                &mut stats
+            ),
             Err(QueryError::NotAnchored(_))
         ));
     }
@@ -570,8 +584,15 @@ mod tests {
         assert!(!index.contains_term(store.db().pool(), "president").unwrap());
         let query = Query::keyword("President").unwrap();
         let mut stats = ExecStats::default();
+        let mut topk = TopK::new(10);
         assert!(matches!(
-            exec_index_probe(&store, &index, &query, 10, &mut stats),
+            exec_index_probe(
+                &store,
+                &index,
+                &query,
+                &mut Sink::Ranked(&mut topk),
+                &mut stats
+            ),
             Err(QueryError::TermNotInDictionary(_))
         ));
     }

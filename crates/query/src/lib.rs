@@ -8,22 +8,26 @@
 //!
 //! All querying goes through a [`Staccato`] session. A session wraps a
 //! loaded [`OcrStore`], owns any registered §4 inverted indexes, and
-//! executes declarative [`QueryRequest`]s: the planner compiles each
-//! request into an explicit [`Plan`] — a (possibly parallel) streaming
-//! `FileScan`, or an `IndexProbe` chosen automatically when the pattern
-//! is left-anchored and a registered index covers the anchor — and every
-//! result carries the chosen plan and its [`ExecStats`]:
+//! executes queries from either surface — a SQL string ([`sql`]) or the
+//! declarative [`QueryRequest`] builder. Both lower to the same planner:
+//! each request compiles into an explicit [`Plan`] — a (possibly
+//! parallel) streaming `FileScan`, an `IndexProbe` chosen automatically
+//! when the pattern is left-anchored and a registered index covers the
+//! anchor, or an `Aggregate` folding either access path into a streaming
+//! `COUNT(*)`/`SUM(Prob)`/`AVG(Prob)` — and every result carries the
+//! chosen plan and its [`ExecStats`]:
 //!
 //! ```ignore
 //! let mut session = Staccato::load(db, &dataset, &LoadOptions::default())?;
 //! session.register_index(&trie, "inv")?;
-//! let out = session.execute(
-//!     &QueryRequest::like("%Ford%")
-//!         .approach(Approach::Staccato)
-//!         .num_ans(100)
-//!         .parallelism(8),
+//! let out = session.sql(
+//!     "SELECT DataKey, Prob FROM StaccatoData \
+//!      WHERE Data LIKE '%Ford%' AND Prob >= 0.25 LIMIT 100",
 //! )?;
-//! println!("{}", session.explain(&QueryRequest::like("%Ford%"))?);
+//! let prepared = session.prepare("SELECT COUNT(*) FROM MAPData WHERE Data LIKE ?")?;
+//! let count = session.execute_prepared(&prepared, &[SqlValue::text("%Ford%")])?;
+//! println!("{}", session.sql("EXPLAIN SELECT DataKey FROM StaccatoData \
+//!      WHERE Data LIKE '%Ford%'")?.explain.unwrap());
 //! ```
 //!
 //! Execution is streaming end to end: executors pull rows one line at a
@@ -39,7 +43,7 @@
 //!   regex compiled to a containment DFA, with its left anchor and length
 //!   bounds for index use;
 //! * [`eval`] — probability computation: `Pr[q]` over an SFA via the
-//!   forward dynamic program of [Kimelfeld & Ré / Ré et al.], and over
+//!   forward dynamic program of \[Kimelfeld & Ré / Ré et al.\], and over
 //!   string sets for MAP/k-MAP (each string is a disjoint event, §3);
 //! * [`store`] — the Table 5 schema and its streaming row cursors:
 //!   loading a corpus through the OCR channel into MasterData / kMAPData /
@@ -48,8 +52,12 @@
 //!   and the bounded [`exec::TopK`] answer ranking;
 //! * [`metrics`] — ground truth and precision/recall/F1 (the paper's
 //!   quality measures);
+//! * [`sql`] — the textual SQL front-end: lexer → recursive-descent
+//!   parser → AST → lowering into a [`QueryRequest`], plus prepared
+//!   statements with `?` parameter binding;
 //! * [`agg`] — probabilistic aggregation (`E[COUNT]`, `E[SUM]`, the
-//!   Poisson–binomial count distribution) over answer relations;
+//!   Poisson–binomial count distribution) over answer relations, and the
+//!   streaming accumulator behind SQL aggregate plans;
 //! * [`invindex`] — §4's dictionary-based inverted index: construction
 //!   (Algorithms 3–4), the direct-indexing blow-up counter (Figure 5),
 //!   probing with left anchors, and BFS projection.
@@ -67,9 +75,13 @@ pub mod metrics;
 pub mod plan;
 pub mod query;
 pub mod session;
+pub mod sql;
 pub mod store;
 
-pub use agg::{count_distribution, expected_count, expected_sum, threshold_probability};
+pub use agg::{
+    count_distribution, expected_count, expected_sum, threshold_probability, AggregateFunc,
+    AggregateResult, StreamingAggregate,
+};
 pub use error::QueryError;
 pub use eval::{eval_sfa, eval_strings};
 pub use exec::{Answer, Approach, TopK};
@@ -78,6 +90,7 @@ pub use metrics::{evaluate_answers, ground_truth, Metrics};
 pub use plan::{Dialect, ExecStats, Plan, PlanPreference, QueryRequest};
 pub use query::Query;
 pub use session::{QueryOutput, Staccato};
+pub use sql::{PreparedQuery, SqlError, SqlTable, SqlValue};
 pub use store::{LoadOptions, OcrStore, RepresentationSizes};
 
 #[allow(deprecated)]

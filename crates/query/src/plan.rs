@@ -11,13 +11,21 @@
 //!   the containment DFA (optionally on several worker threads, §5.4);
 //! * [`Plan::IndexProbe`] — look the pattern's left anchor up in a
 //!   registered §4 inverted index, point-fetch the candidate lines, and
-//!   evaluate only their projections.
+//!   evaluate only their projections;
+//! * [`Plan::Aggregate`] — wrap either access path and fold qualifying
+//!   lines into a streaming `COUNT(*)` / `SUM(Prob)` / `AVG(Prob)`.
 //!
 //! The probe is chosen automatically when the representation is Staccato,
 //! the pattern is left-anchored (§2.1), and a registered index covers the
 //! anchor term; otherwise the planner falls back to a filescan. Forcing
-//! either path is supported for plan-quality experiments and tests.
+//! either path is supported for plan-quality experiments and tests. A
+//! request-level probability threshold (`min_prob`, SQL `AND Prob >= t`)
+//! is pushed into the executors so below-threshold rows never reach the
+//! ranking heap. Requests arrive either from the fluent builder here or
+//! from the textual SQL front-end ([`crate::sql`]), which lowers into the
+//! same [`QueryRequest`].
 
+use crate::agg::AggregateFunc;
 use crate::error::QueryError;
 use crate::exec::Approach;
 use crate::query::Query;
@@ -68,6 +76,12 @@ pub struct QueryRequest {
     pub parallelism: usize,
     /// The planner override.
     pub preference: PlanPreference,
+    /// Probability threshold (SQL `AND Prob >= t`): rows below it never
+    /// enter the ranking heap or the aggregate. 0.0 = no threshold.
+    pub min_prob: f64,
+    /// Aggregate projection (SQL `SELECT COUNT(*) | SUM(Prob) |
+    /// AVG(Prob)`); `None` returns the ranked answer relation.
+    pub aggregate: Option<AggregateFunc>,
 }
 
 impl QueryRequest {
@@ -81,6 +95,8 @@ impl QueryRequest {
             num_ans: 100,
             parallelism: 1,
             preference: PlanPreference::Auto,
+            min_prob: 0.0,
+            aggregate: None,
         }
     }
 
@@ -123,6 +139,23 @@ impl QueryRequest {
         self
     }
 
+    /// Only treat lines with match probability `>= t` as answers
+    /// (default: 0.0, i.e. every positive-probability line). The filter
+    /// is pushed into the streaming executors, ahead of the ranking heap.
+    /// Values are clamped to `[0, 1]`; NaN means no threshold.
+    pub fn min_prob(mut self, t: f64) -> QueryRequest {
+        self.min_prob = crate::exec::sanitize_min_prob(t);
+        self
+    }
+
+    /// Project an aggregate over the answer relation instead of returning
+    /// ranked rows. Aggregate requests stream every qualifying line —
+    /// `num_ans` does not cap what they see.
+    pub fn aggregate(mut self, func: AggregateFunc) -> QueryRequest {
+        self.aggregate = Some(func);
+        self
+    }
+
     /// Compile the pattern to a [`Query`] (containment DFA + anchor).
     pub fn compile(&self) -> Result<Query, QueryError> {
         match self.dialect {
@@ -150,6 +183,15 @@ pub enum Plan {
         /// The anchor term looked up.
         anchor: String,
     },
+    /// Fold the qualifying lines of `input` into a streaming aggregate
+    /// (`COUNT(*)` / `SUM(Prob)` / `AVG(Prob)`), never materializing the
+    /// answer relation.
+    Aggregate {
+        /// The aggregate to compute.
+        func: AggregateFunc,
+        /// The access path supplying the answer relation.
+        input: Box<Plan>,
+    },
 }
 
 impl Plan {
@@ -158,17 +200,37 @@ impl Plan {
         match self {
             Plan::FileScan { .. } => "FileScan",
             Plan::IndexProbe { .. } => "IndexProbe",
+            Plan::Aggregate { .. } => "Aggregate",
         }
     }
 
-    /// Is this an index probe?
+    /// Does this plan (or its input, for aggregates) probe an index?
     pub fn is_index_probe(&self) -> bool {
-        matches!(self, Plan::IndexProbe { .. })
+        match self {
+            Plan::IndexProbe { .. } => true,
+            Plan::Aggregate { input, .. } => input.is_index_probe(),
+            Plan::FileScan { .. } => false,
+        }
+    }
+
+    /// The access path that reads the table: the plan itself, or the
+    /// aggregate's input.
+    pub fn access_path(&self) -> &Plan {
+        match self {
+            Plan::Aggregate { input, .. } => input.access_path(),
+            other => other,
+        }
     }
 }
 
 /// Execution counters attached to every result — the reproduction's
 /// `EXPLAIN ANALYZE`.
+///
+/// Planning and execution are timed separately so the filescan and
+/// index-probe paths report comparable numbers: `plan_wall` covers
+/// pattern compilation plus access-path choice (including the index
+/// dictionary lookups auto-planning performs), `exec_wall` covers running
+/// the chosen plan. [`ExecStats::wall`] is their sum.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Physical table rows read (heap rows for scans, point fetches for
@@ -178,8 +240,17 @@ pub struct ExecStats {
     pub lines_evaluated: u64,
     /// Index postings retrieved (0 for filescans).
     pub postings_probed: u64,
-    /// Wall-clock execution time.
-    pub wall: Duration,
+    /// Wall-clock time spent compiling the pattern and choosing the plan.
+    pub plan_wall: Duration,
+    /// Wall-clock time spent executing the chosen plan.
+    pub exec_wall: Duration,
+}
+
+impl ExecStats {
+    /// Total wall-clock time: planning plus execution.
+    pub fn wall(&self) -> Duration {
+        self.plan_wall + self.exec_wall
+    }
 }
 
 /// Compile `request` into the access path [`Staccato::execute`] will run.
@@ -188,8 +259,24 @@ pub struct ExecStats {
 /// targets the Staccato representation, the compiled pattern has a left
 /// anchor, and some registered index's dictionary contains that anchor;
 /// anything else filescans. Forced probes surface the precise reason they
-/// are illegal instead of silently degrading.
+/// are illegal instead of silently degrading. An aggregate request wraps
+/// the chosen access path in [`Plan::Aggregate`].
 pub fn plan_request(
+    session: &Staccato,
+    request: &QueryRequest,
+    query: &Query,
+) -> Result<Plan, QueryError> {
+    let access = plan_access_path(session, request, query)?;
+    Ok(match request.aggregate {
+        Some(func) => Plan::Aggregate {
+            func,
+            input: Box::new(access),
+        },
+        None => access,
+    })
+}
+
+fn plan_access_path(
     session: &Staccato,
     request: &QueryRequest,
     query: &Query,
@@ -246,7 +333,10 @@ pub fn plan_request(
     }
 }
 
-/// Human-readable plan report (the `EXPLAIN` text).
+/// Human-readable plan report (the `EXPLAIN` text). The SQL front-end's
+/// `EXPLAIN SELECT ...` and the builder path's
+/// [`Staccato::explain`](crate::session::Staccato::explain) both render
+/// through here, so the two surfaces agree byte for byte.
 pub fn render_explain(request: &QueryRequest, query: &Query, plan: &Plan) -> String {
     let mut out = String::new();
     let dialect = match request.dialect {
@@ -269,35 +359,52 @@ pub fn render_explain(request: &QueryRequest, query: &Query, plan: &Plan) -> Str
         query.anchor.as_deref().unwrap_or("none"),
         query.dfa.state_count()
     ));
+    if request.min_prob > 0.0 {
+        out.push_str(&format!(
+            "  threshold: Prob >= {} (pushed into the executor)\n",
+            request.min_prob
+        ));
+    }
+    if let Plan::Aggregate { func, input } = plan {
+        out.push_str(&format!(
+            "Plan: Aggregate {} over {}\n",
+            func.sql_name(),
+            input.kind()
+        ));
+        out.push_str("  -> fold qualifying lines into a streaming aggregate (no ranking heap)\n");
+        render_access_path(&mut out, "  input ", plan.access_path());
+    } else {
+        render_access_path(&mut out, "Plan: ", plan);
+        out.push_str(&format!(
+            "  -> top-{} answers by probability (bounded heap)\n",
+            request.num_ans
+        ));
+    }
+    out
+}
+
+fn render_access_path(out: &mut String, label: &str, plan: &Plan) {
     match plan {
         Plan::FileScan {
             approach,
             parallelism,
         } => {
-            out.push_str(&format!("Plan: FileScan over {}\n", approach.name()));
+            out.push_str(&format!("{label}FileScan over {}\n", approach.name()));
             out.push_str(&format!(
                 "  -> stream {} rows through the containment DFA ({} worker{})\n",
                 approach.name(),
                 parallelism,
                 if *parallelism == 1 { "" } else { "s" }
             ));
-            out.push_str(&format!(
-                "  -> top-{} answers by probability (bounded heap)\n",
-                request.num_ans
-            ));
         }
         Plan::IndexProbe { index, anchor } => {
-            out.push_str(&format!("Plan: IndexProbe via {index:?}\n"));
+            out.push_str(&format!("{label}IndexProbe via {index:?}\n"));
             out.push_str(&format!("  -> probe postings for anchor {anchor:?}\n"));
             out.push_str("  -> point-fetch candidate StaccatoGraph rows via the primary B+-tree\n");
             out.push_str("  -> evaluate each candidate on its projection (span-bounded BFS)\n");
-            out.push_str(&format!(
-                "  -> top-{} answers by probability (bounded heap)\n",
-                request.num_ans
-            ));
         }
+        Plan::Aggregate { .. } => unreachable!("aggregates wrap exactly one access path"),
     }
-    out
 }
 
 #[cfg(test)]
@@ -311,10 +418,20 @@ mod tests {
         assert_eq!(req.num_ans, 100);
         assert_eq!(req.parallelism, 1);
         assert_eq!(req.preference, PlanPreference::Auto);
+        assert_eq!(req.min_prob, 0.0);
+        assert_eq!(req.aggregate, None);
         let req = req.approach(Approach::Map).num_ans(10).parallelism(0);
         assert_eq!(req.approach, Approach::Map);
         assert_eq!(req.num_ans, 10);
         assert_eq!(req.parallelism, 1, "parallelism clamps to >= 1");
+    }
+
+    #[test]
+    fn min_prob_clamps_to_the_unit_interval() {
+        assert_eq!(QueryRequest::like("%a%").min_prob(0.5).min_prob, 0.5);
+        assert_eq!(QueryRequest::like("%a%").min_prob(-3.0).min_prob, 0.0);
+        assert_eq!(QueryRequest::like("%a%").min_prob(7.0).min_prob, 1.0);
+        assert_eq!(QueryRequest::like("%a%").min_prob(f64::NAN).min_prob, 0.0);
     }
 
     #[test]
@@ -342,6 +459,13 @@ mod tests {
         assert!(!scan.is_index_probe());
         assert_eq!(probe.kind(), "IndexProbe");
         assert!(probe.is_index_probe());
+        let agg = Plan::Aggregate {
+            func: AggregateFunc::SumProb,
+            input: Box::new(probe.clone()),
+        };
+        assert_eq!(agg.kind(), "Aggregate");
+        assert!(agg.is_index_probe(), "aggregate sees through to its input");
+        assert_eq!(agg.access_path(), &probe);
     }
 
     #[test]
@@ -369,5 +493,41 @@ mod tests {
         );
         assert!(probe.contains("IndexProbe"), "{probe}");
         assert!(probe.contains("\"public\""), "{probe}");
+    }
+
+    #[test]
+    fn explain_renders_threshold_and_aggregate() {
+        let req = QueryRequest::like("%Ford%")
+            .min_prob(0.25)
+            .aggregate(AggregateFunc::CountStar);
+        let query = req.compile().unwrap();
+        let text = render_explain(
+            &req,
+            &query,
+            &Plan::Aggregate {
+                func: AggregateFunc::CountStar,
+                input: Box::new(Plan::FileScan {
+                    approach: Approach::Staccato,
+                    parallelism: 1,
+                }),
+            },
+        );
+        assert!(text.contains("threshold: Prob >= 0.25"), "{text}");
+        assert!(text.contains("Aggregate COUNT(*) over FileScan"), "{text}");
+        assert!(text.contains("streaming aggregate"), "{text}");
+        assert!(!text.contains("top-"), "no ranking heap line: {text}");
+
+        // No threshold, no aggregate: the classic report, unchanged.
+        let req = QueryRequest::like("%Ford%");
+        let text = render_explain(
+            &req,
+            &query,
+            &Plan::FileScan {
+                approach: Approach::Staccato,
+                parallelism: 1,
+            },
+        );
+        assert!(!text.contains("threshold"), "{text}");
+        assert!(text.contains("top-100"), "{text}");
     }
 }

@@ -2,9 +2,11 @@
 //! OCR store.
 //!
 //! A session wraps an [`OcrStore`], owns any registered §4 inverted
-//! indexes, and executes [`QueryRequest`]s: compile the pattern, let the
-//! planner pick a [`Plan`], run the matching streaming executor, and
-//! return the ranked answers together with the plan and its
+//! indexes, and executes queries arriving on either surface — the fluent
+//! [`QueryRequest`] builder or a SQL string ([`Staccato::sql`],
+//! [`Staccato::prepare`]): compile the pattern, let the planner pick a
+//! [`Plan`], run the matching streaming executor, and return the ranked
+//! answers (or aggregate scalar) together with the plan and its
 //! [`ExecStats`]. This mirrors the paper's posture that probabilistic
 //! queries are ordinary SQL — the user states *what* to match
 //! (`LIKE '%Ford%'`) and the engine decides *how* (filescan vs.
@@ -13,16 +15,19 @@
 //! ```ignore
 //! let mut session = Staccato::load(db, &dataset, &LoadOptions::default())?;
 //! session.register_index(&trie, "inv")?;
-//! let out = session.execute(
-//!     &QueryRequest::like("%Ford%").approach(Approach::Staccato).num_ans(100),
+//! let out = session.sql(
+//!     "SELECT DataKey, Prob FROM StaccatoData WHERE Data LIKE '%Ford%' LIMIT 100",
 //! )?;
 //! println!("{} answers via {}", out.answers.len(), out.plan.kind());
 //! ```
 
+use crate::agg::{AggregateResult, StreamingAggregate};
 use crate::error::QueryError;
-use crate::exec::{exec_filescan, Answer};
+use crate::exec::{exec_filescan, Answer, Sink, TopK};
 use crate::invindex::{build_index, exec_index_probe, InvertedIndex};
 use crate::plan::{plan_request, render_explain, ExecStats, Plan, QueryRequest};
+use crate::query::Query;
+use crate::sql::{parse_statement, PreparedQuery, SqlError, SqlValue, Statement};
 use crate::store::{LoadOptions, OcrStore, RepresentationSizes};
 use staccato_automata::Trie;
 use staccato_ocr::Dataset;
@@ -41,16 +46,23 @@ pub struct Staccato {
     indexes: Vec<RegisteredIndex>,
 }
 
-/// Everything one execution returns: the ranked probabilistic relation,
-/// the plan that produced it, and the execution counters.
+/// Everything one execution returns: the ranked probabilistic relation
+/// (or the aggregate scalar), the plan that produced it, and the
+/// execution counters.
 #[derive(Debug)]
 pub struct QueryOutput {
     /// Ranked `(DataKey, probability)` rows, truncated to `num_ans`.
+    /// Empty for aggregate and `EXPLAIN` statements.
     pub answers: Vec<Answer>,
     /// The access path the planner chose.
     pub plan: Plan,
     /// Counters and wall time for this execution.
     pub stats: ExecStats,
+    /// The aggregate scalar, when the request projected one.
+    pub aggregate: Option<AggregateResult>,
+    /// The `EXPLAIN` text, when the statement was an `EXPLAIN` (nothing
+    /// executed in that case).
+    pub explain: Option<String>,
 }
 
 impl Staccato {
@@ -94,8 +106,13 @@ impl Staccato {
 
     /// Build a §4 dictionary inverted index over the Staccato
     /// representation and register it with the planner under `name`.
-    /// Returns the number of postings inserted.
+    /// Returns the number of postings inserted. Names must be unique per
+    /// session; re-registering one errors with
+    /// [`QueryError::DuplicateIndex`] instead of shadowing the original.
     pub fn register_index(&mut self, trie: &Trie, name: &str) -> Result<u64, QueryError> {
+        if self.indexes.iter().any(|r| r.name == name) {
+            return Err(QueryError::DuplicateIndex(name.to_string()));
+        }
         let index = build_index(&self.store, trie, name)?;
         let postings = index.posting_count;
         self.indexes.push(RegisteredIndex {
@@ -129,50 +146,169 @@ impl Staccato {
         Ok(None)
     }
 
+    /// The shared planning preamble: compile the pattern, choose the
+    /// plan. Every surface (`plan`, `explain`, `execute`, SQL `EXPLAIN`)
+    /// goes through here, so they agree by construction.
+    fn compile_and_plan(&self, request: &QueryRequest) -> Result<(Query, Plan), QueryError> {
+        let query = request.compile()?;
+        let plan = plan_request(self, request, &query)?;
+        Ok((query, plan))
+    }
+
     /// Compile `request` and choose its access path without executing.
     pub fn plan(&self, request: &QueryRequest) -> Result<Plan, QueryError> {
-        let query = request.compile()?;
-        plan_request(self, request, &query)
+        Ok(self.compile_and_plan(request)?.1)
     }
 
     /// The `EXPLAIN` text: the compiled pattern, its anchor, and the
     /// chosen plan, human-readable.
     pub fn explain(&self, request: &QueryRequest) -> Result<String, QueryError> {
-        let query = request.compile()?;
-        let plan = plan_request(self, request, &query)?;
+        let (query, plan) = self.compile_and_plan(request)?;
         Ok(render_explain(request, &query, &plan))
     }
 
-    /// Execute `request`: plan, run, rank, and account.
+    /// Execute `request`: plan, run, rank (or aggregate), and account.
+    /// Planning and execution are timed separately into
+    /// [`ExecStats::plan_wall`] and [`ExecStats::exec_wall`].
     pub fn execute(&self, request: &QueryRequest) -> Result<QueryOutput, QueryError> {
-        let query = request.compile()?;
-        let plan = plan_request(self, request, &query)?;
-        let mut stats = ExecStats::default();
-        let started = Instant::now();
-        let answers = match &plan {
-            Plan::FileScan {
-                approach,
-                parallelism,
-            } => exec_filescan(
-                &self.store,
-                *approach,
-                &query,
-                request.num_ans,
-                *parallelism,
-                &mut stats,
-            )?,
-            Plan::IndexProbe { index, .. } => {
-                let index = self
-                    .index(index)
-                    .expect("planner only returns registered indexes");
-                exec_index_probe(&self.store, index, &query, request.num_ans, &mut stats)?
+        let planning = Instant::now();
+        let (query, plan) = self.compile_and_plan(request)?;
+        let mut stats = ExecStats {
+            plan_wall: planning.elapsed(),
+            ..ExecStats::default()
+        };
+        let executing = Instant::now();
+        let (answers, aggregate) = match &plan {
+            Plan::Aggregate { func, input } => {
+                let mut agg = StreamingAggregate::new(request.min_prob);
+                self.run_access_path(
+                    input,
+                    request,
+                    &query,
+                    &mut Sink::Aggregate(&mut agg),
+                    &mut stats,
+                )?;
+                (
+                    Vec::new(),
+                    Some(AggregateResult {
+                        func: *func,
+                        value: agg.finish(*func),
+                    }),
+                )
+            }
+            access => {
+                let mut topk = TopK::with_min_prob(request.num_ans, request.min_prob);
+                self.run_access_path(
+                    access,
+                    request,
+                    &query,
+                    &mut Sink::Ranked(&mut topk),
+                    &mut stats,
+                )?;
+                (topk.into_ranked(), None)
             }
         };
-        stats.wall = started.elapsed();
+        stats.exec_wall = executing.elapsed();
         Ok(QueryOutput {
             answers,
             plan,
             stats,
+            aggregate,
+            explain: None,
+        })
+    }
+
+    /// Run one relational access path, delivering answers into `sink`.
+    fn run_access_path(
+        &self,
+        plan: &Plan,
+        request: &QueryRequest,
+        query: &Query,
+        sink: &mut Sink<'_>,
+        stats: &mut ExecStats,
+    ) -> Result<(), QueryError> {
+        match plan {
+            Plan::FileScan {
+                approach,
+                parallelism,
+            } => exec_filescan(&self.store, *approach, query, *parallelism, sink, stats),
+            Plan::IndexProbe { index, .. } => {
+                let index = self
+                    .index(index)
+                    .expect("planner only returns registered indexes");
+                exec_index_probe(&self.store, index, query, sink, stats)
+            }
+            Plan::Aggregate { .. } => unreachable!(
+                "aggregates wrap exactly one access path; request {:?}",
+                request.pattern
+            ),
+        }
+    }
+
+    /// Run one SQL statement — the paper's §2.3 interface:
+    ///
+    /// ```ignore
+    /// let out = session.sql(
+    ///     "SELECT DataKey, Prob FROM StaccatoData \
+    ///      WHERE Data LIKE '%Ford%' AND Prob >= 0.25 LIMIT 10",
+    /// )?;
+    /// let count = session.sql(
+    ///     "SELECT COUNT(*) FROM StaccatoData WHERE Data LIKE '%Ford%'",
+    /// )?;
+    /// println!("{}", session.sql("EXPLAIN SELECT DataKey FROM MAPData \
+    ///      WHERE Data REGEXP 'Public Law (8|9)\\d'")?.explain.unwrap());
+    /// ```
+    ///
+    /// A statement without `LIMIT` returns at most the paper's `NumAns`
+    /// default of 100 ranked rows (aggregates always see every
+    /// qualifying line). Statements with `?` placeholders must go
+    /// through [`Staccato::prepare`] / [`Staccato::execute_prepared`]
+    /// instead.
+    pub fn sql(&self, statement: &str) -> Result<QueryOutput, QueryError> {
+        let stmt = parse_statement(statement)?;
+        if stmt.param_count() > 0 {
+            return Err(SqlError::new(
+                0,
+                "statement has '?' placeholders; use prepare() and execute_prepared()",
+            )
+            .into());
+        }
+        self.run_statement(&stmt)
+    }
+
+    /// Parse a SQL statement with `?` placeholders for later execution.
+    pub fn prepare(&self, statement: &str) -> Result<PreparedQuery, QueryError> {
+        PreparedQuery::new(statement)
+    }
+
+    /// Bind `params` to a prepared statement's placeholders (left to
+    /// right) and run it.
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedQuery,
+        params: &[SqlValue],
+    ) -> Result<QueryOutput, QueryError> {
+        self.run_statement(&prepared.bind(params)?)
+    }
+
+    fn run_statement(&self, stmt: &Statement) -> Result<QueryOutput, QueryError> {
+        let request = crate::sql::lower_statement(stmt)?;
+        if !stmt.is_explain() {
+            return self.execute(&request);
+        }
+        // EXPLAIN: plan only, render through the same path as `explain()`.
+        let planning = Instant::now();
+        let (query, plan) = self.compile_and_plan(&request)?;
+        let stats = ExecStats {
+            plan_wall: planning.elapsed(),
+            ..ExecStats::default()
+        };
+        Ok(QueryOutput {
+            answers: Vec::new(),
+            explain: Some(render_explain(&request, &query, &plan)),
+            plan,
+            stats,
+            aggregate: None,
         })
     }
 }
@@ -297,6 +433,153 @@ mod tests {
             out.stats.rows_scanned <= 50,
             "probe fetches candidates only"
         );
+    }
+
+    #[test]
+    fn duplicate_index_names_are_rejected() {
+        let mut s = session(20, 4);
+        s.register_index(&Trie::build(["public"]), "inv").unwrap();
+        let err = s
+            .register_index(&Trie::build(["president"]), "inv")
+            .unwrap_err();
+        assert!(
+            matches!(err, QueryError::DuplicateIndex(ref n) if n == "inv"),
+            "{err}"
+        );
+        // The original registration is untouched and still first.
+        assert_eq!(s.index_names(), vec!["inv"]);
+        assert!(s.index("inv").is_some());
+        // A different name is fine.
+        s.register_index(&Trie::build(["president"]), "inv2")
+            .unwrap();
+        assert_eq!(s.index_names(), vec!["inv", "inv2"]);
+    }
+
+    #[test]
+    fn sql_matches_builder_execution() {
+        let s = session(30, 5);
+        let via_sql = s
+            .sql("SELECT DataKey, Prob FROM MAPData WHERE Data REGEXP 'President' LIMIT 100")
+            .unwrap();
+        let via_builder = s
+            .execute(&QueryRequest::keyword("President").approach(Approach::Map))
+            .unwrap();
+        assert_eq!(via_sql.plan, via_builder.plan);
+        assert_eq!(via_sql.answers.len(), via_builder.answers.len());
+        for (a, b) in via_sql.answers.iter().zip(&via_builder.answers) {
+            assert_eq!(a.data_key, b.data_key);
+            assert!((a.probability - b.probability).abs() < 1e-15);
+        }
+        assert!(via_sql.aggregate.is_none());
+        assert!(via_sql.explain.is_none());
+    }
+
+    #[test]
+    fn sql_threshold_filters_answers() {
+        let s = session(30, 5);
+        let all = s
+            .sql("SELECT DataKey FROM FullSFAData WHERE Data REGEXP 'the' LIMIT 1000")
+            .unwrap();
+        let cutoff = 0.5;
+        let thresholded = s
+            .sql("SELECT DataKey FROM FullSFAData WHERE Data REGEXP 'the' AND Prob >= 0.5 LIMIT 1000")
+            .unwrap();
+        let expected: Vec<i64> = all
+            .answers
+            .iter()
+            .filter(|a| a.probability >= cutoff)
+            .map(|a| a.data_key)
+            .collect();
+        assert_eq!(
+            thresholded
+                .answers
+                .iter()
+                .map(|a| a.data_key)
+                .collect::<Vec<_>>(),
+            expected
+        );
+        assert!(thresholded.answers.len() < all.answers.len());
+    }
+
+    #[test]
+    fn sql_aggregates_run_streamingly() {
+        let s = session(25, 9);
+        let rows = s
+            .sql("SELECT DataKey, Prob FROM StaccatoData WHERE Data REGEXP 'the' LIMIT 100000")
+            .unwrap();
+        let count = s
+            .sql("SELECT COUNT(*) FROM StaccatoData WHERE Data REGEXP 'the'")
+            .unwrap();
+        let sum = s
+            .sql("SELECT SUM(Prob) FROM StaccatoData WHERE Data REGEXP 'the'")
+            .unwrap();
+        let avg = s
+            .sql("SELECT AVG(Prob) FROM StaccatoData WHERE Data REGEXP 'the'")
+            .unwrap();
+        assert_eq!(count.plan.kind(), "Aggregate");
+        assert!(count.answers.is_empty());
+        let count = count.aggregate.unwrap();
+        let sum = sum.aggregate.unwrap();
+        let avg = avg.aggregate.unwrap();
+        assert_eq!(count.value, rows.answers.len() as f64);
+        let expect_sum: f64 = rows.answers.iter().map(|a| a.probability).sum();
+        assert!((sum.value - expect_sum).abs() < 1e-9);
+        assert!((avg.value - expect_sum / count.value).abs() < 1e-9);
+        // SUM(Prob) over the answer relation is E[COUNT(*)] (agg.rs).
+        assert!(
+            (sum.value - crate::agg::expected_count(&rows.answers)).abs() < 1e-9,
+            "streaming SUM must equal the batch expected count"
+        );
+    }
+
+    #[test]
+    fn sql_explain_agrees_with_builder_explain() {
+        let mut s = session(20, 13);
+        s.register_index(&Trie::build(["president"]), "inv")
+            .unwrap();
+        let out = s
+            .sql("EXPLAIN SELECT DataKey FROM StaccatoData WHERE Data REGEXP 'President' LIMIT 100")
+            .unwrap();
+        let text = out.explain.expect("EXPLAIN sets the text");
+        assert!(out.answers.is_empty(), "EXPLAIN must not execute");
+        assert_eq!(out.stats.exec_wall.as_nanos(), 0);
+        assert_eq!(
+            text,
+            s.explain(&QueryRequest::keyword("President")).unwrap(),
+            "SQL EXPLAIN and builder explain() must agree byte for byte"
+        );
+        assert!(text.contains("IndexProbe"), "{text}");
+    }
+
+    #[test]
+    fn sql_rejects_unbound_params_and_prepared_path_binds_them() {
+        let s = session(20, 3);
+        let err = s
+            .sql("SELECT DataKey FROM MAPData WHERE Data LIKE ?")
+            .unwrap_err();
+        assert!(err.to_string().contains("prepare"), "{err}");
+        let p = s
+            .prepare("SELECT DataKey FROM MAPData WHERE Data REGEXP ? LIMIT ?")
+            .unwrap();
+        let out = s
+            .execute_prepared(&p, &[SqlValue::text("President"), SqlValue::Int(5)])
+            .unwrap();
+        let direct = s
+            .sql("SELECT DataKey FROM MAPData WHERE Data REGEXP 'President' LIMIT 5")
+            .unwrap();
+        assert_eq!(out.answers.len(), direct.answers.len());
+        for (a, b) in out.answers.iter().zip(&direct.answers) {
+            assert_eq!(a.data_key, b.data_key);
+        }
+    }
+
+    #[test]
+    fn stats_time_planning_and_execution_separately() {
+        let s = session(25, 17);
+        let out = s.execute(&QueryRequest::keyword("President")).unwrap();
+        assert!(out.stats.plan_wall.as_nanos() > 0);
+        assert!(out.stats.exec_wall.as_nanos() > 0);
+        assert_eq!(out.stats.wall(), out.stats.plan_wall + out.stats.exec_wall);
     }
 
     #[test]

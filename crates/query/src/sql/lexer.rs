@@ -1,0 +1,247 @@
+//! Tokenizer for the SQL surface.
+//!
+//! Lexing is deliberately small: identifiers/keywords, `'...'` string
+//! literals with `''` as the embedded-quote escape (backslashes are plain
+//! characters, so regex patterns need no double-escaping), decimal
+//! numbers with optional fraction and exponent, and the handful of
+//! punctuation tokens the grammar uses. Every token carries its byte
+//! offset so parse errors can point into the statement.
+
+use super::SqlError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are resolved case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// String literal, quotes stripped and `''` unescaped.
+    Str(String),
+    /// Numeric literal, kept as written; the parser narrows by context.
+    Number(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `?` — a prepared-statement placeholder.
+    Question,
+    /// `>=`
+    Ge,
+    /// `;` — optional statement terminator.
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable token description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier {s:?}"),
+            Tok::Str(_) => "string literal".to_string(),
+            Tok::Number(n) => format!("number {n}"),
+            Tok::LParen => "'('".to_string(),
+            Tok::RParen => "')'".to_string(),
+            Tok::Star => "'*'".to_string(),
+            Tok::Comma => "','".to_string(),
+            Tok::Question => "'?'".to_string(),
+            Tok::Ge => "'>='".to_string(),
+            Tok::Semi => "';'".to_string(),
+            Tok::Eof => "end of statement".to_string(),
+        }
+    }
+}
+
+/// A token plus the byte offset it starts at.
+pub type Spanned = (Tok, usize);
+
+/// Tokenize `src` fully (the `Eof` token is appended at the end).
+pub fn lex(src: &str) -> Result<Vec<Spanned>, SqlError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                out.push((Tok::LParen, start));
+                i += 1;
+            }
+            b')' => {
+                out.push((Tok::RParen, start));
+                i += 1;
+            }
+            b'*' => {
+                out.push((Tok::Star, start));
+                i += 1;
+            }
+            b',' => {
+                out.push((Tok::Comma, start));
+                i += 1;
+            }
+            b'?' => {
+                out.push((Tok::Question, start));
+                i += 1;
+            }
+            b';' => {
+                out.push((Tok::Semi, start));
+                i += 1;
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Ge, start));
+                    i += 2;
+                } else {
+                    return Err(SqlError::new(start, "expected '>=' (only >= is supported)"));
+                }
+            }
+            b'\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::new(start, "unterminated string literal"));
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Consume one full UTF-8 scalar.
+                            let ch = src[i..].chars().next().expect("in-bounds char");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push((Tok::Str(s), start));
+            }
+            b'0'..=b'9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if bytes.get(i) == Some(&b'.') {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if matches!(bytes.get(i), Some(b'e' | b'E')) {
+                    let mut j = i + 1;
+                    if matches!(bytes.get(j), Some(b'+' | b'-')) {
+                        j += 1;
+                    }
+                    if bytes.get(j).is_some_and(|b| b.is_ascii_digit()) {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                out.push((Tok::Number(src[start..i].to_string()), start));
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push((Tok::Ident(src[start..i].to_string()), start));
+            }
+            _ => {
+                let ch = src[start..].chars().next().expect("in-bounds char");
+                return Err(SqlError::new(
+                    start,
+                    format!("unexpected character {ch:?} in SQL statement"),
+                ));
+            }
+        }
+    }
+    out.push((Tok::Eof, bytes.len()));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_full_statement() {
+        let got = toks("SELECT DataKey FROM t WHERE Data LIKE '%F''ord%' AND Prob >= 0.5 LIMIT 3;");
+        assert_eq!(
+            got,
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("DataKey".into()),
+                Tok::Ident("FROM".into()),
+                Tok::Ident("t".into()),
+                Tok::Ident("WHERE".into()),
+                Tok::Ident("Data".into()),
+                Tok::Ident("LIKE".into()),
+                Tok::Str("%F'ord%".into()),
+                Tok::Ident("AND".into()),
+                Tok::Ident("Prob".into()),
+                Tok::Ge,
+                Tok::Number("0.5".into()),
+                Tok::Ident("LIMIT".into()),
+                Tok::Number("3".into()),
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn backslashes_are_plain_characters() {
+        assert_eq!(
+            toks(r"'U.S.C. 2\d\d\d'")[0],
+            Tok::Str(r"U.S.C. 2\d\d\d".into())
+        );
+    }
+
+    #[test]
+    fn numbers_with_exponents_lex_whole() {
+        assert_eq!(toks("1e-3")[0], Tok::Number("1e-3".into()));
+        assert_eq!(toks("2.5E+10")[0], Tok::Number("2.5E+10".into()));
+        // 'e' not followed by digits is not an exponent.
+        assert_eq!(
+            toks("2e x"),
+            vec![
+                Tok::Number("2".into()),
+                Tok::Ident("e".into()),
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors_carry_positions() {
+        let err = lex("SELECT #").unwrap_err();
+        assert_eq!(err.position, 7);
+        let err = lex("'never closed").unwrap_err();
+        assert_eq!(err.position, 0);
+        assert!(err.message.contains("unterminated"));
+        let err = lex("Prob > 1").unwrap_err();
+        assert!(err.message.contains(">="));
+    }
+
+    #[test]
+    fn unicode_inside_strings_survives() {
+        assert_eq!(toks("'héllo'")[0], Tok::Str("héllo".into()));
+    }
+}

@@ -1,0 +1,83 @@
+//! The textual SQL front-end: `SELECT ... WHERE Data LIKE ...` as a
+//! string, compiled into the same planner/executor stack the
+//! [`QueryRequest`](crate::plan::QueryRequest) builder feeds.
+//!
+//! The paper's §2.3 posture is that probabilistic OCR queries are
+//! *ordinary SQL over Table 5* — `SELECT DataKey FROM StaccatoData WHERE
+//! Data LIKE '%Ford%'` — and this module is that surface:
+//!
+//! ```text
+//! text ── lexer ──▶ tokens ── parser ──▶ Statement (AST)
+//!                                            │ lower
+//!                                            ▼
+//!                                      QueryRequest ──▶ planner ──▶ Plan
+//! ```
+//!
+//! Supported grammar (see [`parser`] for the full production rules):
+//!
+//! ```text
+//! [EXPLAIN] SELECT DataKey[, Prob] | COUNT(*) | SUM(Prob) | AVG(Prob)
+//!   FROM MAPData | kMAPData | FullSFAData | StaccatoData
+//!   WHERE Data LIKE '%...%' | Data REGEXP '...'
+//!   [AND Prob >= t] [ORDER BY Prob DESC] [LIMIT n]
+//! ```
+//!
+//! A `SELECT` without `LIMIT` is capped at the paper's `NumAns` default
+//! of 100 ranked rows — the same default as the
+//! [`QueryRequest`](crate::plan::QueryRequest) builder — so state `LIMIT`
+//! explicitly to retrieve more. Aggregates are never capped: `COUNT(*)`
+//! counts every qualifying line regardless of any `LIMIT`.
+//!
+//! `?` placeholders may stand in for the pattern, the threshold, and the
+//! limit; [`PreparedQuery::bind`] substitutes values positionally. The
+//! grammar is closed under [`render_statement`]: `parse(render(stmt)) ==
+//! stmt` for every statement whose literals the grammar can produce,
+//! property-tested in `tests/sql.rs`.
+//!
+//! Entry points live on the session: [`Staccato::sql`],
+//! [`Staccato::prepare`], [`Staccato::execute_prepared`].
+//!
+//! [`Staccato::sql`]: crate::session::Staccato::sql
+//! [`Staccato::prepare`]: crate::session::Staccato::prepare
+//! [`Staccato::execute_prepared`]: crate::session::Staccato::execute_prepared
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{
+    quote_str, render_statement, Predicate, Projection, Select, SqlArg, SqlTable, Statement,
+};
+pub use lower::{lower_statement, PreparedQuery, SqlValue};
+pub use parser::parse_statement;
+
+use std::fmt;
+
+/// A lexing, parsing, lowering, or binding failure, with the byte offset
+/// in the statement where it was noticed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Byte offset into the statement text (0 for statement-level errors).
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SqlError {
+    /// A new error at `position`.
+    pub fn new(position: usize, message: impl Into<String>) -> SqlError {
+        SqlError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,397 @@
+//! Recursive-descent parser for the SQL surface.
+//!
+//! Grammar (keywords case-insensitive, `?` allowed wherever a literal
+//! pattern / threshold / limit may appear, optional trailing `;`):
+//!
+//! ```text
+//! statement  := [EXPLAIN] select [';']
+//! select     := SELECT projection FROM table WHERE predicate
+//!               [ORDER BY Prob DESC] [LIMIT int]
+//! projection := COUNT '(' '*' ')' | SUM '(' Prob ')' | AVG '(' Prob ')'
+//!             | DataKey [',' Prob]
+//! table      := MAPData | kMAPData | FullSFAData | StaccatoData
+//! predicate  := Data (LIKE | REGEXP) string [AND Prob '>=' number]
+//! ```
+//!
+//! The parser is purely syntactic; semantic checks (threshold range,
+//! aggregate × `ORDER BY` conflicts, pattern compilation) happen during
+//! lowering so that every renderable AST parses back unchanged.
+
+use super::ast::{Predicate, Projection, Select, SqlArg, SqlTable, Statement};
+use super::lexer::{lex, Spanned, Tok};
+use super::SqlError;
+use crate::agg::AggregateFunc;
+use crate::plan::Dialect;
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    params: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn here(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        SqlError::new(self.here(), message)
+    }
+
+    /// Consume a keyword (case-insensitive) or fail.
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        match self.peek() {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected {kw}, found {}", other.describe()))),
+        }
+    }
+
+    /// Is the next token the given keyword? Consume it if so.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw)) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_tok(&mut self, tok: Tok) -> Result<(), SqlError> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                tok.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn next_param(&mut self) -> u32 {
+        let n = self.params;
+        self.params += 1;
+        n
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        let explain = self.eat_kw("EXPLAIN");
+        let select = self.select()?;
+        if *self.peek() == Tok::Semi {
+            self.bump();
+        }
+        if *self.peek() != Tok::Eof {
+            return Err(self.error(format!(
+                "unexpected {} after the statement",
+                self.peek().describe()
+            )));
+        }
+        Ok(if explain {
+            Statement::Explain(select)
+        } else {
+            Statement::Select(select)
+        })
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        self.expect_kw("SELECT")?;
+        let projection = self.projection()?;
+        self.expect_kw("FROM")?;
+        let table = self.table()?;
+        self.expect_kw("WHERE")?;
+        let predicate = self.predicate()?;
+        let order_by_prob = if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            self.expect_kw("Prob")?;
+            self.expect_kw("DESC")?;
+            true
+        } else {
+            false
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            Some(self.int_arg()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            projection,
+            table,
+            predicate,
+            order_by_prob,
+            limit,
+        })
+    }
+
+    fn projection(&mut self) -> Result<Projection, SqlError> {
+        for (kw, func) in [
+            ("COUNT", AggregateFunc::CountStar),
+            ("SUM", AggregateFunc::SumProb),
+            ("AVG", AggregateFunc::AvgProb),
+        ] {
+            if self.eat_kw(kw) {
+                self.expect_tok(Tok::LParen)?;
+                if func == AggregateFunc::CountStar {
+                    self.expect_tok(Tok::Star)?;
+                } else {
+                    self.expect_kw("Prob")?;
+                }
+                self.expect_tok(Tok::RParen)?;
+                return Ok(Projection::Aggregate(func));
+            }
+        }
+        self.expect_kw("DataKey").map_err(|e| {
+            SqlError::new(
+                e.position,
+                "the SELECT list must be DataKey[, Prob], COUNT(*), SUM(Prob), or AVG(Prob)",
+            )
+        })?;
+        if *self.peek() == Tok::Comma {
+            self.bump();
+            self.expect_kw("Prob")?;
+            Ok(Projection::DataKeyProb)
+        } else {
+            Ok(Projection::DataKey)
+        }
+    }
+
+    fn table(&mut self) -> Result<SqlTable, SqlError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => match SqlTable::parse(&name) {
+                Some(t) => {
+                    self.bump();
+                    Ok(t)
+                }
+                None => Err(self.error(format!(
+                    "unknown table {name:?}; queryable tables are MAPData, kMAPData, \
+                     FullSFAData, StaccatoData"
+                ))),
+            },
+            other => Err(self.error(format!("expected a table name, found {}", other.describe()))),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, SqlError> {
+        self.expect_kw("Data")?;
+        let dialect = if self.eat_kw("LIKE") {
+            Dialect::Like
+        } else if self.eat_kw("REGEXP") {
+            Dialect::Regex
+        } else {
+            return Err(self.error(format!(
+                "expected LIKE or REGEXP, found {}",
+                self.peek().describe()
+            )));
+        };
+        let pattern = match self.peek().clone() {
+            Tok::Str(s) => {
+                self.bump();
+                SqlArg::Value(s)
+            }
+            Tok::Question => {
+                self.bump();
+                SqlArg::Param(self.next_param())
+            }
+            other => {
+                return Err(self.error(format!(
+                    "expected a quoted pattern or '?', found {}",
+                    other.describe()
+                )))
+            }
+        };
+        let min_prob = if self.eat_kw("AND") {
+            self.expect_kw("Prob")?;
+            self.expect_tok(Tok::Ge)?;
+            Some(self.float_arg()?)
+        } else {
+            None
+        };
+        Ok(Predicate {
+            dialect,
+            pattern,
+            min_prob,
+        })
+    }
+
+    fn float_arg(&mut self) -> Result<SqlArg<f64>, SqlError> {
+        match self.peek().clone() {
+            Tok::Number(raw) => {
+                let v: f64 = raw
+                    .parse()
+                    .map_err(|_| self.error(format!("{raw:?} is not a valid number")))?;
+                self.bump();
+                Ok(SqlArg::Value(v))
+            }
+            Tok::Question => {
+                self.bump();
+                Ok(SqlArg::Param(self.next_param()))
+            }
+            other => Err(self.error(format!(
+                "expected a number or '?', found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn int_arg(&mut self) -> Result<SqlArg<u64>, SqlError> {
+        match self.peek().clone() {
+            Tok::Number(raw) => {
+                let v: u64 = raw.parse().map_err(|_| {
+                    self.error(format!("{raw:?} is not a valid non-negative integer"))
+                })?;
+                self.bump();
+                Ok(SqlArg::Value(v))
+            }
+            Tok::Question => {
+                self.bump();
+                Ok(SqlArg::Param(self.next_param()))
+            }
+            other => Err(self.error(format!(
+                "expected an integer or '?', found {}",
+                other.describe()
+            ))),
+        }
+    }
+}
+
+/// Parse one SQL statement.
+pub fn parse_statement(src: &str) -> Result<Statement, SqlError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        params: 0,
+    };
+    p.statement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ast::render_statement;
+    use super::*;
+
+    fn parse(src: &str) -> Statement {
+        parse_statement(src).unwrap()
+    }
+
+    #[test]
+    fn parses_the_paper_query() {
+        let stmt = parse("SELECT DataKey FROM StaccatoData WHERE Data LIKE '%Ford%'");
+        let s = stmt.select();
+        assert_eq!(s.projection, Projection::DataKey);
+        assert_eq!(s.table, SqlTable::Staccato);
+        assert_eq!(s.predicate.dialect, Dialect::Like);
+        assert_eq!(s.predicate.pattern, SqlArg::Value("%Ford%".into()));
+        assert_eq!(s.predicate.min_prob, None);
+        assert!(!s.order_by_prob);
+        assert_eq!(s.limit, None);
+    }
+
+    #[test]
+    fn parses_every_clause_and_case_folds_keywords() {
+        let stmt = parse(
+            "explain select DataKey, Prob from kmapdata where Data regexp 'Public Law (8|9)\\d' \
+             and Prob >= 0.25 order by Prob desc limit 50;",
+        );
+        assert!(stmt.is_explain());
+        let s = stmt.select();
+        assert_eq!(s.projection, Projection::DataKeyProb);
+        assert_eq!(s.table, SqlTable::KMap);
+        assert_eq!(s.predicate.dialect, Dialect::Regex);
+        assert_eq!(s.predicate.min_prob, Some(SqlArg::Value(0.25)));
+        assert!(s.order_by_prob);
+        assert_eq!(s.limit, Some(SqlArg::Value(50)));
+    }
+
+    #[test]
+    fn parses_aggregates() {
+        for (src, func) in [
+            ("COUNT(*)", AggregateFunc::CountStar),
+            ("SUM(Prob)", AggregateFunc::SumProb),
+            ("AVG(Prob)", AggregateFunc::AvgProb),
+        ] {
+            let stmt = parse(&format!(
+                "SELECT {src} FROM FullSFAData WHERE Data LIKE '%a%'"
+            ));
+            assert_eq!(stmt.select().projection, Projection::Aggregate(func));
+        }
+        assert!(parse_statement("SELECT COUNT(Prob) FROM MAPData WHERE Data LIKE '%a%'").is_err());
+        assert!(parse_statement("SELECT SUM(*) FROM MAPData WHERE Data LIKE '%a%'").is_err());
+    }
+
+    #[test]
+    fn params_number_left_to_right() {
+        let stmt = parse("SELECT DataKey FROM MAPData WHERE Data LIKE ? AND Prob >= ? LIMIT ?");
+        let s = stmt.select();
+        assert_eq!(s.predicate.pattern, SqlArg::Param(0));
+        assert_eq!(s.predicate.min_prob, Some(SqlArg::Param(1)));
+        assert_eq!(s.limit, Some(SqlArg::Param(2)));
+        assert_eq!(stmt.param_count(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_statements_with_positions() {
+        for (src, needle) in [
+            ("SELECT * FROM MAPData WHERE Data LIKE '%a%'", "SELECT list"),
+            (
+                "SELECT DataKey FROM Nope WHERE Data LIKE '%a%'",
+                "unknown table",
+            ),
+            ("SELECT DataKey FROM MAPData WHERE Prob >= 0.5", "Data"),
+            (
+                "SELECT DataKey FROM MAPData WHERE Data LIKE 5",
+                "quoted pattern",
+            ),
+            (
+                "SELECT DataKey FROM MAPData WHERE Data LIKE '%a%' ORDER BY DataKey",
+                "Prob",
+            ),
+            (
+                "SELECT DataKey FROM MAPData WHERE Data LIKE '%a%' LIMIT 2.5",
+                "integer",
+            ),
+            (
+                "SELECT DataKey FROM MAPData WHERE Data LIKE '%a%' garbage",
+                "unexpected",
+            ),
+            ("UPDATE MAPData", "SELECT"),
+        ] {
+            let err = parse_statement(src).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{src:?}: {} should mention {needle:?}",
+                err.message
+            );
+            assert!(err.position <= src.len());
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip_spot_checks() {
+        for src in [
+            "SELECT DataKey FROM StaccatoData WHERE Data LIKE '%Ford%'",
+            "SELECT DataKey, Prob FROM MAPData WHERE Data REGEXP 'a(b|c)' AND Prob >= 0.5",
+            "SELECT AVG(Prob) FROM kMAPData WHERE Data LIKE ? LIMIT 7",
+            "EXPLAIN SELECT COUNT(*) FROM FullSFAData WHERE Data REGEXP '\\d\\d' ORDER BY Prob DESC",
+        ] {
+            let stmt = parse(src);
+            assert_eq!(render_statement(&stmt), src);
+            assert_eq!(parse(&render_statement(&stmt)), stmt);
+        }
+    }
+}

@@ -69,24 +69,28 @@ fn main() {
     let probe_keys: BTreeSet<i64> = probe.answers.iter().map(|a| a.data_key).collect();
     let scan_keys: BTreeSet<i64> = scan.answers.iter().map(|a| a.data_key).collect();
     println!(
-        "{:>22}: {} answers in {:?} ({} rows, {} postings)",
+        "{:>22}: {} answers in {:?} (plan {:?} + exec {:?}, {} rows, {} postings)",
         scan.plan.kind(),
         scan.answers.len(),
-        scan.stats.wall,
+        scan.stats.wall(),
+        scan.stats.plan_wall,
+        scan.stats.exec_wall,
         scan.stats.rows_scanned,
         scan.stats.postings_probed
     );
     println!(
-        "{:>22}: {} answers in {:?} ({} rows, {} postings)",
+        "{:>22}: {} answers in {:?} (plan {:?} + exec {:?}, {} rows, {} postings)",
         probe.plan.kind(),
         probe.answers.len(),
-        probe.stats.wall,
+        probe.stats.wall(),
+        probe.stats.plan_wall,
+        probe.stats.exec_wall,
         probe.stats.rows_scanned,
         probe.stats.postings_probed
     );
     println!(
         "answer sets identical: {} — speedup {:.1}x",
         scan_keys == probe_keys,
-        scan.stats.wall.as_secs_f64() / probe.stats.wall.as_secs_f64()
+        scan.stats.wall().as_secs_f64() / probe.stats.wall().as_secs_f64()
     );
 }

@@ -96,7 +96,7 @@ fn main() {
         "\n(plan: {}, {} lines evaluated in {:?})",
         via_sfa.plan.kind(),
         via_sfa.stats.lines_evaluated,
-        via_sfa.stats.wall
+        via_sfa.stats.wall()
     );
     println!(
         "\nClaims whose MAP transcription corrupted 'Ford' still surface through the \

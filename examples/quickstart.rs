@@ -93,6 +93,19 @@ fn main() {
         parallelism: 2,
     };
     let session = Staccato::load(db, &dataset, &opts).expect("load store");
+
+    // Figure 1C verbatim: the predicate as SQL text over Table 5.
+    let figure_1c = "SELECT DataKey, Prob FROM StaccatoData WHERE Data LIKE '%Ford%' LIMIT 10";
+    let out = session.sql(figure_1c).expect("sql");
+    println!("\nsql> {figure_1c}");
+    for a in &out.answers {
+        println!(
+            "  claim line {} matches with p = {:.3}",
+            a.data_key, a.probability
+        );
+    }
+
+    // The same query through the fluent builder — one planner, one engine.
     let request = QueryRequest::like("%Ford%").num_ans(10);
     println!("\n{}", session.explain(&request).expect("explain"));
     for approach in [Approach::Map, Approach::Staccato, Approach::FullSfa] {
@@ -109,7 +122,7 @@ fn main() {
             approach.name(),
             out.answers.len(),
             out.plan.kind(),
-            out.stats.wall,
+            out.stats.wall(),
             out.stats.lines_evaluated,
             best
         );

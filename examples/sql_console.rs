@@ -1,0 +1,90 @@
+//! The SQL surface, end to end: load a small corpus, register an index,
+//! and run the paper's §2.3-style statements as plain strings — ranked
+//! selects, probability thresholds, `EXPLAIN`, aggregates, and a prepared
+//! statement with `?` parameters.
+//!
+//! Run with: `cargo run --release --example sql_console`
+
+use staccato::approx::StaccatoParams;
+use staccato::automata::Trie;
+use staccato::ocr::{generate, ChannelConfig, CorpusKind};
+use staccato::query::store::LoadOptions;
+use staccato::storage::Database;
+use staccato::{SqlValue, Staccato};
+
+fn main() {
+    let dataset = generate(CorpusKind::CongressActs, 120, 7);
+    let db = Database::in_memory(4096).expect("database");
+    let opts = LoadOptions {
+        channel: ChannelConfig::compact(7),
+        kmap_k: 10,
+        staccato: StaccatoParams::new(20, 10),
+        parallelism: 2,
+    };
+    let mut session = Staccato::load(db, &dataset, &opts).expect("load");
+    session
+        .register_index(&Trie::build(["public", "president", "commission"]), "inv")
+        .expect("index");
+
+    // Ranked select with a threshold; the planner picks the access path.
+    for statement in [
+        "SELECT DataKey, Prob FROM StaccatoData WHERE Data LIKE '%President%' \
+         AND Prob >= 0.1 ORDER BY Prob DESC LIMIT 5",
+        "SELECT DataKey FROM MAPData WHERE Data REGEXP 'Public Law (8|9)\\d' LIMIT 5",
+    ] {
+        let out = session.sql(statement).expect("query");
+        println!("sql> {statement}");
+        println!(
+            "  -> {} answers via {} (plan {:?} + exec {:?})",
+            out.answers.len(),
+            out.plan.kind(),
+            out.stats.plan_wall,
+            out.stats.exec_wall
+        );
+        for a in out.answers.iter().take(3) {
+            println!("     DataKey {:>4}  Prob {:.4}", a.data_key, a.probability);
+        }
+    }
+
+    // EXPLAIN goes through the same renderer as the builder path.
+    let plan = session
+        .sql("EXPLAIN SELECT DataKey FROM StaccatoData WHERE Data REGEXP 'President'")
+        .expect("explain");
+    println!("\nsql> EXPLAIN SELECT DataKey FROM StaccatoData WHERE Data REGEXP 'President'");
+    print!("{}", plan.explain.expect("explain text"));
+
+    // Aggregates stream over every qualifying line, never ranking.
+    println!();
+    for statement in [
+        "SELECT COUNT(*) FROM StaccatoData WHERE Data LIKE '%President%'",
+        "SELECT SUM(Prob) FROM StaccatoData WHERE Data LIKE '%President%'",
+        "SELECT AVG(Prob) FROM StaccatoData WHERE Data LIKE '%President%'",
+    ] {
+        let out = session.sql(statement).expect("aggregate");
+        let agg = out.aggregate.expect("aggregate value");
+        println!("sql> {statement}");
+        println!("  -> {} = {:.4}", agg.func.sql_name(), agg.value);
+    }
+
+    // Prepared statement: one parse, many bindings.
+    let prepared = session
+        .prepare("SELECT COUNT(*) FROM StaccatoData WHERE Data LIKE ? AND Prob >= ?")
+        .expect("prepare");
+    println!("\nprepared: {}", prepared.sql());
+    for (pattern, threshold) in [
+        ("%President%", 0.0),
+        ("%President%", 0.5),
+        ("%Congress%", 0.0),
+    ] {
+        let out = session
+            .execute_prepared(
+                &prepared,
+                &[SqlValue::text(pattern), SqlValue::Number(threshold)],
+            )
+            .expect("bound execution");
+        println!(
+            "  bind ({pattern:?}, {threshold}) -> COUNT(*) = {}",
+            out.aggregate.expect("count").value
+        );
+    }
+}

@@ -20,18 +20,24 @@
 //! | [`query`] | `staccato-query` | representation stores, filescan/index executors, metrics |
 //!
 //! Querying goes through the [`Staccato`] session API: open (or load) a
-//! store, optionally register a §4 inverted index, and execute
-//! [`QueryRequest`]s — the planner picks the access path (filescan vs.
-//! index probe) and every result reports its plan and [`ExecStats`].
+//! store, optionally register a §4 inverted index, and run queries —
+//! either as SQL text (`Staccato::sql` / `Staccato::prepare`, the
+//! paper's §2.3 interface) or as fluent [`QueryRequest`]s. Both lower to
+//! one planner, which picks the access path (filescan vs. index probe,
+//! optionally wrapped in a streaming aggregate) and reports the plan and
+//! [`ExecStats`] with every result.
 //!
 //! ```ignore
-//! use staccato::{Approach, QueryRequest, Staccato};
+//! use staccato::{QueryRequest, SqlValue, Staccato};
 //! let mut session = Staccato::load(db, &dataset, &opts)?;
-//! let out = session.execute(&QueryRequest::like("%Ford%").num_ans(100))?;
+//! let out = session.sql(
+//!     "SELECT DataKey, Prob FROM StaccatoData WHERE Data LIKE '%Ford%' LIMIT 100",
+//! )?;
+//! let same = session.execute(&QueryRequest::like("%Ford%").num_ans(100))?;
 //! ```
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour and DESIGN.md for the
-//! experiment map.
+//! See `examples/quickstart.rs` and `examples/sql_console.rs` for an
+//! end-to-end tour and DESIGN.md for the experiment map.
 
 pub use staccato_automata as automata;
 pub use staccato_core as approx;
@@ -41,5 +47,6 @@ pub use staccato_sfa as sfa;
 pub use staccato_storage as storage;
 
 pub use staccato_query::{
-    Answer, Approach, ExecStats, Plan, PlanPreference, QueryOutput, QueryRequest, Staccato,
+    AggregateFunc, AggregateResult, Answer, Approach, ExecStats, Plan, PlanPreference,
+    PreparedQuery, QueryOutput, QueryRequest, SqlTable, SqlValue, Staccato,
 };

@@ -8,10 +8,10 @@
 
 use staccato::approx::StaccatoParams;
 use staccato::automata::Trie;
-use staccato::ocr::{generate, ChannelConfig, CorpusKind};
+use staccato::ocr::{generate, ChannelConfig, CorpusKind, Dataset, Document};
 use staccato::query::store::LoadOptions;
 use staccato::storage::Database;
-use staccato::{Approach, Plan, PlanPreference, QueryRequest, Staccato};
+use staccato::{AggregateFunc, Approach, Plan, PlanPreference, QueryRequest, Staccato};
 use std::collections::BTreeSet;
 
 fn session(lines: usize, seed: u64) -> Staccato {
@@ -150,7 +150,9 @@ fn plan_matches_execution_and_stats_fill_in() {
     );
     assert!(out.stats.postings_probed > 0);
     assert!(out.stats.rows_scanned as usize <= s.line_count());
-    assert!(out.stats.wall.as_nanos() > 0);
+    assert!(out.stats.plan_wall.as_nanos() > 0, "planning is timed");
+    assert!(out.stats.exec_wall.as_nanos() > 0, "execution is timed");
+    assert_eq!(out.stats.wall(), out.stats.plan_wall + out.stats.exec_wall);
 
     // The forced scan reads every line instead.
     let scan = s
@@ -158,4 +160,113 @@ fn plan_matches_execution_and_stats_fill_in() {
         .expect("scan");
     assert_eq!(scan.stats.rows_scanned as usize, s.line_count());
     assert_eq!(scan.stats.postings_probed, 0);
+}
+
+#[test]
+fn threshold_zero_and_one_are_exact_edges() {
+    let s = session(40, 41);
+    let base = QueryRequest::keyword("President")
+        .approach(Approach::FullSfa)
+        .num_ans(10_000);
+    let plain = s.execute(&base).expect("no threshold");
+    // Threshold 0.0 is the no-op filter: identical relation.
+    let zero = s.execute(&base.clone().min_prob(0.0)).expect("t = 0.0");
+    assert_eq!(plain.answers.len(), zero.answers.len());
+    for (a, b) in plain.answers.iter().zip(&zero.answers) {
+        assert_eq!(a.data_key, b.data_key);
+        assert_eq!(a.probability, b.probability);
+    }
+    // Threshold 1.0 keeps only certain matches (usually none under OCR
+    // noise), never a probability below 1.
+    let one = s.execute(&base.clone().min_prob(1.0)).expect("t = 1.0");
+    assert!(one.answers.iter().all(|a| a.probability >= 1.0));
+    assert!(one.answers.len() <= plain.answers.len());
+}
+
+#[test]
+fn aggregates_over_an_empty_store() {
+    // A legitimate load of zero lines: the answer relation is empty and
+    // every aggregate is well-defined.
+    let dataset = Dataset {
+        name: "empty".into(),
+        kind: CorpusKind::Books,
+        docs: vec![Document {
+            name: "blank".into(),
+            lines: vec![],
+        }],
+    };
+    let db = Database::in_memory(256).expect("db");
+    let opts = LoadOptions {
+        channel: ChannelConfig::compact(1),
+        kmap_k: 4,
+        staccato: StaccatoParams::new(4, 4),
+        parallelism: 1,
+    };
+    let s = Staccato::load(db, &dataset, &opts).expect("load empty store");
+    assert_eq!(s.line_count(), 0);
+    for func in [
+        AggregateFunc::CountStar,
+        AggregateFunc::SumProb,
+        AggregateFunc::AvgProb,
+    ] {
+        let out = s
+            .execute(&QueryRequest::like("%Ford%").aggregate(func))
+            .expect("aggregate over empty store");
+        let agg = out.aggregate.expect("aggregate result");
+        assert_eq!(agg.value, 0.0, "{} over empty store", func.sql_name());
+        assert!(out.answers.is_empty());
+        assert_eq!(out.stats.rows_scanned, 0);
+    }
+    let sql = s
+        .sql("SELECT AVG(Prob) FROM StaccatoData WHERE Data LIKE '%Ford%'")
+        .expect("sql aggregate");
+    assert_eq!(sql.aggregate.unwrap().value, 0.0);
+}
+
+#[test]
+fn forced_index_probe_composes_with_thresholds_and_aggregates() {
+    let mut s = session(60, 47);
+    s.register_index(&Trie::build(["president"]), "inv")
+        .expect("index");
+    let forced = QueryRequest::keyword("President")
+        .num_ans(10_000)
+        .plan_preference(PlanPreference::ForceIndexProbe);
+    let all = s.execute(&forced).expect("forced probe");
+    assert!(all.plan.is_index_probe());
+    assert!(!all.answers.is_empty(), "corpus mentions the President");
+    let cutoff = all.answers[all.answers.len() / 2].probability;
+    let thresholded = s
+        .execute(&forced.clone().min_prob(cutoff))
+        .expect("forced probe + threshold");
+    assert!(thresholded.plan.is_index_probe());
+    let expected: Vec<i64> = all
+        .answers
+        .iter()
+        .filter(|a| a.probability >= cutoff)
+        .map(|a| a.data_key)
+        .collect();
+    assert_eq!(
+        thresholded
+            .answers
+            .iter()
+            .map(|a| a.data_key)
+            .collect::<Vec<_>>(),
+        expected,
+        "threshold must filter, not re-rank"
+    );
+    // An aggregate over the forced probe streams the same relation.
+    let count = s
+        .execute(
+            &forced
+                .clone()
+                .min_prob(cutoff)
+                .aggregate(AggregateFunc::CountStar),
+        )
+        .expect("forced probe + aggregate");
+    assert_eq!(count.plan.kind(), "Aggregate");
+    assert!(count.plan.is_index_probe(), "input path is still the probe");
+    assert_eq!(
+        count.aggregate.unwrap().value,
+        thresholded.answers.len() as f64
+    );
 }

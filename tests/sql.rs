@@ -1,0 +1,290 @@
+//! The SQL front-end, end to end: grammar round-trips, equivalence with
+//! the builder path, `EXPLAIN` agreement, thresholds, aggregates, and
+//! prepared statements — all over a real loaded store.
+
+use proptest::prelude::*;
+use staccato::approx::StaccatoParams;
+use staccato::automata::Trie;
+use staccato::ocr::{generate, ChannelConfig, CorpusKind};
+use staccato::query::sql::{
+    parse_statement, render_statement, Predicate, Projection, Select, SqlArg, Statement,
+};
+use staccato::query::store::LoadOptions;
+use staccato::query::Dialect;
+use staccato::storage::Database;
+use staccato::{AggregateFunc, Approach, QueryRequest, SqlTable, SqlValue, Staccato};
+
+fn session(lines: usize, seed: u64) -> Staccato {
+    let dataset = generate(CorpusKind::CongressActs, lines, seed);
+    let db = Database::in_memory(2048).expect("db");
+    let opts = LoadOptions {
+        channel: ChannelConfig::compact(seed),
+        kmap_k: 8,
+        staccato: StaccatoParams::new(10, 8),
+        parallelism: 2,
+    };
+    Staccato::load(db, &dataset, &opts).expect("load")
+}
+
+// ------------------------------------------------------------------------
+// Grammar: parse ∘ render is the identity on every representable AST.
+
+/// Strategy over the whole AST space, with `?` ordinals assigned the way
+/// the parser does (left to right), so equality is exact.
+fn statement_strategy() -> impl Strategy<Value = Statement> {
+    let head = (
+        0usize..5,              // projection
+        0usize..4,              // table
+        any::<bool>(),          // dialect: LIKE / REGEXP
+        "[a-z0-9%'() .|]{0,8}", // pattern text (quotes exercise escaping)
+    );
+    let threshold = (
+        any::<bool>(), // AND Prob >= present?
+        any::<bool>(), // ...as a '?'
+        0usize..1001,  // threshold in milli-units -> [0, 1]
+        any::<bool>(), // ORDER BY Prob DESC present?
+    );
+    let tail = (
+        any::<bool>(), // LIMIT present?
+        any::<bool>(), // ...as a '?'
+        0u64..10_000,  // limit value
+        any::<bool>(), // EXPLAIN?
+    );
+    ((head, any::<bool>()), threshold, tail).prop_map(
+        |(
+            ((proj, table, like, pattern), pattern_param),
+            (has_t, t_param, t_milli, order_by_prob),
+            (has_limit, limit_param, limit, explain),
+        )| {
+            let mut next_param = 0u32;
+            let mut param = || {
+                let n = next_param;
+                next_param += 1;
+                n
+            };
+            let pattern = if pattern_param {
+                SqlArg::Param(param())
+            } else {
+                SqlArg::Value(pattern)
+            };
+            let min_prob = if has_t {
+                Some(if t_param {
+                    SqlArg::Param(param())
+                } else {
+                    SqlArg::Value(t_milli as f64 / 1000.0)
+                })
+            } else {
+                None
+            };
+            let limit = if has_limit {
+                Some(if limit_param {
+                    SqlArg::Param(param())
+                } else {
+                    SqlArg::Value(limit)
+                })
+            } else {
+                None
+            };
+            let select = Select {
+                projection: match proj {
+                    0 => Projection::DataKey,
+                    1 => Projection::DataKeyProb,
+                    2 => Projection::Aggregate(AggregateFunc::CountStar),
+                    3 => Projection::Aggregate(AggregateFunc::SumProb),
+                    _ => Projection::Aggregate(AggregateFunc::AvgProb),
+                },
+                table: match table {
+                    0 => SqlTable::Map,
+                    1 => SqlTable::KMap,
+                    2 => SqlTable::FullSfa,
+                    _ => SqlTable::Staccato,
+                },
+                predicate: Predicate {
+                    dialect: if like { Dialect::Like } else { Dialect::Regex },
+                    pattern,
+                    min_prob,
+                },
+                order_by_prob,
+                limit,
+            };
+            if explain {
+                Statement::Explain(select)
+            } else {
+                Statement::Select(select)
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_render_round_trips(stmt in statement_strategy()) {
+        let text = render_statement(&stmt);
+        let back = parse_statement(&text)
+            .unwrap_or_else(|e| panic!("rendered SQL must parse: {text:?}: {e}"));
+        prop_assert_eq!(&back, &stmt, "{}", text);
+        // Rendering is canonical: a second trip is byte-identical.
+        prop_assert_eq!(render_statement(&back), text);
+    }
+}
+
+// ------------------------------------------------------------------------
+// Execution: the SQL surface and the builder surface are one engine.
+
+#[test]
+fn sql_and_builder_agree_on_every_representation() {
+    let s = session(40, 101);
+    for approach in Approach::all() {
+        let table = SqlTable::of_approach(approach).name();
+        let sql = format!(
+            "SELECT DataKey, Prob FROM {table} WHERE Data REGEXP 'President' \
+             ORDER BY Prob DESC LIMIT 1000"
+        );
+        let via_sql = s.sql(&sql).expect("sql path");
+        let via_builder = s
+            .execute(
+                &QueryRequest::keyword("President")
+                    .approach(approach)
+                    .num_ans(1000),
+            )
+            .expect("builder path");
+        assert_eq!(via_sql.plan, via_builder.plan, "{table}");
+        assert_eq!(via_sql.answers.len(), via_builder.answers.len(), "{table}");
+        for (a, b) in via_sql.answers.iter().zip(&via_builder.answers) {
+            assert_eq!(a.data_key, b.data_key);
+            assert_eq!(a.probability, b.probability);
+        }
+    }
+}
+
+#[test]
+fn explain_select_agrees_with_builder_explain() {
+    // The acceptance contract: `EXPLAIN SELECT ...` output equals the
+    // builder-path `explain()` for the same query — filescan and probe.
+    let mut s = session(50, 103);
+    let cases = [
+        (
+            "EXPLAIN SELECT DataKey FROM StaccatoData WHERE Data REGEXP 'Public Law (8|9)\\d' LIMIT 100",
+            QueryRequest::regex(r"Public Law (8|9)\d"),
+        ),
+        (
+            "EXPLAIN SELECT DataKey, Prob FROM MAPData WHERE Data LIKE '%Ford%' AND Prob >= 0.5 LIMIT 10",
+            QueryRequest::like("%Ford%")
+                .approach(Approach::Map)
+                .min_prob(0.5)
+                .num_ans(10),
+        ),
+    ];
+    for register_index in [false, true] {
+        if register_index {
+            s.register_index(&Trie::build(["public"]), "inv")
+                .expect("index");
+        }
+        for (sql, request) in &cases {
+            let via_sql = s.sql(sql).expect("EXPLAIN").explain.expect("text");
+            let via_builder = s.explain(request).expect("builder explain");
+            assert_eq!(via_sql, via_builder, "{sql}");
+        }
+    }
+    // With the index registered the anchored query's EXPLAIN shows the probe.
+    let text = s.sql(cases[0].0).unwrap().explain.unwrap();
+    assert!(text.contains("IndexProbe"), "{text}");
+}
+
+#[test]
+fn aggregate_plans_stream_past_the_limit() {
+    // LIMIT caps the *ranked* relation, never what an aggregate sees:
+    // COUNT(*) with a tiny LIMIT still counts every qualifying line.
+    let s = session(40, 107);
+    let ranked = s
+        .sql("SELECT DataKey FROM FullSFAData WHERE Data REGEXP 'the' LIMIT 3")
+        .unwrap();
+    assert_eq!(ranked.answers.len(), 3);
+    let all = s
+        .sql("SELECT DataKey FROM FullSFAData WHERE Data REGEXP 'the' LIMIT 100000")
+        .unwrap();
+    let count = s
+        .sql("SELECT COUNT(*) FROM FullSFAData WHERE Data REGEXP 'the' LIMIT 3")
+        .unwrap();
+    assert_eq!(
+        count.aggregate.unwrap().value,
+        all.answers.len() as f64,
+        "aggregates are computed over the full relation"
+    );
+    assert_eq!(count.stats.rows_scanned as usize, s.line_count());
+}
+
+#[test]
+fn prepared_statements_rebind_across_executions() {
+    let s = session(30, 109);
+    let p = s
+        .prepare("SELECT DataKey FROM StaccatoData WHERE Data REGEXP ? AND Prob >= ? LIMIT ?")
+        .expect("prepare");
+    assert_eq!(p.param_count(), 3);
+    for (pattern, threshold) in [("President", 0.0), ("Commission", 0.3)] {
+        let out = s
+            .execute_prepared(
+                &p,
+                &[
+                    SqlValue::text(pattern),
+                    SqlValue::Number(threshold),
+                    SqlValue::Int(1000),
+                ],
+            )
+            .expect("bound execution");
+        let direct = s
+            .execute(
+                &QueryRequest::keyword(pattern)
+                    .min_prob(threshold)
+                    .num_ans(1000),
+            )
+            .expect("builder");
+        assert_eq!(out.answers.len(), direct.answers.len(), "{pattern}");
+        for (a, b) in out.answers.iter().zip(&direct.answers) {
+            assert_eq!(a.data_key, b.data_key);
+        }
+    }
+}
+
+#[test]
+fn sql_errors_are_loud_and_positioned() {
+    let s = session(10, 113);
+    for (sql, needle) in [
+        (
+            "SELECT DataKey FROM GroundTruth WHERE Data LIKE '%a%'",
+            "unknown table",
+        ),
+        (
+            "SELECT DataKey FROM MAPData WHERE Data LIKE '%a%' AND Prob >= 2.0",
+            "outside [0, 1]",
+        ),
+        (
+            "SELECT COUNT(*) FROM MAPData WHERE Data LIKE '%a%' ORDER BY Prob DESC",
+            "ORDER BY",
+        ),
+        (
+            "SELECT DataKey FROM MAPData WHERE Data REGEXP 'a(b'",
+            "bad pattern",
+        ),
+        ("DELETE FROM MAPData", "SELECT"),
+    ] {
+        let err = s.sql(sql).expect_err(sql);
+        assert!(err.to_string().contains(needle), "{sql}: {err}");
+    }
+}
+
+#[test]
+fn quoted_quotes_reach_the_pattern_verbatim() {
+    let s = session(10, 127);
+    let out = s
+        .sql("SELECT DataKey FROM MAPData WHERE Data LIKE '%O''Hare%'")
+        .expect("escaped quote");
+    assert!(out.answers.is_empty(), "corpus has no O'Hare");
+    // And the round trip preserves the escape through a prepared render.
+    let p = s
+        .prepare("SELECT DataKey FROM MAPData WHERE Data LIKE '%O''Hare%'")
+        .unwrap();
+    assert!(p.sql().contains("'%O''Hare%'"), "{}", p.sql());
+}
