@@ -27,7 +27,7 @@ fn bench_index(c: &mut Criterion) {
         staccato: StaccatoParams::new(40, 25),
         ..Default::default()
     };
-    let mut session = Staccato::load(db, &dataset, &opts).unwrap();
+    let session = Staccato::load(db, &dataset, &opts).unwrap();
     let dict = corpus_dictionary(&dataset, 1000);
     let trie = Trie::build(&dict);
     session.register_index(&trie, "inv").unwrap();

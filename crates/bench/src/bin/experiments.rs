@@ -724,7 +724,7 @@ fn e_f9(ctx: &Ctx) {
         staccato: StaccatoParams::new(40, 25),
         ..Default::default()
     };
-    let mut session = Staccato::load(db, &dataset, &opts).expect("load");
+    let session = Staccato::load(db, &dataset, &opts).expect("load");
     let mut dict = corpus_dictionary(&dataset, 2000);
     // The §4 dictionary is user-supplied; make sure it covers the query's
     // anchor term even at tiny smoke-test scales where the sampled corpus

@@ -1,0 +1,218 @@
+//! Concurrent-throughput harness: N client threads firing M queries each
+//! at one shared `Arc<Staccato>` session, the workload shape of
+//! retrieval pipelines doing many small probabilistic lookups at once.
+//!
+//! ```text
+//! throughput [--threads N] [--queries M] [--lines L] [--seed S] [--out PATH]
+//! ```
+//!
+//! The workload is a fixed mixed set — `LIKE` and `REGEXP` filescans
+//! over every representation, an index-probe query, and a streaming
+//! aggregate — issued through the SQL surface so the compiled-query
+//! cache is on the measured path. The harness runs a single-thread
+//! baseline first (same queries, same session state), then the
+//! N-thread run, and emits both to `BENCH_throughput.json`: QPS,
+//! p50/p95 latency, buffer-pool hit rate, and query-cache hit rate, so
+//! later PRs have a trajectory to compare against.
+
+use staccato_bench::timing::fmt_duration;
+use staccato_core::StaccatoParams;
+use staccato_ocr::{generate, ChannelConfig, CorpusKind};
+use staccato_query::store::LoadOptions;
+use staccato_query::Staccato;
+use staccato_storage::Database;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The mixed query set, shaped like Table 6 traffic: keyword and regex
+/// predicates, every representation, one anchored probe candidate, one
+/// aggregate.
+const WORKLOAD: &[&str] = &[
+    "SELECT DataKey, Prob FROM MAPData WHERE Data REGEXP 'President' LIMIT 100",
+    "SELECT DataKey, Prob FROM StaccatoData WHERE Data LIKE '%Commission%' LIMIT 100",
+    "SELECT DataKey FROM StaccatoData WHERE Data REGEXP 'Public Law (8|9)\\d' LIMIT 100",
+    "SELECT DataKey, Prob FROM kMAPData WHERE Data REGEXP 'United States' LIMIT 50",
+    "SELECT COUNT(*) FROM MAPData WHERE Data LIKE '%Act%'",
+    "SELECT DataKey FROM MAPData WHERE Data REGEXP 'employment' AND Prob >= 0.1 LIMIT 100",
+];
+
+struct Config {
+    threads: usize,
+    queries: usize,
+    lines: usize,
+    seed: u64,
+    out: String,
+}
+
+struct RunStats {
+    wall: Duration,
+    qps: f64,
+    p50: Duration,
+    p95: Duration,
+}
+
+fn main() {
+    let mut cfg = Config {
+        threads: 8,
+        queries: 64,
+        lines: 200,
+        seed: 42,
+        out: "BENCH_throughput.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| it.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match a.as_str() {
+            "--threads" => cfg.threads = next("--threads").parse().expect("threads"),
+            "--queries" => cfg.queries = next("--queries").parse().expect("queries"),
+            "--lines" => cfg.lines = next("--lines").parse().expect("lines"),
+            "--seed" => cfg.seed = next("--seed").parse().expect("seed"),
+            "--out" => cfg.out = next("--out").clone(),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(cfg.threads >= 1 && cfg.queries >= 1);
+
+    eprintln!(
+        "loading {} lines of CongressActs (seed {}) ...",
+        cfg.lines, cfg.seed
+    );
+    let dataset = generate(CorpusKind::CongressActs, cfg.lines, cfg.seed);
+    let db = Database::in_memory(2048).expect("db");
+    let opts = LoadOptions {
+        channel: ChannelConfig::compact(cfg.seed),
+        kmap_k: 8,
+        staccato: StaccatoParams::new(10, 8),
+        parallelism: cfg.threads.max(2),
+    };
+    let session = Arc::new(Staccato::load(db, &dataset, &opts).expect("load"));
+    let postings = session
+        .register_index(
+            &staccato_automata::Trie::build(["public", "president", "commission"]),
+            "inv",
+        )
+        .expect("index");
+    eprintln!("index 'inv' registered ({postings} postings)");
+
+    // Warm the pool and the compiled-query cache once so both runs
+    // measure steady-state traffic, not first-touch compilation.
+    for sql in WORKLOAD {
+        session.sql(sql).expect("warm-up query");
+    }
+
+    // Pool and cache counters are session-lifetime monotonic, so each
+    // run is attributed by sampling before/after — load, index build,
+    // and warm-up traffic never pollute the reported hit rates.
+    let (pool0, cache0) = (session.pool_stats(), session.query_cache_stats());
+    let serial = run_clients(&session, 1, cfg.queries * cfg.threads);
+    let (pool1, cache1) = (session.pool_stats(), session.query_cache_stats());
+    let concurrent = run_clients(&session, cfg.threads, cfg.queries);
+    let (pool2, cache2) = (session.pool_stats(), session.query_cache_stats());
+
+    let serial_pool = pool1.delta_since(pool0);
+    let concurrent_pool = pool2.delta_since(pool1);
+    let total = cfg.threads * cfg.queries;
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"corpus\": \"CongressActs\",\n  \"lines\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"queries_per_thread\": {},\n  \"total_queries\": {},\n  \"workload_size\": {},\n  \"concurrent\": {},\n  \"serial\": {}\n}}\n",
+        cfg.lines,
+        cfg.seed,
+        cfg.threads,
+        cfg.queries,
+        total,
+        WORKLOAD.len(),
+        run_json(&concurrent, concurrent_pool, cache_hit_rate(cache1, cache2)),
+        run_json(&serial, serial_pool, cache_hit_rate(cache0, cache1)),
+    );
+    std::fs::write(&cfg.out, &json).expect("write BENCH json");
+
+    println!(
+        "serial      : {:>9.1} qps  p50 {:>9}  p95 {:>9}  pool hit {:.2}%  cache hit {:.2}%",
+        serial.qps,
+        fmt_duration(serial.p50),
+        fmt_duration(serial.p95),
+        serial_pool.hit_rate() * 100.0,
+        cache_hit_rate(cache0, cache1) * 100.0,
+    );
+    println!(
+        "{} threads   : {:>9.1} qps  p50 {:>9}  p95 {:>9}  pool hit {:.2}%  cache hit {:.2}%  ({:.2}x serial)",
+        cfg.threads,
+        concurrent.qps,
+        fmt_duration(concurrent.p50),
+        fmt_duration(concurrent.p95),
+        concurrent_pool.hit_rate() * 100.0,
+        cache_hit_rate(cache1, cache2) * 100.0,
+        concurrent.qps / serial.qps.max(1e-9)
+    );
+    println!("-> {}", cfg.out);
+}
+
+/// Query-cache hit rate over one run: the hits/misses accumulated
+/// between the two samples (1.0 for an idle window).
+fn cache_hit_rate(
+    before: staccato_query::QueryCacheStats,
+    after: staccato_query::QueryCacheStats,
+) -> f64 {
+    let hits = after.hits - before.hits;
+    let misses = after.misses - before.misses;
+    if hits + misses == 0 {
+        1.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+/// Fire `queries_per_thread` statements from each of `threads` clients,
+/// all against one shared session, and fold the per-query latencies.
+fn run_clients(session: &Arc<Staccato>, threads: usize, queries_per_thread: usize) -> RunStats {
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let session = Arc::clone(session);
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(queries_per_thread);
+                    for i in 0..queries_per_thread {
+                        // Offset per thread so clients interleave the mix
+                        // instead of marching in lockstep.
+                        let sql = WORKLOAD[(t + i) % WORKLOAD.len()];
+                        let q = Instant::now();
+                        let out = session.sql(sql).expect("workload query");
+                        lats.push(q.elapsed());
+                        assert!(out.answers.len() <= 100);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    latencies.sort();
+    let total = latencies.len();
+    let pct = |p: f64| latencies[(((total - 1) as f64) * p) as usize];
+    RunStats {
+        wall,
+        qps: total as f64 / wall.as_secs_f64().max(1e-12),
+        p50: pct(0.50),
+        p95: pct(0.95),
+    }
+}
+
+fn run_json(r: &RunStats, pool: staccato_storage::PoolStats, cache_hit_rate: f64) -> String {
+    format!(
+        "{{\"wall_secs\": {:.6}, \"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"pool\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.6}}}, \"query_cache_hit_rate\": {:.6}}}",
+        r.wall.as_secs_f64(),
+        r.qps,
+        r.p50.as_secs_f64() * 1e3,
+        r.p95.as_secs_f64() * 1e3,
+        pool.hits,
+        pool.misses,
+        pool.evictions,
+        pool.hit_rate(),
+        cache_hit_rate,
+    )
+}

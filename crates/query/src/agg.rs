@@ -93,6 +93,22 @@ impl StreamingAggregate {
         self.rows
     }
 
+    /// The qualification threshold this accumulator was built with
+    /// (already sanitized). Parallel executors use it to spawn per-worker
+    /// accumulators that qualify identically.
+    pub fn min_prob(&self) -> f64 {
+        self.min_prob
+    }
+
+    /// Absorb a partial accumulator from a parallel worker. `COUNT(*)` is
+    /// exact under any merge order; `SUM(Prob)`/`AVG(Prob)` reassociate
+    /// the floating-point additions, so a parallel run can differ from a
+    /// serial one in the last ulps (the same caveat any parallel SUM has).
+    pub fn merge(&mut self, partial: &StreamingAggregate) {
+        self.rows += partial.rows;
+        self.sum += partial.sum;
+    }
+
     /// Finish: the value of `func` over everything folded so far.
     pub fn finish(&self, func: AggregateFunc) -> f64 {
         match func {

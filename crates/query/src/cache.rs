@@ -1,0 +1,286 @@
+//! The compiled-query cache: repeated traffic skips lex/parse/DFA
+//! compilation *and* re-planning.
+//!
+//! Compiling a pattern (regex/`LIKE` → AST → NFA → containment DFA) and
+//! choosing its access path (which probes index dictionaries through the
+//! buffer pool) together dominate the cost of small repeated queries —
+//! exactly the shape of concurrent retrieval traffic. The session keys a
+//! bounded LRU on the parts of a [`QueryRequest`] that determine the
+//! compiled [`Query`] and the [`Plan`] (pattern, dialect, approach,
+//! parallelism, plan preference, aggregate — *not* `num_ans`/`min_prob`,
+//! which only parameterize execution), and stores the compiled query
+//! behind an `Arc` so concurrent executions share one DFA.
+//!
+//! Invalidation: registering an index can legally flip any anchored
+//! Staccato plan from `FileScan` to `IndexProbe`, so `invalidate` bumps
+//! an epoch and entries from older epochs are dropped lazily on their
+//! next lookup. The cache never stores errors — failing patterns
+//! recompile (and re-fail) each time.
+
+use crate::agg::AggregateFunc;
+use crate::exec::Approach;
+use crate::plan::{Dialect, Plan, PlanPreference, QueryRequest};
+use crate::query::Query;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default number of cached compiled queries per session.
+pub const DEFAULT_QUERY_CACHE_CAPACITY: usize = 256;
+
+/// The request fields that determine the compiled query and its plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pattern: String,
+    dialect: Dialect,
+    approach: Approach,
+    parallelism: usize,
+    preference: PlanPreference,
+    aggregate: Option<AggregateFunc>,
+}
+
+impl CacheKey {
+    pub(crate) fn of(request: &QueryRequest) -> CacheKey {
+        CacheKey {
+            pattern: request.pattern.clone(),
+            dialect: request.dialect,
+            approach: request.approach,
+            parallelism: request.parallelism,
+            preference: request.preference,
+            aggregate: request.aggregate,
+        }
+    }
+}
+
+struct Entry {
+    query: Arc<Query>,
+    plan: Plan,
+    epoch: u64,
+    last_used: u64,
+}
+
+/// Cache effectiveness counters (monotonic over the session's lifetime).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile and plan.
+    pub misses: u64,
+    /// Entries dropped to stay within capacity.
+    pub evictions: u64,
+    /// Epoch bumps (index registrations).
+    pub invalidations: u64,
+    /// Entries currently held.
+    pub len: usize,
+    /// Maximum entries held.
+    pub capacity: usize,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+/// A bounded, epoch-invalidated LRU of compiled queries + chosen plans.
+/// Internally synchronized; all methods take `&self`.
+pub(crate) struct QueryCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl QueryCache {
+    pub(crate) fn with_capacity(capacity: usize) -> QueryCache {
+        QueryCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                epoch: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                invalidations: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The cached `(compiled query, plan)` for `key`, if present and from
+    /// the current epoch.
+    pub(crate) fn get(&self, key: &CacheKey) -> Option<(Arc<Query>, Plan)> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let (tick, epoch) = (inner.tick, inner.epoch);
+        match inner.map.get_mut(key) {
+            Some(entry) if entry.epoch == epoch => {
+                entry.last_used = tick;
+                let out = (entry.query.clone(), entry.plan.clone());
+                inner.hits += 1;
+                Some(out)
+            }
+            Some(_) => {
+                // Stale epoch: the index set changed since this was
+                // planned; drop it and replan.
+                inner.map.remove(key);
+                inner.misses += 1;
+                None
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The current invalidation epoch. Sample it *before* compiling and
+    /// planning, and hand it back to [`QueryCache::insert`]: if an index
+    /// registration bumped the epoch in between, the insert is dropped —
+    /// otherwise a plan computed against the old index set could be
+    /// cached as if it were current.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Insert a freshly compiled and planned entry (evicting the least
+    /// recently used one if the cache is full), unless the epoch moved
+    /// since `planned_at` was sampled.
+    pub(crate) fn insert(&self, key: CacheKey, query: Arc<Query>, plan: Plan, planned_at: u64) {
+        let mut inner = self.inner.lock();
+        if inner.epoch != planned_at {
+            return;
+        }
+        inner.tick += 1;
+        let (tick, epoch) = (inner.tick, inner.epoch);
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            // Evict the LRU entry (stale-epoch entries sort naturally
+            // toward the front since they stopped being touched).
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                query,
+                plan,
+                epoch,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Invalidate every cached plan (the index set changed). Entries are
+    /// dropped lazily on their next lookup.
+    pub(crate) fn invalidate(&self) {
+        let mut inner = self.inner.lock();
+        inner.epoch += 1;
+        inner.invalidations += 1;
+    }
+
+    pub(crate) fn stats(&self) -> QueryCacheStats {
+        let inner = self.inner.lock();
+        QueryCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            invalidations: inner.invalidations,
+            len: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(pattern: &str) -> CacheKey {
+        CacheKey::of(&QueryRequest::keyword(pattern))
+    }
+
+    fn entry(pattern: &str) -> (Arc<Query>, Plan) {
+        (
+            Arc::new(Query::keyword(pattern).unwrap()),
+            Plan::FileScan {
+                approach: Approach::Staccato,
+                parallelism: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = QueryCache::with_capacity(4);
+        assert!(cache.get(&key("president")).is_none());
+        let (q, p) = entry("president");
+        cache.insert(key("president"), q, p.clone(), cache.epoch());
+        let (hit_q, hit_p) = cache.get(&key("president")).expect("cached");
+        assert_eq!(hit_p, p);
+        assert_eq!(hit_q.pattern, "president");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn key_ignores_num_ans_and_min_prob_but_not_plan_inputs() {
+        let base = QueryRequest::keyword("ford");
+        assert_eq!(
+            CacheKey::of(&base.clone().num_ans(7).min_prob(0.5)),
+            CacheKey::of(&base)
+        );
+        assert_ne!(
+            CacheKey::of(&base.clone().approach(Approach::Map)),
+            CacheKey::of(&base)
+        );
+        assert_ne!(
+            CacheKey::of(&base.clone().parallelism(4)),
+            CacheKey::of(&base)
+        );
+        assert_ne!(
+            CacheKey::of(&base.clone().aggregate(AggregateFunc::CountStar)),
+            CacheKey::of(&base)
+        );
+        assert_ne!(
+            CacheKey::of(&base.plan_preference(PlanPreference::ForceFileScan)),
+            CacheKey::of(&QueryRequest::keyword("ford"))
+        );
+    }
+
+    #[test]
+    fn invalidation_drops_entries_lazily() {
+        let cache = QueryCache::with_capacity(4);
+        let (q, p) = entry("president");
+        cache.insert(key("president"), q, p, cache.epoch());
+        cache.invalidate();
+        assert!(cache.get(&key("president")).is_none(), "stale epoch");
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().len, 0, "stale entry dropped on lookup");
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let cache = QueryCache::with_capacity(2);
+        for pat in ["a", "b"] {
+            let (q, p) = entry(pat);
+            cache.insert(key(pat), q, p, cache.epoch());
+        }
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.get(&key("a")).is_some());
+        let (q, p) = entry("c");
+        cache.insert(key("c"), q, p, cache.epoch());
+        assert!(cache.get(&key("a")).is_some());
+        assert!(cache.get(&key("b")).is_none(), "evicted");
+        assert!(cache.get(&key("c")).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+}

@@ -10,11 +10,18 @@
 //!
 //! Execution is pull-based: each executor consumes a row cursor from
 //! [`OcrStore`] one line at a time and feeds a bounded [`TopK`] heap, so
-//! memory stays `O(NumAns + one line)` regardless of corpus size. The
-//! parallel SFA executor keeps the scan sequential (one buffer pool) and
-//! fans the CPU-heavy blob decode + DFA evaluation out to worker threads
-//! over a bounded channel (§5.4: the per-line probability computations
-//! are independent, so the scan partitions trivially).
+//! sequential query memory is `O(NumAns + one line)` regardless of
+//! corpus size (a parallel scan holds one private accumulator per worker
+//! plus a bounded in-flight window: `O(P · NumAns + P · 4 lines)`). With
+//! `parallelism > 1` every representation scans morsel-style: one thread
+//! drives the (sequential) heap scan and hands rows to worker threads
+//! over a bounded channel; each worker folds its share into a private
+//! accumulator (a [`TopK`] heap or a partial aggregate) and the driver
+//! merges the per-worker accumulators in worker order once the scan is
+//! drained (§5.4: per-line probability computations are independent, so
+//! the scan partitions trivially). Merging bounded heaps is exact: every
+//! answer of the global top-k survives in its worker's local top-k, and
+//! the final heap re-applies the full ranking order, ties included.
 //!
 //! These executors are plumbing; the public entry point is
 //! [`Staccato::execute`](crate::session::Staccato::execute) with a
@@ -169,6 +176,16 @@ impl TopK {
         }
     }
 
+    /// The answer budget this heap was built with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The qualification threshold (already sanitized).
+    pub fn min_prob(&self) -> f64 {
+        self.min_prob
+    }
+
     /// Answers currently held.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -219,11 +236,55 @@ impl Sink<'_> {
             Sink::Aggregate(agg) => agg.fold(answer),
         }
     }
+
+    /// An owned, empty accumulator of the same kind and qualification
+    /// rules — the per-worker sink of the morsel-parallel scan.
+    fn fork(&self) -> OwnedSink {
+        match self {
+            Sink::Ranked(topk) => {
+                OwnedSink::Ranked(TopK::with_min_prob(topk.cap(), topk.min_prob()))
+            }
+            Sink::Aggregate(agg) => OwnedSink::Aggregate(StreamingAggregate::new(agg.min_prob())),
+        }
+    }
+
+    /// Fold one worker's accumulator back in. Ranked merges re-offer the
+    /// worker's surviving candidates into the shared heap — exact,
+    /// because the heap's total order (probability, then DataKey) decides
+    /// every tie the same way a sequential scan would.
+    fn absorb(&mut self, local: OwnedSink) {
+        match (self, local) {
+            (Sink::Ranked(topk), OwnedSink::Ranked(local)) => {
+                for answer in local.into_ranked() {
+                    topk.push(answer);
+                }
+            }
+            (Sink::Aggregate(agg), OwnedSink::Aggregate(local)) => agg.merge(&local),
+            _ => unreachable!("forked sink kind always matches its parent"),
+        }
+    }
+}
+
+/// A worker's private accumulator (see [`Sink::fork`]).
+enum OwnedSink {
+    Ranked(TopK),
+    Aggregate(StreamingAggregate),
+}
+
+impl OwnedSink {
+    fn offer(&mut self, answer: Answer) {
+        match self {
+            OwnedSink::Ranked(topk) => topk.push(answer),
+            OwnedSink::Aggregate(agg) => agg.fold(answer),
+        }
+    }
 }
 
 /// Streaming filescan over `approach`, evaluating lines on up to
 /// `parallelism` workers, delivering answers into `sink`, counting into
-/// `stats`.
+/// `stats`. Every representation partitions the same way: the scan stays
+/// sequential (one buffer pool cursor) while per-line evaluation fans
+/// out.
 pub(crate) fn exec_filescan(
     store: &OcrStore,
     approach: Approach,
@@ -232,117 +293,149 @@ pub(crate) fn exec_filescan(
     sink: &mut Sink<'_>,
     stats: &mut ExecStats,
 ) -> Result<(), QueryError> {
+    let parallelism = parallelism.max(1);
     match approach {
-        Approach::Map => {
-            for item in store.map_cursor()? {
-                let (key, s, p) = item?;
-                stats.rows_scanned += 1;
-                stats.lines_evaluated += 1;
-                sink.offer(Answer {
-                    data_key: key,
-                    probability: eval_strings(&query.dfa, std::iter::once((s.as_str(), p))),
-                });
-            }
-        }
-        Approach::KMap => {
-            for item in store.kmap_cursor()? {
-                let (key, strings) = item?;
-                stats.rows_scanned += strings.len() as u64;
-                stats.lines_evaluated += 1;
-                sink.offer(Answer {
-                    data_key: key,
-                    probability: eval_strings(
-                        &query.dfa,
-                        strings.iter().map(|(s, p)| (s.as_str(), *p)),
-                    ),
-                });
-            }
-        }
+        Approach::Map => scan_into(
+            store
+                .map_cursor()?
+                .map(|item| item.map(|(key, s, p)| (key, (s, p)))),
+            |_| 1,
+            |sp: &(String, f64)| {
+                Ok(eval_strings(
+                    &query.dfa,
+                    std::iter::once((sp.0.as_str(), sp.1)),
+                ))
+            },
+            parallelism,
+            sink,
+            stats,
+        ),
+        Approach::KMap => scan_into(
+            store.kmap_cursor()?,
+            |strings| strings.len() as u64,
+            |strings: &Vec<(String, f64)>| {
+                Ok(eval_strings(
+                    &query.dfa,
+                    strings.iter().map(|(s, p)| (s.as_str(), *p)),
+                ))
+            },
+            parallelism,
+            sink,
+            stats,
+        ),
         Approach::FullSfa | Approach::Staccato => {
             let cursor = match approach {
                 Approach::FullSfa => store.full_sfa_blobs()?,
                 _ => store.staccato_blobs()?,
             };
-            if parallelism <= 1 {
-                for item in cursor {
-                    let (key, blob) = item?;
-                    stats.rows_scanned += 1;
-                    stats.lines_evaluated += 1;
-                    let sfa = staccato_sfa::codec::decode(&blob)?;
-                    sink.offer(Answer {
-                        data_key: key,
-                        probability: eval_sfa(&query.dfa, &sfa),
-                    });
-                }
-            } else {
-                parallel_sfa_scan(cursor, query, parallelism, stats, sink)?;
-            }
+            scan_into(
+                cursor,
+                |_| 1,
+                |blob: &Vec<u8>| Ok(eval_sfa(&query.dfa, &staccato_sfa::codec::decode(blob)?)),
+                parallelism,
+                sink,
+                stats,
+            )
         }
     }
-    Ok(())
 }
 
-/// Fan blob decode + evaluation out to workers while this thread drives
-/// the (sequential) heap scan and folds answers into the sink.
-fn parallel_sfa_scan(
-    cursor: crate::store::BlobCursor<'_>,
-    query: &Query,
+/// The shared scan driver: pull `(DataKey, payload)` rows off `cursor`
+/// and fold `eval`'s per-line probability into `sink`, sequentially or
+/// morsel-parallel. `rows_of` is the physical row count a payload
+/// represents (k-MAP reads k rows per line).
+fn scan_into<T: Send>(
+    cursor: impl Iterator<Item = Result<(i64, T), QueryError>>,
+    rows_of: impl Fn(&T) -> u64,
+    eval: impl Fn(&T) -> Result<f64, QueryError> + Sync,
     parallelism: usize,
-    stats: &mut ExecStats,
     sink: &mut Sink<'_>,
+    stats: &mut ExecStats,
+) -> Result<(), QueryError> {
+    if parallelism <= 1 {
+        for item in cursor {
+            let (key, payload) = item?;
+            stats.rows_scanned += rows_of(&payload);
+            stats.lines_evaluated += 1;
+            sink.offer(Answer {
+                data_key: key,
+                probability: eval(&payload)?,
+            });
+        }
+        return Ok(());
+    }
+    morsel_scan(cursor, rows_of, eval, parallelism, sink, stats)
+}
+
+/// What one scan worker hands back when the work queue drains.
+struct WorkerOutcome {
+    sink: OwnedSink,
+    lines: u64,
+    error: Option<QueryError>,
+}
+
+/// Fan per-line evaluation out to `parallelism` workers while this
+/// thread drives the (sequential) heap scan. Workers pull rows from a
+/// bounded queue and fold answers into private accumulators; the driver
+/// merges them in worker-index order once the scan is drained, so merged
+/// ranked results are identical to a sequential run.
+fn morsel_scan<T: Send>(
+    cursor: impl Iterator<Item = Result<(i64, T), QueryError>>,
+    rows_of: impl Fn(&T) -> u64,
+    eval: impl Fn(&T) -> Result<f64, QueryError> + Sync,
+    parallelism: usize,
+    sink: &mut Sink<'_>,
+    stats: &mut ExecStats,
 ) -> Result<(), QueryError> {
     std::thread::scope(|scope| -> Result<(), QueryError> {
         // Bounded work queue: the scan stays ahead of the workers without
-        // ever materializing more than a window of blobs.
-        let (work_tx, work_rx) = mpsc::sync_channel::<(i64, Vec<u8>)>(parallelism * 4);
+        // ever materializing more than a window of rows.
+        let (work_tx, work_rx) = mpsc::sync_channel::<(i64, T)>(parallelism * 4);
         let work_rx = Arc::new(Mutex::new(work_rx));
-        let (ans_tx, ans_rx) = mpsc::channel::<Result<Answer, QueryError>>();
+        let eval = &eval;
+        let mut handles = Vec::with_capacity(parallelism);
         for _ in 0..parallelism {
             let work_rx = Arc::clone(&work_rx);
-            let ans_tx = ans_tx.clone();
-            scope.spawn(move || loop {
-                let next = work_rx.lock().expect("queue lock").recv();
-                let Ok((key, blob)) = next else { break };
-                let result = staccato_sfa::codec::decode(&blob)
-                    .map(|sfa| Answer {
-                        data_key: key,
-                        probability: eval_sfa(&query.dfa, &sfa),
-                    })
-                    .map_err(QueryError::from);
-                if ans_tx.send(result).is_err() {
-                    break;
+            let mut local = sink.fork();
+            handles.push(scope.spawn(move || {
+                let mut lines = 0u64;
+                let mut error = None;
+                loop {
+                    let next = work_rx.lock().expect("queue lock").recv();
+                    let Ok((key, payload)) = next else { break };
+                    if error.is_some() {
+                        continue; // drain cheaply; the query already failed
+                    }
+                    match eval(&payload) {
+                        Ok(probability) => {
+                            lines += 1;
+                            local.offer(Answer {
+                                data_key: key,
+                                probability,
+                            });
+                        }
+                        Err(e) => error = Some(e),
+                    }
                 }
-            });
+                WorkerOutcome {
+                    sink: local,
+                    lines,
+                    error,
+                }
+            }));
         }
-        drop(ans_tx);
+        // Drop the driver's receiver handle: if every worker dies (only
+        // on panic), the channel closes and `send` below errors instead
+        // of blocking forever once the bounded queue fills.
+        drop(work_rx);
 
-        fn fold(
-            result: Result<Answer, QueryError>,
-            stats: &mut ExecStats,
-            sink: &mut Sink<'_>,
-            eval_error: &mut Option<QueryError>,
-        ) {
-            match result {
-                Ok(answer) => {
-                    stats.lines_evaluated += 1;
-                    sink.offer(answer);
-                }
-                Err(e) => *eval_error = Some(e),
-            }
-        }
         let mut scan_error = None;
-        let mut eval_error = None;
         for item in cursor {
             match item {
-                Ok((key, blob)) => {
-                    stats.rows_scanned += 1;
-                    if work_tx.send((key, blob)).is_err() {
+                Ok((key, payload)) => {
+                    stats.rows_scanned += rows_of(&payload);
+                    if work_tx.send((key, payload)).is_err() {
                         break; // all workers gone (only on panic)
-                    }
-                    // Drain whatever the workers have finished so the
-                    // answer channel stays O(workers), not O(corpus).
-                    while let Ok(result) = ans_rx.try_recv() {
-                        fold(result, stats, sink, &mut eval_error);
                     }
                 }
                 Err(e) => {
@@ -353,8 +446,14 @@ fn parallel_sfa_scan(
         }
         drop(work_tx);
 
-        for result in ans_rx {
-            fold(result, stats, sink, &mut eval_error);
+        let mut eval_error = None;
+        for handle in handles {
+            let outcome = handle.join().expect("scan worker panicked");
+            stats.lines_evaluated += outcome.lines;
+            if let Some(e) = outcome.error {
+                eval_error = Some(e);
+            }
+            sink.absorb(outcome.sink);
         }
         match (scan_error, eval_error) {
             (Some(e), _) | (None, Some(e)) => Err(e),
@@ -613,6 +712,36 @@ mod tests {
                 assert_eq!(seq_stats.rows_scanned, par_stats.rows_scanned);
                 assert_eq!(seq_stats.lines_evaluated, par_stats.lines_evaluated);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_aggregate_count_is_exact() {
+        // COUNT(*) is merge-order independent, so the morsel scan must
+        // produce the exact sequential count on every representation
+        // (SUM/AVG may differ in ulps; COUNT may not).
+        let (store, _) = store_with(25, 29);
+        let query = Query::keyword("data").unwrap();
+        for ap in Approach::all() {
+            let count_with = |threads: usize| {
+                let mut agg = crate::agg::StreamingAggregate::new(0.0);
+                let mut stats = ExecStats::default();
+                exec_filescan(
+                    &store,
+                    ap,
+                    &query,
+                    threads,
+                    &mut Sink::Aggregate(&mut agg),
+                    &mut stats,
+                )
+                .unwrap();
+                (agg.rows(), stats)
+            };
+            let (seq, seq_stats) = count_with(1);
+            let (par, par_stats) = count_with(4);
+            assert_eq!(seq, par, "{}", ap.name());
+            assert_eq!(seq_stats.rows_scanned, par_stats.rows_scanned);
+            assert_eq!(seq_stats.lines_evaluated, par_stats.lines_evaluated);
         }
     }
 

@@ -526,7 +526,7 @@ mod tests {
 
     #[test]
     fn indexed_query_matches_filescan_answer_set() {
-        let mut session = Staccato::open(anchored_store());
+        let session = Staccato::open(anchored_store());
         let trie = Trie::build(["public", "president", "commission"]);
         let postings = session.register_index(&trie, "inv").unwrap();
         assert!(postings > 0);

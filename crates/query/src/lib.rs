@@ -18,7 +18,7 @@
 //! chosen plan and its [`ExecStats`]:
 //!
 //! ```ignore
-//! let mut session = Staccato::load(db, &dataset, &LoadOptions::default())?;
+//! let session = Staccato::load(db, &dataset, &LoadOptions::default())?;
 //! session.register_index(&trie, "inv")?;
 //! let out = session.sql(
 //!     "SELECT DataKey, Prob FROM StaccatoData \
@@ -67,6 +67,7 @@
 //! `OcrStore::scan_*` methods remain as deprecated shims for one release.
 
 pub mod agg;
+pub mod cache;
 pub mod error;
 pub mod eval;
 pub mod exec;
@@ -82,6 +83,7 @@ pub use agg::{
     count_distribution, expected_count, expected_sum, threshold_probability, AggregateFunc,
     AggregateResult, StreamingAggregate,
 };
+pub use cache::QueryCacheStats;
 pub use error::QueryError;
 pub use eval::{eval_sfa, eval_strings};
 pub use exec::{Answer, Approach, TopK};

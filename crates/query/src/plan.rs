@@ -30,6 +30,7 @@ use crate::error::QueryError;
 use crate::exec::Approach;
 use crate::query::Query;
 use crate::session::Staccato;
+use staccato_storage::PoolStats;
 use std::time::Duration;
 
 /// Which pattern dialect a request carries.
@@ -128,6 +129,12 @@ impl QueryRequest {
     }
 
     /// Evaluate filescan lines on up to `threads` workers (default: 1).
+    ///
+    /// Honored by every [`Plan::FileScan`], over any representation, and
+    /// by the filescan input of a [`Plan::Aggregate`]. It is an explicit
+    /// **no-op** for [`Plan::IndexProbe`]: probes point-fetch only the
+    /// candidate lines of one anchor term — a handful of B+-tree lookups
+    /// — so there is no scan to partition.
     pub fn parallelism(mut self, threads: usize) -> QueryRequest {
         self.parallelism = threads.max(1);
         self
@@ -176,7 +183,10 @@ pub enum Plan {
         parallelism: usize,
     },
     /// Probe a registered inverted index with the pattern's left anchor,
-    /// point-fetch candidates, evaluate projections (§4).
+    /// point-fetch candidates, evaluate projections (§4). Always
+    /// sequential: a requested `parallelism` is a documented no-op here —
+    /// the probe touches only the posted candidate lines, so there is no
+    /// scan to partition.
     IndexProbe {
         /// Name of the registered index.
         index: String,
@@ -244,6 +254,11 @@ pub struct ExecStats {
     pub plan_wall: Duration,
     /// Wall-clock time spent executing the chosen plan.
     pub exec_wall: Duration,
+    /// Buffer-pool activity attributed to this execution (the pool's
+    /// counters sampled before and after). Under concurrent sessions the
+    /// attribution is approximate: the pool is shared, so a neighbor's
+    /// fetches land in whichever query was in flight.
+    pub pool: PoolStats,
 }
 
 impl ExecStats {
@@ -283,13 +298,10 @@ fn plan_access_path(
 ) -> Result<Plan, QueryError> {
     let filescan = Plan::FileScan {
         approach: request.approach,
-        // String representations are cheap to evaluate; the scan
-        // dominates, so the executor runs them sequentially (§5.4) and
-        // the reported plan must say so.
-        parallelism: match request.approach {
-            Approach::Map | Approach::KMap => 1,
-            Approach::FullSfa | Approach::Staccato => request.parallelism,
-        },
+        // Honored on every representation: the morsel scan partitions
+        // per-line evaluation for the string representations exactly as
+        // it does for the SFA blobs (§5.4).
+        parallelism: request.parallelism,
     };
     match request.preference {
         PlanPreference::ForceFileScan => Ok(filescan),
@@ -302,7 +314,7 @@ fn plan_access_path(
             };
             match session.index_covering(anchor)? {
                 Some(name) => Ok(Plan::IndexProbe {
-                    index: name.to_string(),
+                    index: name,
                     anchor: anchor.to_string(),
                 }),
                 None => Ok(filescan),
@@ -321,10 +333,10 @@ fn plan_access_path(
                 .ok_or_else(|| QueryError::NotAnchored(request.pattern.clone()))?;
             match session.index_covering(&anchor)? {
                 Some(name) => Ok(Plan::IndexProbe {
-                    index: name.to_string(),
+                    index: name,
                     anchor,
                 }),
-                None if session.index_names().is_empty() => Err(QueryError::NoUsableIndex(
+                None if !session.has_indexes() => Err(QueryError::NoUsableIndex(
                     "no inverted index registered on this session".to_string(),
                 )),
                 None => Err(QueryError::TermNotInDictionary(anchor)),
@@ -381,6 +393,52 @@ pub fn render_explain(request: &QueryRequest, query: &Query, plan: &Plan) -> Str
         ));
     }
     out
+}
+
+/// The `EXPLAIN ANALYZE` report: the [`render_explain`] text plus the
+/// counters the execution actually produced — wall time split into
+/// planning and execution, row/line/posting work, and the buffer-pool
+/// activity attributed to the query. `answers` is what the statement
+/// returned (the ranked row count, or the aggregate scalar).
+pub fn render_explain_analyze(
+    request: &QueryRequest,
+    query: &Query,
+    plan: &Plan,
+    stats: &ExecStats,
+    answers: &str,
+) -> String {
+    let mut out = render_explain(request, query, plan);
+    out.push_str(&format!(
+        "Analyze: plan {}, exec {} (total {})\n",
+        fmt_wall(stats.plan_wall),
+        fmt_wall(stats.exec_wall),
+        fmt_wall(stats.wall())
+    ));
+    out.push_str(&format!(
+        "  rows scanned: {}, lines evaluated: {}, postings probed: {}\n",
+        stats.rows_scanned, stats.lines_evaluated, stats.postings_probed
+    ));
+    out.push_str(&format!(
+        "  buffer pool: {} hits, {} misses, {} evictions ({:.1}% hit rate)\n",
+        stats.pool.hits,
+        stats.pool.misses,
+        stats.pool.evictions,
+        stats.pool.hit_rate() * 100.0
+    ));
+    out.push_str(&format!("  returned: {answers}\n"));
+    out
+}
+
+/// Adaptive wall-clock units for the `Analyze:` line.
+fn fmt_wall(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
 }
 
 fn render_access_path(out: &mut String, label: &str, plan: &Plan) {

@@ -12,39 +12,72 @@
 //! (`LIKE '%Ford%'`) and the engine decides *how* (filescan vs.
 //! index-assisted probe), transparently.
 //!
+//! # Sharing model
+//!
+//! Every public method takes `&self`, `Staccato` is `Send + Sync`
+//! (asserted at compile time below), and all interior state is
+//! latch-protected: the buffer pool is sharded behind per-shard mutexes,
+//! the registered-index list sits behind an `RwLock` (reads for
+//! planning, a write only during [`Staccato::register_index`]), and the
+//! compiled-query cache behind its own mutex. Share one session across
+//! client threads as `Arc<Staccato>` — no external locking:
+//!
 //! ```ignore
-//! let mut session = Staccato::load(db, &dataset, &LoadOptions::default())?;
+//! let session = Arc::new(Staccato::load(db, &dataset, &LoadOptions::default())?);
 //! session.register_index(&trie, "inv")?;
-//! let out = session.sql(
-//!     "SELECT DataKey, Prob FROM StaccatoData WHERE Data LIKE '%Ford%' LIMIT 100",
-//! )?;
-//! println!("{} answers via {}", out.answers.len(), out.plan.kind());
+//! let handles: Vec<_> = (0..8)
+//!     .map(|_| {
+//!         let session = Arc::clone(&session);
+//!         std::thread::spawn(move || {
+//!             session.sql("SELECT DataKey, Prob FROM StaccatoData \
+//!                          WHERE Data LIKE '%Ford%' LIMIT 100")
+//!         })
+//!     })
+//!     .collect();
 //! ```
+//!
+//! Repeated statements are served from a bounded compiled-query cache
+//! (pattern → DFA + plan), which [`Staccato::register_index`] invalidates
+//! so anchored queries re-plan onto the new index.
 
 use crate::agg::{AggregateResult, StreamingAggregate};
+use crate::cache::{CacheKey, QueryCache, QueryCacheStats, DEFAULT_QUERY_CACHE_CAPACITY};
 use crate::error::QueryError;
 use crate::exec::{exec_filescan, Answer, Sink, TopK};
 use crate::invindex::{build_index, exec_index_probe, InvertedIndex};
-use crate::plan::{plan_request, render_explain, ExecStats, Plan, QueryRequest};
+use crate::plan::{
+    plan_request, render_explain, render_explain_analyze, ExecStats, Plan, QueryRequest,
+};
 use crate::query::Query;
 use crate::sql::{parse_statement, PreparedQuery, SqlError, SqlValue, Statement};
 use crate::store::{LoadOptions, OcrStore, RepresentationSizes};
+use parking_lot::RwLock;
 use staccato_automata::Trie;
 use staccato_ocr::Dataset;
-use staccato_storage::Database;
+use staccato_storage::{Database, PoolStats};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// One registered inverted index.
+/// One registered inverted index. The index handle is `Arc`-shared so a
+/// probe can keep executing against it after the registry lock is
+/// released.
 struct RegisteredIndex {
     name: String,
-    index: InvertedIndex,
+    index: Arc<InvertedIndex>,
 }
 
-/// A query session over a loaded OCR store.
+/// A query session over a loaded OCR store. All methods take `&self`;
+/// share across threads as `Arc<Staccato>` (see the module docs).
 pub struct Staccato {
     store: OcrStore,
-    indexes: Vec<RegisteredIndex>,
+    indexes: RwLock<Vec<RegisteredIndex>>,
+    cache: QueryCache,
 }
+
+// The sharing contract, enforced at compile time: a session must be
+// usable from many threads behind one `Arc`.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<Staccato>();
 
 /// Everything one execution returns: the ranked probabilistic relation
 /// (or the aggregate scalar), the plan that produced it, and the
@@ -70,7 +103,8 @@ impl Staccato {
     pub fn open(store: OcrStore) -> Staccato {
         Staccato {
             store,
-            indexes: Vec::new(),
+            indexes: RwLock::new(Vec::new()),
+            cache: QueryCache::with_capacity(DEFAULT_QUERY_CACHE_CAPACITY),
         }
     }
 
@@ -109,38 +143,67 @@ impl Staccato {
     /// Returns the number of postings inserted. Names must be unique per
     /// session; re-registering one errors with
     /// [`QueryError::DuplicateIndex`] instead of shadowing the original.
-    pub fn register_index(&mut self, trie: &Trie, name: &str) -> Result<u64, QueryError> {
-        if self.indexes.iter().any(|r| r.name == name) {
+    ///
+    /// Registration holds the index registry's write latch for the whole
+    /// build (so two threads cannot race the same name), then invalidates
+    /// the compiled-query cache: anchored Staccato queries re-plan and
+    /// may now route through the new index. Queries keep executing
+    /// concurrently against the previous index set until then.
+    pub fn register_index(&self, trie: &Trie, name: &str) -> Result<u64, QueryError> {
+        let mut indexes = self.indexes.write();
+        if indexes.iter().any(|r| r.name == name) {
             return Err(QueryError::DuplicateIndex(name.to_string()));
         }
         let index = build_index(&self.store, trie, name)?;
         let postings = index.posting_count;
-        self.indexes.push(RegisteredIndex {
+        indexes.push(RegisteredIndex {
             name: name.to_string(),
-            index,
+            index: Arc::new(index),
         });
+        // Bump the epoch while still holding the write latch: any plan
+        // computed against the old index set carries an older epoch and
+        // cannot be (re)inserted.
+        self.cache.invalidate();
         Ok(postings)
     }
 
     /// A registered index by name.
-    pub fn index(&self, name: &str) -> Option<&InvertedIndex> {
+    pub fn index(&self, name: &str) -> Option<Arc<InvertedIndex>> {
         self.indexes
+            .read()
             .iter()
             .find(|r| r.name == name)
-            .map(|r| &r.index)
+            .map(|r| Arc::clone(&r.index))
     }
 
     /// Names of all registered indexes, in registration order.
-    pub fn index_names(&self) -> Vec<&str> {
-        self.indexes.iter().map(|r| r.name.as_str()).collect()
+    pub fn index_names(&self) -> Vec<String> {
+        self.indexes.read().iter().map(|r| r.name.clone()).collect()
+    }
+
+    /// Is any index registered? (Planner hook — allocation-free, unlike
+    /// [`Staccato::index_names`].)
+    pub(crate) fn has_indexes(&self) -> bool {
+        !self.indexes.read().is_empty()
+    }
+
+    /// Compiled-query cache effectiveness counters.
+    pub fn query_cache_stats(&self) -> QueryCacheStats {
+        self.cache.stats()
+    }
+
+    /// Buffer-pool counters of the underlying store (shared by every
+    /// query on this session).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.store.db().pool().stats()
     }
 
     /// The first registered index whose dictionary contains `term`
     /// (planner hook).
-    pub(crate) fn index_covering(&self, term: &str) -> Result<Option<&str>, QueryError> {
-        for reg in &self.indexes {
+    pub(crate) fn index_covering(&self, term: &str) -> Result<Option<String>, QueryError> {
+        for reg in self.indexes.read().iter() {
             if reg.index.contains_term(self.store.db().pool(), term)? {
-                return Ok(Some(reg.name.as_str()));
+                return Ok(Some(reg.name.clone()));
             }
         }
         Ok(None)
@@ -148,10 +211,19 @@ impl Staccato {
 
     /// The shared planning preamble: compile the pattern, choose the
     /// plan. Every surface (`plan`, `explain`, `execute`, SQL `EXPLAIN`)
-    /// goes through here, so they agree by construction.
-    fn compile_and_plan(&self, request: &QueryRequest) -> Result<(Query, Plan), QueryError> {
-        let query = request.compile()?;
+    /// goes through here, so they agree by construction — and all of
+    /// them share the compiled-query cache, so repeated traffic skips
+    /// pattern compilation and access-path choice entirely.
+    fn compile_and_plan(&self, request: &QueryRequest) -> Result<(Arc<Query>, Plan), QueryError> {
+        let key = CacheKey::of(request);
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(hit);
+        }
+        let epoch = self.cache.epoch();
+        let query = Arc::new(request.compile()?);
         let plan = plan_request(self, request, &query)?;
+        self.cache
+            .insert(key, Arc::clone(&query), plan.clone(), epoch);
         Ok((query, plan))
     }
 
@@ -169,8 +241,21 @@ impl Staccato {
 
     /// Execute `request`: plan, run, rank (or aggregate), and account.
     /// Planning and execution are timed separately into
-    /// [`ExecStats::plan_wall`] and [`ExecStats::exec_wall`].
+    /// [`ExecStats::plan_wall`] and [`ExecStats::exec_wall`]; the
+    /// buffer-pool counters accumulated during the execution land in
+    /// [`ExecStats::pool`].
     pub fn execute(&self, request: &QueryRequest) -> Result<QueryOutput, QueryError> {
+        Ok(self.execute_with_query(request)?.0)
+    }
+
+    /// [`Staccato::execute`], also handing back the compiled query it
+    /// ran, so `EXPLAIN ANALYZE` can render the report for exactly the
+    /// plan that executed without a second cache round-trip.
+    fn execute_with_query(
+        &self,
+        request: &QueryRequest,
+    ) -> Result<(QueryOutput, Arc<Query>), QueryError> {
+        let pool_before = self.store.db().pool().stats();
         let planning = Instant::now();
         let (query, plan) = self.compile_and_plan(request)?;
         let mut stats = ExecStats {
@@ -209,13 +294,17 @@ impl Staccato {
             }
         };
         stats.exec_wall = executing.elapsed();
-        Ok(QueryOutput {
-            answers,
-            plan,
-            stats,
-            aggregate,
-            explain: None,
-        })
+        stats.pool = self.store.db().pool().stats().delta_since(pool_before);
+        Ok((
+            QueryOutput {
+                answers,
+                plan,
+                stats,
+                aggregate,
+                explain: None,
+            },
+            query,
+        ))
     }
 
     /// Run one relational access path, delivering answers into `sink`.
@@ -236,7 +325,7 @@ impl Staccato {
                 let index = self
                     .index(index)
                     .expect("planner only returns registered indexes");
-                exec_index_probe(&self.store, index, query, sink, stats)
+                exec_index_probe(&self.store, &index, query, sink, stats)
             }
             Plan::Aggregate { .. } => unreachable!(
                 "aggregates wrap exactly one access path; request {:?}",
@@ -293,6 +382,19 @@ impl Staccato {
 
     fn run_statement(&self, stmt: &Statement) -> Result<QueryOutput, QueryError> {
         let request = crate::sql::lower_statement(stmt)?;
+        if stmt.is_explain_analyze() {
+            // EXPLAIN ANALYZE: execute for real, then append the observed
+            // counters to the same plan report `EXPLAIN` renders.
+            let (mut out, query) = self.execute_with_query(&request)?;
+            let returned = match &out.aggregate {
+                Some(agg) => format!("{} = {}", agg.func.sql_name(), agg.value),
+                None => format!("{} ranked row(s)", out.answers.len()),
+            };
+            out.explain = Some(render_explain_analyze(
+                &request, &query, &out.plan, &out.stats, &returned,
+            ));
+            return Ok(out);
+        }
         if !stmt.is_explain() {
             return self.execute(&request);
         }
@@ -366,7 +468,7 @@ mod tests {
 
     #[test]
     fn registered_index_flips_anchored_queries_to_probe() {
-        let mut s = session(40, 21);
+        let s = session(40, 21);
         let postings = s
             .register_index(&Trie::build(["president", "public"]), "inv")
             .unwrap();
@@ -397,7 +499,7 @@ mod tests {
 
     #[test]
     fn forced_probe_surfaces_reasons() {
-        let mut s = session(20, 2);
+        let s = session(20, 2);
         let force = |req: QueryRequest| req.plan_preference(PlanPreference::ForceIndexProbe);
         assert!(matches!(
             s.plan(&force(QueryRequest::keyword("President"))),
@@ -422,7 +524,7 @@ mod tests {
 
     #[test]
     fn probe_stats_count_postings() {
-        let mut s = session(50, 31);
+        let s = session(50, 31);
         s.register_index(&Trie::build(["public"]), "inv").unwrap();
         let out = s
             .execute(&QueryRequest::regex(r"Public Law (8|9)\d"))
@@ -437,7 +539,7 @@ mod tests {
 
     #[test]
     fn duplicate_index_names_are_rejected() {
-        let mut s = session(20, 4);
+        let s = session(20, 4);
         s.register_index(&Trie::build(["public"]), "inv").unwrap();
         let err = s
             .register_index(&Trie::build(["president"]), "inv")
@@ -534,7 +636,7 @@ mod tests {
 
     #[test]
     fn sql_explain_agrees_with_builder_explain() {
-        let mut s = session(20, 13);
+        let s = session(20, 13);
         s.register_index(&Trie::build(["president"]), "inv")
             .unwrap();
         let out = s
@@ -583,8 +685,47 @@ mod tests {
     }
 
     #[test]
+    fn compiled_query_cache_hits_and_invalidates() {
+        let s = session(30, 5);
+        let req = QueryRequest::keyword("President");
+        let first = s.execute(&req).unwrap();
+        let before = s.query_cache_stats();
+        assert!(before.misses >= 1);
+        let second = s.execute(&req).unwrap();
+        let after = s.query_cache_stats();
+        assert!(after.hits > before.hits, "repeat traffic must hit");
+        assert_eq!(first.answers, second.answers, "a cache hit changes nothing");
+        // num_ans / min_prob only parameterize execution: same cache entry.
+        s.execute(&req.clone().num_ans(5).min_prob(0.1)).unwrap();
+        assert!(s.query_cache_stats().hits > after.hits);
+
+        // Registering a covering index invalidates: the same request
+        // re-plans onto the probe.
+        assert!(!s.plan(&req).unwrap().is_index_probe());
+        s.register_index(&Trie::build(["president"]), "inv")
+            .unwrap();
+        assert!(s.query_cache_stats().invalidations >= 1);
+        assert!(s.plan(&req).unwrap().is_index_probe());
+        let probed = s.execute(&req).unwrap();
+        assert!(probed.plan.is_index_probe());
+    }
+
+    #[test]
+    fn execute_attributes_pool_activity() {
+        let s = session(25, 11);
+        let out = s
+            .execute(&QueryRequest::keyword("President").approach(Approach::Map))
+            .unwrap();
+        assert!(
+            out.stats.pool.hits + out.stats.pool.misses > 0,
+            "a filescan reads pages: {:?}",
+            out.stats.pool
+        );
+    }
+
+    #[test]
     fn explain_mentions_the_chosen_path() {
-        let mut s = session(25, 7);
+        let s = session(25, 7);
         let req = QueryRequest::keyword("President");
         assert!(s.explain(&req).unwrap().contains("FileScan"));
         s.register_index(&Trie::build(["president"]), "inv")

@@ -18,26 +18,34 @@ use crate::exec::Approach;
 use crate::plan::Dialect;
 use std::fmt;
 
-/// One SQL statement: a query, or a request for its plan.
+/// One SQL statement: a query, a request for its plan, or both.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// `SELECT ...`
     Select(Select),
     /// `EXPLAIN SELECT ...` — plan only, nothing executes.
     Explain(Select),
+    /// `EXPLAIN ANALYZE SELECT ...` — execute, then report the plan
+    /// together with the counters the execution produced.
+    ExplainAnalyze(Select),
 }
 
 impl Statement {
     /// The wrapped `SELECT`, whether or not it is being explained.
     pub fn select(&self) -> &Select {
         match self {
-            Statement::Select(s) | Statement::Explain(s) => s,
+            Statement::Select(s) | Statement::Explain(s) | Statement::ExplainAnalyze(s) => s,
         }
     }
 
-    /// Is this an `EXPLAIN`?
+    /// Is this a plan-only `EXPLAIN` (no execution)?
     pub fn is_explain(&self) -> bool {
         matches!(self, Statement::Explain(_))
+    }
+
+    /// Is this an `EXPLAIN ANALYZE` (execute and report)?
+    pub fn is_explain_analyze(&self) -> bool {
+        matches!(self, Statement::ExplainAnalyze(_))
     }
 
     /// Number of `?` placeholders in the statement.
@@ -200,6 +208,8 @@ impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_explain() {
             write!(f, "EXPLAIN ")?;
+        } else if self.is_explain_analyze() {
+            write!(f, "EXPLAIN ANALYZE ")?;
         }
         let s = self.select();
         let projection = match s.projection {

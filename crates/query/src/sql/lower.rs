@@ -87,7 +87,7 @@ impl PreparedQuery {
         }
         let mut stmt = self.stmt.clone();
         let select = match &mut stmt {
-            Statement::Select(s) | Statement::Explain(s) => s,
+            Statement::Select(s) | Statement::Explain(s) | Statement::ExplainAnalyze(s) => s,
         };
         if let SqlArg::Param(n) = select.predicate.pattern {
             select.predicate.pattern = match &params[n as usize] {

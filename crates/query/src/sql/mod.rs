@@ -16,11 +16,16 @@
 //! Supported grammar (see [`parser`] for the full production rules):
 //!
 //! ```text
-//! [EXPLAIN] SELECT DataKey[, Prob] | COUNT(*) | SUM(Prob) | AVG(Prob)
+//! [EXPLAIN [ANALYZE]] SELECT DataKey[, Prob] | COUNT(*) | SUM(Prob) | AVG(Prob)
 //!   FROM MAPData | kMAPData | FullSFAData | StaccatoData
 //!   WHERE Data LIKE '%...%' | Data REGEXP '...'
 //!   [AND Prob >= t] [ORDER BY Prob DESC] [LIMIT n]
 //! ```
+//!
+//! `EXPLAIN` stops after planning; `EXPLAIN ANALYZE` executes the
+//! statement and appends the observed [`ExecStats`](crate::plan::ExecStats)
+//! (plan/exec wall split) and the query's buffer-pool hits / misses /
+//! evictions to the plan report.
 //!
 //! A `SELECT` without `LIMIT` is capped at the paper's `NumAns` default
 //! of 100 ranked rows — the same default as the

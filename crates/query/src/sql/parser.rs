@@ -4,7 +4,7 @@
 //! pattern / threshold / limit may appear, optional trailing `;`):
 //!
 //! ```text
-//! statement  := [EXPLAIN] select [';']
+//! statement  := [EXPLAIN [ANALYZE]] select [';']
 //! select     := SELECT projection FROM table WHERE predicate
 //!               [ORDER BY Prob DESC] [LIMIT int]
 //! projection := COUNT '(' '*' ')' | SUM '(' Prob ')' | AVG '(' Prob ')'
@@ -92,6 +92,7 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement, SqlError> {
         let explain = self.eat_kw("EXPLAIN");
+        let analyze = explain && self.eat_kw("ANALYZE");
         let select = self.select()?;
         if *self.peek() == Tok::Semi {
             self.bump();
@@ -102,7 +103,9 @@ impl Parser {
                 self.peek().describe()
             )));
         }
-        Ok(if explain {
+        Ok(if analyze {
+            Statement::ExplainAnalyze(select)
+        } else if explain {
             Statement::Explain(select)
         } else {
             Statement::Select(select)

@@ -1,11 +1,33 @@
 //! The buffer pool: a fixed set of in-memory frames caching disk pages,
 //! with LRU eviction, pin tracking, dirty write-back, and I/O statistics.
 //!
+//! # Sharding
+//!
+//! The frame table is *latch-striped*: frames are partitioned into up to
+//! [`MAX_SHARDS`] shards keyed by a hash of the `PageId`, each behind its
+//! own mutex, so concurrent readers touching different pages do not
+//! contend on one pool-wide lock. The disk itself sits behind a separate
+//! mutex that is only taken on the miss path (reads, eviction
+//! write-backs, flushes) — a page-cache *hit*, the hot case for
+//! read-heavy query traffic, takes exactly one shard latch. Small pools
+//! (under 64 frames) collapse to a single shard so LRU behaves globally,
+//! which keeps tiny test pools exactly as predictable as the unsharded
+//! original.
+//!
+//! Statistics are counted per shard and aggregated on demand by
+//! [`BufferPool::stats`], so counters never serialize fetches either.
+//!
+//! Lock order is always shard → disk; no path acquires a shard latch
+//! while holding the disk latch, and no path holds two shard latches.
+//!
 //! Pinning is tracked through `Arc` strong counts: a page guard holds a
 //! clone of the frame's data `Arc`, so a frame is evictable exactly when
 //! its count drops back to one. Guards are handed out as owned
 //! `parking_lot` read/write locks, so multiple pages can be held at once
 //! (B+-tree splits hold parent and child) without borrowing the pool.
+//! Eviction is per shard: a shard with every frame pinned reports
+//! [`StorageError::PoolExhausted`] even if other shards have room, the
+//! standard trade of striped pools.
 
 use crate::disk::{Disk, PAGE_SIZE};
 use crate::error::StorageError;
@@ -13,10 +35,14 @@ use crate::PageId;
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 type PageBuf = Box<[u8; PAGE_SIZE]>;
 type PageArc = Arc<RwLock<PageBuf>>;
+
+/// Upper bound on the number of latch-striped shards.
+pub const MAX_SHARDS: usize = 16;
 
 /// Read guard over a page's bytes.
 pub struct PageRead {
@@ -69,34 +95,118 @@ pub struct PoolStats {
     pub evictions: u64,
 }
 
-struct Inner {
-    disk: Box<dyn Disk>,
+impl PoolStats {
+    /// The counters accumulated since `earlier` was sampled — per-query
+    /// I/O accounting for `EXPLAIN ANALYZE`. Saturates at zero so a
+    /// `reset_stats` between the two samples cannot underflow.
+    pub fn delta_since(self, earlier: PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+
+    /// Fraction of page requests served from memory (1.0 when idle).
+    pub fn hit_rate(self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One latch-striped partition of the frame table.
+struct Shard {
     frames: Vec<Frame>,
     table: HashMap<PageId, usize>,
     capacity: usize,
     tick: u64,
-    stats: PoolStats,
 }
 
-/// The buffer pool. Cheap to clone conceptually — it is internally a
-/// single mutex-protected structure sized at construction.
+impl Shard {
+    fn with_capacity(capacity: usize) -> Shard {
+        Shard {
+            frames: Vec::with_capacity(capacity),
+            table: HashMap::with_capacity(capacity),
+            capacity,
+            tick: 0,
+        }
+    }
+}
+
+/// Per-shard statistics counters. Writers hold the shard latch, so
+/// relaxed atomics suffice — the point of keeping them outside the latch
+/// is that [`BufferPool::stats`] (sampled around every query for
+/// `EXPLAIN ANALYZE` attribution) reads without touching any shard
+/// mutex, keeping the read off the fetch hot path entirely.
+#[derive(Default)]
+struct ShardStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writebacks: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, AtomicOrdering::Relaxed);
+    }
+}
+
+/// The buffer pool: latch-striped frame shards over one shared device.
 pub struct BufferPool {
-    inner: Mutex<Inner>,
+    disk: Mutex<Box<dyn Disk>>,
+    shards: Vec<Mutex<Shard>>,
+    stats: Vec<ShardStats>,
+    /// log2 of `shards.len()`, for the pid → shard hash.
+    shard_bits: u32,
+}
+
+/// Shard count for a pool of `capacity` frames: the largest power of two
+/// `<= MAX_SHARDS` leaving every shard at least 32 frames (so a shard can
+/// absorb the handful of simultaneously pinned pages a B+-tree split
+/// holds). Pools under 64 frames stay unsharded and keep the original
+/// global-LRU behavior exactly.
+fn shard_count(capacity: usize) -> usize {
+    let limit = (capacity / 32).clamp(1, MAX_SHARDS);
+    1 << (usize::BITS - 1 - limit.leading_zeros())
 }
 
 impl BufferPool {
     /// Create a pool of `capacity` frames over `disk`.
     pub fn new(disk: Box<dyn Disk>, capacity: usize) -> BufferPool {
         assert!(capacity >= 2, "a useful pool needs at least two frames");
+        let n = shard_count(capacity);
+        let base = capacity / n;
+        let extra = capacity % n;
+        let shards = (0..n)
+            .map(|i| Mutex::new(Shard::with_capacity(base + usize::from(i < extra))))
+            .collect();
         BufferPool {
-            inner: Mutex::new(Inner {
-                disk,
-                frames: Vec::with_capacity(capacity),
-                table: HashMap::with_capacity(capacity),
-                capacity,
-                tick: 0,
-                stats: PoolStats::default(),
-            }),
+            disk: Mutex::new(disk),
+            shards,
+            stats: (0..n).map(|_| ShardStats::default()).collect(),
+            shard_bits: n.trailing_zeros(),
+        }
+    }
+
+    /// Number of latch-striped shards (1 for small pools).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, pid: PageId) -> usize {
+        // Fibonacci multiplicative hash: consecutive PageIds (the common
+        // allocation pattern) spread across shards instead of clustering.
+        let h = pid.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (h >> (64 - self.shard_bits)) as usize
         }
     }
 
@@ -118,80 +228,99 @@ impl BufferPool {
 
     /// Allocate a fresh zeroed page on disk and return its id.
     pub fn allocate(&self) -> Result<PageId, StorageError> {
-        let mut inner = self.inner.lock();
-        inner.disk.allocate()
+        self.disk.lock().allocate()
     }
 
     /// Number of pages on the underlying device.
     pub fn page_count(&self) -> u64 {
-        self.inner.lock().disk.page_count()
+        self.disk.lock().page_count()
     }
 
     /// Write all dirty frames back and sync the device.
     pub fn flush_all(&self) -> Result<(), StorageError> {
-        let mut inner = self.inner.lock();
-        let dirty: Vec<usize> = inner
-            .frames
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.dirty)
-            .map(|(i, _)| i)
-            .collect();
-        for i in dirty {
-            let pid = inner.frames[i].pid;
-            let data = inner.frames[i].data.clone();
-            let buf = data.read();
-            inner.disk.write_page(pid, &buf[..])?;
-            drop(buf);
-            inner.frames[i].dirty = false;
-            inner.stats.writebacks += 1;
+        for (shard, stats) in self.shards.iter().zip(&self.stats) {
+            let mut shard = shard.lock();
+            let dirty: Vec<usize> = shard
+                .frames
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.dirty)
+                .map(|(i, _)| i)
+                .collect();
+            for i in dirty {
+                let pid = shard.frames[i].pid;
+                let data = shard.frames[i].data.clone();
+                let buf = data.read();
+                self.disk.lock().write_page(pid, &buf[..])?;
+                drop(buf);
+                shard.frames[i].dirty = false;
+                ShardStats::bump(&stats.writebacks);
+            }
         }
-        inner.disk.sync()
+        self.disk.lock().sync()
     }
 
-    /// Current I/O statistics.
+    /// Current I/O statistics, aggregated across shards. Lock-free: safe
+    /// to sample around every query without touching the fetch path.
     pub fn stats(&self) -> PoolStats {
-        self.inner.lock().stats
+        let mut total = PoolStats::default();
+        for s in &self.stats {
+            total.hits += s.hits.load(AtomicOrdering::Relaxed);
+            total.misses += s.misses.load(AtomicOrdering::Relaxed);
+            total.writebacks += s.writebacks.load(AtomicOrdering::Relaxed);
+            total.evictions += s.evictions.load(AtomicOrdering::Relaxed);
+        }
+        total
     }
 
     /// Reset statistics (used between experiment phases).
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = PoolStats::default();
+        for s in &self.stats {
+            s.hits.store(0, AtomicOrdering::Relaxed);
+            s.misses.store(0, AtomicOrdering::Relaxed);
+            s.writebacks.store(0, AtomicOrdering::Relaxed);
+            s.evictions.store(0, AtomicOrdering::Relaxed);
+        }
     }
 
     fn fetch_arc(&self, pid: PageId, dirty: bool) -> Result<PageArc, StorageError> {
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some(&idx) = inner.table.get(&pid) {
-            inner.stats.hits += 1;
-            let f = &mut inner.frames[idx];
+        let idx = self.shard_of(pid);
+        let stats = &self.stats[idx];
+        let mut shard = self.shards[idx].lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(&idx) = shard.table.get(&pid) {
+            ShardStats::bump(&stats.hits);
+            let f = &mut shard.frames[idx];
             f.last_used = tick;
             f.dirty |= dirty;
             return Ok(f.data.clone());
         }
-        inner.stats.misses += 1;
+        ShardStats::bump(&stats.misses);
 
-        // Read the page from disk into a fresh buffer.
+        // Read the page from disk into a fresh buffer. The shard latch is
+        // held across the read so two threads missing on the same page
+        // cannot both load it (and diverge on which copy is cached).
         let mut buf: PageBuf = Box::new([0u8; PAGE_SIZE]);
-        inner.disk.read_page(pid, &mut buf[..])?;
+        self.disk.lock().read_page(pid, &mut buf[..])?;
         let arc: PageArc = Arc::new(RwLock::new(buf));
 
-        if inner.frames.len() < inner.capacity {
-            let idx = inner.frames.len();
-            inner.frames.push(Frame {
+        if shard.frames.len() < shard.capacity {
+            let idx = shard.frames.len();
+            shard.frames.push(Frame {
                 pid,
                 data: arc.clone(),
                 dirty,
                 last_used: tick,
             });
-            inner.table.insert(pid, idx);
+            shard.table.insert(pid, idx);
             return Ok(arc);
         }
 
-        // Evict the least-recently-used unpinned frame. A frame is pinned
-        // while any guard (or returned Arc) is alive, i.e. strong count > 1.
-        let victim = inner
+        // Evict the least-recently-used unpinned frame of this shard. A
+        // frame is pinned while any guard (or returned Arc) is alive,
+        // i.e. strong count > 1.
+        let victim = shard
             .frames
             .iter()
             .enumerate()
@@ -200,23 +329,23 @@ impl BufferPool {
             .map(|(i, _)| i)
             .ok_or(StorageError::PoolExhausted)?;
 
-        let old = &inner.frames[victim];
+        let old = &shard.frames[victim];
         let (old_pid, old_dirty, old_data) = (old.pid, old.dirty, old.data.clone());
         if old_dirty {
             let data = old_data.read();
-            inner.disk.write_page(old_pid, &data[..])?;
+            self.disk.lock().write_page(old_pid, &data[..])?;
             drop(data);
-            inner.stats.writebacks += 1;
+            ShardStats::bump(&stats.writebacks);
         }
-        inner.stats.evictions += 1;
-        inner.table.remove(&old_pid);
-        inner.frames[victim] = Frame {
+        ShardStats::bump(&stats.evictions);
+        shard.table.remove(&old_pid);
+        shard.frames[victim] = Frame {
             pid,
             data: arc.clone(),
             dirty,
             last_used: tick,
         };
-        inner.table.insert(pid, victim);
+        shard.table.insert(pid, victim);
         Ok(arc)
     }
 }
@@ -333,5 +462,89 @@ mod tests {
         let before = p.stats().hits;
         let _ = p.fetch_read(0).unwrap();
         assert_eq!(p.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn small_pools_collapse_to_one_shard() {
+        assert_eq!(pool(2, 1).shard_count(), 1);
+        assert_eq!(pool(63, 1).shard_count(), 1);
+        assert_eq!(pool(64, 1).shard_count(), 2);
+        assert_eq!(pool(128, 1).shard_count(), 4);
+        assert_eq!(pool(256, 1).shard_count(), 8);
+        assert_eq!(pool(512, 1).shard_count(), 16);
+        assert_eq!(pool(4096, 1).shard_count(), 16);
+    }
+
+    #[test]
+    fn sharded_pool_roundtrips_and_aggregates_stats() {
+        let p = pool(1024, 64);
+        assert_eq!(p.shard_count(), MAX_SHARDS);
+        for pid in 0..64u64 {
+            let mut w = p.fetch_write(pid).unwrap();
+            w[0] = pid as u8;
+        }
+        for pid in 0..64u64 {
+            assert_eq!(p.fetch_read(pid).unwrap()[0], pid as u8);
+        }
+        let s = p.stats();
+        assert_eq!(s.misses, 64, "{s:?}");
+        assert_eq!(s.hits, 64, "{s:?}");
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().writebacks, 64);
+    }
+
+    #[test]
+    fn delta_since_subtracts_and_saturates() {
+        let a = PoolStats {
+            hits: 10,
+            misses: 4,
+            writebacks: 1,
+            evictions: 2,
+        };
+        let b = PoolStats {
+            hits: 25,
+            misses: 4,
+            writebacks: 3,
+            evictions: 2,
+        };
+        let d = b.delta_since(a);
+        assert_eq!(d.hits, 15);
+        assert_eq!(d.misses, 0);
+        assert_eq!(d.writebacks, 2);
+        assert_eq!(d.evictions, 0);
+        // A reset between samples saturates instead of underflowing.
+        let d = a.delta_since(b);
+        assert_eq!(d.hits, 0);
+        assert_eq!(PoolStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_pages() {
+        let p = std::sync::Arc::new(pool(256, 64));
+        for pid in 0..64u64 {
+            let mut w = p.fetch_write(pid).unwrap();
+            w[..8].copy_from_slice(&pid.to_le_bytes());
+        }
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let p = std::sync::Arc::clone(&p);
+                scope.spawn(move || {
+                    for round in 0..4u64 {
+                        for pid in 0..64u64 {
+                            let pid = (pid + t + round) % 64;
+                            let r = p.fetch_read(pid).unwrap();
+                            assert_eq!(
+                                u64::from_le_bytes(r[..8].try_into().unwrap()),
+                                pid,
+                                "page content raced"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let s = p.stats();
+        assert_eq!(s.hits + s.misses, 64 + 8 * 4 * 64);
     }
 }

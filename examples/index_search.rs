@@ -30,7 +30,7 @@ fn main() {
         ..Default::default()
     };
     println!("Loading {} lines into the store…", dataset.total_lines());
-    let mut session = Staccato::load(db, &dataset, &opts).expect("load");
+    let session = Staccato::load(db, &dataset, &opts).expect("load");
 
     // Dictionary: every word of the clean corpus (as §4 suggests, terms
     // "extracted from a known clean text corpus").

@@ -21,7 +21,7 @@ fn main() {
         staccato: StaccatoParams::new(20, 10),
         parallelism: 2,
     };
-    let mut session = Staccato::load(db, &dataset, &opts).expect("load");
+    let session = Staccato::load(db, &dataset, &opts).expect("load");
     session
         .register_index(&Trie::build(["public", "president", "commission"]), "inv")
         .expect("index");
@@ -52,6 +52,16 @@ fn main() {
         .expect("explain");
     println!("\nsql> EXPLAIN SELECT DataKey FROM StaccatoData WHERE Data REGEXP 'President'");
     print!("{}", plan.explain.expect("explain text"));
+
+    // EXPLAIN ANALYZE executes for real and appends the observed
+    // counters: wall split, rows/lines/postings, buffer-pool traffic.
+    let analyzed = session
+        .sql("EXPLAIN ANALYZE SELECT DataKey FROM StaccatoData WHERE Data REGEXP 'President'")
+        .expect("explain analyze");
+    println!(
+        "\nsql> EXPLAIN ANALYZE SELECT DataKey FROM StaccatoData WHERE Data REGEXP 'President'"
+    );
+    print!("{}", analyzed.explain.expect("analyze text"));
 
     // Aggregates stream over every qualifying line, never ranking.
     println!();

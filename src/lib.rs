@@ -29,7 +29,7 @@
 //!
 //! ```ignore
 //! use staccato::{QueryRequest, SqlValue, Staccato};
-//! let mut session = Staccato::load(db, &dataset, &opts)?;
+//! let session = Staccato::load(db, &dataset, &opts)?;
 //! let out = session.sql(
 //!     "SELECT DataKey, Prob FROM StaccatoData WHERE Data LIKE '%Ford%' LIMIT 100",
 //! )?;

@@ -1,0 +1,140 @@
+//! Shared-session concurrency: one `Arc<Staccato>`, many client threads,
+//! byte-identical results.
+//!
+//! The sharing contract (session module docs) is that a session behind an
+//! `Arc` serves concurrent traffic with no external locking and no change
+//! in semantics: every thread sees exactly the answers, probabilities,
+//! and `explain()` text a serial run produces. One extra thread races
+//! `register_index` mid-flight to exercise the compiled-query cache's
+//! epoch invalidation — its dictionaries cover no query anchor, so plans
+//! stay stable while the registry and cache churn underneath.
+
+use staccato::approx::StaccatoParams;
+use staccato::automata::Trie;
+use staccato::ocr::{generate, ChannelConfig, CorpusKind};
+use staccato::query::store::LoadOptions;
+use staccato::storage::Database;
+use staccato::{AggregateFunc, Answer, Approach, QueryRequest, Staccato};
+use std::sync::Arc;
+
+fn session(lines: usize, seed: u64) -> Staccato {
+    let dataset = generate(CorpusKind::CongressActs, lines, seed);
+    let db = Database::in_memory(2048).expect("db");
+    let opts = LoadOptions {
+        channel: ChannelConfig::compact(seed),
+        kmap_k: 6,
+        staccato: StaccatoParams::new(10, 6),
+        parallelism: 2,
+    };
+    Staccato::load(db, &dataset, &opts).expect("load")
+}
+
+/// The mixed query set: every representation, both dialects, a threshold,
+/// an aggregate, and an intra-query-parallel scan.
+fn workload() -> Vec<QueryRequest> {
+    vec![
+        QueryRequest::keyword("President"),
+        QueryRequest::keyword("Commission").approach(Approach::Map),
+        QueryRequest::like("%United States%")
+            .approach(Approach::KMap)
+            .num_ans(50),
+        QueryRequest::regex(r"Public Law (8|9)\d").parallelism(2),
+        QueryRequest::keyword("the")
+            .approach(Approach::FullSfa)
+            .num_ans(20),
+        QueryRequest::keyword("Act")
+            .approach(Approach::Map)
+            .aggregate(AggregateFunc::CountStar),
+        QueryRequest::keyword("employment").min_prob(0.2),
+    ]
+}
+
+/// Everything a client observes for one request: the ranked relation,
+/// the aggregate scalar, and the plan report.
+type Observation = (Vec<Answer>, Option<f64>, String);
+
+fn observe(session: &Staccato, request: &QueryRequest) -> Observation {
+    let out = session.execute(request).expect("execute");
+    let explain = session.explain(request).expect("explain");
+    (out.answers, out.aggregate.map(|a| a.value), explain)
+}
+
+#[test]
+fn eight_threads_see_byte_identical_results_while_an_index_registers() {
+    let session = Arc::new(session(32, 77));
+    let workload = workload();
+
+    // The serial ground truth, taken before any concurrency.
+    let baseline: Vec<Observation> = workload.iter().map(|q| observe(&session, q)).collect();
+
+    std::thread::scope(|scope| {
+        // One writer racing the readers: registers three indexes whose
+        // dictionaries cover no query anchor (plans cannot change), each
+        // registration scanning the store and bumping the cache epoch.
+        {
+            let session = Arc::clone(&session);
+            scope.spawn(move || {
+                for i in 0..3 {
+                    let postings = session
+                        .register_index(
+                            &Trie::build(["zzzabsent", "qqqmissing"]),
+                            &format!("race{i}"),
+                        )
+                        .expect("racing registration");
+                    assert_eq!(postings, 0, "dictionary terms are absent from the corpus");
+                }
+            });
+        }
+        for t in 0..8 {
+            let session = Arc::clone(&session);
+            let workload = &workload;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                for round in 0..2 {
+                    for step in 0..workload.len() {
+                        // Stagger the order per thread so the cache sees
+                        // interleaved keys, not eight lockstep streams.
+                        let i = (step + t) % workload.len();
+                        let (answers, aggregate, explain) = observe(&session, &workload[i]);
+                        let (base_answers, base_aggregate, base_explain) = &baseline[i];
+                        assert_eq!(
+                            &answers, base_answers,
+                            "thread {t} round {round} query {i}: answers diverged"
+                        );
+                        assert_eq!(
+                            &aggregate, base_aggregate,
+                            "thread {t} round {round} query {i}: aggregate diverged"
+                        );
+                        assert_eq!(
+                            &explain, base_explain,
+                            "thread {t} round {round} query {i}: explain diverged"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // The race actually exercised invalidation, and the cache served
+    // repeated traffic.
+    let cache = session.query_cache_stats();
+    assert_eq!(cache.invalidations, 3, "{cache:?}");
+    assert!(cache.hits > 0, "{cache:?}");
+    assert_eq!(
+        session.index_names(),
+        vec!["race0", "race1", "race2"],
+        "registrations serialized in order"
+    );
+
+    // End to end: a registration covering a live anchor flips the cached
+    // plan on the very next lookup.
+    let anchored = QueryRequest::keyword("President");
+    assert!(!session.plan(&anchored).expect("plan").is_index_probe());
+    session
+        .register_index(&Trie::build(["president"]), "inv")
+        .expect("covering index");
+    assert!(
+        session.plan(&anchored).expect("replan").is_index_probe(),
+        "cache invalidation must let the new index take over"
+    );
+}

@@ -143,7 +143,7 @@ fn staccato_probabilities_bounded_by_fullsfa() {
 
 #[test]
 fn index_and_filescan_agree_across_queries() {
-    let mut session = load(CorpusKind::CongressActs, 90, 21, 10, 8);
+    let session = load(CorpusKind::CongressActs, 90, 21, 10, 8);
     let dataset = generate(CorpusKind::CongressActs, 90, 21);
     let dict: BTreeSet<String> = dataset
         .lines()

@@ -32,7 +32,7 @@ fn keys(answers: &[staccato::Answer]) -> BTreeSet<i64> {
 
 #[test]
 fn probe_and_filescan_answer_sets_agree_across_approaches() {
-    let mut s = session(80, 33);
+    let s = session(80, 33);
     s.register_index(&Trie::build(["public", "president", "commission"]), "inv")
         .expect("index");
     for pattern in ["President", "Commission", r"Public Law (8|9)\d"] {
@@ -87,8 +87,70 @@ fn filescan_probabilities_identical_under_any_parallelism() {
 }
 
 #[test]
+fn parallelism_is_honored_or_a_documented_noop_on_every_plan_shape() {
+    let s = session(30, 51);
+    // FileScan: every representation carries the requested parallelism —
+    // the morsel scan partitions string evaluation exactly like SFA
+    // evaluation.
+    for approach in Approach::all() {
+        let plan = s
+            .plan(
+                &QueryRequest::keyword("President")
+                    .approach(approach)
+                    .parallelism(4),
+            )
+            .expect("plan");
+        assert_eq!(
+            plan,
+            Plan::FileScan {
+                approach,
+                parallelism: 4
+            },
+            "{}",
+            approach.name()
+        );
+    }
+    // Aggregate: the input filescan keeps the requested parallelism.
+    let plan = s
+        .plan(
+            &QueryRequest::keyword("President")
+                .approach(Approach::Map)
+                .parallelism(3)
+                .aggregate(AggregateFunc::SumProb),
+        )
+        .expect("aggregate plan");
+    assert_eq!(
+        plan.access_path(),
+        &Plan::FileScan {
+            approach: Approach::Map,
+            parallelism: 3
+        }
+    );
+    // IndexProbe: parallelism is a documented no-op — the plan carries no
+    // worker count (probes point-fetch a handful of candidates), and the
+    // answers are unchanged by requesting it.
+    s.register_index(&Trie::build(["president"]), "inv")
+        .expect("index");
+    let request = QueryRequest::keyword("President").num_ans(1000);
+    let par = s.execute(&request.clone().parallelism(4)).expect("probe");
+    assert_eq!(
+        par.plan,
+        Plan::IndexProbe {
+            index: "inv".into(),
+            anchor: "president".into()
+        }
+    );
+    let seq = s.execute(&request).expect("probe");
+    assert_eq!(par.answers.len(), seq.answers.len());
+    for (a, b) in par.answers.iter().zip(&seq.answers) {
+        assert_eq!(a.data_key, b.data_key);
+        assert_eq!(a.probability, b.probability);
+    }
+}
+
+#[test]
 fn explain_reports_probe_only_when_index_and_anchor_exist() {
-    let mut s = session(30, 12);
+    let s = session(30, 12);
     let anchored = QueryRequest::keyword("President");
     let unanchored = QueryRequest::regex(r"\d\d\d");
 
@@ -134,7 +196,7 @@ fn explain_reports_probe_only_when_index_and_anchor_exist() {
 
 #[test]
 fn plan_matches_execution_and_stats_fill_in() {
-    let mut s = session(35, 27);
+    let s = session(35, 27);
     s.register_index(&Trie::build(["president"]), "inv")
         .expect("index");
     let request = QueryRequest::keyword("President").num_ans(50);
@@ -225,7 +287,7 @@ fn aggregates_over_an_empty_store() {
 
 #[test]
 fn forced_index_probe_composes_with_thresholds_and_aggregates() {
-    let mut s = session(60, 47);
+    let s = session(60, 47);
     s.register_index(&Trie::build(["president"]), "inv")
         .expect("index");
     let forced = QueryRequest::keyword("President")

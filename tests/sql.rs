@@ -48,7 +48,7 @@ fn statement_strategy() -> impl Strategy<Value = Statement> {
         any::<bool>(), // LIMIT present?
         any::<bool>(), // ...as a '?'
         0u64..10_000,  // limit value
-        any::<bool>(), // EXPLAIN?
+        0usize..3,     // plain / EXPLAIN / EXPLAIN ANALYZE
     );
     ((head, any::<bool>()), threshold, tail).prop_map(
         |(
@@ -107,10 +107,10 @@ fn statement_strategy() -> impl Strategy<Value = Statement> {
                 order_by_prob,
                 limit,
             };
-            if explain {
-                Statement::Explain(select)
-            } else {
-                Statement::Select(select)
+            match explain {
+                1 => Statement::Explain(select),
+                2 => Statement::ExplainAnalyze(select),
+                _ => Statement::Select(select),
             }
         },
     )
@@ -163,7 +163,7 @@ fn sql_and_builder_agree_on_every_representation() {
 fn explain_select_agrees_with_builder_explain() {
     // The acceptance contract: `EXPLAIN SELECT ...` output equals the
     // builder-path `explain()` for the same query — filescan and probe.
-    let mut s = session(50, 103);
+    let s = session(50, 103);
     let cases = [
         (
             "EXPLAIN SELECT DataKey FROM StaccatoData WHERE Data REGEXP 'Public Law (8|9)\\d' LIMIT 100",
@@ -191,6 +191,62 @@ fn explain_select_agrees_with_builder_explain() {
     // With the index registered the anchored query's EXPLAIN shows the probe.
     let text = s.sql(cases[0].0).unwrap().explain.unwrap();
     assert!(text.contains("IndexProbe"), "{text}");
+}
+
+#[test]
+fn explain_analyze_executes_and_reports_counters() {
+    let s = session(30, 131);
+    let sql = "SELECT DataKey, Prob FROM MAPData WHERE Data REGEXP 'President' LIMIT 10";
+    let out = s.sql(&format!("EXPLAIN ANALYZE {sql}")).expect("analyze");
+    let text = out.explain.expect("EXPLAIN ANALYZE sets the text");
+    // It executed for real: answers and counters are populated.
+    assert!(!out.answers.is_empty());
+    assert_eq!(out.stats.rows_scanned as usize, s.line_count());
+    assert!(out.stats.exec_wall.as_nanos() > 0, "execution is timed");
+    assert!(
+        out.stats.pool.hits + out.stats.pool.misses > 0,
+        "the scan reads pages through the pool: {:?}",
+        out.stats.pool
+    );
+    // The report is the EXPLAIN text plus the observed counters.
+    let plain = s.sql(&format!("EXPLAIN {sql}")).unwrap().explain.unwrap();
+    assert!(text.starts_with(&plain), "{text}");
+    assert!(text.contains("Analyze: plan "), "{text}");
+    assert!(text.contains(", exec "), "{text}");
+    assert!(
+        text.contains(&format!(
+            "rows scanned: {}, lines evaluated: {}, postings probed: 0",
+            out.stats.rows_scanned, out.stats.lines_evaluated
+        )),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!(
+            "buffer pool: {} hits, {} misses, {} evictions",
+            out.stats.pool.hits, out.stats.pool.misses, out.stats.pool.evictions
+        )),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!("returned: {} ranked row(s)", out.answers.len())),
+        "{text}"
+    );
+    // Aggregates report the scalar instead of a row count.
+    let agg = s
+        .sql("EXPLAIN ANALYZE SELECT COUNT(*) FROM MAPData WHERE Data REGEXP 'President'")
+        .expect("analyze aggregate");
+    let agg_text = agg.explain.unwrap();
+    let value = agg.aggregate.expect("aggregate executed").value;
+    assert!(
+        agg_text.contains(&format!("returned: COUNT(*) = {value}")),
+        "{agg_text}"
+    );
+    // Keywords are case-insensitive, as everywhere in the grammar.
+    assert!(s
+        .sql(&format!("explain analyze {sql}"))
+        .unwrap()
+        .explain
+        .is_some());
 }
 
 #[test]
