@@ -3,7 +3,8 @@
 //! retrieval pipelines doing many small probabilistic lookups at once.
 //!
 //! ```text
-//! throughput [--threads N] [--queries M] [--lines L] [--seed S] [--out PATH]
+//! throughput [--threads N] [--queries M] [--lines L] [--seed S]
+//!            [--pool-frames F] [--out PATH]
 //! ```
 //!
 //! The workload is a fixed mixed set — `LIKE` and `REGEXP` filescans
@@ -41,6 +42,9 @@ struct Config {
     queries: usize,
     lines: usize,
     seed: u64,
+    /// Buffer-pool frames; 0 sizes the pool *below* the corpus so
+    /// scans actually miss and evict (see `main`).
+    pool_frames: usize,
     out: String,
 }
 
@@ -55,8 +59,9 @@ fn main() {
     let mut cfg = Config {
         threads: 8,
         queries: 64,
-        lines: 200,
+        lines: 1000,
         seed: 42,
+        pool_frames: 0,
         out: "BENCH_throughput.json".to_string(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,6 +73,9 @@ fn main() {
             "--queries" => cfg.queries = next("--queries").parse().expect("queries"),
             "--lines" => cfg.lines = next("--lines").parse().expect("lines"),
             "--seed" => cfg.seed = next("--seed").parse().expect("seed"),
+            "--pool-frames" => {
+                cfg.pool_frames = next("--pool-frames").parse().expect("pool-frames")
+            }
             "--out" => cfg.out = next("--out").clone(),
             other => panic!("unknown argument {other:?}"),
         }
@@ -79,7 +87,17 @@ fn main() {
         cfg.lines, cfg.seed
     );
     let dataset = generate(CorpusKind::CongressActs, cfg.lines, cfg.seed);
-    let db = Database::in_memory(2048).expect("db");
+    // The old fixed 2048-frame pool held the whole 200-line corpus, so
+    // every measured run reported a 100% hit rate and eviction-path
+    // regressions were invisible. The auto default keeps the pool well
+    // under the corpus footprint (~6 pages/line across the four
+    // representations) while staying big enough for load-time pins.
+    let pool_frames = if cfg.pool_frames > 0 {
+        cfg.pool_frames
+    } else {
+        (cfg.lines / 4).clamp(192, 2048)
+    };
+    let db = Database::in_memory(pool_frames).expect("db");
     let opts = LoadOptions {
         channel: ChannelConfig::compact(cfg.seed),
         kmap_k: 8,
@@ -87,6 +105,11 @@ fn main() {
         parallelism: cfg.threads.max(2),
     };
     let session = Arc::new(Staccato::load(db, &dataset, &opts).expect("load"));
+    let disk_pages = session.store().db().pool().page_count();
+    eprintln!(
+        "pool: {pool_frames} frames over {disk_pages} disk pages ({:.0}% resident)",
+        (pool_frames as f64 / disk_pages.max(1) as f64 * 100.0).min(100.0)
+    );
     let postings = session
         .register_index(
             &staccato_automata::Trie::build(["public", "president", "commission"]),
@@ -114,13 +137,15 @@ fn main() {
     let concurrent_pool = pool2.delta_since(pool1);
     let total = cfg.threads * cfg.queries;
     let json = format!(
-        "{{\n  \"bench\": \"throughput\",\n  \"corpus\": \"CongressActs\",\n  \"lines\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"queries_per_thread\": {},\n  \"total_queries\": {},\n  \"workload_size\": {},\n  \"concurrent\": {},\n  \"serial\": {}\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"corpus\": \"CongressActs\",\n  \"lines\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"queries_per_thread\": {},\n  \"total_queries\": {},\n  \"workload_size\": {},\n  \"pool_frames\": {},\n  \"disk_pages\": {},\n  \"concurrent\": {},\n  \"serial\": {}\n}}\n",
         cfg.lines,
         cfg.seed,
         cfg.threads,
         cfg.queries,
         total,
         WORKLOAD.len(),
+        pool_frames,
+        disk_pages,
         run_json(&concurrent, concurrent_pool, cache_hit_rate(cache1, cache2)),
         run_json(&serial, serial_pool, cache_hit_rate(cache0, cache1)),
     );

@@ -7,8 +7,9 @@
 //! exactly the shape of concurrent retrieval traffic. The session keys a
 //! bounded LRU on the parts of a [`QueryRequest`] that determine the
 //! compiled [`Query`] and the [`Plan`] (pattern, dialect, approach,
-//! parallelism, plan preference, aggregate — *not* `num_ans`/`min_prob`,
-//! which only parameterize execution), and stores the compiled query
+//! parallelism, plan preference, aggregate — *not*
+//! `num_ans`/`offset`/`min_prob`, which only parameterize execution),
+//! and stores the compiled query
 //! behind an `Arc` so concurrent executions share one DFA.
 //!
 //! Invalidation: registering an index can legally flip any anchored

@@ -134,9 +134,15 @@ impl PartialOrd for RankedAnswer {
 /// Bounded top-k accumulator: a min-heap of the best `k` answers seen so
 /// far. `push` is `O(log k)`; a full filescan ranks in `O(n log k)`
 /// instead of the full `O(n log n)` sort the first revision paid.
+///
+/// SQL `LIMIT n OFFSET m` lowers into one heap: the accumulator keeps
+/// the best `n + m` answers and [`TopK::into_ranked`] drops the leading
+/// `m`, so a paged query ranks against the *whole* relation (honest
+/// pagination) while memory stays `O(n + m)`.
 #[derive(Debug)]
 pub struct TopK {
     cap: usize,
+    skip: usize,
     min_prob: f64,
     heap: BinaryHeap<std::cmp::Reverse<RankedAnswer>>,
 }
@@ -152,8 +158,18 @@ impl TopK {
     /// heap so below-threshold rows cost nothing to rank. The threshold
     /// is sanitized by [`sanitize_min_prob`].
     pub fn with_min_prob(cap: usize, min_prob: f64) -> TopK {
+        TopK::with_limit_offset(cap, 0, min_prob)
+    }
+
+    /// Keep the best `limit` answers *after* skipping the `offset`
+    /// best-ranked ones — SQL `LIMIT limit OFFSET offset`. The heap holds
+    /// `limit + offset` candidates so the skipped prefix is ranked
+    /// exactly, and [`TopK::into_ranked`] drops it.
+    pub fn with_limit_offset(limit: usize, offset: usize, min_prob: f64) -> TopK {
+        let cap = limit.saturating_add(offset);
         TopK {
             cap,
+            skip: offset,
             min_prob: sanitize_min_prob(min_prob),
             heap: BinaryHeap::with_capacity(cap.min(4096).saturating_add(1)),
         }
@@ -176,9 +192,14 @@ impl TopK {
         }
     }
 
-    /// The answer budget this heap was built with.
+    /// Total candidates this heap retains (`limit + offset`).
     pub fn cap(&self) -> usize {
         self.cap
+    }
+
+    /// Ranked answers skipped by [`TopK::into_ranked`] (the `OFFSET`).
+    pub fn skip(&self) -> usize {
+        self.skip
     }
 
     /// The qualification threshold (already sanitized).
@@ -197,11 +218,11 @@ impl TopK {
     }
 
     /// Finish: answers in rank order (probability descending, DataKey
-    /// ascending on ties).
+    /// ascending on ties), with the first `skip` (OFFSET) rows dropped.
     pub fn into_ranked(self) -> Vec<Answer> {
         let mut out: Vec<RankedAnswer> = self.heap.into_iter().map(|r| r.0).collect();
         out.sort_by(|a, b| b.cmp(a));
-        out.into_iter().map(|r| r.0).collect()
+        out.into_iter().skip(self.skip).map(|r| r.0).collect()
     }
 }
 
@@ -571,6 +592,35 @@ mod tests {
         assert_eq!(ranked.len(), 2);
         assert_eq!(ranked[0].data_key, 3);
         assert_eq!(ranked[1].data_key, 1); // tie with 4 broken by key
+    }
+
+    #[test]
+    fn offset_windows_agree_with_the_unpaged_ranking() {
+        // LIMIT n OFFSET m must return rows m..m+n of the full ranking —
+        // including past adversarial ties — and an offset past the end is
+        // an empty page, not an error.
+        let answers: Vec<Answer> = (0..150)
+            .map(|i| Answer {
+                data_key: 149 - i,
+                probability: ((i % 5) as f64 + 1.0) / 6.0,
+            })
+            .collect();
+        let full = rank_answers(answers.clone(), usize::MAX);
+        for (limit, offset) in [
+            (10usize, 0usize),
+            (10, 10),
+            (7, 33),
+            (50, 140),
+            (10, 10_000),
+        ] {
+            let mut topk = TopK::with_limit_offset(limit, offset, 0.0);
+            for a in &answers {
+                topk.push(*a);
+            }
+            let page = topk.into_ranked();
+            let expect: Vec<Answer> = full.iter().skip(offset).take(limit).copied().collect();
+            assert_eq!(page, expect, "LIMIT {limit} OFFSET {offset}");
+        }
     }
 
     #[test]

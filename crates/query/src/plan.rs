@@ -73,6 +73,10 @@ pub struct QueryRequest {
     pub approach: Approach,
     /// The answer budget.
     pub num_ans: usize,
+    /// Ranked answers to skip before the budget applies (SQL `OFFSET`):
+    /// the executors rank the best `num_ans + offset` rows and drop the
+    /// leading `offset`, so paging never re-ranks a truncated relation.
+    pub offset: usize,
     /// The requested filescan parallelism.
     pub parallelism: usize,
     /// The planner override.
@@ -94,6 +98,7 @@ impl QueryRequest {
             // The paper's NumAns default: 100, "greater than the number of
             // answers in the ground truth".
             num_ans: 100,
+            offset: 0,
             parallelism: 1,
             preference: PlanPreference::Auto,
             min_prob: 0.0,
@@ -125,6 +130,17 @@ impl QueryRequest {
     /// Cap the ranked answer relation at `num_ans` rows (default: 100).
     pub fn num_ans(mut self, num_ans: usize) -> QueryRequest {
         self.num_ans = num_ans;
+        self
+    }
+
+    /// Skip the `offset` best-ranked answers before the `num_ans` budget
+    /// applies (default: 0) — SQL `LIMIT n OFFSET m` pagination. The
+    /// skipped prefix is still ranked exactly (the heap keeps
+    /// `num_ans + offset` candidates), so page `m` of a query equals the
+    /// corresponding window of an unpaged run. Ignored by aggregates,
+    /// which always see every qualifying line.
+    pub fn offset(mut self, offset: usize) -> QueryRequest {
+        self.offset = offset;
         self
     }
 
@@ -387,10 +403,17 @@ pub fn render_explain(request: &QueryRequest, query: &Query, plan: &Plan) -> Str
         render_access_path(&mut out, "  input ", plan.access_path());
     } else {
         render_access_path(&mut out, "Plan: ", plan);
-        out.push_str(&format!(
-            "  -> top-{} answers by probability (bounded heap)\n",
-            request.num_ans
-        ));
+        if request.offset > 0 {
+            out.push_str(&format!(
+                "  -> top-{} answers by probability (bounded heap), skip the first {} (OFFSET)\n",
+                request.num_ans, request.offset
+            ));
+        } else {
+            out.push_str(&format!(
+                "  -> top-{} answers by probability (bounded heap)\n",
+                request.num_ans
+            ));
+        }
     }
     out
 }

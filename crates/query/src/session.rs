@@ -282,7 +282,8 @@ impl Staccato {
                 )
             }
             access => {
-                let mut topk = TopK::with_min_prob(request.num_ans, request.min_prob);
+                let mut topk =
+                    TopK::with_limit_offset(request.num_ans, request.offset, request.min_prob);
                 self.run_access_path(
                     access,
                     request,

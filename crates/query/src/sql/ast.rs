@@ -61,6 +61,9 @@ impl Statement {
         if matches!(s.limit, Some(SqlArg::Param(_))) {
             n += 1;
         }
+        if matches!(s.offset, Some(SqlArg::Param(_))) {
+            n += 1;
+        }
         n
     }
 }
@@ -79,6 +82,9 @@ pub struct Select {
     pub order_by_prob: bool,
     /// `LIMIT n` — the `NumAns` answer budget.
     pub limit: Option<SqlArg<u64>>,
+    /// `OFFSET m` — ranked answers to skip before the budget applies
+    /// (pagination). Grammar ties it to `LIMIT`: `LIMIT n OFFSET m`.
+    pub offset: Option<SqlArg<u64>>,
 }
 
 /// The `SELECT` list.
@@ -236,6 +242,9 @@ impl fmt::Display for Statement {
         if let Some(n) = &s.limit {
             write!(f, " LIMIT {}", fmt_arg(n, |v| v.to_string()))?;
         }
+        if let Some(m) = &s.offset {
+            write!(f, " OFFSET {}", fmt_arg(m, |v| v.to_string()))?;
+        }
         Ok(())
     }
 }
@@ -281,11 +290,12 @@ mod tests {
             },
             order_by_prob: true,
             limit: Some(SqlArg::Value(10)),
+            offset: Some(SqlArg::Value(20)),
         });
         assert_eq!(
             render_statement(&stmt),
             "SELECT DataKey, Prob FROM StaccatoData WHERE Data LIKE '%Ford%' \
-             AND Prob >= 0.25 ORDER BY Prob DESC LIMIT 10"
+             AND Prob >= 0.25 ORDER BY Prob DESC LIMIT 10 OFFSET 20"
         );
         let explain = Statement::Explain(Select {
             projection: Projection::Aggregate(AggregateFunc::CountStar),
@@ -297,6 +307,7 @@ mod tests {
             },
             order_by_prob: false,
             limit: None,
+            offset: None,
         });
         assert_eq!(
             render_statement(&explain),

@@ -114,6 +114,14 @@ impl PreparedQuery {
                 }
             });
         }
+        if let Some(SqlArg::Param(n)) = select.offset {
+            select.offset = Some(match &params[n as usize] {
+                SqlValue::Int(v) => SqlArg::Value(*v),
+                other => {
+                    return Err(param_type_error(n, "an integer offset", other));
+                }
+            });
+        }
         Ok(stmt)
     }
 }
@@ -174,12 +182,31 @@ fn lower_select(select: &Select) -> Result<QueryRequest, QueryError> {
         })?;
         request = request.num_ans(n as usize);
     }
+    if let Some(arg) = &select.offset {
+        let &m = arg.value().ok_or_else(|| {
+            SqlError::new(
+                0,
+                "statement still has unbound '?' parameters; use prepare() and bind values",
+            )
+        })?;
+        request = request.offset(m as usize);
+    }
     if let Projection::Aggregate(func) = select.projection {
         if select.order_by_prob {
             return Err(SqlError::new(
                 0,
                 format!(
                     "ORDER BY Prob cannot apply to the single row {} returns",
+                    func.sql_name()
+                ),
+            )
+            .into());
+        }
+        if select.offset.is_some() {
+            return Err(SqlError::new(
+                0,
+                format!(
+                    "OFFSET cannot apply to the single row {} returns",
                     func.sql_name()
                 ),
             )
@@ -241,6 +268,30 @@ mod tests {
         let err =
             lower("SELECT DataKey FROM MAPData WHERE Data LIKE '%a%' AND Prob >= 1.5").unwrap_err();
         assert!(err.to_string().contains("outside [0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn offset_lowers_binds_and_rejects_aggregates() {
+        let req =
+            lower("SELECT DataKey FROM MAPData WHERE Data LIKE '%a%' LIMIT 10 OFFSET 25").unwrap();
+        assert_eq!(req.num_ans, 10);
+        assert_eq!(req.offset, 25);
+        let err = lower("SELECT COUNT(*) FROM MAPData WHERE Data LIKE '%a%' LIMIT 1 OFFSET 1")
+            .unwrap_err();
+        assert!(err.to_string().contains("OFFSET"), "{err}");
+
+        let p =
+            PreparedQuery::new("SELECT DataKey FROM MAPData WHERE Data LIKE ? LIMIT ? OFFSET ?")
+                .unwrap();
+        let stmt = p
+            .bind(&[SqlValue::text("%a%"), SqlValue::Int(5), SqlValue::Int(15)])
+            .unwrap();
+        let req = lower_statement(&stmt).unwrap();
+        assert_eq!((req.num_ans, req.offset), (5, 15));
+        let ty = p
+            .bind(&[SqlValue::text("%a%"), SqlValue::Int(5), SqlValue::text("x")])
+            .unwrap_err();
+        assert!(ty.to_string().contains("integer offset"), "{ty}");
     }
 
     #[test]

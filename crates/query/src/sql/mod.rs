@@ -19,7 +19,7 @@
 //! [EXPLAIN [ANALYZE]] SELECT DataKey[, Prob] | COUNT(*) | SUM(Prob) | AVG(Prob)
 //!   FROM MAPData | kMAPData | FullSFAData | StaccatoData
 //!   WHERE Data LIKE '%...%' | Data REGEXP '...'
-//!   [AND Prob >= t] [ORDER BY Prob DESC] [LIMIT n]
+//!   [AND Prob >= t] [ORDER BY Prob DESC] [LIMIT n [OFFSET m]]
 //! ```
 //!
 //! `EXPLAIN` stops after planning; `EXPLAIN ANALYZE` executes the

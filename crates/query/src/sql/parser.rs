@@ -6,7 +6,7 @@
 //! ```text
 //! statement  := [EXPLAIN [ANALYZE]] select [';']
 //! select     := SELECT projection FROM table WHERE predicate
-//!               [ORDER BY Prob DESC] [LIMIT int]
+//!               [ORDER BY Prob DESC] [LIMIT int [OFFSET int]]
 //! projection := COUNT '(' '*' ')' | SUM '(' Prob ')' | AVG '(' Prob ')'
 //!             | DataKey [',' Prob]
 //! table      := MAPData | kMAPData | FullSFAData | StaccatoData
@@ -132,12 +132,20 @@ impl Parser {
         } else {
             None
         };
+        let offset = if limit.is_some() && self.eat_kw("OFFSET") {
+            Some(self.int_arg()?)
+        } else if matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case("OFFSET")) {
+            return Err(self.error("OFFSET requires a LIMIT clause before it"));
+        } else {
+            None
+        };
         Ok(Select {
             projection,
             table,
             predicate,
             order_by_prob,
             limit,
+            offset,
         })
     }
 
@@ -339,12 +347,24 @@ mod tests {
 
     #[test]
     fn params_number_left_to_right() {
-        let stmt = parse("SELECT DataKey FROM MAPData WHERE Data LIKE ? AND Prob >= ? LIMIT ?");
+        let stmt =
+            parse("SELECT DataKey FROM MAPData WHERE Data LIKE ? AND Prob >= ? LIMIT ? OFFSET ?");
         let s = stmt.select();
         assert_eq!(s.predicate.pattern, SqlArg::Param(0));
         assert_eq!(s.predicate.min_prob, Some(SqlArg::Param(1)));
         assert_eq!(s.limit, Some(SqlArg::Param(2)));
-        assert_eq!(stmt.param_count(), 3);
+        assert_eq!(s.offset, Some(SqlArg::Param(3)));
+        assert_eq!(stmt.param_count(), 4);
+    }
+
+    #[test]
+    fn offset_parses_with_limit_and_rejects_alone() {
+        let stmt = parse("SELECT DataKey FROM MAPData WHERE Data LIKE '%a%' LIMIT 10 OFFSET 30");
+        assert_eq!(stmt.select().limit, Some(SqlArg::Value(10)));
+        assert_eq!(stmt.select().offset, Some(SqlArg::Value(30)));
+        let err = parse_statement("SELECT DataKey FROM MAPData WHERE Data LIKE '%a%' OFFSET 30")
+            .unwrap_err();
+        assert!(err.message.contains("LIMIT"), "{}", err.message);
     }
 
     #[test]
@@ -390,6 +410,7 @@ mod tests {
             "SELECT DataKey FROM StaccatoData WHERE Data LIKE '%Ford%'",
             "SELECT DataKey, Prob FROM MAPData WHERE Data REGEXP 'a(b|c)' AND Prob >= 0.5",
             "SELECT AVG(Prob) FROM kMAPData WHERE Data LIKE ? LIMIT 7",
+            "SELECT DataKey FROM StaccatoData WHERE Data LIKE '%Ford%' LIMIT 10 OFFSET 90",
             "EXPLAIN SELECT COUNT(*) FROM FullSFAData WHERE Data REGEXP '\\d\\d' ORDER BY Prob DESC",
         ] {
             let stmt = parse(src);

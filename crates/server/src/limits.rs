@@ -1,0 +1,139 @@
+//! Per-client token-bucket rate limiting.
+//!
+//! Each client identity (the `X-Client-Id` header when present, else
+//! the peer IP — see [`crate::server`]) gets an independent bucket of
+//! [`RateLimit::burst`] tokens refilling at [`RateLimit::per_sec`]
+//! tokens per second. A request spends one token; an empty bucket
+//! means 429 with a `Retry-After` telling the client when one token
+//! will exist again.
+//!
+//! The table is a single mutex-guarded map: limiting happens once per
+//! request *before* any query work, so the hold time is a couple of
+//! float operations and contention is immaterial next to the queries
+//! themselves. Stale identities are swept opportunistically so an
+//! identity-churning client cannot grow the table without bound.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Bucket parameters, shared by every client identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Bucket capacity: how many requests may land back-to-back before
+    /// throttling starts.
+    pub burst: u32,
+    /// Sustained refill rate, tokens (requests) per second.
+    pub per_sec: f64,
+}
+
+impl RateLimit {
+    /// A limit allowing `burst` back-to-back requests and `per_sec`
+    /// sustained.
+    pub fn new(burst: u32, per_sec: f64) -> RateLimit {
+        RateLimit {
+            burst: burst.max(1),
+            per_sec: per_sec.max(1e-6),
+        }
+    }
+}
+
+/// Sweep identities idle longer than this (seconds) when the table is
+/// large. At one bucket per ~80 bytes this bounds memory to whatever
+/// `SWEEP_THRESHOLD` clients cost, not whatever an attacker sends.
+const STALE_AFTER_SECS: f64 = 60.0;
+const SWEEP_THRESHOLD: usize = 10_000;
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// The per-identity bucket table.
+#[derive(Debug)]
+pub struct TokenBuckets {
+    limit: RateLimit,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl TokenBuckets {
+    /// An empty table with `limit` applied per identity.
+    pub fn new(limit: RateLimit) -> TokenBuckets {
+        TokenBuckets {
+            limit,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> RateLimit {
+        self.limit
+    }
+
+    /// Spend one token for `client`. `Err(retry_after_secs)` when the
+    /// bucket is empty — the wait (rounded up to whole seconds, min 1)
+    /// until a token exists.
+    pub fn try_acquire(&self, client: &str) -> Result<(), u64> {
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().expect("bucket table poisoned");
+        if buckets.len() >= SWEEP_THRESHOLD && !buckets.contains_key(client) {
+            buckets.retain(|_, b| now.duration_since(b.refilled).as_secs_f64() < STALE_AFTER_SECS);
+        }
+        let bucket = buckets.entry(client.to_string()).or_insert(Bucket {
+            tokens: self.limit.burst as f64,
+            refilled: now,
+        });
+        let elapsed = now.duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.limit.per_sec).min(self.limit.burst as f64);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let wait = (1.0 - bucket.tokens) / self.limit.per_sec;
+            Err((wait.ceil() as u64).max(1))
+        }
+    }
+
+    /// Number of identities currently tracked (stats surface).
+    pub fn tracked_clients(&self) -> usize {
+        self.buckets.lock().expect("bucket table poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_then_throttle_then_refill() {
+        let buckets = TokenBuckets::new(RateLimit::new(3, 50.0));
+        for _ in 0..3 {
+            assert!(buckets.try_acquire("a").is_ok());
+        }
+        let retry = buckets.try_acquire("a").unwrap_err();
+        assert_eq!(retry, 1, "sub-second waits round up to 1");
+        // At 50 tokens/sec a token is back within ~20ms.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(buckets.try_acquire("a").is_ok());
+    }
+
+    #[test]
+    fn identities_are_independent() {
+        let buckets = TokenBuckets::new(RateLimit::new(1, 0.1));
+        assert!(buckets.try_acquire("a").is_ok());
+        assert!(buckets.try_acquire("a").is_err());
+        assert!(buckets.try_acquire("b").is_ok(), "b has its own bucket");
+        assert_eq!(buckets.tracked_clients(), 2);
+    }
+
+    #[test]
+    fn retry_after_reflects_the_refill_rate() {
+        let buckets = TokenBuckets::new(RateLimit::new(1, 0.2)); // 5s per token
+        assert!(buckets.try_acquire("a").is_ok());
+        let retry = buckets.try_acquire("a").unwrap_err();
+        assert!(retry == 5, "empty bucket at 0.2/s needs 5s, got {retry}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Server-side observability: per-endpoint request counters and
+//! latency percentiles, cheap enough to update on every request.
+//!
+//! Each endpoint keeps a fixed ring of the most recent request
+//! latencies (microseconds); `GET /stats` computes p50/p95/p99 over
+//! whatever the ring holds at that moment. A ring, not a histogram:
+//! at ≤ `RING_CAPACITY` samples the copy-and-sort on demand costs
+//! microseconds, is exact, and needs no bucket tuning.
+
+use crate::json::{obj, Json};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Latency samples retained per endpoint.
+const RING_CAPACITY: usize = 4096;
+
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples_us: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        if self.samples_us.len() < RING_CAPACITY {
+            self.samples_us.push(us);
+        } else {
+            self.samples_us[self.next] = us;
+            self.next = (self.next + 1) % RING_CAPACITY;
+        }
+    }
+
+    /// `(p50, p95, p99)` in microseconds over the retained window.
+    fn percentiles(&self) -> (u64, u64, u64) {
+        if self.samples_us.is_empty() {
+            return (0, 0, 0);
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let at = |p: f64| {
+            let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        };
+        (at(0.50), at(0.95), at(0.99))
+    }
+}
+
+/// Counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    requests: AtomicU64,
+    errors_4xx: AtomicU64,
+    errors_5xx: AtomicU64,
+    rate_limited: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+impl EndpointStats {
+    /// Account one finished request.
+    pub fn record(&self, status: u16, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match status {
+            429 => {
+                self.rate_limited.fetch_add(1, Ordering::Relaxed);
+            }
+            400..=499 => {
+                self.errors_4xx.fetch_add(1, Ordering::Relaxed);
+            }
+            500..=599 => {
+                self.errors_5xx.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        self.latencies
+            .lock()
+            .expect("latency ring poisoned")
+            .record(latency);
+    }
+
+    fn to_json(&self) -> Json {
+        let (p50, p95, p99) = self
+            .latencies
+            .lock()
+            .expect("latency ring poisoned")
+            .percentiles();
+        obj([
+            (
+                "requests",
+                Json::Num(self.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "errors_4xx",
+                Json::Num(self.errors_4xx.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "errors_5xx",
+                Json::Num(self.errors_5xx.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rate_limited",
+                Json::Num(self.rate_limited.load(Ordering::Relaxed) as f64),
+            ),
+            ("p50_us", Json::Num(p50 as f64)),
+            ("p95_us", Json::Num(p95 as f64)),
+            ("p99_us", Json::Num(p99 as f64)),
+        ])
+    }
+}
+
+/// The endpoints the service tracks. A fixed set so the hot path is an
+/// array index, not a map lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /query`.
+    Query,
+    /// `POST /prepare`.
+    Prepare,
+    /// `POST /execute`.
+    Execute,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /stats`.
+    Stats,
+    /// Anything else (404s, bad methods, malformed requests).
+    Other,
+}
+
+const ENDPOINTS: [(Endpoint, &str); 6] = [
+    (Endpoint::Query, "query"),
+    (Endpoint::Prepare, "prepare"),
+    (Endpoint::Execute, "execute"),
+    (Endpoint::Healthz, "healthz"),
+    (Endpoint::Stats, "stats"),
+    (Endpoint::Other, "other"),
+];
+
+/// Whole-server counters.
+#[derive(Debug)]
+pub struct ServerStats {
+    started: Instant,
+    endpoints: [EndpointStats; 6],
+    in_flight: AtomicU64,
+    connections_accepted: AtomicU64,
+}
+
+impl Default for ServerStats {
+    fn default() -> ServerStats {
+        ServerStats {
+            started: Instant::now(),
+            endpoints: Default::default(),
+            in_flight: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Account one finished request against its endpoint.
+    pub fn record(&self, endpoint: Endpoint, status: u16, latency: Duration) {
+        self.endpoints[Self::index(endpoint)].record(status, latency);
+    }
+
+    fn index(endpoint: Endpoint) -> usize {
+        ENDPOINTS
+            .iter()
+            .position(|(e, _)| *e == endpoint)
+            .expect("every endpoint is in the table")
+    }
+
+    /// One connection accepted.
+    pub fn connection_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Enter/leave the in-flight window around request handling.
+    pub fn begin_request(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// See [`ServerStats::begin_request`].
+    pub fn end_request(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The `GET /stats` fragment this struct owns (the server adds the
+    /// session's pool/cache counters beside it).
+    pub fn to_json(&self) -> Json {
+        let endpoints = ENDPOINTS
+            .iter()
+            .map(|(endpoint, name)| {
+                (
+                    name.to_string(),
+                    self.endpoints[Self::index(*endpoint)].to_json(),
+                )
+            })
+            .collect();
+        obj([
+            (
+                "uptime_secs",
+                Json::Num(self.started.elapsed().as_secs_f64()),
+            ),
+            (
+                "connections_accepted",
+                Json::Num(self.connections_accepted.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "in_flight",
+                Json::Num(self.in_flight.load(Ordering::Relaxed) as f64),
+            ),
+            ("endpoints", Json::Obj(endpoints)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_a_known_distribution() {
+        let ring = {
+            let mut ring = LatencyRing::default();
+            // 1..=100 microseconds, shuffled order must not matter.
+            for v in (1..=100u64).rev() {
+                ring.record(Duration::from_micros(v));
+            }
+            ring
+        };
+        let (p50, p95, p99) = ring.percentiles();
+        assert_eq!((p50, p95, p99), (50, 95, 99));
+    }
+
+    #[test]
+    fn ring_keeps_only_the_recent_window() {
+        let mut ring = LatencyRing::default();
+        for _ in 0..RING_CAPACITY {
+            ring.record(Duration::from_micros(1_000_000));
+        }
+        // Overwrite the whole window with fast samples.
+        for _ in 0..RING_CAPACITY {
+            ring.record(Duration::from_micros(10));
+        }
+        assert_eq!(ring.percentiles(), (10, 10, 10));
+    }
+
+    #[test]
+    fn statuses_land_in_the_right_counters() {
+        let stats = ServerStats::default();
+        stats.record(Endpoint::Query, 200, Duration::from_micros(5));
+        stats.record(Endpoint::Query, 400, Duration::from_micros(5));
+        stats.record(Endpoint::Query, 429, Duration::from_micros(5));
+        stats.record(Endpoint::Query, 500, Duration::from_micros(5));
+        let json = stats.to_json();
+        let q = json.get("endpoints").unwrap().get("query").unwrap();
+        assert_eq!(q.get("requests").unwrap().as_u64(), Some(4));
+        assert_eq!(q.get("errors_4xx").unwrap().as_u64(), Some(1));
+        assert_eq!(q.get("errors_5xx").unwrap().as_u64(), Some(1));
+        assert_eq!(q.get("rate_limited").unwrap().as_u64(), Some(1));
+        let empty = json.get("endpoints").unwrap().get("healthz").unwrap();
+        assert_eq!(empty.get("requests").unwrap().as_u64(), Some(0));
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`ocr`] | `staccato-ocr` | OCR channel simulator and the CA/LT/DB corpus generators |
 //! | [`storage`] | `staccato-storage` | pages, buffer pool, heap files, B+-tree, blob store, catalog |
 //! | [`query`] | `staccato-query` | representation stores, filescan/index executors, metrics |
+//! | [`server`] | `staccato-server` | HTTP/1.1 service tier: SQL over the wire, rate limiting, stats |
 //!
 //! Querying goes through the [`Staccato`] session API: open (or load) a
 //! store, optionally register a §4 inverted index, and run queries —
@@ -43,6 +44,7 @@ pub use staccato_automata as automata;
 pub use staccato_core as approx;
 pub use staccato_ocr as ocr;
 pub use staccato_query as query;
+pub use staccato_server as server;
 pub use staccato_sfa as sfa;
 pub use staccato_storage as storage;
 

@@ -6,9 +6,14 @@ use staccato::approx::StaccatoParams;
 use staccato::ocr::{generate, ChannelConfig, CorpusKind};
 use staccato::query::store::LoadOptions;
 use staccato::query::{Query, QueryError};
+use staccato::server::{HttpClient, Server, ServerConfig};
 use staccato::sfa::codec;
 use staccato::storage::{BlobStore, ColumnType, Database, Schema, StorageError, Value};
 use staccato::{Approach, QueryRequest, Staccato};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn tiny_session() -> Staccato {
     let dataset = generate(CorpusKind::DbPapers, 8, 1);
@@ -154,6 +159,65 @@ fn schema_mismatch_rows_error_cleanly() {
         &vec![Value::Text("x".into()), Value::Int(1)]
     )
     .is_err());
+}
+
+#[test]
+fn client_disconnect_mid_response_leaves_the_server_usable() {
+    // A client that sends a valid query and vanishes before reading
+    // the answer must cost the server exactly one dead socket: the
+    // worker writing into it sees the error (or writes into the void),
+    // drops the connection, and keeps serving everyone else off the
+    // same shared session.
+    let session = Arc::new(tiny_session());
+    let config = ServerConfig {
+        poll_interval: Duration::from_millis(5),
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&session), config).expect("server");
+    let addr = server.addr();
+
+    for round in 0..3 {
+        // Fire a real query and hang up without reading a byte back.
+        let mut rude = TcpStream::connect(addr).expect("connect");
+        let body = "{\"sql\": \"SELECT DataKey, Prob FROM FullSFAData \
+                    WHERE Data REGEXP 'a' LIMIT 1000\"}";
+        rude.write_all(
+            format!(
+                "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send");
+        drop(rude);
+
+        // And one that hangs up mid-request head, for good measure.
+        let mut ruder = TcpStream::connect(addr).expect("connect");
+        ruder.write_all(b"POST /que").expect("send partial");
+        drop(ruder);
+
+        // The server keeps answering on fresh connections.
+        let mut client = HttpClient::connect(addr).expect("connect");
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let health = client.get("/healthz").expect("healthz survives");
+        assert_eq!(health.status, 200, "round {round}: {}", health.body);
+        let resp = client
+            .post(
+                "/query",
+                "{\"sql\": \"SELECT DataKey FROM MAPData WHERE Data REGEXP 'a' LIMIT 3\"}",
+            )
+            .expect("query survives");
+        assert_eq!(resp.status, 200, "round {round}: {}", resp.body);
+    }
+
+    server.shutdown();
+    // The session behind the server is still healthy for embedded use.
+    session
+        .execute(&QueryRequest::keyword("data").num_ans(5))
+        .expect("session usable after disconnect faults");
 }
 
 #[test]

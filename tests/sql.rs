@@ -50,11 +50,17 @@ fn statement_strategy() -> impl Strategy<Value = Statement> {
         0u64..10_000,  // limit value
         0usize..3,     // plain / EXPLAIN / EXPLAIN ANALYZE
     );
-    ((head, any::<bool>()), threshold, tail).prop_map(
+    let paging = (
+        any::<bool>(), // OFFSET present? (grammar requires LIMIT first)
+        any::<bool>(), // ...as a '?'
+        0u64..10_000,  // offset value
+    );
+    ((head, any::<bool>()), threshold, tail, paging).prop_map(
         |(
             ((proj, table, like, pattern), pattern_param),
             (has_t, t_param, t_milli, order_by_prob),
             (has_limit, limit_param, limit, explain),
+            (has_offset, offset_param, offset),
         )| {
             let mut next_param = 0u32;
             let mut param = || {
@@ -85,6 +91,15 @@ fn statement_strategy() -> impl Strategy<Value = Statement> {
             } else {
                 None
             };
+            let offset = if has_limit && has_offset {
+                Some(if offset_param {
+                    SqlArg::Param(param())
+                } else {
+                    SqlArg::Value(offset)
+                })
+            } else {
+                None
+            };
             let select = Select {
                 projection: match proj {
                     0 => Projection::DataKey,
@@ -106,6 +121,7 @@ fn statement_strategy() -> impl Strategy<Value = Statement> {
                 },
                 order_by_prob,
                 limit,
+                offset,
             };
             match explain {
                 1 => Statement::Explain(select),
@@ -270,6 +286,63 @@ fn aggregate_plans_stream_past_the_limit() {
         "aggregates are computed over the full relation"
     );
     assert_eq!(count.stats.rows_scanned as usize, s.line_count());
+}
+
+#[test]
+fn limit_offset_pages_tile_the_unpaged_ranking() {
+    // Honest pagination: LIMIT n OFFSET m over SQL returns exactly rows
+    // m..m+n of the full ranked relation — same keys, same probabilities,
+    // no server-side re-slicing — and pages collectively tile it.
+    let s = session(40, 211);
+    let full = s
+        .sql("SELECT DataKey, Prob FROM StaccatoData WHERE Data REGEXP 'the' LIMIT 100000")
+        .expect("unpaged");
+    assert!(full.answers.len() > 10, "corpus must match broadly");
+    let page_size = 7;
+    let mut paged = Vec::new();
+    let mut offset = 0;
+    loop {
+        let page = s
+            .sql(&format!(
+                "SELECT DataKey, Prob FROM StaccatoData WHERE Data REGEXP 'the' \
+                 LIMIT {page_size} OFFSET {offset}"
+            ))
+            .expect("page");
+        if page.answers.is_empty() {
+            break;
+        }
+        assert!(page.answers.len() <= page_size);
+        paged.extend(page.answers);
+        offset += page_size;
+    }
+    assert_eq!(paged.len(), full.answers.len());
+    for (a, b) in paged.iter().zip(&full.answers) {
+        assert_eq!(a.data_key, b.data_key);
+        assert_eq!(a.probability, b.probability);
+    }
+    // The builder surface pages identically (same engine).
+    let via_builder = s
+        .execute(
+            &QueryRequest::keyword("the")
+                .num_ans(page_size)
+                .offset(page_size),
+        )
+        .expect("builder page 2");
+    let page2 = &paged[page_size..(2 * page_size).min(paged.len())];
+    assert_eq!(via_builder.answers.len(), page2.len());
+    for (a, b) in via_builder.answers.iter().zip(page2) {
+        assert_eq!(a.data_key, b.data_key);
+    }
+    // And parallel scans return the same page, bit for bit.
+    let parallel = s
+        .execute(
+            &QueryRequest::keyword("the")
+                .num_ans(page_size)
+                .offset(page_size)
+                .parallelism(4),
+        )
+        .expect("parallel page 2");
+    assert_eq!(parallel.answers, via_builder.answers);
 }
 
 #[test]
