@@ -1,0 +1,196 @@
+//! Closed-loop ingest harness: one writer driving durable batches
+//! through the WAL-backed write path, then a measured crash recovery.
+//!
+//! ```text
+//! ingest [--lines L] [--batches N] [--docs-per-batch D] [--seed S]
+//!        [--sync always|commit|never] [--out PATH]
+//! ```
+//!
+//! The loop is closed (the next batch is submitted only when the
+//! previous one has committed), so the reported docs/sec is the
+//! sustainable single-writer rate, fsyncs included. After the last
+//! batch the session is dropped *without* a checkpoint — the on-disk
+//! shape a crash leaves — and `Staccato::recover` replays every batch
+//! from the WAL, timed as `recovery.wall_secs`. The run fails loudly
+//! if the recovered store does not hold exactly the ingested lines.
+//!
+//! Everything lands in `BENCH_ingest.json`: docs/sec, p50/p95 batch
+//! commit latency, WAL bytes and fsyncs, and the recovery replay wall,
+//! so later PRs can see both the write path and the recovery path move.
+
+use staccato_bench::timing::fmt_duration;
+use staccato_core::StaccatoParams;
+use staccato_ocr::{generate, ChannelConfig, CorpusKind};
+use staccato_query::store::LoadOptions;
+use staccato_query::{DocumentInput, IngestBatch, RecoverOptions, Staccato};
+use staccato_storage::{Database, SyncPolicy};
+use std::time::{Duration, Instant};
+
+struct Config {
+    lines: usize,
+    batches: usize,
+    docs_per_batch: usize,
+    seed: u64,
+    sync: SyncPolicy,
+    out: String,
+}
+
+fn main() {
+    let mut cfg = Config {
+        lines: 100,
+        batches: 200,
+        docs_per_batch: 4,
+        seed: 42,
+        sync: SyncPolicy::Commit,
+        out: "BENCH_ingest.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| it.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match a.as_str() {
+            "--lines" => cfg.lines = next("--lines").parse().expect("lines"),
+            "--batches" => cfg.batches = next("--batches").parse().expect("batches"),
+            "--docs-per-batch" => {
+                cfg.docs_per_batch = next("--docs-per-batch").parse().expect("docs-per-batch")
+            }
+            "--seed" => cfg.seed = next("--seed").parse().expect("seed"),
+            "--sync" => {
+                cfg.sync = match next("--sync").as_str() {
+                    "always" => SyncPolicy::Always,
+                    "commit" => SyncPolicy::Commit,
+                    "never" => SyncPolicy::Never,
+                    other => panic!("unknown sync policy {other:?}"),
+                }
+            }
+            "--out" => cfg.out = next("--out").clone(),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(cfg.batches >= 1 && cfg.docs_per_batch >= 1);
+
+    let dir = std::env::temp_dir().join(format!("staccato_ingest_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let db_path = dir.join("store.db");
+    let wal_dir = dir.join("wal");
+
+    eprintln!(
+        "loading {} lines of CongressActs (seed {}) ...",
+        cfg.lines, cfg.seed
+    );
+    let opts = LoadOptions {
+        channel: ChannelConfig::compact(cfg.seed),
+        kmap_k: 6,
+        staccato: StaccatoParams::new(8, 6),
+        parallelism: 2,
+    };
+    let pool_frames = pool_frames_for(cfg.lines, cfg.batches * cfg.docs_per_batch);
+    let total_docs = cfg.batches * cfg.docs_per_batch;
+    let wal_stats;
+    let ingest_wall;
+    let mut latencies: Vec<Duration> = Vec::with_capacity(cfg.batches);
+    {
+        let dataset = generate(CorpusKind::CongressActs, cfg.lines, cfg.seed);
+        let db = Database::create(&db_path, pool_frames).expect("create");
+        let session = Staccato::load(db, &dataset, &opts).expect("load");
+        session.checkpoint().expect("checkpoint after load");
+        session.attach_wal(&wal_dir, cfg.sync).expect("attach WAL");
+
+        let started = Instant::now();
+        for b in 0..cfg.batches {
+            let mut batch = IngestBatch::new();
+            for d in 0..cfg.docs_per_batch {
+                batch = batch.doc(
+                    DocumentInput::new(
+                        format!("scan-{b}-{d}.png"),
+                        format!("the committee reported amendment {b} section {d} to the act"),
+                    )
+                    .provider("bench"),
+                );
+            }
+            let q = Instant::now();
+            session.ingest(batch).expect("ingest");
+            latencies.push(q.elapsed());
+        }
+        ingest_wall = started.elapsed();
+        wal_stats = session.ingest_stats();
+        assert_eq!(session.line_count(), cfg.lines + total_docs);
+        // Crash: drop without a checkpoint — every batch must come back
+        // from the WAL alone.
+    }
+
+    let recovery_started = Instant::now();
+    let recovered = Staccato::recover_with(
+        &db_path,
+        &wal_dir,
+        &RecoverOptions {
+            pool_frames,
+            load: opts,
+            sync: cfg.sync,
+        },
+    )
+    .expect("recover");
+    let recovery_wall = recovery_started.elapsed();
+    let replayed = recovered.ingest_stats().replays;
+    assert_eq!(
+        recovered.line_count(),
+        cfg.lines + total_docs,
+        "recovery must restore every committed batch"
+    );
+    assert_eq!(replayed as usize, cfg.batches);
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    latencies.sort();
+    let pct = |p: f64| latencies[(((latencies.len() - 1) as f64) * p) as usize];
+    let (p50, p95) = (pct(0.50), pct(0.95));
+    let docs_per_sec = total_docs as f64 / ingest_wall.as_secs_f64().max(1e-12);
+    let replay_per_sec = total_docs as f64 / recovery_wall.as_secs_f64().max(1e-12);
+
+    let json = format!(
+        "{{\n  \"bench\": \"ingest\",\n  \"corpus\": \"CongressActs\",\n  \"lines\": {},\n  \"seed\": {},\n  \"batches\": {},\n  \"docs_per_batch\": {},\n  \"total_docs\": {},\n  \"sync\": \"{:?}\",\n  \"pool_frames\": {},\n  \"ingest\": {{\"wall_secs\": {:.6}, \"docs_per_sec\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"wal_records\": {}, \"wal_bytes\": {}, \"wal_fsyncs\": {}}},\n  \"recovery\": {{\"wall_secs\": {:.6}, \"replayed_batches\": {}, \"docs_per_sec\": {:.2}}}\n}}\n",
+        cfg.lines,
+        cfg.seed,
+        cfg.batches,
+        cfg.docs_per_batch,
+        total_docs,
+        cfg.sync,
+        pool_frames,
+        ingest_wall.as_secs_f64(),
+        docs_per_sec,
+        p50.as_secs_f64() * 1e3,
+        p95.as_secs_f64() * 1e3,
+        wal_stats.wal_records_appended,
+        wal_stats.wal_bytes_logged,
+        wal_stats.wal_fsyncs,
+        recovery_wall.as_secs_f64(),
+        replayed,
+        replay_per_sec,
+    );
+    std::fs::write(&cfg.out, &json).expect("write BENCH json");
+
+    println!(
+        "ingest  : {:>9.1} docs/s  p50 {:>9}  p95 {:>9}  ({} batches, {} WAL bytes, {} fsyncs)",
+        docs_per_sec,
+        fmt_duration(p50),
+        fmt_duration(p95),
+        cfg.batches,
+        wal_stats.wal_bytes_logged,
+        wal_stats.wal_fsyncs,
+    );
+    println!(
+        "recover : {:>9.1} docs/s  replayed {} batches in {}",
+        replay_per_sec,
+        replayed,
+        fmt_duration(recovery_wall),
+    );
+    println!("-> {}", cfg.out);
+}
+
+/// A pool big enough to hold the corpus plus everything the run will
+/// ingest: the write path is the measured subject, not page eviction
+/// (and batch-level replay needs checkpoint-consistent data files).
+fn pool_frames_for(lines: usize, ingested: usize) -> usize {
+    ((lines + ingested) * 8).clamp(1024, 65_536)
+}

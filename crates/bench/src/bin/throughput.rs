@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! throughput [--threads N] [--queries M] [--lines L] [--seed S]
-//!            [--pool-frames F] [--out PATH]
+//!            [--pool-frames F] [--write-pct P] [--out PATH]
 //! ```
 //!
 //! The workload is a fixed mixed set — `LIKE` and `REGEXP` filescans
@@ -15,6 +15,13 @@
 //! N-thread run, and emits both to `BENCH_throughput.json`: QPS,
 //! p50/p95 latency, buffer-pool hit rate, and query-cache hit rate, so
 //! later PRs have a trajectory to compare against.
+//!
+//! `--write-pct P` turns the workload into a mixed read/write stream:
+//! a deterministic `P%` of each client's statements become single-row
+//! `INSERT INTO StaccatoData` batches with thread-unique document
+//! names, so writers contend on the ingest latch and every write
+//! invalidates the compiled-query cache under the readers — the
+//! worst-case interaction the latch design has to absorb.
 
 use staccato_bench::timing::fmt_duration;
 use staccato_core::StaccatoParams;
@@ -45,6 +52,8 @@ struct Config {
     /// Buffer-pool frames; 0 sizes the pool *below* the corpus so
     /// scans actually miss and evict (see `main`).
     pool_frames: usize,
+    /// Percent of each client's statements that are writes (0-100).
+    write_pct: usize,
     out: String,
 }
 
@@ -53,6 +62,7 @@ struct RunStats {
     qps: f64,
     p50: Duration,
     p95: Duration,
+    writes: usize,
 }
 
 fn main() {
@@ -62,6 +72,7 @@ fn main() {
         lines: 1000,
         seed: 42,
         pool_frames: 0,
+        write_pct: 0,
         out: "BENCH_throughput.json".to_string(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,11 +87,13 @@ fn main() {
             "--pool-frames" => {
                 cfg.pool_frames = next("--pool-frames").parse().expect("pool-frames")
             }
+            "--write-pct" => cfg.write_pct = next("--write-pct").parse().expect("write-pct"),
             "--out" => cfg.out = next("--out").clone(),
             other => panic!("unknown argument {other:?}"),
         }
     }
     assert!(cfg.threads >= 1 && cfg.queries >= 1);
+    assert!(cfg.write_pct <= 100, "--write-pct is a percentage");
 
     eprintln!(
         "loading {} lines of CongressActs (seed {}) ...",
@@ -128,16 +141,16 @@ fn main() {
     // run is attributed by sampling before/after — load, index build,
     // and warm-up traffic never pollute the reported hit rates.
     let (pool0, cache0) = (session.pool_stats(), session.query_cache_stats());
-    let serial = run_clients(&session, 1, cfg.queries * cfg.threads);
+    let serial = run_clients(&session, 1, cfg.queries * cfg.threads, cfg.write_pct, "s");
     let (pool1, cache1) = (session.pool_stats(), session.query_cache_stats());
-    let concurrent = run_clients(&session, cfg.threads, cfg.queries);
+    let concurrent = run_clients(&session, cfg.threads, cfg.queries, cfg.write_pct, "c");
     let (pool2, cache2) = (session.pool_stats(), session.query_cache_stats());
 
     let serial_pool = pool1.delta_since(pool0);
     let concurrent_pool = pool2.delta_since(pool1);
     let total = cfg.threads * cfg.queries;
     let json = format!(
-        "{{\n  \"bench\": \"throughput\",\n  \"corpus\": \"CongressActs\",\n  \"lines\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"queries_per_thread\": {},\n  \"total_queries\": {},\n  \"workload_size\": {},\n  \"pool_frames\": {},\n  \"disk_pages\": {},\n  \"concurrent\": {},\n  \"serial\": {}\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"corpus\": \"CongressActs\",\n  \"lines\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"queries_per_thread\": {},\n  \"total_queries\": {},\n  \"workload_size\": {},\n  \"pool_frames\": {},\n  \"disk_pages\": {},\n  \"write_pct\": {},\n  \"concurrent\": {},\n  \"serial\": {}\n}}\n",
         cfg.lines,
         cfg.seed,
         cfg.threads,
@@ -146,6 +159,7 @@ fn main() {
         WORKLOAD.len(),
         pool_frames,
         disk_pages,
+        cfg.write_pct,
         run_json(&concurrent, concurrent_pool, cache_hit_rate(cache1, cache2)),
         run_json(&serial, serial_pool, cache_hit_rate(cache0, cache1)),
     );
@@ -189,15 +203,40 @@ fn cache_hit_rate(
 
 /// Fire `queries_per_thread` statements from each of `threads` clients,
 /// all against one shared session, and fold the per-query latencies.
-fn run_clients(session: &Arc<Staccato>, threads: usize, queries_per_thread: usize) -> RunStats {
+/// Statement `i` of a client is a write iff `(i * write_pct) % 100 <
+/// write_pct` — Bresenham's spread: exactly `write_pct`% of any run,
+/// evenly interleaved, identical across runs, never a coin flip.
+fn run_clients(
+    session: &Arc<Staccato>,
+    threads: usize,
+    queries_per_thread: usize,
+    write_pct: usize,
+    run_tag: &str,
+) -> RunStats {
     let started = Instant::now();
-    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+    let per_thread: Vec<(Vec<Duration>, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let session = Arc::clone(session);
                 scope.spawn(move || {
                     let mut lats = Vec::with_capacity(queries_per_thread);
+                    let mut writes = 0usize;
                     for i in 0..queries_per_thread {
+                        if (i * write_pct) % 100 < write_pct && write_pct > 0 {
+                            // Thread-unique names: no two clients (and no
+                            // two runs) ever collide on a document.
+                            let sql = format!(
+                                "INSERT INTO StaccatoData (DocName, Data) VALUES \
+                                 ('{run_tag}-t{t}-i{i}.png', \
+                                 'the committee reported bill number {i} of thread {t}')"
+                            );
+                            let q = Instant::now();
+                            let out = session.sql(&sql).expect("workload insert");
+                            lats.push(q.elapsed());
+                            assert!(out.ingest.is_some());
+                            writes += 1;
+                            continue;
+                        }
                         // Offset per thread so clients interleave the mix
                         // instead of marching in lockstep.
                         let sql = WORKLOAD[(t + i) % WORKLOAD.len()];
@@ -206,16 +245,18 @@ fn run_clients(session: &Arc<Staccato>, threads: usize, queries_per_thread: usiz
                         lats.push(q.elapsed());
                         assert!(out.answers.len() <= 100);
                     }
-                    lats
+                    (lats, writes)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
+            .map(|h| h.join().expect("client thread"))
             .collect()
     });
     let wall = started.elapsed();
+    let writes = per_thread.iter().map(|(_, w)| w).sum();
+    let mut latencies: Vec<Duration> = per_thread.into_iter().flat_map(|(l, _)| l).collect();
     latencies.sort();
     let total = latencies.len();
     let pct = |p: f64| latencies[(((total - 1) as f64) * p) as usize];
@@ -224,16 +265,18 @@ fn run_clients(session: &Arc<Staccato>, threads: usize, queries_per_thread: usiz
         qps: total as f64 / wall.as_secs_f64().max(1e-12),
         p50: pct(0.50),
         p95: pct(0.95),
+        writes,
     }
 }
 
 fn run_json(r: &RunStats, pool: staccato_storage::PoolStats, cache_hit_rate: f64) -> String {
     format!(
-        "{{\"wall_secs\": {:.6}, \"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"pool\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.6}}}, \"query_cache_hit_rate\": {:.6}}}",
+        "{{\"wall_secs\": {:.6}, \"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"writes\": {}, \"pool\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.6}}}, \"query_cache_hit_rate\": {:.6}}}",
         r.wall.as_secs_f64(),
         r.qps,
         r.p50.as_secs_f64() * 1e3,
         r.p95.as_secs_f64() * 1e3,
+        r.writes,
         pool.hits,
         pool.misses,
         pool.evictions,

@@ -27,6 +27,12 @@ pub enum QueryError {
     Sql(SqlError),
     /// `register_index` was called with a name that is already registered.
     DuplicateIndex(String),
+    /// A WAL batch payload failed to decode during replay, or the log
+    /// disagrees with the store about what was committed.
+    CorruptWal(&'static str),
+    /// An ingest batch was rejected before logging (empty, or malformed
+    /// document input).
+    Ingest(String),
 }
 
 impl fmt::Display for QueryError {
@@ -51,6 +57,8 @@ impl fmt::Display for QueryError {
             QueryError::DuplicateIndex(name) => {
                 write!(f, "an index named {name:?} is already registered")
             }
+            QueryError::CorruptWal(why) => write!(f, "corrupt write-ahead log: {why}"),
+            QueryError::Ingest(why) => write!(f, "ingest rejected: {why}"),
         }
     }
 }

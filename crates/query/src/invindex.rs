@@ -25,8 +25,9 @@ use crate::query::Query;
 use crate::store::OcrStore;
 use staccato_automata::{TermId, Trie};
 use staccato_sfa::{NodeId, Sfa};
-use staccato_storage::BTree;
+use staccato_storage::{BTree, BufferPool};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A term-start location within one line's chunk graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -53,24 +54,67 @@ impl Posting {
     }
 }
 
-/// Handle to a built inverted index.
+/// Handle to a built inverted index. The posting counter is atomic so
+/// the ingest path can extend a registered (Arc-shared) index in place.
 pub struct InvertedIndex {
     postings: BTree,
     dict: BTree,
-    /// Number of postings inserted (Figure 19/20's index size).
-    pub posting_count: u64,
+    posting_count: AtomicU64,
 }
 
 impl InvertedIndex {
     /// Is `term` in the index dictionary? (The planner's legality check:
     /// distinguishes "no matches" from "term not indexed".)
-    pub fn contains_term(
-        &self,
-        pool: &staccato_storage::BufferPool,
-        term: &str,
-    ) -> Result<bool, QueryError> {
+    pub fn contains_term(&self, pool: &BufferPool, term: &str) -> Result<bool, QueryError> {
         Ok(self.dict.get(pool, term.as_bytes())?.is_some())
     }
+
+    /// Number of postings inserted (Figure 19/20's index size), including
+    /// any added by live ingest.
+    pub fn posting_count(&self) -> u64 {
+        self.posting_count.load(Ordering::Acquire)
+    }
+
+    /// Index one more line's chunk graph — the ingest path's incremental
+    /// maintenance hook. Inserts the same `(term ␀ DataKey seq)` keys a
+    /// full rebuild would produce for `key`, so an extended index equals
+    /// one built after the fact.
+    pub(crate) fn extend_with_line(
+        &self,
+        pool: &BufferPool,
+        trie: &Trie,
+        key: i64,
+        graph: &Sfa,
+    ) -> Result<(), QueryError> {
+        let added = insert_line_postings(&self.postings, pool, trie, key, graph)?;
+        self.posting_count.fetch_add(added, Ordering::AcqRel);
+        Ok(())
+    }
+}
+
+/// Insert the postings of one line into the index's B+-tree. Shared by
+/// [`build_index`] and [`InvertedIndex::extend_with_line`].
+fn insert_line_postings(
+    postings: &BTree,
+    pool: &BufferPool,
+    trie: &Trie,
+    key: i64,
+    graph: &Sfa,
+) -> Result<u64, QueryError> {
+    let mut inserted = 0u64;
+    let mut seq_per_term: HashMap<TermId, u32> = HashMap::new();
+    for (term, posting) in line_postings(trie, graph) {
+        let seq = seq_per_term.entry(term).or_insert(0);
+        let mut k = Vec::with_capacity(trie.term(term).len() + 13);
+        k.extend_from_slice(trie.term(term).as_bytes());
+        k.push(0);
+        k.extend_from_slice(&key.to_be_bytes());
+        k.extend_from_slice(&seq.to_be_bytes());
+        *seq += 1;
+        postings.insert(pool, &k, posting.pack())?;
+        inserted += 1;
+    }
+    Ok(inserted)
 }
 
 /// Algorithm 3–4: all dictionary-term start locations in one chunk graph.
@@ -191,23 +235,12 @@ pub fn build_index(store: &OcrStore, trie: &Trie, name: &str) -> Result<Inverted
     let mut posting_count = 0u64;
     for item in store.staccato_cursor()? {
         let (key, graph) = item?;
-        let mut seq_per_term: HashMap<TermId, u32> = HashMap::new();
-        for (term, posting) in line_postings(trie, &graph) {
-            let seq = seq_per_term.entry(term).or_insert(0);
-            let mut k = Vec::with_capacity(trie.term(term).len() + 13);
-            k.extend_from_slice(trie.term(term).as_bytes());
-            k.push(0);
-            k.extend_from_slice(&key.to_be_bytes());
-            k.extend_from_slice(&seq.to_be_bytes());
-            *seq += 1;
-            postings.insert(pool, &k, posting.pack())?;
-            posting_count += 1;
-        }
+        posting_count += insert_line_postings(&postings, pool, trie, key, &graph)?;
     }
     Ok(InvertedIndex {
         postings,
         dict,
-        posting_count,
+        posting_count: AtomicU64::new(posting_count),
     })
 }
 

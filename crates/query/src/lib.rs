@@ -60,7 +60,10 @@
 //!   streaming accumulator behind SQL aggregate plans;
 //! * [`invindex`] — §4's dictionary-based inverted index: construction
 //!   (Algorithms 3–4), the direct-indexing blow-up counter (Figure 5),
-//!   probing with left anchors, and BFS projection.
+//!   probing with left anchors, and BFS projection;
+//! * [`ingest`] — the WAL-backed write path's types: [`IngestBatch`],
+//!   [`IngestReceipt`], the durable `StaccatoHistory` row, and the
+//!   batch codec replayed by [`Staccato::recover`].
 //!
 //! The pre-session free functions (`filescan_query`,
 //! `filescan_query_parallel`, `indexed_query`) and the materializing
@@ -71,6 +74,7 @@ pub mod cache;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod ingest;
 pub mod invindex;
 pub mod metrics;
 pub mod plan;
@@ -87,11 +91,12 @@ pub use cache::QueryCacheStats;
 pub use error::QueryError;
 pub use eval::{eval_sfa, eval_strings};
 pub use exec::{Answer, Approach, TopK};
+pub use ingest::{DocumentInput, HistoryRow, IngestBatch, IngestReceipt, IngestStats};
 pub use invindex::{build_index, direct_posting_count_log10, InvertedIndex};
 pub use metrics::{evaluate_answers, ground_truth, Metrics};
-pub use plan::{Dialect, ExecStats, Plan, PlanPreference, QueryRequest};
+pub use plan::{Dialect, ExecStats, Plan, PlanPreference, QueryRequest, WalCounters};
 pub use query::Query;
-pub use session::{QueryOutput, Staccato};
+pub use session::{QueryOutput, RecoverOptions, Staccato};
 pub use sql::{PreparedQuery, SqlError, SqlTable, SqlValue};
 pub use store::{LoadOptions, OcrStore, RepresentationSizes};
 

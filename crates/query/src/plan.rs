@@ -218,6 +218,17 @@ pub enum Plan {
         /// The access path supplying the answer relation.
         input: Box<Plan>,
     },
+    /// `INSERT INTO StaccatoData ...`: run the construction pipeline,
+    /// log one WAL batch, apply the rows. Not a read access path — it
+    /// never reaches [`run_access_path`](crate::session::Staccato).
+    Ingest {
+        /// Documents in the committed batch.
+        rows: usize,
+    },
+    /// `SELECT * FROM StaccatoHistory`: scan the ingest-history table.
+    /// Served directly from the heap — likewise not a ranked access
+    /// path.
+    HistoryScan,
 }
 
 impl Plan {
@@ -227,6 +238,8 @@ impl Plan {
             Plan::FileScan { .. } => "FileScan",
             Plan::IndexProbe { .. } => "IndexProbe",
             Plan::Aggregate { .. } => "Aggregate",
+            Plan::Ingest { .. } => "Ingest",
+            Plan::HistoryScan => "HistoryScan",
         }
     }
 
@@ -235,7 +248,7 @@ impl Plan {
         match self {
             Plan::IndexProbe { .. } => true,
             Plan::Aggregate { input, .. } => input.is_index_probe(),
-            Plan::FileScan { .. } => false,
+            Plan::FileScan { .. } | Plan::Ingest { .. } | Plan::HistoryScan => false,
         }
     }
 
@@ -275,6 +288,24 @@ pub struct ExecStats {
     /// attribution is approximate: the pool is shared, so a neighbor's
     /// fetches land in whichever query was in flight.
     pub pool: PoolStats,
+    /// WAL activity attributed to this statement — non-zero only for
+    /// `INSERT` statements on a session with a WAL attached.
+    pub wal: WalCounters,
+}
+
+/// WAL/ingest work counters. Per-statement deltas ride on
+/// [`ExecStats::wal`]; the session-cumulative view is
+/// [`Staccato::ingest_stats`](crate::session::Staccato::ingest_stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalCounters {
+    /// WAL records appended.
+    pub records_appended: u64,
+    /// Framed bytes logged.
+    pub bytes_logged: u64,
+    /// fsyncs issued.
+    pub fsyncs: u64,
+    /// Batches replayed from the log (recovery only).
+    pub replays: u64,
 }
 
 impl ExecStats {
@@ -485,6 +516,9 @@ fn render_access_path(out: &mut String, label: &str, plan: &Plan) {
             out.push_str("  -> evaluate each candidate on its projection (span-bounded BFS)\n");
         }
         Plan::Aggregate { .. } => unreachable!("aggregates wrap exactly one access path"),
+        Plan::Ingest { .. } | Plan::HistoryScan => {
+            unreachable!("write/history statements never render as read access paths")
+        }
     }
 }
 

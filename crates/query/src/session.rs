@@ -44,34 +44,81 @@ use crate::agg::{AggregateResult, StreamingAggregate};
 use crate::cache::{CacheKey, QueryCache, QueryCacheStats, DEFAULT_QUERY_CACHE_CAPACITY};
 use crate::error::QueryError;
 use crate::exec::{exec_filescan, Answer, Sink, TopK};
+use crate::ingest::{
+    decode_batch, encode_batch, like_match, DecodedBatch, DecodedDoc, DocumentInput, HistoryRow,
+    IngestBatch, IngestReceipt, IngestStats,
+};
 use crate::invindex::{build_index, exec_index_probe, InvertedIndex};
 use crate::plan::{
     plan_request, render_explain, render_explain_analyze, ExecStats, Plan, QueryRequest,
+    WalCounters,
 };
 use crate::query::Query;
-use crate::sql::{parse_statement, PreparedQuery, SqlError, SqlValue, Statement};
-use crate::store::{LoadOptions, OcrStore, RepresentationSizes};
-use parking_lot::RwLock;
+use crate::sql::{
+    parse_statement, HistorySelect, Insert, PreparedQuery, SqlError, SqlValue, Statement,
+};
+use crate::store::{build_line, build_line_from_sfa, LoadOptions, OcrStore, RepresentationSizes};
+use parking_lot::{Mutex, RwLock};
 use staccato_automata::Trie;
 use staccato_ocr::Dataset;
-use staccato_storage::{Database, PoolStats};
+use staccato_sfa::codec;
+use staccato_storage::{Database, PoolStats, SyncPolicy, Wal};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// One registered inverted index. The index handle is `Arc`-shared so a
 /// probe can keep executing against it after the registry lock is
-/// released.
+/// released; the trie is retained so ingest can extend the postings
+/// incrementally.
 struct RegisteredIndex {
     name: String,
     index: Arc<InvertedIndex>,
+    trie: Trie,
+}
+
+/// The single-writer half of the session: the attached WAL (if any) and
+/// the next batch sequence number. Held across an entire `ingest` call,
+/// so batches get consecutive sequence numbers and consecutive key
+/// ranges, and a checkpoint always lands on a batch boundary.
+struct WriterState {
+    wal: Option<Wal>,
+    next_seq: u64,
+}
+
+/// Session-cumulative ingest counters (the WAL's own counters live on
+/// the [`Wal`] handle under the writer lock).
+#[derive(Default)]
+struct IngestTotals {
+    batches: AtomicU64,
+    docs: AtomicU64,
+    replays: AtomicU64,
 }
 
 /// A query session over a loaded OCR store. All methods take `&self`;
 /// share across threads as `Arc<Staccato>` (see the module docs).
+///
+/// # Write-path locking
+///
+/// Three latches order writers against readers (always acquired in this
+/// order — writer → applies → indexes):
+///
+/// 1. `writer` serializes whole `ingest` calls: artifact construction,
+///    the WAL append+commit, and the apply all happen under it.
+/// 2. `applies` is the visibility gate. Queries hold its read side for
+///    their whole execution; an ingest holds the write side while
+///    inserting a batch's rows, history, and index postings — so a
+///    reader observes a batch entirely or not at all, never partially.
+/// 3. `indexes` guards the registry as before; ingest reads it while
+///    extending registered indexes in place.
 pub struct Staccato {
     store: OcrStore,
     indexes: RwLock<Vec<RegisteredIndex>>,
     cache: QueryCache,
+    writer: Mutex<WriterState>,
+    applies: RwLock<()>,
+    totals: IngestTotals,
 }
 
 // The sharing contract, enforced at compile time: a session must be
@@ -96,6 +143,10 @@ pub struct QueryOutput {
     /// The `EXPLAIN` text, when the statement was an `EXPLAIN` (nothing
     /// executed in that case).
     pub explain: Option<String>,
+    /// The committed batch's receipt, when the statement was an `INSERT`.
+    pub ingest: Option<IngestReceipt>,
+    /// `StaccatoHistory` rows, when the statement selected them.
+    pub history: Option<Vec<HistoryRow>>,
 }
 
 impl Staccato {
@@ -105,6 +156,12 @@ impl Staccato {
             store,
             indexes: RwLock::new(Vec::new()),
             cache: QueryCache::with_capacity(DEFAULT_QUERY_CACHE_CAPACITY),
+            writer: Mutex::new(WriterState {
+                wal: None,
+                next_seq: 1,
+            }),
+            applies: RwLock::new(()),
+            totals: IngestTotals::default(),
         }
     }
 
@@ -128,12 +185,13 @@ impl Staccato {
         self.store
     }
 
-    /// Number of lines (SFAs) loaded.
+    /// Number of lines (SFAs) in the store — loaded plus ingested,
+    /// current as of the last fully applied batch.
     pub fn line_count(&self) -> usize {
         self.store.line_count()
     }
 
-    /// Representation sizes measured at load time.
+    /// Representation sizes, kept current by the ingest path.
     pub fn sizes(&self) -> RepresentationSizes {
         self.store.sizes()
     }
@@ -150,15 +208,22 @@ impl Staccato {
     /// may now route through the new index. Queries keep executing
     /// concurrently against the previous index set until then.
     pub fn register_index(&self, trie: &Trie, name: &str) -> Result<u64, QueryError> {
+        // Hold the apply latch (read side) across the build: concurrent
+        // queries proceed, but no ingest batch can land mid-scan — every
+        // line is either in the initial build or in a later incremental
+        // extension, never missed between them. Lock order matches the
+        // write path: applies before indexes.
+        let _apply = self.applies.read();
         let mut indexes = self.indexes.write();
         if indexes.iter().any(|r| r.name == name) {
             return Err(QueryError::DuplicateIndex(name.to_string()));
         }
         let index = build_index(&self.store, trie, name)?;
-        let postings = index.posting_count;
+        let postings = index.posting_count();
         indexes.push(RegisteredIndex {
             name: name.to_string(),
             index: Arc::new(index),
+            trie: trie.clone(),
         });
         // Bump the epoch while still holding the write latch: any plan
         // computed against the old index set carries an older epoch and
@@ -255,6 +320,10 @@ impl Staccato {
         &self,
         request: &QueryRequest,
     ) -> Result<(QueryOutput, Arc<Query>), QueryError> {
+        // Visibility gate: hold the apply latch (shared) for the whole
+        // execution so a concurrent ingest batch becomes visible to this
+        // query entirely or not at all.
+        let _apply = self.applies.read();
         let pool_before = self.store.db().pool().stats();
         let planning = Instant::now();
         let (query, plan) = self.compile_and_plan(request)?;
@@ -303,6 +372,8 @@ impl Staccato {
                 stats,
                 aggregate,
                 explain: None,
+                ingest: None,
+                history: None,
             },
             query,
         ))
@@ -332,6 +403,9 @@ impl Staccato {
                 "aggregates wrap exactly one access path; request {:?}",
                 request.pattern
             ),
+            Plan::Ingest { .. } | Plan::HistoryScan => {
+                unreachable!("write and history plans never come from the relational planner")
+            }
         }
     }
 
@@ -382,6 +456,11 @@ impl Staccato {
     }
 
     fn run_statement(&self, stmt: &Statement) -> Result<QueryOutput, QueryError> {
+        match stmt {
+            Statement::Insert(insert) => return self.run_insert(insert),
+            Statement::SelectHistory(select) => return self.run_history_select(select),
+            _ => {}
+        }
         let request = crate::sql::lower_statement(stmt)?;
         if stmt.is_explain_analyze() {
             // EXPLAIN ANALYZE: execute for real, then append the observed
@@ -412,7 +491,312 @@ impl Staccato {
             plan,
             stats,
             aggregate: None,
+            ingest: None,
+            history: None,
         })
+    }
+
+    /// Execute a SQL `INSERT INTO StaccatoData …`: package the rows as an
+    /// [`IngestBatch`] (provider `"sql"`) and push them through the same
+    /// durable path as [`Staccato::ingest`].
+    fn run_insert(&self, insert: &Insert) -> Result<QueryOutput, QueryError> {
+        let started = Instant::now();
+        let mut batch = IngestBatch::new();
+        for row in &insert.rows {
+            let name = row
+                .doc_name
+                .value()
+                .ok_or_else(|| SqlError::new(0, "statement still has unbound '?' parameters"))?;
+            let data = row
+                .data
+                .value()
+                .ok_or_else(|| SqlError::new(0, "statement still has unbound '?' parameters"))?;
+            let mut doc = DocumentInput::new(name.clone(), data.clone());
+            doc.provider = "sql".to_string();
+            batch = batch.doc(doc);
+        }
+        let (receipt, wal) = self.ingest_inner(batch)?;
+        let rows = receipt.docs;
+        let stats = ExecStats {
+            exec_wall: started.elapsed(),
+            wal,
+            ..ExecStats::default()
+        };
+        Ok(QueryOutput {
+            answers: Vec::new(),
+            plan: Plan::Ingest { rows },
+            stats,
+            aggregate: None,
+            explain: None,
+            ingest: Some(receipt),
+            history: None,
+        })
+    }
+
+    /// Execute `SELECT * FROM StaccatoHistory …`: scan the durable
+    /// ingest-history table, filter with `LIKE` on `FileName`, truncate
+    /// to `LIMIT`.
+    fn run_history_select(&self, select: &HistorySelect) -> Result<QueryOutput, QueryError> {
+        let started = Instant::now();
+        let pattern =
+            match &select.file_like {
+                Some(arg) => Some(arg.value().ok_or_else(|| {
+                    SqlError::new(0, "statement still has unbound '?' parameters")
+                })?),
+                None => None,
+            };
+        let limit =
+            match &select.limit {
+                Some(arg) => Some(*arg.value().ok_or_else(|| {
+                    SqlError::new(0, "statement still has unbound '?' parameters")
+                })?),
+                None => None,
+            };
+        let _apply = self.applies.read();
+        let mut rows = self.store.history_rows()?;
+        if let Some(pat) = pattern {
+            rows.retain(|r| like_match(pat, &r.file_name));
+        }
+        if let Some(n) = limit {
+            rows.truncate(n as usize);
+        }
+        let stats = ExecStats {
+            rows_scanned: rows.len() as u64,
+            exec_wall: started.elapsed(),
+            ..ExecStats::default()
+        };
+        Ok(QueryOutput {
+            answers: Vec::new(),
+            plan: Plan::HistoryScan,
+            stats,
+            aggregate: None,
+            explain: None,
+            ingest: None,
+            history: Some(rows),
+        })
+    }
+}
+
+/// Knobs for [`Staccato::recover_with`]. The defaults match
+/// [`Staccato::recover`]: a 1024-frame pool, default load options, and
+/// fsync-on-commit for the re-attached WAL.
+pub struct RecoverOptions {
+    /// Buffer-pool frames for the reopened database.
+    pub pool_frames: usize,
+    /// Channel/representation options the store was originally loaded
+    /// with — replay rebuilds nothing, but fresh post-recovery ingests
+    /// build artifacts with these.
+    pub load: LoadOptions,
+    /// Durability policy for the re-attached WAL.
+    pub sync: SyncPolicy,
+}
+
+impl Default for RecoverOptions {
+    fn default() -> RecoverOptions {
+        RecoverOptions {
+            pool_frames: 1024,
+            load: LoadOptions::default(),
+            sync: SyncPolicy::Commit,
+        }
+    }
+}
+
+impl Staccato {
+    /// Attach a write-ahead log to this session, making [`Staccato::ingest`]
+    /// durable. `dir` must not already contain WAL segments (recovery goes
+    /// through [`Staccato::recover`] instead). Errors if a WAL is already
+    /// attached.
+    pub fn attach_wal(&self, dir: &Path, sync: SyncPolicy) -> Result<(), QueryError> {
+        let mut writer = self.writer.lock();
+        if writer.wal.is_some() {
+            return Err(QueryError::Ingest("a WAL is already attached".to_string()));
+        }
+        writer.wal = Some(Wal::create(dir, sync)?);
+        Ok(())
+    }
+
+    /// Ingest a batch of documents: build their artifacts, log the batch
+    /// to the WAL (if attached), then apply it atomically — rows in all
+    /// seven tables, a `StaccatoHistory` row per document, and postings
+    /// appended to every registered inverted index. Readers see the whole
+    /// batch or none of it.
+    pub fn ingest(&self, batch: IngestBatch) -> Result<IngestReceipt, QueryError> {
+        Ok(self.ingest_inner(batch)?.0)
+    }
+
+    /// [`Staccato::ingest`], also returning the per-call WAL counter
+    /// deltas for [`ExecStats`].
+    fn ingest_inner(&self, batch: IngestBatch) -> Result<(IngestReceipt, WalCounters), QueryError> {
+        if batch.docs.is_empty() {
+            return Err(QueryError::Ingest("batch has no documents".to_string()));
+        }
+        let ingested_at = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs() as i64)
+            .unwrap_or(0);
+        // The writer lock serializes whole batches: sequence numbers and
+        // key ranges are assigned and consumed under it.
+        let mut writer = self.writer.lock();
+        let batch_seq = writer.next_seq;
+        let first_key = self.store.line_count() as i64;
+        let opts = self.store.load_options();
+        let mut docs = Vec::with_capacity(batch.docs.len());
+        for (i, d) in batch.docs.iter().enumerate() {
+            let key = first_key + i as i64;
+            let mut art = match &d.sfa {
+                Some(blob) => {
+                    let sfa = codec::decode(blob).map_err(|e| {
+                        QueryError::Ingest(format!("document {:?}: bad SFA blob: {e}", d.name))
+                    })?;
+                    build_line_from_sfa(opts, &sfa, &d.text)
+                }
+                None => build_line(self.store.channel(), opts, &d.text, key as u64),
+            };
+            art.doc_name = d.name.clone();
+            art.sfa_num = 0;
+            docs.push(DecodedDoc {
+                art,
+                provider: d.provider.clone(),
+                confidence: d.confidence,
+                processing_time_ms: d.processing_time_ms,
+                ingested_at,
+            });
+        }
+        let decoded = DecodedBatch {
+            batch_seq,
+            first_key,
+            docs,
+        };
+        let mut wal_delta = WalCounters::default();
+        let mut wal_bytes = 0u64;
+        if let Some(wal) = writer.wal.as_mut() {
+            let payload = encode_batch(&decoded);
+            let before = wal.stats();
+            wal_bytes = wal.append(&payload)?;
+            wal.commit()?;
+            let after = wal.stats();
+            wal_delta.records_appended = after.records_appended - before.records_appended;
+            wal_delta.bytes_logged = after.bytes_logged - before.bytes_logged;
+            wal_delta.fsyncs = after.fsyncs - before.fsyncs;
+        }
+        self.apply_decoded(&decoded)?;
+        writer.next_seq = batch_seq + 1;
+        let receipt = IngestReceipt {
+            batch_seq,
+            first_key,
+            docs: decoded.docs.len(),
+            wal_bytes,
+        };
+        Ok((receipt, wal_delta))
+    }
+
+    /// Apply one decoded batch to the store and every registered index,
+    /// under the apply latch's write side — the atomic-visibility point
+    /// of the write path. Caller holds the writer lock.
+    fn apply_decoded(&self, batch: &DecodedBatch) -> Result<(), QueryError> {
+        let _apply = self.applies.write();
+        let indexes = self.indexes.read();
+        let pool = self.store.db().pool();
+        for (i, doc) in batch.docs.iter().enumerate() {
+            let key = batch.first_key + i as i64;
+            self.store.insert_line_artifacts(key, &doc.art)?;
+            self.store.insert_history(&HistoryRow {
+                data_key: key,
+                file_name: doc.art.doc_name.clone(),
+                provider: doc.provider.clone(),
+                confidence: doc.confidence,
+                processing_time_ms: doc.processing_time_ms,
+                ingested_at: doc.ingested_at,
+                batch_seq: batch.batch_seq,
+            })?;
+            if !indexes.is_empty() {
+                let graph = codec::decode(&doc.art.stac_blob).map_err(|e| {
+                    QueryError::Ingest(format!("Staccato blob failed to decode: {e}"))
+                })?;
+                for reg in indexes.iter() {
+                    reg.index.extend_with_line(pool, &reg.trie, key, &graph)?;
+                }
+            }
+        }
+        self.store.bump_lines(batch.docs.len());
+        self.totals.batches.fetch_add(1, Ordering::AcqRel);
+        self.totals
+            .docs
+            .fetch_add(batch.docs.len() as u64, Ordering::AcqRel);
+        // Plans may key on corpus statistics; force re-planning.
+        self.cache.invalidate();
+        Ok(())
+    }
+
+    /// Persist the store's pages to disk. Taken under the writer lock, so
+    /// a checkpoint always lands on a batch boundary — the database file
+    /// never contains half a batch, which is what lets recovery replay
+    /// the WAL idempotently on top of it.
+    pub fn checkpoint(&self) -> Result<(), QueryError> {
+        let _writer = self.writer.lock();
+        self.store.db().save()?;
+        Ok(())
+    }
+
+    /// Reopen a checkpointed database and replay `wal_dir` over it —
+    /// the crash-recovery entry point. Torn trailing records are
+    /// truncated, already-applied batches are skipped (replay is
+    /// idempotent), and the session comes back with the WAL re-attached
+    /// for further ingests.
+    pub fn recover(db_path: &Path, wal_dir: &Path) -> Result<Staccato, QueryError> {
+        Staccato::recover_with(db_path, wal_dir, &RecoverOptions::default())
+    }
+
+    /// [`Staccato::recover`] with explicit pool size, load options, and
+    /// durability policy.
+    pub fn recover_with(
+        db_path: &Path,
+        wal_dir: &Path,
+        opts: &RecoverOptions,
+    ) -> Result<Staccato, QueryError> {
+        let db = Database::open(db_path, opts.pool_frames)?;
+        let store = OcrStore::reopen(db, &opts.load)?;
+        let session = Staccato::open(store);
+        let (wal, records) = Wal::open(wal_dir, opts.sync)?;
+        let mut max_seq = 0u64;
+        let mut replayed = 0u64;
+        for payload in &records {
+            let decoded = decode_batch(payload)?;
+            max_seq = max_seq.max(decoded.batch_seq);
+            let committed = session.store.line_count() as i64;
+            if decoded.first_key + decoded.docs.len() as i64 <= committed {
+                // The checkpoint already contains this batch; skip it.
+                continue;
+            }
+            if decoded.first_key != committed {
+                return Err(QueryError::CorruptWal(
+                    "WAL batch does not align with the store's committed tail",
+                ));
+            }
+            session.apply_decoded(&decoded)?;
+            replayed += 1;
+        }
+        {
+            let mut writer = session.writer.lock();
+            writer.wal = Some(wal);
+            writer.next_seq = max_seq + 1;
+        }
+        session.totals.replays.store(replayed, Ordering::Release);
+        Ok(session)
+    }
+
+    /// Session-cumulative ingest and WAL counters for `/stats`.
+    pub fn ingest_stats(&self) -> IngestStats {
+        let writer = self.writer.lock();
+        let wal = writer.wal.as_ref().map(|w| w.stats()).unwrap_or_default();
+        IngestStats {
+            batches: self.totals.batches.load(Ordering::Acquire),
+            docs: self.totals.docs.load(Ordering::Acquire),
+            wal_records_appended: wal.records_appended,
+            wal_bytes_logged: wal.bytes_logged,
+            wal_fsyncs: wal.fsyncs,
+            replays: self.totals.replays.load(Ordering::Acquire),
+        }
     }
 }
 
@@ -722,6 +1106,137 @@ mod tests {
             "a filescan reads pages: {:?}",
             out.stats.pool
         );
+    }
+
+    #[test]
+    fn ingest_appends_rows_history_and_sizes() {
+        let s = session(10, 5);
+        let before = s.sizes();
+        let batch = IngestBatch::new()
+            .doc(DocumentInput::new("a.png", "the President of the Senate"))
+            .doc(DocumentInput::new(
+                "b.png",
+                "Public Law 95 is hereby amended",
+            ));
+        let receipt = s.ingest(batch).unwrap();
+        assert_eq!(receipt.batch_seq, 1);
+        assert_eq!(receipt.first_key, 10);
+        assert_eq!(receipt.docs, 2);
+        assert_eq!(receipt.wal_bytes, 0, "no WAL attached");
+        // Freshness: counts and sizes reflect the batch immediately.
+        assert_eq!(s.line_count(), 12);
+        let after = s.sizes();
+        assert!(after.text > before.text);
+        assert!(after.staccato > before.staccato);
+        // The new lines are queryable through ordinary SQL.
+        let out = s
+            .sql("SELECT DataKey, Prob FROM StaccatoData WHERE Data LIKE '%Senate%' LIMIT 100")
+            .unwrap();
+        assert!(
+            out.answers.iter().any(|a| a.data_key == 10),
+            "ingested line must match: {:?}",
+            out.answers
+        );
+        // And recorded in the history table, loaded corpus lines are not.
+        let hist = s.sql("SELECT * FROM StaccatoHistory").unwrap();
+        assert_eq!(hist.plan, Plan::HistoryScan);
+        let rows = hist.history.unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].data_key, 10);
+        assert_eq!(rows[0].file_name, "a.png");
+        assert_eq!(rows[1].file_name, "b.png");
+        assert_eq!(rows[0].batch_seq, 1);
+
+        let empty = s.ingest(IngestBatch::new()).unwrap_err();
+        assert!(matches!(empty, QueryError::Ingest(_)), "{empty}");
+    }
+
+    #[test]
+    fn sql_insert_goes_through_the_ingest_path() {
+        let s = session(10, 7);
+        let out = s
+            .sql(
+                "INSERT INTO StaccatoData (DocName, Data) VALUES ('x.png', 'the President'), \
+                  ('y.png', 'Public Law 88')",
+            )
+            .unwrap();
+        assert_eq!(out.plan, Plan::Ingest { rows: 2 });
+        let receipt = out.ingest.unwrap();
+        assert_eq!(receipt.first_key, 10);
+        assert_eq!(s.line_count(), 12);
+        // Prepared INSERT binds both strings.
+        let p = s
+            .prepare("INSERT INTO StaccatoData (DocName, Data) VALUES (?, ?)")
+            .unwrap();
+        let out = s
+            .execute_prepared(
+                &p,
+                &[SqlValue::text("z.png"), SqlValue::text("hello world")],
+            )
+            .unwrap();
+        assert_eq!(out.ingest.unwrap().first_key, 12);
+        // History filters by LIKE and honors LIMIT; SQL inserts record
+        // the "sql" provider.
+        let rows = s
+            .sql("SELECT * FROM StaccatoHistory WHERE FileName LIKE '%.png' LIMIT 2")
+            .unwrap()
+            .history
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.provider == "sql"));
+        let rows = s
+            .sql("SELECT * FROM StaccatoHistory WHERE FileName LIKE 'z%'")
+            .unwrap()
+            .history
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].file_name, "z.png");
+        // Unbound placeholders refuse to execute.
+        let err = s
+            .sql("INSERT INTO StaccatoData (DocName, Data) VALUES (?, ?)")
+            .unwrap_err();
+        assert!(err.to_string().contains("prepare"), "{err}");
+    }
+
+    #[test]
+    fn ingest_extends_registered_indexes_incrementally() {
+        let s = session(15, 21);
+        s.register_index(&Trie::build(["senate"]), "inv").unwrap();
+        let before = s.index("inv").unwrap().posting_count();
+        s.ingest(IngestBatch::new().doc(DocumentInput::new("n.png", "the Senate shall convene")))
+            .unwrap();
+        assert!(
+            s.index("inv").unwrap().posting_count() > before,
+            "ingest must add postings for dictionary terms it contains"
+        );
+        // The probe path sees the new line without re-registering.
+        let req = QueryRequest::keyword("Senate");
+        let out = s.execute(&req).unwrap();
+        assert!(out.plan.is_index_probe());
+        assert!(
+            out.answers.iter().any(|a| a.data_key == 15),
+            "{:?}",
+            out.answers
+        );
+    }
+
+    #[test]
+    fn ingest_stats_count_batches_and_docs() {
+        let s = session(5, 3);
+        let stats = s.ingest_stats();
+        assert_eq!((stats.batches, stats.docs, stats.replays), (0, 0, 0));
+        s.ingest(
+            IngestBatch::new()
+                .doc(DocumentInput::new("a", "one line"))
+                .doc(DocumentInput::new("b", "two lines")),
+        )
+        .unwrap();
+        s.ingest(IngestBatch::new().doc(DocumentInput::new("c", "three")))
+            .unwrap();
+        let stats = s.ingest_stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.docs, 3);
+        assert_eq!(stats.wal_records_appended, 0, "no WAL attached");
     }
 
     #[test]

@@ -18,7 +18,8 @@ use crate::exec::Approach;
 use crate::plan::Dialect;
 use std::fmt;
 
-/// One SQL statement: a query, a request for its plan, or both.
+/// One SQL statement: a query, a request for its plan, a durable
+/// `INSERT`, or a scan of the ingest-history table.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// `SELECT ...`
@@ -28,13 +29,21 @@ pub enum Statement {
     /// `EXPLAIN ANALYZE SELECT ...` — execute, then report the plan
     /// together with the counters the execution produced.
     ExplainAnalyze(Select),
+    /// `INSERT INTO StaccatoData (DocName, Data) VALUES ...` — the
+    /// WAL-backed write path.
+    Insert(Insert),
+    /// `SELECT * FROM StaccatoHistory ...` — the durable ingest-history
+    /// table.
+    SelectHistory(HistorySelect),
 }
 
 impl Statement {
-    /// The wrapped `SELECT`, whether or not it is being explained.
-    pub fn select(&self) -> &Select {
+    /// The wrapped representation-table `SELECT`, whether or not it is
+    /// being explained; `None` for `INSERT` and history statements.
+    pub fn select(&self) -> Option<&Select> {
         match self {
-            Statement::Select(s) | Statement::Explain(s) | Statement::ExplainAnalyze(s) => s,
+            Statement::Select(s) | Statement::Explain(s) | Statement::ExplainAnalyze(s) => Some(s),
+            Statement::Insert(_) | Statement::SelectHistory(_) => None,
         }
     }
 
@@ -50,22 +59,64 @@ impl Statement {
 
     /// Number of `?` placeholders in the statement.
     pub fn param_count(&self) -> usize {
-        let s = self.select();
-        let mut n = 0;
-        if matches!(s.predicate.pattern, SqlArg::Param(_)) {
-            n += 1;
+        match self {
+            Statement::Select(s) | Statement::Explain(s) | Statement::ExplainAnalyze(s) => {
+                let mut n = 0;
+                if matches!(s.predicate.pattern, SqlArg::Param(_)) {
+                    n += 1;
+                }
+                if matches!(s.predicate.min_prob, Some(SqlArg::Param(_))) {
+                    n += 1;
+                }
+                if matches!(s.limit, Some(SqlArg::Param(_))) {
+                    n += 1;
+                }
+                if matches!(s.offset, Some(SqlArg::Param(_))) {
+                    n += 1;
+                }
+                n
+            }
+            Statement::Insert(i) => i
+                .rows
+                .iter()
+                .map(|r| {
+                    matches!(r.doc_name, SqlArg::Param(_)) as usize
+                        + matches!(r.data, SqlArg::Param(_)) as usize
+                })
+                .sum(),
+            Statement::SelectHistory(h) => {
+                matches!(h.file_like, Some(SqlArg::Param(_))) as usize
+                    + matches!(h.limit, Some(SqlArg::Param(_))) as usize
+            }
         }
-        if matches!(s.predicate.min_prob, Some(SqlArg::Param(_))) {
-            n += 1;
-        }
-        if matches!(s.limit, Some(SqlArg::Param(_))) {
-            n += 1;
-        }
-        if matches!(s.offset, Some(SqlArg::Param(_))) {
-            n += 1;
-        }
-        n
     }
+}
+
+/// `INSERT INTO StaccatoData (DocName, Data) VALUES (...), ...` — each
+/// row becomes one ingested document, and the whole statement is one
+/// atomic, WAL-logged batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    /// The `VALUES` rows, in statement order.
+    pub rows: Vec<InsertRow>,
+}
+
+/// One `(DocName, Data)` tuple of an `INSERT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertRow {
+    /// The document name (`StaccatoHistory.FileName`).
+    pub doc_name: SqlArg<String>,
+    /// The line text the OCR channel transduces.
+    pub data: SqlArg<String>,
+}
+
+/// `SELECT * FROM StaccatoHistory [WHERE FileName LIKE p] [LIMIT n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistorySelect {
+    /// The `FileName LIKE` pattern, if present.
+    pub file_like: Option<SqlArg<String>>,
+    /// Row cap, if present.
+    pub limit: Option<SqlArg<u64>>,
 }
 
 /// The supported `SELECT` shape.
@@ -212,12 +263,40 @@ fn fmt_arg<T, F: Fn(&T) -> String>(arg: &SqlArg<T>, f: F) -> String {
 
 impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Insert(insert) => {
+                write!(f, "INSERT INTO StaccatoData (DocName, Data) VALUES ")?;
+                for (i, row) in insert.rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(
+                        f,
+                        "({}, {})",
+                        fmt_arg(&row.doc_name, |s| quote_str(s)),
+                        fmt_arg(&row.data, |s| quote_str(s)),
+                    )?;
+                }
+                return Ok(());
+            }
+            Statement::SelectHistory(h) => {
+                write!(f, "SELECT * FROM StaccatoHistory")?;
+                if let Some(p) = &h.file_like {
+                    write!(f, " WHERE FileName LIKE {}", fmt_arg(p, |s| quote_str(s)))?;
+                }
+                if let Some(n) = &h.limit {
+                    write!(f, " LIMIT {}", fmt_arg(n, |v| v.to_string()))?;
+                }
+                return Ok(());
+            }
+            _ => {}
+        }
         if self.is_explain() {
             write!(f, "EXPLAIN ")?;
         } else if self.is_explain_analyze() {
             write!(f, "EXPLAIN ANALYZE ")?;
         }
-        let s = self.select();
+        let s = self.select().expect("explainable statements wrap a SELECT");
         let projection = match s.projection {
             Projection::DataKey => "DataKey",
             Projection::DataKeyProb => "DataKey, Prob",

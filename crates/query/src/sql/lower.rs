@@ -86,41 +86,82 @@ impl PreparedQuery {
             .into());
         }
         let mut stmt = self.stmt.clone();
-        let select = match &mut stmt {
-            Statement::Select(s) | Statement::Explain(s) | Statement::ExplainAnalyze(s) => s,
-        };
-        if let SqlArg::Param(n) = select.predicate.pattern {
-            select.predicate.pattern = match &params[n as usize] {
-                SqlValue::Text(s) => SqlArg::Value(s.clone()),
-                other => {
-                    return Err(param_type_error(n, "a pattern string", other));
+        match &mut stmt {
+            Statement::Select(select)
+            | Statement::Explain(select)
+            | Statement::ExplainAnalyze(select) => {
+                if let SqlArg::Param(n) = select.predicate.pattern {
+                    select.predicate.pattern = match &params[n as usize] {
+                        SqlValue::Text(s) => SqlArg::Value(s.clone()),
+                        other => {
+                            return Err(param_type_error(n, "a pattern string", other));
+                        }
+                    };
                 }
-            };
-        }
-        if let Some(SqlArg::Param(n)) = select.predicate.min_prob {
-            select.predicate.min_prob = Some(match &params[n as usize] {
-                SqlValue::Number(v) => SqlArg::Value(*v),
-                SqlValue::Int(v) => SqlArg::Value(*v as f64),
-                other => {
-                    return Err(param_type_error(n, "a numeric threshold", other));
+                if let Some(SqlArg::Param(n)) = select.predicate.min_prob {
+                    select.predicate.min_prob = Some(match &params[n as usize] {
+                        SqlValue::Number(v) => SqlArg::Value(*v),
+                        SqlValue::Int(v) => SqlArg::Value(*v as f64),
+                        other => {
+                            return Err(param_type_error(n, "a numeric threshold", other));
+                        }
+                    });
                 }
-            });
-        }
-        if let Some(SqlArg::Param(n)) = select.limit {
-            select.limit = Some(match &params[n as usize] {
-                SqlValue::Int(v) => SqlArg::Value(*v),
-                other => {
-                    return Err(param_type_error(n, "an integer limit", other));
+                if let Some(SqlArg::Param(n)) = select.limit {
+                    select.limit = Some(match &params[n as usize] {
+                        SqlValue::Int(v) => SqlArg::Value(*v),
+                        other => {
+                            return Err(param_type_error(n, "an integer limit", other));
+                        }
+                    });
                 }
-            });
-        }
-        if let Some(SqlArg::Param(n)) = select.offset {
-            select.offset = Some(match &params[n as usize] {
-                SqlValue::Int(v) => SqlArg::Value(*v),
-                other => {
-                    return Err(param_type_error(n, "an integer offset", other));
+                if let Some(SqlArg::Param(n)) = select.offset {
+                    select.offset = Some(match &params[n as usize] {
+                        SqlValue::Int(v) => SqlArg::Value(*v),
+                        other => {
+                            return Err(param_type_error(n, "an integer offset", other));
+                        }
+                    });
                 }
-            });
+            }
+            Statement::Insert(insert) => {
+                for row in &mut insert.rows {
+                    if let SqlArg::Param(n) = row.doc_name {
+                        row.doc_name = match &params[n as usize] {
+                            SqlValue::Text(s) => SqlArg::Value(s.clone()),
+                            other => {
+                                return Err(param_type_error(n, "a document name string", other));
+                            }
+                        };
+                    }
+                    if let SqlArg::Param(n) = row.data {
+                        row.data = match &params[n as usize] {
+                            SqlValue::Text(s) => SqlArg::Value(s.clone()),
+                            other => {
+                                return Err(param_type_error(n, "a document text string", other));
+                            }
+                        };
+                    }
+                }
+            }
+            Statement::SelectHistory(history) => {
+                if let Some(SqlArg::Param(n)) = history.file_like {
+                    history.file_like = Some(match &params[n as usize] {
+                        SqlValue::Text(s) => SqlArg::Value(s.clone()),
+                        other => {
+                            return Err(param_type_error(n, "a pattern string", other));
+                        }
+                    });
+                }
+                if let Some(SqlArg::Param(n)) = history.limit {
+                    history.limit = Some(match &params[n as usize] {
+                        SqlValue::Int(v) => SqlArg::Value(*v),
+                        other => {
+                            return Err(param_type_error(n, "an integer limit", other));
+                        }
+                    });
+                }
+            }
         }
         Ok(stmt)
     }
@@ -143,7 +184,15 @@ fn param_type_error(ordinal: u32, wanted: &str, got: &SqlValue) -> QueryError {
 /// session routes it through `render_explain`); lowering only reads the
 /// inner `SELECT`.
 pub fn lower_statement(stmt: &Statement) -> Result<QueryRequest, QueryError> {
-    lower_select(stmt.select())
+    let Some(select) = stmt.select() else {
+        return Err(SqlError::new(
+            0,
+            "only SELECT queries over the representation tables lower to a QueryRequest; \
+             INSERT and StaccatoHistory statements execute directly",
+        )
+        .into());
+    };
+    lower_select(select)
 }
 
 fn lower_select(select: &Select) -> Result<QueryRequest, QueryError> {

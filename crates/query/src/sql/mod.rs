@@ -20,7 +20,18 @@
 //!   FROM MAPData | kMAPData | FullSFAData | StaccatoData
 //!   WHERE Data LIKE '%...%' | Data REGEXP '...'
 //!   [AND Prob >= t] [ORDER BY Prob DESC] [LIMIT n [OFFSET m]]
+//!
+//! INSERT INTO StaccatoData (DocName, Data) VALUES ('name', 'text')[, (?, ?)]*
+//!
+//! SELECT * FROM StaccatoHistory [WHERE FileName LIKE '...'] [LIMIT n]
 //! ```
+//!
+//! `INSERT` routes each `VALUES` row through the WAL-backed ingest path
+//! as one atomic batch (see [`Staccato::ingest`]); `SELECT * FROM
+//! StaccatoHistory` scans the durable ingest-history table. Neither
+//! supports `EXPLAIN` — they have exactly one access path each.
+//!
+//! [`Staccato::ingest`]: crate::session::Staccato::ingest
 //!
 //! `EXPLAIN` stops after planning; `EXPLAIN ANALYZE` executes the
 //! statement and appends the observed [`ExecStats`](crate::plan::ExecStats)
@@ -52,7 +63,8 @@ pub mod lower;
 pub mod parser;
 
 pub use ast::{
-    quote_str, render_statement, Predicate, Projection, Select, SqlArg, SqlTable, Statement,
+    quote_str, render_statement, HistorySelect, Insert, InsertRow, Predicate, Projection, Select,
+    SqlArg, SqlTable, Statement,
 };
 pub use lower::{lower_statement, PreparedQuery, SqlValue};
 pub use parser::parse_statement;

@@ -17,7 +17,9 @@
 //! aggregate × `ORDER BY` conflicts, pattern compilation) happen during
 //! lowering so that every renderable AST parses back unchanged.
 
-use super::ast::{Predicate, Projection, Select, SqlArg, SqlTable, Statement};
+use super::ast::{
+    HistorySelect, Insert, InsertRow, Predicate, Projection, Select, SqlArg, SqlTable, Statement,
+};
 use super::lexer::{lex, Spanned, Tok};
 use super::SqlError;
 use crate::agg::AggregateFunc;
@@ -91,18 +93,27 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Statement, SqlError> {
+        if self.eat_kw("INSERT") {
+            let insert = self.insert()?;
+            self.finish()?;
+            return Ok(Statement::Insert(insert));
+        }
         let explain = self.eat_kw("EXPLAIN");
         let analyze = explain && self.eat_kw("ANALYZE");
+        self.expect_kw("SELECT")?;
+        if *self.peek() == Tok::Star {
+            if explain {
+                return Err(self.error(
+                    "EXPLAIN does not apply to StaccatoHistory scans (they have \
+                                exactly one access path)",
+                ));
+            }
+            let history = self.history_select()?;
+            self.finish()?;
+            return Ok(Statement::SelectHistory(history));
+        }
         let select = self.select()?;
-        if *self.peek() == Tok::Semi {
-            self.bump();
-        }
-        if *self.peek() != Tok::Eof {
-            return Err(self.error(format!(
-                "unexpected {} after the statement",
-                self.peek().describe()
-            )));
-        }
+        self.finish()?;
         Ok(if analyze {
             Statement::ExplainAnalyze(select)
         } else if explain {
@@ -112,8 +123,92 @@ impl Parser {
         })
     }
 
+    /// Consume the optional trailing `;` and require end of input.
+    fn finish(&mut self) -> Result<(), SqlError> {
+        if *self.peek() == Tok::Semi {
+            self.bump();
+        }
+        if *self.peek() != Tok::Eof {
+            return Err(self.error(format!(
+                "unexpected {} after the statement",
+                self.peek().describe()
+            )));
+        }
+        Ok(())
+    }
+
+    /// `INSERT` already consumed: `INTO StaccatoData (DocName, Data)
+    /// VALUES ('n', 'd')[, (?, ?)]*`.
+    fn insert(&mut self) -> Result<Insert, SqlError> {
+        self.expect_kw("INTO")?;
+        match self.peek().clone() {
+            Tok::Ident(name) if name.eq_ignore_ascii_case("StaccatoData") => {
+                self.bump();
+            }
+            other => {
+                return Err(self.error(format!(
+                    "INSERT writes through the probabilistic store; the only insertable \
+                     table is StaccatoData, found {}",
+                    other.describe()
+                )))
+            }
+        }
+        self.expect_tok(Tok::LParen)?;
+        self.expect_kw("DocName")?;
+        self.expect_tok(Tok::Comma)?;
+        self.expect_kw("Data")?;
+        self.expect_tok(Tok::RParen)?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_tok(Tok::LParen)?;
+            let doc_name = self.str_arg()?;
+            self.expect_tok(Tok::Comma)?;
+            let data = self.str_arg()?;
+            self.expect_tok(Tok::RParen)?;
+            rows.push(InsertRow { doc_name, data });
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(Insert { rows })
+    }
+
+    /// `SELECT` already consumed and `*` peeked: `* FROM StaccatoHistory
+    /// [WHERE FileName LIKE p] [LIMIT n]`.
+    fn history_select(&mut self) -> Result<HistorySelect, SqlError> {
+        self.expect_tok(Tok::Star)?;
+        self.expect_kw("FROM")?;
+        match self.peek().clone() {
+            Tok::Ident(name) if name.eq_ignore_ascii_case("StaccatoHistory") => {
+                self.bump();
+            }
+            other => {
+                return Err(self.error(format!(
+                    "the SELECT list must be DataKey[, Prob], COUNT(*), SUM(Prob), or \
+                     AVG(Prob); 'SELECT *' is reserved for StaccatoHistory, found {}",
+                    other.describe()
+                )))
+            }
+        }
+        let file_like = if self.eat_kw("WHERE") {
+            self.expect_kw("FileName")?;
+            self.expect_kw("LIKE")?;
+            Some(self.str_arg()?)
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            Some(self.int_arg()?)
+        } else {
+            None
+        };
+        Ok(HistorySelect { file_like, limit })
+    }
+
     fn select(&mut self) -> Result<Select, SqlError> {
-        self.expect_kw("SELECT")?;
         let projection = self.projection()?;
         self.expect_kw("FROM")?;
         let table = self.table()?;
@@ -239,6 +334,23 @@ impl Parser {
         })
     }
 
+    fn str_arg(&mut self) -> Result<SqlArg<String>, SqlError> {
+        match self.peek().clone() {
+            Tok::Str(s) => {
+                self.bump();
+                Ok(SqlArg::Value(s))
+            }
+            Tok::Question => {
+                self.bump();
+                Ok(SqlArg::Param(self.next_param()))
+            }
+            other => Err(self.error(format!(
+                "expected a quoted string or '?', found {}",
+                other.describe()
+            ))),
+        }
+    }
+
     fn float_arg(&mut self) -> Result<SqlArg<f64>, SqlError> {
         match self.peek().clone() {
             Tok::Number(raw) => {
@@ -303,7 +415,7 @@ mod tests {
     #[test]
     fn parses_the_paper_query() {
         let stmt = parse("SELECT DataKey FROM StaccatoData WHERE Data LIKE '%Ford%'");
-        let s = stmt.select();
+        let s = stmt.select().unwrap();
         assert_eq!(s.projection, Projection::DataKey);
         assert_eq!(s.table, SqlTable::Staccato);
         assert_eq!(s.predicate.dialect, Dialect::Like);
@@ -320,7 +432,7 @@ mod tests {
              and Prob >= 0.25 order by Prob desc limit 50;",
         );
         assert!(stmt.is_explain());
-        let s = stmt.select();
+        let s = stmt.select().unwrap();
         assert_eq!(s.projection, Projection::DataKeyProb);
         assert_eq!(s.table, SqlTable::KMap);
         assert_eq!(s.predicate.dialect, Dialect::Regex);
@@ -339,7 +451,10 @@ mod tests {
             let stmt = parse(&format!(
                 "SELECT {src} FROM FullSFAData WHERE Data LIKE '%a%'"
             ));
-            assert_eq!(stmt.select().projection, Projection::Aggregate(func));
+            assert_eq!(
+                stmt.select().unwrap().projection,
+                Projection::Aggregate(func)
+            );
         }
         assert!(parse_statement("SELECT COUNT(Prob) FROM MAPData WHERE Data LIKE '%a%'").is_err());
         assert!(parse_statement("SELECT SUM(*) FROM MAPData WHERE Data LIKE '%a%'").is_err());
@@ -349,7 +464,7 @@ mod tests {
     fn params_number_left_to_right() {
         let stmt =
             parse("SELECT DataKey FROM MAPData WHERE Data LIKE ? AND Prob >= ? LIMIT ? OFFSET ?");
-        let s = stmt.select();
+        let s = stmt.select().unwrap();
         assert_eq!(s.predicate.pattern, SqlArg::Param(0));
         assert_eq!(s.predicate.min_prob, Some(SqlArg::Param(1)));
         assert_eq!(s.limit, Some(SqlArg::Param(2)));
@@ -360,8 +475,8 @@ mod tests {
     #[test]
     fn offset_parses_with_limit_and_rejects_alone() {
         let stmt = parse("SELECT DataKey FROM MAPData WHERE Data LIKE '%a%' LIMIT 10 OFFSET 30");
-        assert_eq!(stmt.select().limit, Some(SqlArg::Value(10)));
-        assert_eq!(stmt.select().offset, Some(SqlArg::Value(30)));
+        assert_eq!(stmt.select().unwrap().limit, Some(SqlArg::Value(10)));
+        assert_eq!(stmt.select().unwrap().offset, Some(SqlArg::Value(30)));
         let err = parse_statement("SELECT DataKey FROM MAPData WHERE Data LIKE '%a%' OFFSET 30")
             .unwrap_err();
         assert!(err.message.contains("LIMIT"), "{}", err.message);
@@ -405,6 +520,78 @@ mod tests {
     }
 
     #[test]
+    fn parses_insert_statements() {
+        let stmt = parse(
+            "insert into staccatodata (DocName, Data) values ('a.png', 'the President'), (?, ?);",
+        );
+        let Statement::Insert(insert) = &stmt else {
+            panic!("expected an INSERT, got {stmt:?}");
+        };
+        assert_eq!(insert.rows.len(), 2);
+        assert_eq!(insert.rows[0].doc_name, SqlArg::Value("a.png".into()));
+        assert_eq!(insert.rows[0].data, SqlArg::Value("the President".into()));
+        assert_eq!(insert.rows[1].doc_name, SqlArg::Param(0));
+        assert_eq!(insert.rows[1].data, SqlArg::Param(1));
+        assert_eq!(stmt.param_count(), 2);
+        assert!(stmt.select().is_none());
+        assert_eq!(
+            render_statement(&stmt),
+            "INSERT INTO StaccatoData (DocName, Data) VALUES ('a.png', 'the President'), (?, ?)"
+        );
+
+        for (src, needle) in [
+            (
+                "INSERT INTO MAPData (DocName, Data) VALUES ('a', 'b')",
+                "StaccatoData",
+            ),
+            ("INSERT INTO StaccatoData (Data) VALUES ('b')", "DocName"),
+            ("INSERT INTO StaccatoData (DocName, Data) VALUES ('a')", ","),
+            (
+                "INSERT INTO StaccatoData (DocName, Data) VALUES ('a', 5)",
+                "quoted string",
+            ),
+            (
+                "EXPLAIN INSERT INTO StaccatoData (DocName, Data) VALUES ('a', 'b')",
+                "SELECT",
+            ),
+        ] {
+            let err = parse_statement(src).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{src:?}: {} should mention {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn parses_history_selects() {
+        let stmt = parse("SELECT * FROM StaccatoHistory");
+        assert_eq!(
+            stmt,
+            Statement::SelectHistory(HistorySelect {
+                file_like: None,
+                limit: None,
+            })
+        );
+        let stmt = parse("select * from staccatohistory where FileName like '%.png' limit 5");
+        let Statement::SelectHistory(h) = &stmt else {
+            panic!("expected a history select, got {stmt:?}");
+        };
+        assert_eq!(h.file_like, Some(SqlArg::Value("%.png".into())));
+        assert_eq!(h.limit, Some(SqlArg::Value(5)));
+        assert_eq!(
+            render_statement(&stmt),
+            "SELECT * FROM StaccatoHistory WHERE FileName LIKE '%.png' LIMIT 5"
+        );
+        let params = parse("SELECT * FROM StaccatoHistory WHERE FileName LIKE ? LIMIT ?");
+        assert_eq!(params.param_count(), 2);
+
+        let err = parse_statement("EXPLAIN SELECT * FROM StaccatoHistory").unwrap_err();
+        assert!(err.message.contains("EXPLAIN"), "{}", err.message);
+    }
+
+    #[test]
     fn render_parse_round_trip_spot_checks() {
         for src in [
             "SELECT DataKey FROM StaccatoData WHERE Data LIKE '%Ford%'",
@@ -412,6 +599,8 @@ mod tests {
             "SELECT AVG(Prob) FROM kMAPData WHERE Data LIKE ? LIMIT 7",
             "SELECT DataKey FROM StaccatoData WHERE Data LIKE '%Ford%' LIMIT 10 OFFSET 90",
             "EXPLAIN SELECT COUNT(*) FROM FullSFAData WHERE Data REGEXP '\\d\\d' ORDER BY Prob DESC",
+            "INSERT INTO StaccatoData (DocName, Data) VALUES ('a.png', 'some text'), (?, ?)",
+            "SELECT * FROM StaccatoHistory WHERE FileName LIKE '%.png' LIMIT 3",
         ] {
             let stmt = parse(src);
             assert_eq!(render_statement(&stmt), src);

@@ -10,6 +10,7 @@
 //! | `StaccatoData` | DataKey, ChunkNum, LineNum, Data, LogProb | per-chunk top-k strings |
 //! | `StaccatoGraph` | DataKey, GraphBlob | the chunk graph as a blob |
 //! | `GroundTruth` | DataKey, Data | the clean line (evaluation only) |
+//! | `StaccatoHistory` | DataKey, FileName, Provider, Confidence, ProcessingTimeMs, IngestedAt, BatchSeq | one row per *ingested* document |
 //!
 //! (The paper stores MAP as k-MAP with k = 1; a dedicated `MAPData` table
 //! keeps the MAP filescan's I/O proportional to one string per line, as a
@@ -21,12 +22,15 @@
 //! fans out over `parallelism` threads.
 
 use crate::error::QueryError;
+use crate::ingest::HistoryRow;
 use staccato_core::{approximate, StaccatoParams};
 use staccato_ocr::{Channel, ChannelConfig, Dataset};
 use staccato_sfa::{codec, k_best_paths, Sfa};
 use staccato_storage::{
     BTree, BlobStore, BufferPool, ColumnType, Database, HeapFile, HeapScan, Rid, Schema, Value,
 };
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Loader options.
 #[derive(Debug, Clone)]
@@ -54,16 +58,18 @@ impl Default for LoadOptions {
     }
 }
 
-/// Per-line artifacts produced by the construction pipeline.
-struct LineArtifacts {
-    doc_name: String,
-    sfa_num: i64,
-    clean: String,
-    kmap: Vec<(String, f64)>,
-    full_blob: Vec<u8>,
-    stac_blob: Vec<u8>,
+/// Per-line artifacts produced by the construction pipeline. The WAL
+/// logs these verbatim (see [`crate::ingest`]) so replay re-inserts
+/// rows without re-running the channel.
+pub(crate) struct LineArtifacts {
+    pub(crate) doc_name: String,
+    pub(crate) sfa_num: i64,
+    pub(crate) clean: String,
+    pub(crate) kmap: Vec<(String, f64)>,
+    pub(crate) full_blob: Vec<u8>,
+    pub(crate) stac_blob: Vec<u8>,
     /// `(chunk index, rank, string, log-prob)` rows for StaccatoData.
-    stac_chunks: Vec<(i64, i64, String, f64)>,
+    pub(crate) stac_chunks: Vec<(i64, i64, String, f64)>,
 }
 
 /// Byte sizes of each representation after loading (Table 2 / §5.5).
@@ -81,21 +87,40 @@ pub struct RepresentationSizes {
     pub staccato: u64,
 }
 
-/// A loaded OCR store: the database plus cached table handles.
+/// A loaded OCR store: the database plus live line/size accounting.
+///
+/// `lines` and `sizes` are interior-mutable so the ingest path can keep
+/// them current through a shared reference — `line_count()` and
+/// `sizes()` always reflect every applied batch, never a load-time
+/// snapshot. The channel and load options are retained so ingested
+/// documents are built exactly like loaded ones.
 pub struct OcrStore {
     db: Database,
-    lines: usize,
-    sizes: RepresentationSizes,
+    lines: AtomicUsize,
+    sizes: Mutex<RepresentationSizes>,
+    opts: LoadOptions,
+    channel: Channel,
 }
 
-fn build_line(channel: &Channel, opts: &LoadOptions, line: &str, line_id: u64) -> LineArtifacts {
+pub(crate) fn build_line(
+    channel: &Channel,
+    opts: &LoadOptions,
+    line: &str,
+    line_id: u64,
+) -> LineArtifacts {
     let sfa = channel.line_to_sfa(line, line_id);
-    let kmap = k_best_paths(&sfa, opts.kmap_k)
+    build_line_from_sfa(opts, &sfa, line)
+}
+
+/// [`build_line`] for a pre-built SFA (ingest of external OCR output):
+/// skips the channel, runs k-best and the Staccato approximation.
+pub(crate) fn build_line_from_sfa(opts: &LoadOptions, sfa: &Sfa, line: &str) -> LineArtifacts {
+    let kmap = k_best_paths(sfa, opts.kmap_k)
         .into_iter()
         .map(|p| (p.string, p.prob))
         .collect::<Vec<_>>();
-    let full_blob = codec::encode(&sfa);
-    let stac = approximate(&sfa, opts.staccato);
+    let full_blob = codec::encode(sfa);
+    let stac = approximate(sfa, opts.staccato);
     let stac_blob = codec::encode(&stac);
     // Chunk rows: edges in topological order are the chunks; each emission
     // is one retained string.
@@ -171,7 +196,7 @@ impl OcrStore {
         });
 
         // Phase 2: sequential inserts.
-        let master = db.create_table(
+        db.create_table(
             "MasterData",
             Schema::new(&[
                 ("DataKey", ColumnType::Int),
@@ -179,7 +204,7 @@ impl OcrStore {
                 ("SFANum", ColumnType::Int),
             ]),
         )?;
-        let map_t = db.create_table(
+        db.create_table(
             "MAPData",
             Schema::new(&[
                 ("DataKey", ColumnType::Int),
@@ -187,7 +212,7 @@ impl OcrStore {
                 ("LogProb", ColumnType::Float),
             ]),
         )?;
-        let kmap_t = db.create_table(
+        db.create_table(
             "kMAPData",
             Schema::new(&[
                 ("DataKey", ColumnType::Int),
@@ -196,11 +221,11 @@ impl OcrStore {
                 ("LogProb", ColumnType::Float),
             ]),
         )?;
-        let full_t = db.create_table(
+        db.create_table(
             "FullSFAData",
             Schema::new(&[("DataKey", ColumnType::Int), ("SFABlob", ColumnType::Blob)]),
         )?;
-        let stacd_t = db.create_table(
+        db.create_table(
             "StaccatoData",
             Schema::new(&[
                 ("DataKey", ColumnType::Int),
@@ -210,117 +235,262 @@ impl OcrStore {
                 ("LogProb", ColumnType::Float),
             ]),
         )?;
-        let stacg_t = db.create_table(
+        db.create_table(
             "StaccatoGraph",
             Schema::new(&[
                 ("DataKey", ColumnType::Int),
                 ("GraphBlob", ColumnType::Blob),
             ]),
         )?;
-        let truth_t = db.create_table(
+        db.create_table(
             "GroundTruth",
             Schema::new(&[("DataKey", ColumnType::Int), ("Data", ColumnType::Text)]),
         )?;
-        let full_pk = db.create_index("FullSFAData_pk")?;
-        let stacg_pk = db.create_index("StaccatoGraph_pk")?;
+        db.create_table("StaccatoHistory", history_schema())?;
+        db.create_index("FullSFAData_pk")?;
+        db.create_index("StaccatoGraph_pk")?;
 
-        let mut sizes = RepresentationSizes::default();
-        let pool = db.pool();
-        let enc = staccato_storage::row::encode_row;
+        let store = OcrStore {
+            db,
+            lines: AtomicUsize::new(0),
+            sizes: Mutex::new(RepresentationSizes::default()),
+            opts: opts.clone(),
+            channel,
+        };
         for (key, art) in artifacts.into_iter().enumerate() {
             let art = art.expect("every line built");
-            let key = key as i64;
-            sizes.text += art.clean.len() as u64 + 1;
-            master.insert(
+            store.insert_line_artifacts(key as i64, &art)?;
+        }
+        store.lines.store(work.len(), Ordering::Release);
+        Ok(store)
+    }
+
+    /// Reopen a store persisted by [`Database::save`]: recount lines
+    /// from `MasterData` and recompute the representation sizes by
+    /// rescanning every table — the catalog persists rows and blobs,
+    /// not the loader's accounting. Part of the crash-recovery path
+    /// ([`crate::Staccato::recover`]).
+    pub fn reopen(db: Database, opts: &LoadOptions) -> Result<OcrStore, QueryError> {
+        let channel = Channel::new(opts.channel.clone());
+        // Database files written before the write path existed have no
+        // history table; give them an empty one.
+        if db.table("StaccatoHistory").is_err() {
+            db.create_table("StaccatoHistory", history_schema())?;
+        }
+        let store = OcrStore {
+            db,
+            lines: AtomicUsize::new(0),
+            sizes: Mutex::new(RepresentationSizes::default()),
+            opts: opts.clone(),
+            channel,
+        };
+        let mut lines = 0usize;
+        {
+            let (_, heap) = store.db.table("MasterData")?;
+            for item in heap.scan(store.db.pool()) {
+                item?;
+                lines += 1;
+            }
+        }
+        let mut sizes = RepresentationSizes::default();
+        for (_, text) in store.ground_truth_lines()? {
+            sizes.text += text.len() as u64 + 1;
+        }
+        for item in store.map_cursor()? {
+            let (_, s, _) = item?;
+            sizes.map += s.len() as u64 + 16;
+        }
+        for item in store.kmap_cursor()? {
+            let (_, strings) = item?;
+            for (s, _) in strings {
+                sizes.kmap += s.len() as u64 + 16;
+            }
+        }
+        for item in store.full_sfa_blobs()? {
+            let (_, bytes) = item?;
+            sizes.full_sfa += bytes.len() as u64;
+        }
+        for item in store.staccato_blobs()? {
+            let (_, bytes) = item?;
+            sizes.staccato += bytes.len() as u64;
+        }
+        store.lines.store(lines, Ordering::Release);
+        *store.sizes.lock().expect("sizes lock") = sizes;
+        Ok(store)
+    }
+
+    /// Insert one line's artifacts into every representation table and
+    /// fold its bytes into the size accounting. Shared by the bulk
+    /// loader, live ingest, and WAL replay, so all three produce
+    /// byte-identical stores.
+    pub(crate) fn insert_line_artifacts(
+        &self,
+        key: i64,
+        art: &LineArtifacts,
+    ) -> Result<(), QueryError> {
+        let pool = self.db.pool();
+        let enc = staccato_storage::row::encode_row;
+        let (_, master) = self.db.table("MasterData")?;
+        let (_, map_t) = self.db.table("MAPData")?;
+        let (_, kmap_t) = self.db.table("kMAPData")?;
+        let (_, full_t) = self.db.table("FullSFAData")?;
+        let (_, stacd_t) = self.db.table("StaccatoData")?;
+        let (_, stacg_t) = self.db.table("StaccatoGraph")?;
+        let (_, truth_t) = self.db.table("GroundTruth")?;
+        let full_pk = self.db.index("FullSFAData_pk")?;
+        let stacg_pk = self.db.index("StaccatoGraph_pk")?;
+
+        let mut delta = RepresentationSizes::default();
+        delta.text += art.clean.len() as u64 + 1;
+        master.insert(
+            pool,
+            &enc(
+                &master_schema(),
+                &vec![
+                    Value::Int(key),
+                    Value::Text(art.doc_name.clone()),
+                    Value::Int(art.sfa_num),
+                ],
+            )?,
+        )?;
+        if let Some((s, p)) = art.kmap.first() {
+            delta.map += s.len() as u64 + 16;
+            map_t.insert(
                 pool,
                 &enc(
-                    &master_schema(),
+                    &map_schema(),
                     &vec![
                         Value::Int(key),
-                        Value::Text(art.doc_name.clone()),
-                        Value::Int(art.sfa_num),
+                        Value::Text(s.clone()),
+                        Value::Float(p.ln()),
                     ],
                 )?,
             )?;
-            if let Some((s, p)) = art.kmap.first() {
-                sizes.map += s.len() as u64 + 16;
-                map_t.insert(
-                    pool,
-                    &enc(
-                        &map_schema(),
-                        &vec![
-                            Value::Int(key),
-                            Value::Text(s.clone()),
-                            Value::Float(p.ln()),
-                        ],
-                    )?,
-                )?;
-            }
-            for (rank, (s, p)) in art.kmap.iter().enumerate() {
-                sizes.kmap += s.len() as u64 + 16;
-                kmap_t.insert(
-                    pool,
-                    &enc(
-                        &kmap_schema(),
-                        &vec![
-                            Value::Int(key),
-                            Value::Int(rank as i64),
-                            Value::Text(s.clone()),
-                            Value::Float(p.ln()),
-                        ],
-                    )?,
-                )?;
-            }
-            sizes.full_sfa += art.full_blob.len() as u64;
-            let full_blob = BlobStore::put(pool, &art.full_blob)?;
-            let rid = full_t.insert(
+        }
+        for (rank, (s, p)) in art.kmap.iter().enumerate() {
+            delta.kmap += s.len() as u64 + 16;
+            kmap_t.insert(
                 pool,
                 &enc(
-                    &blob_schema("SFABlob"),
-                    &vec![Value::Int(key), Value::Blob(full_blob)],
-                )?,
-            )?;
-            full_pk.insert(pool, &key.to_be_bytes(), rid.to_u64())?;
-
-            for (ci, rank, s, lp) in &art.stac_chunks {
-                stacd_t.insert(
-                    pool,
-                    &enc(
-                        &stacd_schema(),
-                        &vec![
-                            Value::Int(key),
-                            Value::Int(*ci),
-                            Value::Int(*rank),
-                            Value::Text(s.clone()),
-                            Value::Float(*lp),
-                        ],
-                    )?,
-                )?;
-            }
-            sizes.staccato += art.stac_blob.len() as u64;
-            let stac_blob = BlobStore::put(pool, &art.stac_blob)?;
-            let rid = stacg_t.insert(
-                pool,
-                &enc(
-                    &blob_schema("GraphBlob"),
-                    &vec![Value::Int(key), Value::Blob(stac_blob)],
-                )?,
-            )?;
-            stacg_pk.insert(pool, &key.to_be_bytes(), rid.to_u64())?;
-
-            truth_t.insert(
-                pool,
-                &enc(
-                    &truth_schema(),
-                    &vec![Value::Int(key), Value::Text(art.clean.clone())],
+                    &kmap_schema(),
+                    &vec![
+                        Value::Int(key),
+                        Value::Int(rank as i64),
+                        Value::Text(s.clone()),
+                        Value::Float(p.ln()),
+                    ],
                 )?,
             )?;
         }
-        Ok(OcrStore {
-            db,
-            lines: work.len(),
-            sizes,
-        })
+        delta.full_sfa += art.full_blob.len() as u64;
+        let full_blob = BlobStore::put(pool, &art.full_blob)?;
+        let rid = full_t.insert(
+            pool,
+            &enc(
+                &blob_schema("SFABlob"),
+                &vec![Value::Int(key), Value::Blob(full_blob)],
+            )?,
+        )?;
+        full_pk.insert(pool, &key.to_be_bytes(), rid.to_u64())?;
+
+        for (ci, rank, s, lp) in &art.stac_chunks {
+            stacd_t.insert(
+                pool,
+                &enc(
+                    &stacd_schema(),
+                    &vec![
+                        Value::Int(key),
+                        Value::Int(*ci),
+                        Value::Int(*rank),
+                        Value::Text(s.clone()),
+                        Value::Float(*lp),
+                    ],
+                )?,
+            )?;
+        }
+        delta.staccato += art.stac_blob.len() as u64;
+        let stac_blob = BlobStore::put(pool, &art.stac_blob)?;
+        let rid = stacg_t.insert(
+            pool,
+            &enc(
+                &blob_schema("GraphBlob"),
+                &vec![Value::Int(key), Value::Blob(stac_blob)],
+            )?,
+        )?;
+        stacg_pk.insert(pool, &key.to_be_bytes(), rid.to_u64())?;
+
+        truth_t.insert(
+            pool,
+            &enc(
+                &truth_schema(),
+                &vec![Value::Int(key), Value::Text(art.clean.clone())],
+            )?,
+        )?;
+
+        let mut sizes = self.sizes.lock().expect("sizes lock");
+        sizes.text += delta.text;
+        sizes.map += delta.map;
+        sizes.kmap += delta.kmap;
+        sizes.full_sfa += delta.full_sfa;
+        sizes.staccato += delta.staccato;
+        Ok(())
+    }
+
+    /// Append one row to `StaccatoHistory`.
+    pub(crate) fn insert_history(&self, row: &HistoryRow) -> Result<(), QueryError> {
+        let (schema, heap) = self.db.table("StaccatoHistory")?;
+        heap.insert(
+            self.db.pool(),
+            &staccato_storage::row::encode_row(
+                &schema,
+                &vec![
+                    Value::Int(row.data_key),
+                    Value::Text(row.file_name.clone()),
+                    Value::Text(row.provider.clone()),
+                    Value::Float(row.confidence),
+                    Value::Int(row.processing_time_ms),
+                    Value::Int(row.ingested_at),
+                    Value::Int(row.batch_seq as i64),
+                ],
+            )?,
+        )?;
+        Ok(())
+    }
+
+    /// All `StaccatoHistory` rows in ingest order. Loaded corpus lines
+    /// have no history — the table records live ingests only.
+    pub fn history_rows(&self) -> Result<Vec<HistoryRow>, QueryError> {
+        let (schema, heap) = self.db.table("StaccatoHistory")?;
+        let mut out = Vec::new();
+        for item in heap.scan(self.db.pool()) {
+            let (_, bytes) = item?;
+            let row = staccato_storage::row::decode_row(&schema, &bytes)?;
+            out.push(HistoryRow {
+                data_key: row[0].as_int().expect("schema"),
+                file_name: row[1].as_text().expect("schema").to_string(),
+                provider: row[2].as_text().expect("schema").to_string(),
+                confidence: row[3].as_float().expect("schema"),
+                processing_time_ms: row[4].as_int().expect("schema"),
+                ingested_at: row[5].as_int().expect("schema"),
+                batch_seq: row[6].as_int().expect("schema") as u64,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Bump the live line counter after a batch is fully applied.
+    pub(crate) fn bump_lines(&self, n: usize) {
+        self.lines.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// The options the corpus was built (and documents are ingested) with.
+    pub(crate) fn load_options(&self) -> &LoadOptions {
+        &self.opts
+    }
+
+    /// The OCR channel used to build ingested documents' SFAs.
+    pub(crate) fn channel(&self) -> &Channel {
+        &self.channel
     }
 
     /// The underlying database.
@@ -328,14 +498,15 @@ impl OcrStore {
         &self.db
     }
 
-    /// Number of lines (SFAs) loaded.
+    /// Number of lines (SFAs) in the store — loaded plus ingested,
+    /// current as of the last fully applied batch.
     pub fn line_count(&self) -> usize {
-        self.lines
+        self.lines.load(Ordering::Acquire)
     }
 
-    /// Representation sizes measured at load time.
+    /// Representation sizes, kept current by the ingest path.
     pub fn sizes(&self) -> RepresentationSizes {
-        self.sizes
+        *self.sizes.lock().expect("sizes lock")
     }
 
     /// Streaming cursor over the MAP strings: `(DataKey, string, prob)`.
@@ -629,6 +800,18 @@ fn blob_schema(blob_col: &str) -> Schema {
 
 fn truth_schema() -> Schema {
     Schema::new(&[("DataKey", ColumnType::Int), ("Data", ColumnType::Text)])
+}
+
+fn history_schema() -> Schema {
+    Schema::new(&[
+        ("DataKey", ColumnType::Int),
+        ("FileName", ColumnType::Text),
+        ("Provider", ColumnType::Text),
+        ("Confidence", ColumnType::Float),
+        ("ProcessingTimeMs", ColumnType::Int),
+        ("IngestedAt", ColumnType::Int),
+        ("BatchSeq", ColumnType::Int),
+    ])
 }
 
 #[cfg(test)]

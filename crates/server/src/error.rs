@@ -43,9 +43,11 @@ impl ApiError {
             QueryError::TermNotInDictionary(_) => (400, "TERM_NOT_IN_DICTIONARY"),
             QueryError::NoUsableIndex(_) => (400, "NO_USABLE_INDEX"),
             QueryError::DuplicateIndex(_) => (409, "DUPLICATE_INDEX"),
+            QueryError::Ingest(_) => (400, "BAD_INGEST"),
             QueryError::Storage(_) => (500, "STORAGE"),
             QueryError::Sfa(_) => (500, "CORRUPT_SFA"),
             QueryError::MissingRepresentation(_) => (500, "MISSING_REPRESENTATION"),
+            QueryError::CorruptWal(_) => (500, "CORRUPT_WAL"),
         };
         ApiError::new(status, code, e.to_string())
     }

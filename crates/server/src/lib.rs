@@ -20,8 +20,9 @@
 //! | `POST /query` | `{"sql": "SELECT ... LIMIT n OFFSET m"}` | ranked rows + plan + [`ExecStats`](staccato_query::ExecStats) |
 //! | `POST /prepare` | `{"sql": "... ? ..."}` | `{"statement_id", "param_count", "sql"}` |
 //! | `POST /execute` | `{"statement_id": n, "params": [...]}` | same as `/query` |
+//! | `POST /ingest` | `{"documents": [{"name","text",...}]}` | `{"batch_seq","first_key","docs","wal_bytes"}` |
 //! | `GET /healthz` | — | `{"status":"ok","lines":n}` |
-//! | `GET /stats` | — | per-endpoint latency percentiles, pool & query-cache counters |
+//! | `GET /stats` | — | per-endpoint latency percentiles, pool, query-cache & ingest counters |
 //!
 //! Pagination is plain SQL: `LIMIT n OFFSET m` pages through the
 //! ranked answer relation (the heap keeps `n + m` candidates server

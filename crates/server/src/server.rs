@@ -48,7 +48,7 @@ use crate::http::{Connection, ReadError, Request, Response};
 use crate::json::{obj, Json};
 use crate::limits::{RateLimit, TokenBuckets};
 use crate::stats::{Endpoint, ServerStats};
-use staccato_query::{PreparedQuery, QueryOutput, SqlValue, Staccato};
+use staccato_query::{DocumentInput, IngestBatch, PreparedQuery, QueryOutput, SqlValue, Staccato};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -390,7 +390,8 @@ fn route(shared: &Shared, client: &mut ClientConn, request: &Request) -> (Endpoi
         ("POST", "/query") => Endpoint::Query,
         ("POST", "/prepare") => Endpoint::Prepare,
         ("POST", "/execute") => Endpoint::Execute,
-        (_, "/healthz" | "/stats" | "/query" | "/prepare" | "/execute") => {
+        ("POST", "/ingest") => Endpoint::Ingest,
+        (_, "/healthz" | "/stats" | "/query" | "/prepare" | "/execute" | "/ingest") => {
             let err = ApiError::new(
                 405,
                 "METHOD_NOT_ALLOWED",
@@ -434,6 +435,7 @@ fn route(shared: &Shared, client: &mut ClientConn, request: &Request) -> (Endpoi
         Endpoint::Query => handle_query(shared, request),
         Endpoint::Prepare => handle_prepare(shared, client, request),
         Endpoint::Execute => handle_execute(shared, client, request),
+        Endpoint::Ingest => handle_ingest(shared, request),
         Endpoint::Other => unreachable!("handled above"),
     };
     (endpoint, response)
@@ -477,6 +479,24 @@ fn handle_stats(shared: &Shared) -> Response {
             ]),
         ),
     ];
+    let ingest = shared.session.ingest_stats();
+    body.push((
+        "ingest".to_string(),
+        obj([
+            ("batches", Json::Num(ingest.batches as f64)),
+            ("docs", Json::Num(ingest.docs as f64)),
+            (
+                "wal_records_appended",
+                Json::Num(ingest.wal_records_appended as f64),
+            ),
+            (
+                "wal_bytes_logged",
+                Json::Num(ingest.wal_bytes_logged as f64),
+            ),
+            ("wal_fsyncs", Json::Num(ingest.wal_fsyncs as f64)),
+            ("replays", Json::Num(ingest.replays as f64)),
+        ]),
+    ));
     if let Some(limiter) = &shared.limiter {
         body.push((
             "rate_limiter".to_string(),
@@ -691,5 +711,110 @@ fn output_json(output: &QueryOutput) -> Json {
     if let Some(explain) = &output.explain {
         members.push(("explain".to_string(), Json::Str(explain.clone())));
     }
+    if let Some(receipt) = &output.ingest {
+        members.push((
+            "ingest".to_string(),
+            obj([
+                ("batch_seq", Json::Num(receipt.batch_seq as f64)),
+                ("first_key", Json::Num(receipt.first_key as f64)),
+                ("docs", Json::Num(receipt.docs as f64)),
+                ("wal_bytes", Json::Num(receipt.wal_bytes as f64)),
+            ]),
+        ));
+    }
+    if let Some(history) = &output.history {
+        let rows = history
+            .iter()
+            .map(|r| {
+                obj([
+                    ("key", Json::Num(r.data_key as f64)),
+                    ("file_name", Json::Str(r.file_name.clone())),
+                    ("provider", Json::Str(r.provider.clone())),
+                    ("confidence", Json::Num(r.confidence)),
+                    ("processing_time_ms", Json::Num(r.processing_time_ms as f64)),
+                    ("ingested_at", Json::Num(r.ingested_at as f64)),
+                    ("batch_seq", Json::Num(r.batch_seq as f64)),
+                ])
+            })
+            .collect();
+        members.push(("history".to_string(), Json::Arr(rows)));
+    }
     Json::Obj(members)
+}
+
+/// Parse the `POST /ingest` body:
+/// `{"documents": [{"name": "...", "text": "...", ...}]}`.
+fn batch_of_body(body: &[u8]) -> Result<IngestBatch, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::new(400, "BAD_REQUEST", "body is not UTF-8"))?;
+    let doc = Json::parse(text)
+        .map_err(|e| ApiError::new(400, "BAD_REQUEST", format!("body is not JSON: {e}")))?;
+    let items = doc
+        .get("documents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| {
+            ApiError::new(
+                400,
+                "BAD_REQUEST",
+                "body must be {\"documents\": [{\"name\": \"...\", \"text\": \"...\"}]}",
+            )
+        })?;
+    let mut batch = IngestBatch::new();
+    for (i, item) in items.iter().enumerate() {
+        let name = item.get("name").and_then(Json::as_str).ok_or_else(|| {
+            ApiError::new(
+                400,
+                "BAD_REQUEST",
+                format!("document {i} is missing a string \"name\""),
+            )
+        })?;
+        let text = item.get("text").and_then(Json::as_str).ok_or_else(|| {
+            ApiError::new(
+                400,
+                "BAD_REQUEST",
+                format!("document {i} is missing a string \"text\""),
+            )
+        })?;
+        // Provenance defaults to the entry path; an explicit engine
+        // name from the client overrides it.
+        let mut input = DocumentInput::new(name, text).provider("http");
+        if let Some(provider) = item.get("provider").and_then(Json::as_str) {
+            input.provider = provider.to_string();
+        }
+        if let Some(confidence) = item.get("confidence").and_then(Json::as_f64) {
+            if !(0.0..=1.0).contains(&confidence) {
+                return Err(ApiError::new(
+                    400,
+                    "BAD_REQUEST",
+                    format!("document {i}: confidence {confidence} is outside [0, 1]"),
+                ));
+            }
+            input.confidence = confidence;
+        }
+        if let Some(ms) = item.get("processing_time_ms").and_then(Json::as_u64) {
+            input.processing_time_ms = ms as i64;
+        }
+        batch = batch.doc(input);
+    }
+    Ok(batch)
+}
+
+fn handle_ingest(shared: &Shared, request: &Request) -> Response {
+    let batch = match batch_of_body(&request.body) {
+        Ok(batch) => batch,
+        Err(err) => return err.response(),
+    };
+    match shared.session.ingest(batch) {
+        Ok(receipt) => Response::json(
+            200,
+            obj([
+                ("batch_seq", Json::Num(receipt.batch_seq as f64)),
+                ("first_key", Json::Num(receipt.first_key as f64)),
+                ("docs", Json::Num(receipt.docs as f64)),
+                ("wal_bytes", Json::Num(receipt.wal_bytes as f64)),
+            ])
+            .render(),
+        ),
+        Err(e) => ApiError::from_query_error(&e).response(),
+    }
 }

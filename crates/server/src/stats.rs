@@ -119,6 +119,8 @@ pub enum Endpoint {
     Prepare,
     /// `POST /execute`.
     Execute,
+    /// `POST /ingest`.
+    Ingest,
     /// `GET /healthz`.
     Healthz,
     /// `GET /stats`.
@@ -127,10 +129,11 @@ pub enum Endpoint {
     Other,
 }
 
-const ENDPOINTS: [(Endpoint, &str); 6] = [
+const ENDPOINTS: [(Endpoint, &str); 7] = [
     (Endpoint::Query, "query"),
     (Endpoint::Prepare, "prepare"),
     (Endpoint::Execute, "execute"),
+    (Endpoint::Ingest, "ingest"),
     (Endpoint::Healthz, "healthz"),
     (Endpoint::Stats, "stats"),
     (Endpoint::Other, "other"),
@@ -140,7 +143,7 @@ const ENDPOINTS: [(Endpoint, &str); 6] = [
 #[derive(Debug)]
 pub struct ServerStats {
     started: Instant,
-    endpoints: [EndpointStats; 6],
+    endpoints: [EndpointStats; 7],
     in_flight: AtomicU64,
     connections_accepted: AtomicU64,
 }

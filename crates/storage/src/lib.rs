@@ -18,7 +18,10 @@
 //!   stores `SFABlob` / `GraphBlob`;
 //! * [`row`] — typed values and row (de)serialization;
 //! * [`catalog`] — named tables/indexes bound to their root pages,
-//!   persisted in the database file.
+//!   persisted in the database file;
+//! * [`wal`] — an append-only write-ahead log (CRC-framed records in
+//!   rotating segment files) backing the query layer's ingest path and
+//!   crash recovery.
 
 pub mod blob;
 pub mod btree;
@@ -29,6 +32,7 @@ pub mod heap;
 pub mod page;
 pub mod pager;
 pub mod row;
+pub mod wal;
 
 pub use blob::BlobStore;
 pub use btree::BTree;
@@ -38,6 +42,7 @@ pub use error::StorageError;
 pub use heap::{HeapFile, HeapScan, Rid};
 pub use pager::{BufferPool, PoolStats};
 pub use row::{ColumnType, Row, Schema, Value};
+pub use wal::{SyncPolicy, Wal, WalStats};
 
 /// Identifier of a page on disk.
 pub type PageId = u64;

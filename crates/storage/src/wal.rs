@@ -1,0 +1,523 @@
+//! Write-ahead log: append-only segments with CRC-framed records.
+//!
+//! The durability contract of the ingest path (query layer) rests on
+//! this module: a batch is *committed* once its record is appended and
+//! the segment is fsynced per [`SyncPolicy`]; everything after that —
+//! heap inserts, index postings, history rows — can be replayed from
+//! the log. The WAL knows nothing about batches: records are opaque
+//! byte payloads framed as
+//!
+//! ```text
+//! +----------------+----------------+=================+
+//! | len: u32 (LE)  | crc32: u32 (LE)| payload (len B) |
+//! +----------------+----------------+=================+
+//! ```
+//!
+//! packed back to back in numbered segment files
+//! (`wal-00000001.seg`, `wal-00000002.seg`, ...) inside one directory.
+//! A segment rotates once it crosses the segment byte limit, so
+//! no single file grows without bound and old segments can be archived
+//! wholesale.
+//!
+//! # Recovery
+//!
+//! [`Wal::open`] scans the segments in order and stops at the first
+//! frame that does not check out — a torn length prefix, a length
+//! running past end-of-file, or a CRC mismatch (a crash mid-`write`
+//! leaves exactly such a tail). The bad tail is **truncated** and any
+//! later segments are deleted, so the log ends at the last record that
+//! was fully on disk; the payloads up to that point are returned for
+//! the caller to replay. Truncation makes recovery idempotent at this
+//! layer: re-opening a recovered log finds only whole records.
+
+use crate::error::StorageError;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// Frame header size: `len` + `crc32`.
+const HEADER: u64 = 8;
+
+/// Upper bound on one record's payload; a length prefix beyond this is
+/// treated as corruption rather than an allocation request.
+const MAX_RECORD: u32 = 64 * 1024 * 1024;
+
+/// Default segment rotation threshold.
+const DEFAULT_SEGMENT_LIMIT: u64 = 8 * 1024 * 1024;
+
+/// When the log forces data to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every appended record (safest, slowest).
+    Always,
+    /// fsync on [`Wal::commit`] — one sync per ingest batch. The
+    /// default for the ingest path.
+    Commit,
+    /// Never fsync; the OS flushes when it pleases. A crash can lose
+    /// records that `append` already returned for. Benchmarks only.
+    Never,
+}
+
+/// Counters the log keeps about itself (surfaced in `GET /stats` and
+/// `ExecStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended through this handle.
+    pub records_appended: u64,
+    /// Payload + framing bytes written through this handle.
+    pub bytes_logged: u64,
+    /// fsync calls issued.
+    pub fsyncs: u64,
+    /// Whole records recovered by the opening scan.
+    pub records_replayed: u64,
+    /// Torn-tail bytes truncated by the opening scan.
+    pub truncated_bytes: u64,
+}
+
+/// An open write-ahead log, positioned to append at the clean tail.
+pub struct Wal {
+    dir: PathBuf,
+    policy: SyncPolicy,
+    file: File,
+    seg_index: u64,
+    seg_bytes: u64,
+    segment_limit: u64,
+    stats: WalStats,
+}
+
+impl Wal {
+    /// Create a log in `dir` (created if missing; must hold no
+    /// segments yet).
+    pub fn create(dir: impl AsRef<Path>, policy: SyncPolicy) -> Result<Wal, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        if !segment_indexes(&dir)?.is_empty() {
+            return Err(StorageError::DuplicateObject(format!(
+                "WAL directory {} already holds segments; use Wal::open",
+                dir.display()
+            )));
+        }
+        let file = open_segment(&dir, 1)?;
+        Ok(Wal {
+            dir,
+            policy,
+            file,
+            seg_index: 1,
+            seg_bytes: 0,
+            segment_limit: DEFAULT_SEGMENT_LIMIT,
+            stats: WalStats::default(),
+        })
+    }
+
+    /// Open an existing log: scan every segment in order, truncate the
+    /// torn tail (if any), and return the committed payloads together
+    /// with a handle appending after the last whole record.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        policy: SyncPolicy,
+    ) -> Result<(Wal, Vec<Vec<u8>>), StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let segments = segment_indexes(&dir)?;
+        if segments.is_empty() {
+            let wal = Wal::create(&dir, policy)?;
+            return Ok((wal, Vec::new()));
+        }
+        let mut payloads = Vec::new();
+        let mut stats = WalStats::default();
+        let mut clean = (segments[0], 0u64); // (segment, byte offset of the clean tail)
+        let mut torn_at: Option<usize> = None;
+        for (i, &seg) in segments.iter().enumerate() {
+            let path = segment_path(&dir, seg);
+            let bytes = std::fs::read(&path)?;
+            let valid = scan_segment(&bytes, &mut payloads);
+            stats.records_replayed = payloads.len() as u64;
+            clean = (seg, valid);
+            if valid < bytes.len() as u64 {
+                // Torn or corrupt tail: truncate this segment here and
+                // drop everything after it.
+                stats.truncated_bytes += bytes.len() as u64 - valid;
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(valid)?;
+                file.sync_all()?;
+                stats.fsyncs += 1;
+                torn_at = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = torn_at {
+            for &seg in &segments[i + 1..] {
+                let path = segment_path(&dir, seg);
+                stats.truncated_bytes += std::fs::metadata(&path)?.len();
+                std::fs::remove_file(&path)?;
+            }
+        }
+        let (seg_index, seg_bytes) = clean;
+        let mut file = open_segment(&dir, seg_index)?;
+        file.seek(SeekFrom::Start(seg_bytes))?;
+        Ok((
+            Wal {
+                dir,
+                policy,
+                file,
+                seg_index,
+                seg_bytes,
+                segment_limit: DEFAULT_SEGMENT_LIMIT,
+                stats,
+            },
+            payloads,
+        ))
+    }
+
+    /// Rotate segments once the current one crosses `limit` bytes.
+    pub fn set_segment_limit(&mut self, limit: u64) {
+        self.segment_limit = limit.max(HEADER + 1);
+    }
+
+    /// The directory holding the segments.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Counters accumulated by this handle (appends) plus its opening
+    /// scan (replays, truncation).
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Append one record. Under [`SyncPolicy::Always`] the segment is
+    /// fsynced before returning; otherwise durability waits for
+    /// [`Wal::commit`]. Returns the framed size in bytes.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StorageError> {
+        if payload.len() as u64 > MAX_RECORD as u64 {
+            return Err(StorageError::TupleTooLarge {
+                size: payload.len(),
+                max: MAX_RECORD as usize,
+            });
+        }
+        if self.seg_bytes >= self.segment_limit {
+            self.rotate()?;
+        }
+        let mut frame = Vec::with_capacity(payload.len() + HEADER as usize);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.seg_bytes += frame.len() as u64;
+        self.stats.records_appended += 1;
+        self.stats.bytes_logged += frame.len() as u64;
+        if self.policy == SyncPolicy::Always {
+            self.file.sync_data()?;
+            self.stats.fsyncs += 1;
+        }
+        Ok(frame.len() as u64)
+    }
+
+    /// Make everything appended so far durable (per policy). This is
+    /// the commit point of the ingest path: a batch whose `commit`
+    /// returned survives any crash after it.
+    pub fn commit(&mut self) -> Result<(), StorageError> {
+        match self.policy {
+            SyncPolicy::Always => Ok(()), // every append already synced
+            SyncPolicy::Commit => {
+                self.file.sync_data()?;
+                self.stats.fsyncs += 1;
+                Ok(())
+            }
+            SyncPolicy::Never => {
+                self.file.flush()?;
+                Ok(())
+            }
+        }
+    }
+
+    fn rotate(&mut self) -> Result<(), StorageError> {
+        // Seal the old segment before the new one accepts records.
+        if self.policy != SyncPolicy::Never {
+            self.file.sync_data()?;
+            self.stats.fsyncs += 1;
+        }
+        self.seg_index += 1;
+        self.file = open_segment(&self.dir, self.seg_index)?;
+        self.seg_bytes = 0;
+        Ok(())
+    }
+}
+
+/// Scan one segment's bytes, pushing whole payloads onto `out`.
+/// Returns the offset of the first byte that is not part of a valid
+/// record (== `bytes.len()` when the segment is clean).
+fn scan_segment(bytes: &[u8], out: &mut Vec<Vec<u8>>) -> u64 {
+    let mut pos = 0usize;
+    loop {
+        let Some(header) = bytes.get(pos..pos + HEADER as usize) else {
+            return pos as u64; // torn header (or clean EOF)
+        };
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len as u32 > MAX_RECORD {
+            return pos as u64; // absurd length: corrupt frame
+        }
+        let Some(payload) = bytes.get(pos + HEADER as usize..pos + HEADER as usize + len) else {
+            return pos as u64; // torn payload
+        };
+        if crc32(payload) != crc {
+            return pos as u64; // bit rot or torn write inside the payload
+        }
+        out.push(payload.to_vec());
+        pos += HEADER as usize + len;
+    }
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:08}.seg"))
+}
+
+fn open_segment(dir: &Path, index: u64) -> Result<File, StorageError> {
+    Ok(OpenOptions::new()
+        .create(true)
+        .append(true)
+        .read(true)
+        .open(segment_path(dir, index))?)
+}
+
+/// Segment indexes present in `dir`, ascending.
+fn segment_indexes(dir: &Path) -> Result<Vec<u64>, StorageError> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(num) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".seg"))
+        {
+            if let Ok(n) = num.parse::<u64>() {
+                out.push(n);
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Hand-rolled
+/// because the build is dependency-free by policy.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 == 1 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let path =
+                std::env::temp_dir().join(format!("staccato_wal_{tag}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_then_open_replays_everything() {
+        let tmp = TempDir::new("roundtrip");
+        let payloads: Vec<Vec<u8>> = (0u8..20).map(|i| vec![i; (i as usize) * 7 + 1]).collect();
+        {
+            let mut wal = Wal::create(&tmp.0, SyncPolicy::Commit).unwrap();
+            for p in &payloads {
+                wal.append(p).unwrap();
+            }
+            wal.commit().unwrap();
+            assert_eq!(wal.stats().records_appended, 20);
+            assert_eq!(wal.stats().fsyncs, 1);
+        }
+        let (wal, replayed) = Wal::open(&tmp.0, SyncPolicy::Commit).unwrap();
+        assert_eq!(replayed, payloads);
+        assert_eq!(wal.stats().records_replayed, 20);
+        assert_eq!(wal.stats().truncated_bytes, 0);
+    }
+
+    #[test]
+    fn appends_continue_after_reopen() {
+        let tmp = TempDir::new("continue");
+        {
+            let mut wal = Wal::create(&tmp.0, SyncPolicy::Never).unwrap();
+            wal.append(b"one").unwrap();
+            wal.commit().unwrap();
+        }
+        {
+            let (mut wal, replayed) = Wal::open(&tmp.0, SyncPolicy::Never).unwrap();
+            assert_eq!(replayed.len(), 1);
+            wal.append(b"two").unwrap();
+            wal.commit().unwrap();
+        }
+        let (_, replayed) = Wal::open(&tmp.0, SyncPolicy::Never).unwrap();
+        assert_eq!(replayed, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_the_last_whole_record() {
+        let tmp = TempDir::new("torn");
+        {
+            let mut wal = Wal::create(&tmp.0, SyncPolicy::Commit).unwrap();
+            wal.append(b"committed record").unwrap();
+            wal.append(b"the batch a crash tears").unwrap();
+            wal.commit().unwrap();
+        }
+        // Tear the tail: chop the last record mid-payload.
+        let seg = segment_path(&tmp.0, 1);
+        let len = std::fs::metadata(&seg).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+        let (wal, replayed) = Wal::open(&tmp.0, SyncPolicy::Commit).unwrap();
+        assert_eq!(replayed, vec![b"committed record".to_vec()]);
+        assert!(wal.stats().truncated_bytes > 0);
+        // Idempotent: a second recovery finds a clean log.
+        drop(wal);
+        let (wal, replayed) = Wal::open(&tmp.0, SyncPolicy::Commit).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(wal.stats().truncated_bytes, 0);
+    }
+
+    #[test]
+    fn corrupt_crc_cuts_the_log_at_the_bad_record() {
+        let tmp = TempDir::new("crc");
+        {
+            let mut wal = Wal::create(&tmp.0, SyncPolicy::Commit).unwrap();
+            wal.append(b"good one").unwrap();
+            wal.append(b"about to rot").unwrap();
+            wal.append(b"unreachable after the rot").unwrap();
+            wal.commit().unwrap();
+        }
+        // Flip one payload byte of the second record.
+        let seg = segment_path(&tmp.0, 1);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let second_payload = HEADER as usize + b"good one".len() + HEADER as usize;
+        bytes[second_payload] ^= 0xA5;
+        std::fs::write(&seg, &bytes).unwrap();
+        let (_, replayed) = Wal::open(&tmp.0, SyncPolicy::Commit).unwrap();
+        assert_eq!(replayed, vec![b"good one".to_vec()]);
+    }
+
+    #[test]
+    fn segments_rotate_and_replay_in_order() {
+        let tmp = TempDir::new("rotate");
+        {
+            let mut wal = Wal::create(&tmp.0, SyncPolicy::Commit).unwrap();
+            wal.set_segment_limit(64);
+            for i in 0u32..40 {
+                wal.append(&i.to_le_bytes()).unwrap();
+            }
+            wal.commit().unwrap();
+        }
+        assert!(
+            segment_indexes(&tmp.0).unwrap().len() > 1,
+            "the limit must force rotation"
+        );
+        let (_, replayed) = Wal::open(&tmp.0, SyncPolicy::Commit).unwrap();
+        let got: Vec<u32> = replayed
+            .iter()
+            .map(|p| u32::from_le_bytes(p[..4].try_into().unwrap()))
+            .collect();
+        assert_eq!(got, (0u32..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn torn_segment_drops_later_segments_entirely() {
+        let tmp = TempDir::new("cascade");
+        {
+            let mut wal = Wal::create(&tmp.0, SyncPolicy::Commit).unwrap();
+            wal.set_segment_limit(32);
+            for i in 0u32..20 {
+                wal.append(&[i as u8; 16]).unwrap();
+            }
+            wal.commit().unwrap();
+        }
+        let segments = segment_indexes(&tmp.0).unwrap();
+        assert!(segments.len() >= 3);
+        // Corrupt the *first* segment's second record: everything after
+        // it — including whole later segments — is unreachable.
+        let seg = segment_path(&tmp.0, segments[0]);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let second = HEADER as usize + 16 + 4;
+        bytes[second] ^= 0xFF;
+        std::fs::write(&seg, &bytes).unwrap();
+        let (wal, replayed) = Wal::open(&tmp.0, SyncPolicy::Commit).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(segment_indexes(&tmp.0).unwrap(), vec![segments[0]]);
+        assert!(wal.stats().truncated_bytes > 0);
+    }
+
+    #[test]
+    fn sync_policies_count_fsyncs() {
+        let tmp = TempDir::new("sync");
+        let mut wal = Wal::create(tmp.0.join("always"), SyncPolicy::Always).unwrap();
+        wal.append(b"x").unwrap();
+        wal.append(b"y").unwrap();
+        wal.commit().unwrap();
+        assert_eq!(wal.stats().fsyncs, 2, "Always syncs per append");
+
+        let mut wal = Wal::create(tmp.0.join("never"), SyncPolicy::Never).unwrap();
+        wal.append(b"x").unwrap();
+        wal.commit().unwrap();
+        assert_eq!(wal.stats().fsyncs, 0, "Never never syncs");
+    }
+
+    #[test]
+    fn create_refuses_a_dirty_directory() {
+        let tmp = TempDir::new("dirty");
+        {
+            let mut wal = Wal::create(&tmp.0, SyncPolicy::Never).unwrap();
+            wal.append(b"x").unwrap();
+        }
+        assert!(matches!(
+            Wal::create(&tmp.0, SyncPolicy::Never),
+            Err(StorageError::DuplicateObject(_))
+        ));
+    }
+}

@@ -14,7 +14,10 @@ use staccato::automata::Trie;
 use staccato::ocr::{generate, ChannelConfig, CorpusKind};
 use staccato::query::store::LoadOptions;
 use staccato::storage::Database;
-use staccato::{AggregateFunc, Answer, Approach, QueryRequest, Staccato};
+use staccato::{
+    AggregateFunc, Answer, Approach, DocumentInput, IngestBatch, QueryRequest, Staccato,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn session(lines: usize, seed: u64) -> Staccato {
@@ -137,4 +140,133 @@ fn eight_threads_see_byte_identical_results_while_an_index_registers() {
         session.plan(&anchored).expect("replan").is_index_probe(),
         "cache invalidation must let the new index take over"
     );
+}
+
+/// The write-path sharing contract: batches are atomic units of
+/// visibility. Four writers ingest through one `Arc<Staccato>` while two
+/// readers hammer the SQL surface — a reader may land between batches
+/// but never inside one: every `batch_seq` it observes in
+/// `StaccatoHistory` is complete, and `line_count()` covers every
+/// history row already visible.
+#[test]
+fn four_writers_two_readers_never_observe_a_partial_batch() {
+    const BATCHES_PER_WRITER: u64 = 6;
+    const DOCS_PER_BATCH: usize = 3;
+
+    let session = Arc::new(session(12, 31));
+    let loaded = session.line_count();
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for w in 0..4u64 {
+            let session = Arc::clone(&session);
+            scope.spawn(move || {
+                for b in 0..BATCHES_PER_WRITER {
+                    let mut batch = IngestBatch::new();
+                    for d in 0..DOCS_PER_BATCH {
+                        batch = batch.doc(
+                            DocumentInput::new(
+                                format!("w{w}-b{b}-d{d}.png"),
+                                format!("writer {w} committed batch {b} document {d}"),
+                            )
+                            .provider(format!("writer-{w}")),
+                        );
+                    }
+                    let receipt = session.ingest(batch).expect("ingest");
+                    assert_eq!(receipt.docs, DOCS_PER_BATCH);
+                }
+            });
+        }
+        for r in 0..2 {
+            let session = Arc::clone(&session);
+            let done = &done;
+            scope.spawn(move || {
+                let mut observations = 0u64;
+                while !done.load(Ordering::Acquire) || observations == 0 {
+                    let lines = session.line_count();
+                    let history = session
+                        .sql("SELECT * FROM StaccatoHistory")
+                        .expect("history scan")
+                        .history
+                        .expect("history rows");
+                    // Snapshot order: `lines` was read BEFORE the history
+                    // scan, so every key it promises must be present —
+                    // but history may have grown past it since.
+                    assert!(
+                        history.len() + loaded >= lines,
+                        "reader {r}: line_count {lines} promises rows the \
+                         history scan (len {}) does not show",
+                        history.len()
+                    );
+                    // Atomic visibility: a batch_seq is all-or-nothing.
+                    let mut per_seq = std::collections::HashMap::new();
+                    for row in &history {
+                        *per_seq.entry(row.batch_seq).or_insert(0usize) += 1;
+                        assert!(row.data_key >= loaded as i64);
+                    }
+                    for (seq, count) in per_seq {
+                        assert_eq!(
+                            count, DOCS_PER_BATCH,
+                            "reader {r}: batch {seq} is partially visible"
+                        );
+                    }
+                    observations += 1;
+                }
+            });
+        }
+        // Writers are the first four spawned threads; flag the readers
+        // down once every writer's scope handle would have joined. A
+        // sentinel thread keeps the readers honest without joining the
+        // scope early.
+        let session_done = Arc::clone(&session);
+        let done = &done;
+        scope.spawn(move || {
+            let target = 4 * BATCHES_PER_WRITER as usize * DOCS_PER_BATCH + loaded;
+            while session_done.line_count() < target {
+                std::thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        });
+    });
+
+    // All 24 batches landed, with dense distinct sequence numbers.
+    let stats = session.ingest_stats();
+    assert_eq!(stats.batches, 4 * BATCHES_PER_WRITER);
+    assert_eq!(stats.docs, 4 * BATCHES_PER_WRITER * DOCS_PER_BATCH as u64);
+    let history = session
+        .sql("SELECT * FROM StaccatoHistory")
+        .expect("history")
+        .history
+        .expect("rows");
+    let mut seqs: Vec<u64> = history.iter().map(|r| r.batch_seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len() as u64, 4 * BATCHES_PER_WRITER);
+    assert_eq!(*seqs.first().unwrap(), 1);
+    assert_eq!(*seqs.last().unwrap(), 4 * BATCHES_PER_WRITER);
+    // Every writer's every document is queryable. FullSFA, not MAP: the
+    // exact lattice always gives the true string nonzero match mass
+    // (other lattices may match too, with noise-level probability —
+    // that is the paper's semantics, so membership is asserted, not an
+    // exact count).
+    let expected: Vec<i64> = history
+        .iter()
+        .filter(|r| r.file_name.starts_with("w3-b5-"))
+        .map(|r| r.data_key)
+        .collect();
+    assert_eq!(expected.len(), DOCS_PER_BATCH);
+    let out = session
+        .sql(
+            "SELECT DataKey, Prob FROM FullSFAData \
+             WHERE Data LIKE '%writer 3 committed batch 5%' LIMIT 100",
+        )
+        .expect("select");
+    for key in &expected {
+        assert!(
+            out.answers
+                .iter()
+                .any(|a| a.data_key == *key && a.probability > 0.0),
+            "document {key} of writer 3 batch 5 must match its own text"
+        );
+    }
 }

@@ -5,13 +5,14 @@
 use staccato::approx::StaccatoParams;
 use staccato::ocr::{generate, ChannelConfig, CorpusKind};
 use staccato::query::store::LoadOptions;
-use staccato::query::{Query, QueryError};
+use staccato::query::{Query, QueryError, RecoverOptions};
 use staccato::server::{HttpClient, Server, ServerConfig};
 use staccato::sfa::codec;
 use staccato::storage::{BlobStore, ColumnType, Database, Schema, StorageError, Value};
-use staccato::{Approach, QueryRequest, Staccato};
+use staccato::{Approach, DocumentInput, IngestBatch, QueryRequest, Staccato, SyncPolicy};
 use std::io::Write;
 use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -218,6 +219,203 @@ fn client_disconnect_mid_response_leaves_the_server_usable() {
     session
         .execute(&QueryRequest::keyword("data").num_ans(5))
         .expect("session usable after disconnect faults");
+}
+
+// ---------------------------------------------------------------------
+// WAL fault injection: every on-disk corruption a crash can leave must
+// recover to a consistent prefix of the committed batches — or surface
+// a typed error — never a panic, never a half-applied batch.
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("staccato_walfi_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn wal_options(seed: u64) -> LoadOptions {
+    LoadOptions {
+        channel: ChannelConfig::compact(seed),
+        kmap_k: 3,
+        staccato: StaccatoParams::new(4, 3),
+        parallelism: 1,
+    }
+}
+
+/// Load 8 lines, checkpoint, attach a WAL, ingest `batches` one-doc
+/// batches, and crash (drop without checkpointing).
+fn crashable_store(dir: &Path, batches: u64) -> LoadOptions {
+    let opts = wal_options(1);
+    let dataset = generate(CorpusKind::DbPapers, 8, 1);
+    let db = Database::create(dir.join("store.db"), 1024).expect("create");
+    let session = Staccato::load(db, &dataset, &opts).expect("load");
+    session.checkpoint().expect("checkpoint");
+    session
+        .attach_wal(&dir.join("wal"), SyncPolicy::Commit)
+        .expect("attach");
+    for n in 1..=batches {
+        session
+            .ingest(IngestBatch::new().doc(DocumentInput::new(
+                format!("doc-{n}.png"),
+                format!("probabilistic lineage query number {n}"),
+            )))
+            .expect("ingest");
+    }
+    opts
+}
+
+fn recover(dir: &Path, opts: &LoadOptions) -> Staccato {
+    Staccato::recover_with(
+        &dir.join("store.db"),
+        &dir.join("wal"),
+        &RecoverOptions {
+            pool_frames: 1024,
+            load: opts.clone(),
+            sync: SyncPolicy::Commit,
+        },
+    )
+    .expect("recover")
+}
+
+fn wal_segments(dir: &Path) -> Vec<PathBuf> {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir.join("wal"))
+        .expect("wal dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .collect();
+    segments.sort();
+    segments
+}
+
+#[test]
+fn truncated_wal_tail_recovers_the_whole_record_prefix() {
+    let dir = TempDir::new("trunc");
+    let opts = crashable_store(dir.path(), 3);
+    // Tear deep into the last record — past its payload, into the frame.
+    let last = wal_segments(dir.path()).pop().expect("segment");
+    let len = std::fs::metadata(&last).expect("meta").len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&last)
+        .expect("open")
+        .set_len(len - 40)
+        .expect("truncate");
+
+    let session = recover(dir.path(), &opts);
+    assert_eq!(session.line_count(), 10, "batches 1-2 survive, 3 is torn");
+    assert_eq!(session.ingest_stats().replays, 2);
+    let history = session
+        .sql("SELECT * FROM StaccatoHistory")
+        .expect("history")
+        .history
+        .expect("rows");
+    assert_eq!(history.len(), 2);
+    assert!(history.iter().all(|r| r.file_name != "doc-3.png"));
+}
+
+#[test]
+fn corrupted_crc_cuts_the_log_at_the_bad_record() {
+    let dir = TempDir::new("crc");
+    let opts = crashable_store(dir.path(), 3);
+    // Flip one payload byte in the middle of the segment: the CRC of
+    // some record (not the last) stops matching, so recovery must stop
+    // there even though whole records follow it.
+    let last = wal_segments(dir.path()).pop().expect("segment");
+    let mut bytes = std::fs::read(&last).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xA5;
+    std::fs::write(&last, &bytes).expect("write");
+
+    let session = recover(dir.path(), &opts);
+    assert!(
+        session.line_count() < 11,
+        "the corrupt record and everything after it must be dropped, got {}",
+        session.line_count()
+    );
+    assert!(session.line_count() >= 8, "the checkpoint always survives");
+    // The recovered prefix is fully consistent: history and rows agree.
+    let history = session
+        .sql("SELECT * FROM StaccatoHistory")
+        .expect("history")
+        .history
+        .expect("rows");
+    assert_eq!(history.len(), session.line_count() - 8);
+}
+
+#[test]
+fn replay_is_idempotent_over_checkpoints_and_repeated_recovery() {
+    let dir = TempDir::new("idem");
+    let opts = wal_options(1);
+    let dataset = generate(CorpusKind::DbPapers, 8, 1);
+    {
+        let db = Database::create(dir.path().join("store.db"), 1024).expect("create");
+        let session = Staccato::load(db, &dataset, &opts).expect("load");
+        session.checkpoint().expect("checkpoint");
+        session
+            .attach_wal(&dir.path().join("wal"), SyncPolicy::Commit)
+            .expect("attach");
+        for n in 1..=2u64 {
+            session
+                .ingest(IngestBatch::new().doc(DocumentInput::new(
+                    format!("doc-{n}.png"),
+                    format!("checkpointed batch {n}"),
+                )))
+                .expect("ingest");
+        }
+        // Checkpoint AFTER the first two batches: their WAL records are
+        // now duplicates of durable state and must be skipped on replay.
+        session.checkpoint().expect("mid-stream checkpoint");
+        session
+            .ingest(IngestBatch::new().doc(DocumentInput::new("doc-3.png", "the unflushed batch")))
+            .expect("ingest");
+        // Crash without another checkpoint.
+    }
+
+    let first = recover(dir.path(), &opts);
+    assert_eq!(first.line_count(), 11);
+    assert_eq!(
+        first.ingest_stats().replays,
+        1,
+        "batches 1-2 are already in the checkpoint; only 3 replays"
+    );
+    let keys: Vec<i64> = first
+        .sql("SELECT * FROM StaccatoHistory")
+        .expect("history")
+        .history
+        .expect("rows")
+        .iter()
+        .map(|r| r.data_key)
+        .collect();
+    assert_eq!(keys, vec![8, 9, 10], "no duplicated history rows");
+    drop(first);
+
+    // Recover a second time from the same files (the first recovery was
+    // itself never checkpointed): identical outcome, no double-apply.
+    let second = recover(dir.path(), &opts);
+    assert_eq!(second.line_count(), 11);
+    let keys: Vec<i64> = second
+        .sql("SELECT * FROM StaccatoHistory")
+        .expect("history")
+        .history
+        .expect("rows")
+        .iter()
+        .map(|r| r.data_key)
+        .collect();
+    assert_eq!(keys, vec![8, 9, 10]);
 }
 
 #[test]

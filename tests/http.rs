@@ -331,6 +331,111 @@ fn error_codes_are_stable_and_bodies_are_enveloped() {
 }
 
 #[test]
+fn ingest_over_http_is_immediately_queryable() {
+    let server = boot(session(6), test_config());
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+
+    // POST /ingest commits a two-document batch and returns the receipt.
+    let resp = client
+        .post(
+            "/ingest",
+            "{\"documents\": [\
+             {\"name\": \"net-a.png\", \"text\": \"a zymurgy treatise arrived over the wire\", \
+              \"provider\": \"tess\", \"confidence\": 0.75, \"processing_time_ms\": 12}, \
+             {\"name\": \"net-b.png\", \"text\": \"the zymurgy appendix followed\"}]}",
+        )
+        .expect("ingest");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let receipt = resp.json().expect("json");
+    assert_eq!(receipt.get("batch_seq").unwrap().as_u64(), Some(1));
+    assert_eq!(receipt.get("first_key").unwrap().as_u64(), Some(6));
+    assert_eq!(receipt.get("docs").unwrap().as_u64(), Some(2));
+    assert_eq!(
+        receipt.get("wal_bytes").unwrap().as_u64(),
+        Some(0),
+        "in-memory session has no WAL attached"
+    );
+
+    // /healthz reflects the new lines with no refresh step.
+    let health = client
+        .get("/healthz")
+        .expect("healthz")
+        .json()
+        .expect("json");
+    assert_eq!(health.get("lines").unwrap().as_u64(), Some(8));
+
+    // The documents answer /query immediately (FullSFA: the exact
+    // lattice always carries the true string, MAP may decode past it).
+    let hits = client
+        .post(
+            "/query",
+            "{\"sql\": \"SELECT DataKey, Prob FROM FullSFAData \
+             WHERE Data LIKE '%zymurgy%' LIMIT 10\"}",
+        )
+        .expect("query");
+    assert_eq!(hits.status, 200);
+    let rows = rows_of(&hits.json().expect("json"));
+    assert_eq!(rows.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![6, 7]);
+    assert!(rows.iter().all(|(_, p)| *p > 0.0));
+
+    // ...and the history table rides the same endpoint, provenance intact.
+    let history = client
+        .post(
+            "/query",
+            "{\"sql\": \"SELECT * FROM StaccatoHistory WHERE FileName LIKE 'net-%'\"}",
+        )
+        .expect("history");
+    assert_eq!(history.status, 200);
+    let body = history.json().expect("json");
+    let rows = body
+        .get("history")
+        .and_then(Json::as_array)
+        .expect("history member")
+        .to_vec();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(
+        rows[0].get("file_name").unwrap().as_str(),
+        Some("net-a.png")
+    );
+    assert_eq!(rows[0].get("provider").unwrap().as_str(), Some("tess"));
+    assert_eq!(rows[0].get("confidence").unwrap().as_f64(), Some(0.75));
+    assert_eq!(rows[1].get("provider").unwrap().as_str(), Some("http"));
+
+    // Malformed bodies get the stable error envelope, not a panic.
+    for (body, code) in [
+        ("{\"documents\": []}", "BAD_INGEST"),
+        ("{\"documents\": [{\"name\": \"x.png\"}]}", "BAD_REQUEST"),
+        (
+            "{\"documents\": [{\"name\": \"x.png\", \"text\": \"t\", \"confidence\": 1.5}]}",
+            "BAD_REQUEST",
+        ),
+        ("{\"docs\": []}", "BAD_REQUEST"),
+    ] {
+        let resp = client.post("/ingest", body).expect("post");
+        assert_eq!(resp.status, 400, "{body}: {}", resp.body);
+        assert_eq!(error_code(&resp.json().expect("json")), code, "{body}");
+    }
+
+    // /stats carries the session-cumulative ingest counters.
+    let stats = client.get("/stats").expect("stats").json().expect("json");
+    let ingest = stats.get("ingest").expect("ingest section");
+    assert_eq!(ingest.get("batches").unwrap().as_u64(), Some(1));
+    assert_eq!(ingest.get("docs").unwrap().as_u64(), Some(2));
+    assert_eq!(ingest.get("replays").unwrap().as_u64(), Some(0));
+    let endpoint = stats
+        .get("server")
+        .unwrap()
+        .get("endpoints")
+        .unwrap()
+        .get("ingest")
+        .expect("ingest endpoint stats");
+    assert_eq!(endpoint.get("requests").unwrap().as_u64(), Some(5));
+    assert_eq!(endpoint.get("errors_4xx").unwrap().as_u64(), Some(4));
+
+    server.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_the_in_flight_query() {
     let session = session(80);
     let server = boot(session, test_config());

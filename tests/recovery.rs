@@ -1,0 +1,266 @@
+//! Crash recovery: the WAL-backed write path must survive a process
+//! death between checkpoints.
+//!
+//! The contract under test (DESIGN.md, "Write path & recovery"): after a
+//! crash, `Staccato::recover` replays the WAL over the last checkpoint
+//! and produces a store that is indistinguishable — answers,
+//! probabilities, sizes, history — from one that never crashed, holding
+//! exactly the batches whose WAL records were fully on disk. A torn tail
+//! (the record the crash interrupted) is truncated, not replayed.
+
+use staccato::approx::StaccatoParams;
+use staccato::ocr::{generate, ChannelConfig, CorpusKind};
+use staccato::query::store::LoadOptions;
+use staccato::query::RecoverOptions;
+use staccato::storage::Database;
+use staccato::{Answer, DocumentInput, HistoryRow, IngestBatch, Staccato, SyncPolicy};
+use std::path::{Path, PathBuf};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("staccato_rec_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn load_options(seed: u64) -> LoadOptions {
+    LoadOptions {
+        channel: ChannelConfig::compact(seed),
+        kmap_k: 4,
+        staccato: StaccatoParams::new(8, 6),
+        parallelism: 1,
+    }
+}
+
+/// Everything a reader can observe about the store's committed state.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    lines: usize,
+    answers: Vec<Answer>,
+    count: f64,
+    history: Vec<HistoryRow>,
+}
+
+fn snapshot(session: &Staccato) -> Snapshot {
+    let answers = session
+        .sql("SELECT DataKey, Prob FROM StaccatoData WHERE Data LIKE '%e%' LIMIT 10000")
+        .expect("select")
+        .answers;
+    let count = session
+        .sql("SELECT COUNT(*) FROM MAPData WHERE Data LIKE '%a%'")
+        .expect("count")
+        .aggregate
+        .expect("aggregate")
+        .value;
+    let history = session
+        .sql("SELECT * FROM StaccatoHistory")
+        .expect("history")
+        .history
+        .expect("rows");
+    Snapshot {
+        lines: session.line_count(),
+        answers,
+        count,
+        history,
+    }
+}
+
+fn batch(n: u64) -> IngestBatch {
+    IngestBatch::new()
+        .doc(DocumentInput::new(
+            format!("scan-{n}-a.png"),
+            format!("the Senate considered Public Law {n} this session"),
+        ))
+        .doc(DocumentInput::new(
+            format!("scan-{n}-b.png"),
+            format!("amendment {n} to the employment act of the Congress"),
+        ))
+}
+
+/// Chop `bytes` off the end of the newest WAL segment — the on-disk
+/// shape a crash leaves when it lands mid-append.
+fn tear_wal_tail(wal_dir: &Path, bytes: u64) {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(wal_dir)
+        .expect("wal dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .collect();
+    segments.sort();
+    let last = segments.last().expect("at least one segment");
+    let len = std::fs::metadata(last).expect("metadata").len();
+    assert!(len > bytes, "segment too small to tear");
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(last)
+        .expect("open");
+    file.set_len(len - bytes).expect("truncate");
+}
+
+/// The acceptance scenario: load + checkpoint, ingest three batches, a
+/// fourth batch's WAL record torn mid-write by the "crash", reopen.
+/// Recovery must restore exactly the three whole batches, byte-identical
+/// to what a reader saw before the crash.
+#[test]
+fn torn_tail_recovery_restores_exactly_the_committed_batches() {
+    let dir = TempDir::new("torn");
+    let db_path = dir.path().join("store.db");
+    let wal_dir = dir.path().join("wal");
+    let opts = load_options(5);
+
+    let expected;
+    {
+        let dataset = generate(CorpusKind::CongressActs, 12, 5);
+        let db = Database::create(&db_path, 2048).expect("create");
+        let session = Staccato::load(db, &dataset, &opts).expect("load");
+        session.checkpoint().expect("checkpoint after load");
+        session
+            .attach_wal(&wal_dir, SyncPolicy::Commit)
+            .expect("attach");
+
+        for n in 1..=3u64 {
+            let receipt = session.ingest(batch(n)).expect("ingest");
+            assert_eq!(receipt.batch_seq, n);
+            assert_eq!(receipt.first_key, 12 + 2 * (n as i64 - 1));
+            assert!(receipt.wal_bytes > 0, "WAL attached, batches must log");
+        }
+        expected = snapshot(&session);
+        assert_eq!(expected.lines, 18);
+        assert_eq!(expected.history.len(), 6);
+
+        // The in-flight batch the crash will tear.
+        session.ingest(batch(4)).expect("fourth batch");
+        // Crash: drop without a checkpoint. The database file still holds
+        // only the post-load state; every batch lives in the WAL.
+    }
+    tear_wal_tail(&wal_dir, 3);
+
+    let recovered = Staccato::recover_with(
+        &db_path,
+        &wal_dir,
+        &RecoverOptions {
+            pool_frames: 2048,
+            load: opts.clone(),
+            sync: SyncPolicy::Commit,
+        },
+    )
+    .expect("recover");
+
+    // Byte-identical to the pre-crash committed state: same keys, same
+    // probabilities, same history rows (timestamps included — replay
+    // restores them from the log, it does not re-stamp).
+    assert_eq!(snapshot(&recovered), expected);
+    let stats = recovered.ingest_stats();
+    assert_eq!(stats.replays, 3, "three whole batches replayed");
+
+    // The session is live for further durable writes, numbered after the
+    // last complete batch.
+    let receipt = recovered.ingest(batch(5)).expect("post-recovery ingest");
+    assert_eq!(receipt.batch_seq, 4, "torn batch's sequence is reusable");
+    assert_eq!(receipt.first_key, 18);
+    assert_eq!(recovered.line_count(), 20);
+}
+
+/// A recovered store must be indistinguishable from one that never
+/// crashed at all — not just self-consistent.
+#[test]
+fn recovered_store_matches_a_never_crashed_store() {
+    let never = TempDir::new("never");
+    let crashed = TempDir::new("crashed");
+    let opts = load_options(9);
+    let dataset = generate(CorpusKind::DbPapers, 10, 9);
+
+    let build = |dir: &Path| {
+        let db = Database::create(dir.join("store.db"), 2048).expect("create");
+        let session = Staccato::load(db, &dataset, &opts).expect("load");
+        session.checkpoint().expect("checkpoint");
+        session
+            .attach_wal(&dir.join("wal"), SyncPolicy::Commit)
+            .expect("attach");
+        for n in 1..=2u64 {
+            session.ingest(batch(n)).expect("ingest");
+        }
+        session
+    };
+
+    let reference = build(never.path());
+    drop(build(crashed.path())); // crash: no checkpoint since load
+    let recovered = Staccato::recover_with(
+        &crashed.path().join("store.db"),
+        &crashed.path().join("wal"),
+        &RecoverOptions {
+            pool_frames: 2048,
+            load: opts.clone(),
+            sync: SyncPolicy::Commit,
+        },
+    )
+    .expect("recover");
+
+    let a = snapshot(&reference);
+    let b = snapshot(&recovered);
+    // Timestamps may differ across the two stores (they were stamped at
+    // different wall times); everything else must agree exactly.
+    assert_eq!(a.lines, b.lines);
+    assert_eq!(a.answers, b.answers);
+    assert_eq!(a.count, b.count);
+    assert_eq!(a.history.len(), b.history.len());
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(x.data_key, y.data_key);
+        assert_eq!(x.file_name, y.file_name);
+        assert_eq!(x.provider, y.provider);
+        assert_eq!(x.batch_seq, y.batch_seq);
+    }
+}
+
+/// Satellite pin: `line_count()`, `sizes()`, and SQL visibility must
+/// reflect an ingested batch immediately — no refresh, reopen, or
+/// checkpoint in between.
+#[test]
+fn ingest_is_immediately_visible_without_checkpoint() {
+    let dir = TempDir::new("fresh");
+    let opts = load_options(3);
+    let dataset = generate(CorpusKind::EnglishLit, 6, 3);
+    let db = Database::create(dir.path().join("store.db"), 1024).expect("create");
+    let session = Staccato::load(db, &dataset, &opts).expect("load");
+    session
+        .attach_wal(&dir.path().join("wal"), SyncPolicy::Commit)
+        .expect("attach");
+
+    let before_sizes = session.sizes();
+    assert_eq!(session.line_count(), 6);
+    session
+        .ingest(IngestBatch::new().doc(DocumentInput::new(
+            "fresh.png",
+            "an unmistakably fresh xylophone sentence",
+        )))
+        .expect("ingest");
+    assert_eq!(session.line_count(), 7, "count visible immediately");
+    let after_sizes = session.sizes();
+    assert!(after_sizes.text > before_sizes.text);
+    assert!(after_sizes.map > before_sizes.map);
+    assert!(after_sizes.staccato > before_sizes.staccato);
+    let out = session
+        .sql("SELECT DataKey FROM MAPData WHERE Data LIKE '%xylophone%' LIMIT 10")
+        .expect("select");
+    assert_eq!(out.answers.len(), 1, "row visible immediately");
+    assert_eq!(out.answers[0].data_key, 6);
+    let history = session
+        .sql("SELECT * FROM StaccatoHistory WHERE FileName LIKE 'fresh%'")
+        .expect("history")
+        .history
+        .expect("rows");
+    assert_eq!(history.len(), 1);
+}

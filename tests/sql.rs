@@ -7,12 +7,13 @@ use staccato::approx::StaccatoParams;
 use staccato::automata::Trie;
 use staccato::ocr::{generate, ChannelConfig, CorpusKind};
 use staccato::query::sql::{
-    parse_statement, render_statement, Predicate, Projection, Select, SqlArg, Statement,
+    parse_statement, render_statement, HistorySelect, Insert, InsertRow, Predicate, Projection,
+    Select, SqlArg, Statement,
 };
 use staccato::query::store::LoadOptions;
 use staccato::query::Dialect;
 use staccato::storage::Database;
-use staccato::{AggregateFunc, Approach, QueryRequest, SqlTable, SqlValue, Staccato};
+use staccato::{AggregateFunc, Approach, Plan, QueryRequest, SqlTable, SqlValue, Staccato};
 
 fn session(lines: usize, seed: u64) -> Staccato {
     let dataset = generate(CorpusKind::CongressActs, lines, seed);
@@ -132,6 +133,73 @@ fn statement_strategy() -> impl Strategy<Value = Statement> {
     )
 }
 
+/// Strategy over the write-path statements: multi-row `INSERT`s and
+/// `StaccatoHistory` scans, with `?` ordinals assigned left to right.
+fn write_statement_strategy() -> impl Strategy<Value = Statement> {
+    let text = "[a-z0-9%'() .|]{0,8}";
+    let insert =
+        prop::collection::vec((text, any::<bool>(), text, any::<bool>()), 1..4).prop_map(|rows| {
+            let mut next_param = 0u32;
+            let mut param = || {
+                let n = next_param;
+                next_param += 1;
+                n
+            };
+            Statement::Insert(Insert {
+                rows: rows
+                    .into_iter()
+                    .map(|(name, name_param, data, data_param)| InsertRow {
+                        doc_name: if name_param {
+                            SqlArg::Param(param())
+                        } else {
+                            SqlArg::Value(name)
+                        },
+                        data: if data_param {
+                            SqlArg::Param(param())
+                        } else {
+                            SqlArg::Value(data)
+                        },
+                    })
+                    .collect(),
+            })
+        });
+    let history = (
+        (any::<bool>(), any::<bool>(), text),
+        (any::<bool>(), any::<bool>(), 0u64..10_000),
+    )
+        .prop_map(
+            |((has_like, like_param, pattern), (has_limit, limit_param, limit))| {
+                let mut next_param = 0u32;
+                let mut param = || {
+                    let n = next_param;
+                    next_param += 1;
+                    n
+                };
+                Statement::SelectHistory(HistorySelect {
+                    file_like: if has_like {
+                        Some(if like_param {
+                            SqlArg::Param(param())
+                        } else {
+                            SqlArg::Value(pattern)
+                        })
+                    } else {
+                        None
+                    },
+                    limit: if has_limit {
+                        Some(if limit_param {
+                            SqlArg::Param(param())
+                        } else {
+                            SqlArg::Value(limit)
+                        })
+                    } else {
+                        None
+                    },
+                })
+            },
+        );
+    prop_oneof![insert, history]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -142,6 +210,15 @@ proptest! {
             .unwrap_or_else(|e| panic!("rendered SQL must parse: {text:?}: {e}"));
         prop_assert_eq!(&back, &stmt, "{}", text);
         // Rendering is canonical: a second trip is byte-identical.
+        prop_assert_eq!(render_statement(&back), text);
+    }
+
+    #[test]
+    fn write_statements_round_trip(stmt in write_statement_strategy()) {
+        let text = render_statement(&stmt);
+        let back = parse_statement(&text)
+            .unwrap_or_else(|e| panic!("rendered SQL must parse: {text:?}: {e}"));
+        prop_assert_eq!(&back, &stmt, "{}", text);
         prop_assert_eq!(render_statement(&back), text);
     }
 }
@@ -398,6 +475,78 @@ fn sql_errors_are_loud_and_positioned() {
             "bad pattern",
         ),
         ("DELETE FROM MAPData", "SELECT"),
+    ] {
+        let err = s.sql(sql).expect_err(sql);
+        assert!(err.to_string().contains(needle), "{sql}: {err}");
+    }
+}
+
+#[test]
+fn insert_and_history_execute_end_to_end() {
+    let s = session(8, 211);
+
+    // Literal multi-row INSERT: two documents, one atomic batch.
+    let out = s
+        .sql(
+            "INSERT INTO StaccatoData (DocName, Data) VALUES \
+             ('minutes.png', 'the committee on quixotic affairs convened'), \
+             ('roll.png', 'a quorum of quixotic members answered the roll')",
+        )
+        .expect("insert");
+    assert_eq!(out.plan, Plan::Ingest { rows: 2 });
+    let receipt = out.ingest.expect("receipt");
+    assert_eq!(receipt.batch_seq, 1);
+    assert_eq!(receipt.first_key, 8);
+    assert_eq!(receipt.docs, 2);
+    assert!(out.stats.wal.records_appended == 0, "no WAL attached");
+
+    // Prepared INSERT binds both strings on execute.
+    let p = s
+        .prepare("INSERT INTO StaccatoData (DocName, Data) VALUES (?, ?)")
+        .expect("prepare");
+    assert_eq!(p.param_count(), 2);
+    let out = s
+        .execute_prepared(
+            &p,
+            &[
+                SqlValue::text("late.png"),
+                SqlValue::text("one more quixotic document"),
+            ],
+        )
+        .expect("execute");
+    assert_eq!(out.ingest.expect("receipt").batch_seq, 2);
+
+    // The new rows answer ordinary SELECTs immediately.
+    let hits = s
+        .sql("SELECT DataKey FROM MAPData WHERE Data LIKE '%quixotic%' LIMIT 10")
+        .expect("select")
+        .answers;
+    assert_eq!(hits.len(), 3);
+    assert!(hits.iter().all(|a| a.data_key >= 8));
+
+    // History reflects both batches, filters, and pages.
+    let rows = s
+        .sql("SELECT * FROM StaccatoHistory")
+        .expect("history")
+        .history
+        .expect("rows");
+    assert_eq!(rows.len(), 3, "loaded corpus lines carry no history");
+    assert!(rows.iter().all(|r| r.provider == "sql"));
+    let filtered = s
+        .sql("SELECT * FROM StaccatoHistory WHERE FileName LIKE '%.png' LIMIT 2")
+        .expect("history")
+        .history
+        .expect("rows");
+    assert_eq!(filtered.len(), 2);
+
+    // Write statements refuse EXPLAIN, and wrong shapes name the fix.
+    for (sql, needle) in [
+        (
+            "INSERT INTO MAPData (DocName, Data) VALUES ('a', 'b')",
+            "StaccatoData",
+        ),
+        ("EXPLAIN SELECT * FROM StaccatoHistory", "EXPLAIN"),
+        ("SELECT * FROM MAPData WHERE Data LIKE '%a%'", "SELECT list"),
     ] {
         let err = s.sql(sql).expect_err(sql);
         assert!(err.to_string().contains(needle), "{sql}: {err}");
