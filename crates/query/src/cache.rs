@@ -12,22 +12,49 @@
 //! and stores the compiled query
 //! behind an `Arc` so concurrent executions share one DFA.
 //!
-//! Invalidation: registering an index can legally flip any anchored
-//! Staccato plan from `FileScan` to `IndexProbe`, so `invalidate` bumps
-//! an epoch and entries from older epochs are dropped lazily on their
-//! next lookup. The cache never stores errors — failing patterns
-//! recompile (and re-fail) each time.
+//! # Sharding and the lock-free lookup path
+//!
+//! The table is split into up to [`MAX_CACHE_SHARDS`] segments by key
+//! hash; caches smaller than 64 entries stay unsharded so tiny caches
+//! keep exact global LRU order. Each shard publishes its map as an RCU
+//! snapshot ([`RcuCell`]): `get` — the per-statement hot path — is a
+//! gate-protected hash lookup with **no lock** (stale-epoch entries are
+//! an exception: pruning one takes the shard lock once, then the key
+//! misses lock-free until re-inserted). The per-shard mutex is held
+//! only by `insert` (clone-map-update-publish, with per-shard LRU
+//! eviction). Hit/miss/eviction counters are relaxed atomics, so
+//! `EXPLAIN ANALYZE` cache attribution never serializes statements.
+//!
+//! # Invalidation
+//!
+//! Registering an index can legally flip any anchored Staccato plan from
+//! `FileScan` to `IndexProbe`, so `invalidate` bumps a global epoch and
+//! entries from older epochs are dropped lazily on their next lookup.
+//! Correctness rests on the *get-time* check — an entry is returned only
+//! if `entry.epoch == current_epoch`, where `entry.epoch` was fixed when
+//! the plan was computed — so a plan computed against an old index set
+//! can never be served after the registration's epoch bump is visible.
+//! The insert-time check (`planned_at == current_epoch`) remains as an
+//! optimization that keeps already-stale entries from occupying a slot.
+//! The cache never stores errors — failing patterns recompile (and
+//! re-fail) each time.
 
 use crate::agg::AggregateFunc;
 use crate::exec::Approach;
 use crate::plan::{Dialect, Plan, PlanPreference, QueryRequest};
 use crate::query::Query;
 use parking_lot::Mutex;
+use staccato_storage::RcuCell;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default number of cached compiled queries per session.
 pub const DEFAULT_QUERY_CACHE_CAPACITY: usize = 256;
+
+/// Upper bound on cache segments.
+pub const MAX_CACHE_SHARDS: usize = 8;
 
 /// The request fields that determine the compiled query and its plan.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -56,9 +83,14 @@ impl CacheKey {
 struct Entry {
     query: Arc<Query>,
     plan: Plan,
+    /// The invalidation epoch this entry was planned under — fixed at
+    /// plan time, compared against the live epoch on every `get`.
     epoch: u64,
-    last_used: u64,
+    /// LRU recency, updated by hitters without the shard lock.
+    last_used: AtomicU64,
 }
+
+type EntryMap = HashMap<CacheKey, Arc<Entry>>;
 
 /// Cache effectiveness counters (monotonic over the session's lifetime).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -77,61 +109,125 @@ pub struct QueryCacheStats {
     pub capacity: usize,
 }
 
-struct Inner {
-    map: HashMap<CacheKey, Entry>,
-    tick: u64,
-    epoch: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-    invalidations: u64,
+/// One cache segment: an RCU-published read snapshot plus the writer
+/// lock and the relaxed counters hitters bump outside any lock.
+struct CacheShard {
+    map: RcuCell<EntryMap>,
+    write: Mutex<()>,
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
-/// A bounded, epoch-invalidated LRU of compiled queries + chosen plans.
-/// Internally synchronized; all methods take `&self`.
+impl CacheShard {
+    fn with_capacity(capacity: usize) -> CacheShard {
+        CacheShard {
+            map: RcuCell::new(Arc::new(EntryMap::new())),
+            write: Mutex::new(()),
+            capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A bounded, epoch-invalidated, sharded LRU of compiled queries +
+/// chosen plans. Internally synchronized; all methods take `&self`.
 pub(crate) struct QueryCache {
-    inner: Mutex<Inner>,
+    shards: Vec<CacheShard>,
+    /// log2 of `shards.len()`, for the key-hash → shard mapping.
+    shard_bits: u32,
+    /// Global invalidation epoch, bumped by `invalidate`.
+    epoch: AtomicU64,
+    invalidations: AtomicU64,
     capacity: usize,
+}
+
+/// Shard count for a cache of `capacity` entries: largest power of two
+/// `<= MAX_CACHE_SHARDS` leaving every shard at least 32 entries. Small
+/// caches collapse to one shard and keep exact global LRU semantics.
+fn cache_shard_count(capacity: usize) -> usize {
+    let limit = (capacity / 32).clamp(1, MAX_CACHE_SHARDS);
+    1 << (usize::BITS - 1 - limit.leading_zeros())
 }
 
 impl QueryCache {
     pub(crate) fn with_capacity(capacity: usize) -> QueryCache {
+        let capacity = capacity.max(1);
+        let n = cache_shard_count(capacity);
+        let base = capacity / n;
+        let extra = capacity % n;
+        let shards = (0..n)
+            .map(|i| CacheShard::with_capacity(base + usize::from(i < extra)))
+            .collect();
         QueryCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                tick: 0,
-                epoch: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-                invalidations: 0,
-            }),
-            capacity: capacity.max(1),
+            shards,
+            shard_bits: n.trailing_zeros(),
+            epoch: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            capacity,
         }
     }
 
+    fn shard_of(&self, key: &CacheKey) -> &CacheShard {
+        if self.shard_bits == 0 {
+            return &self.shards[0];
+        }
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let idx = (hasher.finish() >> (64 - self.shard_bits)) as usize;
+        &self.shards[idx]
+    }
+
     /// The cached `(compiled query, plan)` for `key`, if present and from
-    /// the current epoch.
+    /// the current epoch. Lock-free on hit and on clean miss; a
+    /// stale-epoch entry takes the shard lock once to prune itself.
     pub(crate) fn get(&self, key: &CacheKey) -> Option<(Arc<Query>, Plan)> {
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let (tick, epoch) = (inner.tick, inner.epoch);
-        match inner.map.get_mut(key) {
+        let shard = self.shard_of(key);
+        // Epoch first (Acquire): pairs with invalidate's Release bump.
+        // If a registration's bump is visible, entries planned before it
+        // compare unequal below and are rejected.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        enum Found {
+            Hit(Arc<Query>, Plan),
+            Stale,
+            Absent,
+        }
+        let found = shard.map.with(|map| match map.get(key) {
             Some(entry) if entry.epoch == epoch => {
-                entry.last_used = tick;
-                let out = (entry.query.clone(), entry.plan.clone());
-                inner.hits += 1;
-                Some(out)
+                entry.last_used.store(tick, Ordering::Relaxed);
+                Found::Hit(entry.query.clone(), entry.plan.clone())
             }
-            Some(_) => {
-                // Stale epoch: the index set changed since this was
-                // planned; drop it and replan.
-                inner.map.remove(key);
-                inner.misses += 1;
+            Some(_) => Found::Stale,
+            None => Found::Absent,
+        });
+        match found {
+            Found::Hit(query, plan) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                Some((query, plan))
+            }
+            Found::Stale => {
+                // The index set changed since this was planned; drop it
+                // under the shard lock so `len` reflects reality.
+                let _w = shard.write.lock();
+                let current = shard.map.load();
+                if let Some(entry) = current.get(key) {
+                    if entry.epoch != self.epoch.load(Ordering::Acquire) {
+                        let mut next: EntryMap = (*current).clone();
+                        next.remove(key);
+                        shard.map.store(Arc::new(next));
+                    }
+                }
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
-            None => {
-                inner.misses += 1;
+            Found::Absent => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -140,64 +236,72 @@ impl QueryCache {
     /// The current invalidation epoch. Sample it *before* compiling and
     /// planning, and hand it back to [`QueryCache::insert`]: if an index
     /// registration bumped the epoch in between, the insert is dropped —
-    /// otherwise a plan computed against the old index set could be
-    /// cached as if it were current.
+    /// otherwise a plan computed against the old index set could occupy
+    /// a slot (it could still never be *served*: `get` re-checks the
+    /// entry's epoch against the live one).
     pub(crate) fn epoch(&self) -> u64 {
-        self.inner.lock().epoch
+        self.epoch.load(Ordering::Acquire)
     }
 
-    /// Insert a freshly compiled and planned entry (evicting the least
-    /// recently used one if the cache is full), unless the epoch moved
-    /// since `planned_at` was sampled.
+    /// Insert a freshly compiled and planned entry (evicting the shard's
+    /// least recently used one if full), unless the epoch moved since
+    /// `planned_at` was sampled.
     pub(crate) fn insert(&self, key: CacheKey, query: Arc<Query>, plan: Plan, planned_at: u64) {
-        let mut inner = self.inner.lock();
-        if inner.epoch != planned_at {
+        let shard = self.shard_of(&key);
+        let _w = shard.write.lock();
+        if self.epoch.load(Ordering::Acquire) != planned_at {
             return;
         }
-        inner.tick += 1;
-        let (tick, epoch) = (inner.tick, inner.epoch);
-        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
-            // Evict the LRU entry (stale-epoch entries sort naturally
-            // toward the front since they stopped being touched).
-            if let Some(victim) = inner
-                .map
+        let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let current = shard.map.load();
+        let mut next: EntryMap = (*current).clone();
+        if !next.contains_key(&key) && next.len() >= shard.capacity {
+            // Evict the shard's LRU entry (stale-epoch entries sort
+            // naturally toward the front since they stopped being
+            // touched).
+            if let Some(victim) = next
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| k.clone())
             {
-                inner.map.remove(&victim);
-                inner.evictions += 1;
+                next.remove(&victim);
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        inner.map.insert(
+        next.insert(
             key,
-            Entry {
+            Arc::new(Entry {
                 query,
                 plan,
-                epoch,
-                last_used: tick,
-            },
+                epoch: planned_at,
+                last_used: AtomicU64::new(tick),
+            }),
         );
+        shard.map.store(Arc::new(next));
     }
 
     /// Invalidate every cached plan (the index set changed). Entries are
-    /// dropped lazily on their next lookup.
+    /// dropped lazily on their next lookup. The Release bump pairs with
+    /// `get`'s Acquire load: a getter that observes the new epoch
+    /// rejects every entry planned before it.
     pub(crate) fn invalidate(&self) {
-        let mut inner = self.inner.lock();
-        inner.epoch += 1;
-        inner.invalidations += 1;
+        self.epoch.fetch_add(1, Ordering::Release);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn stats(&self) -> QueryCacheStats {
-        let inner = self.inner.lock();
-        QueryCacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            invalidations: inner.invalidations,
-            len: inner.map.len(),
+        let mut s = QueryCacheStats {
             capacity: self.capacity,
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            ..QueryCacheStats::default()
+        };
+        for shard in &self.shards {
+            s.hits += shard.hits.load(Ordering::Relaxed);
+            s.misses += shard.misses.load(Ordering::Relaxed);
+            s.evictions += shard.evictions.load(Ordering::Relaxed);
+            s.len += shard.map.with(|m| m.len());
         }
+        s
     }
 }
 
@@ -283,5 +387,58 @@ mod tests {
         assert!(cache.get(&key("b")).is_none(), "evicted");
         assert!(cache.get(&key("c")).is_some());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn insert_dropped_when_epoch_moved_but_get_still_guards() {
+        let cache = QueryCache::with_capacity(4);
+        let planned_at = cache.epoch();
+        cache.invalidate();
+        let (q, p) = entry("stale");
+        cache.insert(key("stale"), q, p, planned_at);
+        assert_eq!(cache.stats().len, 0, "stale insert dropped");
+        assert!(cache.get(&key("stale")).is_none());
+    }
+
+    #[test]
+    fn small_caches_collapse_to_one_shard_large_ones_split() {
+        assert_eq!(QueryCache::with_capacity(2).shards.len(), 1);
+        assert_eq!(QueryCache::with_capacity(63).shards.len(), 1);
+        assert_eq!(QueryCache::with_capacity(64).shards.len(), 2);
+        assert_eq!(QueryCache::with_capacity(256).shards.len(), 8);
+        assert_eq!(QueryCache::with_capacity(4096).shards.len(), 8);
+        // Shard capacities always sum to the requested capacity.
+        let c = QueryCache::with_capacity(257);
+        assert_eq!(c.shards.iter().map(|s| s.capacity).sum::<usize>(), 257);
+    }
+
+    #[test]
+    fn concurrent_gets_and_inserts_keep_counts_exact() {
+        let cache = std::sync::Arc::new(QueryCache::with_capacity(256));
+        let patterns: Vec<String> = (0..32).map(|i| format!("pat{i}")).collect();
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let cache = std::sync::Arc::clone(&cache);
+                let patterns = patterns.clone();
+                scope.spawn(move || {
+                    for round in 0..64usize {
+                        let pat = &patterns[(t * 7 + round) % patterns.len()];
+                        if cache.get(&key(pat)).is_none() {
+                            let (q, p) = entry(pat);
+                            cache.insert(key(pat), q, p, cache.epoch());
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8 * 64, "every get counted once");
+        assert!(s.len <= 32);
+        // Everything is cached now: 32 more gets, all hits.
+        let before = cache.stats().hits;
+        for pat in &patterns {
+            assert!(cache.get(&key(pat)).is_some());
+        }
+        assert_eq!(cache.stats().hits, before + 32);
     }
 }

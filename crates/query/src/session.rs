@@ -15,12 +15,13 @@
 //! # Sharing model
 //!
 //! Every public method takes `&self`, `Staccato` is `Send + Sync`
-//! (asserted at compile time below), and all interior state is
-//! latch-protected: the buffer pool is sharded behind per-shard mutexes,
-//! the registered-index list sits behind an `RwLock` (reads for
-//! planning, a write only during [`Staccato::register_index`]), and the
-//! compiled-query cache behind its own mutex. Share one session across
-//! client threads as `Arc<Staccato>` — no external locking:
+//! (asserted at compile time below), and the read hot path is
+//! contention-free: buffer-pool hits are lock-free RCU lookups (the
+//! shard mutex covers misses/eviction only), the registered-index list
+//! is published as an atomically-swapped `Arc` snapshot (planning never
+//! blocks behind an index build), and the compiled-query cache is
+//! sharded with lock-free lookups. Share one session across client
+//! threads as `Arc<Staccato>` — no external locking:
 //!
 //! ```ignore
 //! let session = Arc::new(Staccato::load(db, &dataset, &LoadOptions::default())?);
@@ -62,7 +63,7 @@ use parking_lot::{Mutex, RwLock};
 use staccato_automata::Trie;
 use staccato_ocr::Dataset;
 use staccato_sfa::codec;
-use staccato_storage::{Database, PoolStats, SyncPolicy, Wal};
+use staccato_storage::{Database, PoolStats, RcuCell, SyncPolicy, Wal};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -102,7 +103,7 @@ struct IngestTotals {
 /// # Write-path locking
 ///
 /// Three latches order writers against readers (always acquired in this
-/// order — writer → applies → indexes):
+/// order — writer → applies → index_write):
 ///
 /// 1. `writer` serializes whole `ingest` calls: artifact construction,
 ///    the WAL append+commit, and the apply all happen under it.
@@ -110,11 +111,21 @@ struct IngestTotals {
 ///    their whole execution; an ingest holds the write side while
 ///    inserting a batch's rows, history, and index postings — so a
 ///    reader observes a batch entirely or not at all, never partially.
-/// 3. `indexes` guards the registry as before; ingest reads it while
-///    extending registered indexes in place.
+/// 3. `index_write` serializes registrations. *Reads* of the registry
+///    never latch: `indexes` is an RCU snapshot ([`RcuCell`]) — the
+///    planner, ingest's posting extension, and every registry getter
+///    work against the snapshot that was current when they started,
+///    while `register_index` builds the next one off to the side and
+///    publishes it atomically.
 pub struct Staccato {
     store: OcrStore,
-    indexes: RwLock<Vec<RegisteredIndex>>,
+    /// The registered-index snapshot. Readers clone `Arc`s out of it
+    /// lock-free; only `register_index` (under `index_write`) replaces
+    /// it.
+    indexes: RcuCell<Vec<Arc<RegisteredIndex>>>,
+    /// Serializes index registrations (duplicate-name check → build →
+    /// publish must not interleave).
+    index_write: Mutex<()>,
     cache: QueryCache,
     writer: Mutex<WriterState>,
     applies: RwLock<()>,
@@ -154,7 +165,8 @@ impl Staccato {
     pub fn open(store: OcrStore) -> Staccato {
         Staccato {
             store,
-            indexes: RwLock::new(Vec::new()),
+            indexes: RcuCell::new(Arc::new(Vec::new())),
+            index_write: Mutex::new(()),
             cache: QueryCache::with_capacity(DEFAULT_QUERY_CACHE_CAPACITY),
             writer: Mutex::new(WriterState {
                 wal: None,
@@ -202,54 +214,64 @@ impl Staccato {
     /// session; re-registering one errors with
     /// [`QueryError::DuplicateIndex`] instead of shadowing the original.
     ///
-    /// Registration holds the index registry's write latch for the whole
-    /// build (so two threads cannot race the same name), then invalidates
-    /// the compiled-query cache: anchored Staccato queries re-plan and
-    /// may now route through the new index. Queries keep executing
-    /// concurrently against the previous index set until then.
+    /// Registration serializes on the registration latch (so two threads
+    /// cannot race the same name), builds the index off to the side —
+    /// planning keeps reading the previous registry snapshot, entirely
+    /// unblocked — then publishes the extended snapshot atomically and
+    /// invalidates the compiled-query cache: anchored Staccato queries
+    /// re-plan and may now route through the new index.
     pub fn register_index(&self, trie: &Trie, name: &str) -> Result<u64, QueryError> {
         // Hold the apply latch (read side) across the build: concurrent
         // queries proceed, but no ingest batch can land mid-scan — every
         // line is either in the initial build or in a later incremental
         // extension, never missed between them. Lock order matches the
-        // write path: applies before indexes.
+        // write path: applies before index_write.
         let _apply = self.applies.read();
-        let mut indexes = self.indexes.write();
-        if indexes.iter().any(|r| r.name == name) {
+        let _reg = self.index_write.lock();
+        let current = self.indexes.load();
+        if current.iter().any(|r| r.name == name) {
             return Err(QueryError::DuplicateIndex(name.to_string()));
         }
         let index = build_index(&self.store, trie, name)?;
         let postings = index.posting_count();
-        indexes.push(RegisteredIndex {
+        let mut next = Vec::with_capacity(current.len() + 1);
+        next.extend(current.iter().cloned());
+        next.push(Arc::new(RegisteredIndex {
             name: name.to_string(),
             index: Arc::new(index),
             trie: trie.clone(),
-        });
-        // Bump the epoch while still holding the write latch: any plan
-        // computed against the old index set carries an older epoch and
-        // cannot be (re)inserted.
+        }));
+        // Publish the new registry *before* bumping the epoch: a planner
+        // that observes the new epoch is guaranteed to also observe the
+        // new snapshot (store is sequenced before the bump, and the
+        // bump's Release pairs with the planner's Acquire epoch load). A
+        // planner still on the old epoch may plan against the old
+        // snapshot, but its entry carries the old epoch and the cache's
+        // get-time check rejects it.
+        self.indexes.store(Arc::new(next));
         self.cache.invalidate();
         Ok(postings)
     }
 
     /// A registered index by name.
     pub fn index(&self, name: &str) -> Option<Arc<InvertedIndex>> {
-        self.indexes
-            .read()
-            .iter()
-            .find(|r| r.name == name)
-            .map(|r| Arc::clone(&r.index))
+        self.indexes.with(|v| {
+            v.iter()
+                .find(|r| r.name == name)
+                .map(|r| Arc::clone(&r.index))
+        })
     }
 
     /// Names of all registered indexes, in registration order.
     pub fn index_names(&self) -> Vec<String> {
-        self.indexes.read().iter().map(|r| r.name.clone()).collect()
+        self.indexes
+            .with(|v| v.iter().map(|r| r.name.clone()).collect())
     }
 
-    /// Is any index registered? (Planner hook — allocation-free, unlike
-    /// [`Staccato::index_names`].)
+    /// Is any index registered? (Planner hook — one lock-free snapshot
+    /// peek, unlike [`Staccato::index_names`].)
     pub(crate) fn has_indexes(&self) -> bool {
-        !self.indexes.read().is_empty()
+        self.indexes.with(|v| !v.is_empty())
     }
 
     /// Compiled-query cache effectiveness counters.
@@ -264,9 +286,12 @@ impl Staccato {
     }
 
     /// The first registered index whose dictionary contains `term`
-    /// (planner hook).
+    /// (planner hook). Clones the registry snapshot out of the cell
+    /// (`load`, not `with`) because the dictionary probe does page I/O —
+    /// too long to sit inside the RCU reader gate.
     pub(crate) fn index_covering(&self, term: &str) -> Result<Option<String>, QueryError> {
-        for reg in self.indexes.read().iter() {
+        let indexes = self.indexes.load();
+        for reg in indexes.iter() {
             if reg.index.contains_term(self.store.db().pool(), term)? {
                 return Ok(Some(reg.name.clone()));
             }
@@ -695,7 +720,12 @@ impl Staccato {
     /// of the write path. Caller holds the writer lock.
     fn apply_decoded(&self, batch: &DecodedBatch) -> Result<(), QueryError> {
         let _apply = self.applies.write();
-        let indexes = self.indexes.read();
+        // Snapshot clone (`load`): posting extension does page I/O and
+        // must not run inside the RCU reader gate. A registration racing
+        // this apply either sees the batch's lines in its build scan (it
+        // holds `applies.read`, so it runs strictly before or after this
+        // whole apply) or extends from the next batch on.
+        let indexes = self.indexes.load();
         let pool = self.store.db().pool();
         for (i, doc) in batch.docs.iter().enumerate() {
             let key = batch.first_key + i as i64;

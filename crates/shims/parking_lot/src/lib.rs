@@ -2,15 +2,25 @@
 //!
 //! Provides the surface `staccato-storage` uses: a non-poisoning
 //! [`Mutex`], and an [`RwLock`] with both borrowed (`read`/`write`) and
-//! Arc-owned (`read_arc`/`write_arc`, the `arc_lock` feature) guards. The
-//! rwlock is a classic mutex+condvar implementation — writer-preference
-//! fairness and parking-lot-grade speed are out of scope; the buffer pool
-//! needs correctness, owned guards, and multi-guard reads. Swap this
-//! crate for the registry `parking_lot` when a network is available.
+//! Arc-owned (`read_arc`/`write_arc`, the `arc_lock` feature) guards.
+//!
+//! The rwlock is a single atomic word (reader count, with a writer bit):
+//! acquiring or releasing a read lock is **one uncontended RMW** — no
+//! mutex, no condvar, no futex hand-off. This matters because the query
+//! layer's read hot path goes through rwlocks twice per page touch (the
+//! page-data latch) and once per statement (the batch-visibility gate);
+//! the earlier mutex+condvar implementation made every one of those a
+//! global-mutex critical section, which under concurrent clients turned
+//! into scheduler churn. Waiters spin briefly then `yield_now` —
+//! acceptable because writers (ingest applies, page writes) are rare and
+//! short in this workload; writer-preference fairness and parking-lot's
+//! adaptive parking are out of scope. Swap this crate for the registry
+//! `parking_lot` when a network is available.
 
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
-use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 
 /// Marker type standing in for `parking_lot::RawRwLock` in guard
 /// signatures (`ArcRwLockReadGuard<RawRwLock, T>`).
@@ -44,6 +54,18 @@ impl<T: ?Sized> Mutex<T> {
             guard: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
         }
     }
+
+    /// Acquire the lock only if it is free right now (parking_lot's
+    /// `try_lock`, returning `Option` instead of a poison `Result`).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { guard }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                guard: e.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 /// RAII guard for [`Mutex`].
@@ -66,15 +88,13 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
 
 // --------------------------------------------------------------- RwLock --
 
-struct RwState {
-    /// Active readers; `usize::MAX` encodes an active writer.
-    readers: usize,
-}
+/// Writer bit in [`RwLock::state`]; the bits below it count readers.
+const WRITER: usize = 1 << (usize::BITS - 1);
 
-/// Readers-writer lock with Arc-owned guard support.
+/// Readers-writer lock with Arc-owned guard support. One atomic word:
+/// the high bit is the writer flag, the rest the reader count.
 pub struct RwLock<T: ?Sized> {
-    state: StdMutex<RwState>,
-    cond: Condvar,
+    state: AtomicUsize,
     data: UnsafeCell<T>,
 }
 
@@ -86,42 +106,63 @@ impl<T> RwLock<T> {
     /// Wrap `value`.
     pub fn new(value: T) -> RwLock<T> {
         RwLock {
-            state: StdMutex::new(RwState { readers: 0 }),
-            cond: Condvar::new(),
+            state: AtomicUsize::new(0),
             data: UnsafeCell::new(value),
         }
     }
 }
 
+/// Spin briefly, then hand the core to whoever holds the lock. The
+/// yield path matters on small machines: a waiter that only spins would
+/// starve the holder of its time slice.
+fn backoff(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 32 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
 impl<T: ?Sized> RwLock<T> {
     fn acquire_read(&self) {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        while s.readers == usize::MAX {
-            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        let mut spins = 0u32;
+        loop {
+            // Optimistic increment: if no writer held or arrived, done
+            // in one RMW. AcqRel: acquire pairs with a releasing writer
+            // so the reader sees its writes; release orders the
+            // announcement for the writer's drain.
+            let prev = self.state.fetch_add(1, Ordering::AcqRel);
+            if prev & WRITER == 0 {
+                return;
+            }
+            // A writer holds the lock: undo and wait.
+            self.state.fetch_sub(1, Ordering::Release);
+            while self.state.load(Ordering::Relaxed) & WRITER != 0 {
+                backoff(&mut spins);
+            }
         }
-        s.readers += 1;
     }
 
     fn acquire_write(&self) {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        while s.readers != 0 {
-            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        let mut spins = 0u32;
+        // Claim the writer bit (one writer at a time) ...
+        while self.state.fetch_or(WRITER, Ordering::AcqRel) & WRITER != 0 {
+            backoff(&mut spins);
         }
-        s.readers = usize::MAX;
+        // ... then wait for the readers present at claim time to drain.
+        // New readers see the bit and back off, so this terminates.
+        while self.state.load(Ordering::Acquire) != WRITER {
+            backoff(&mut spins);
+        }
     }
 
     fn release_read(&self) {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        s.readers -= 1;
-        if s.readers == 0 {
-            self.cond.notify_all();
-        }
+        self.state.fetch_sub(1, Ordering::Release);
     }
 
     fn release_write(&self) {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        s.readers = 0;
-        self.cond.notify_all();
+        self.state.fetch_and(!WRITER, Ordering::Release);
     }
 
     /// Borrowed shared access.
@@ -256,6 +297,17 @@ mod tests {
         let m = Mutex::new(1);
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held_and_succeeds_after() {
+        let m = Mutex::new(5);
+        {
+            let _held = m.lock();
+            assert!(m.try_lock().is_none(), "held elsewhere");
+        }
+        *m.try_lock().expect("free now") += 1;
+        assert_eq!(*m.lock(), 6);
     }
 
     #[test]

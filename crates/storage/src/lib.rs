@@ -21,7 +21,10 @@
 //!   persisted in the database file;
 //! * [`wal`] — an append-only write-ahead log (CRC-framed records in
 //!   rotating segment files) backing the query layer's ingest path and
-//!   crash recovery.
+//!   crash recovery;
+//! * [`rcu`] — the hand-rolled arc-swap ([`RcuCell`]) behind the
+//!   lock-free read paths: buffer-pool page hits, the query layer's
+//!   sharded compiled-query cache, and index-registry snapshots.
 
 pub mod blob;
 pub mod btree;
@@ -31,6 +34,7 @@ pub mod error;
 pub mod heap;
 pub mod page;
 pub mod pager;
+pub mod rcu;
 pub mod row;
 pub mod wal;
 
@@ -41,6 +45,7 @@ pub use disk::{Disk, FileDisk, MemDisk, PAGE_SIZE};
 pub use error::StorageError;
 pub use heap::{HeapFile, HeapScan, Rid};
 pub use pager::{BufferPool, PoolStats};
+pub use rcu::RcuCell;
 pub use row::{ColumnType, Row, Schema, Value};
 pub use wal::{SyncPolicy, Wal, WalStats};
 

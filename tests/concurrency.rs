@@ -142,6 +142,185 @@ fn eight_threads_see_byte_identical_results_while_an_index_registers() {
     );
 }
 
+/// The lock-free read hot path under maximum churn: sixteen readers on
+/// RCU page hits, sharded cache lookups, and registry snapshots, while
+/// one racer registers indexes (each registration swaps the registry
+/// snapshot and bumps the cache epoch) and one writer ingests batches
+/// (each apply invalidates the cache and extends the registered
+/// indexes). Results must stay bit-identical to the serial baseline —
+/// answers, probabilities, order, and aggregates.
+///
+/// Determinism is engineered, not hoped for: a *covering* index is
+/// registered before the baseline (so the probe-vs-scan choice is fixed
+/// either way — and probe answer sets provably equal scan answer sets,
+/// see `invindex::indexed_query_matches_filescan_answer_set`), and the
+/// ingested documents use vocabulary character-disjoint from every
+/// query pattern, so their lattices assign the patterns *exactly zero*
+/// match mass — they can never enter a ranked relation or an aggregate.
+/// Explain text is *not* asserted — replanning mid-race is legal;
+/// producing different answers is not.
+#[test]
+fn sixteen_threads_stay_bit_identical_under_registry_and_ingest_churn() {
+    const RACER_INDEXES: usize = 4;
+    const WRITER_BATCHES: usize = 6;
+
+    let session = Arc::new(session(48, 42));
+    session
+        .register_index(&Trie::build(["president", "public", "commission"]), "cov")
+        .expect("covering index");
+    let workload = vec![
+        QueryRequest::keyword("President"),
+        QueryRequest::regex(r"Public Law (8|9)\d"),
+        QueryRequest::keyword("Commission").approach(Approach::Map),
+        QueryRequest::like("%United States%").approach(Approach::KMap),
+        QueryRequest::keyword("employment").min_prob(0.0001),
+        QueryRequest::keyword("Commission")
+            .approach(Approach::Map)
+            .aggregate(AggregateFunc::CountStar),
+    ];
+
+    // Serial ground truth: ranked relation + aggregate scalar per query.
+    let baseline: Vec<(Vec<Answer>, Option<f64>)> = workload
+        .iter()
+        .map(|q| {
+            let out = session.execute(q).expect("baseline");
+            (out.answers, out.aggregate.map(|a| a.value))
+        })
+        .collect();
+    assert!(
+        baseline.iter().any(|(a, _)| !a.is_empty()),
+        "baseline must actually match something"
+    );
+
+    std::thread::scope(|scope| {
+        // Registry racer: every registration builds off to the side,
+        // publishes a new snapshot, and bumps the cache epoch.
+        {
+            let session = Arc::clone(&session);
+            scope.spawn(move || {
+                for i in 0..RACER_INDEXES {
+                    session
+                        .register_index(
+                            &Trie::build(["zzqabsent", "qqmissing"]),
+                            &format!("stress{i}"),
+                        )
+                        .expect("racing registration");
+                }
+            });
+        }
+        // Writer: disjoint-vocabulary documents — every apply
+        // invalidates the cache and extends all registered indexes.
+        {
+            let session = Arc::clone(&session);
+            scope.spawn(move || {
+                for b in 0..WRITER_BATCHES {
+                    let batch = IngestBatch::new()
+                        .doc(DocumentInput::new(
+                            format!("junk-{b}-a.png"),
+                            format!("zzqx gribble flomp wubble batch {b}"),
+                        ))
+                        .doc(DocumentInput::new(
+                            format!("junk-{b}-b.png"),
+                            format!("vorpal snark boojum frabjous batch {b}"),
+                        ));
+                    session.ingest(batch).expect("racing ingest");
+                }
+            });
+        }
+        for t in 0..16 {
+            let session = Arc::clone(&session);
+            let workload = &workload;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                for round in 0..2 {
+                    for step in 0..workload.len() {
+                        let i = (step + t) % workload.len();
+                        let out = session.execute(&workload[i]).expect("stress query");
+                        let (base_answers, base_aggregate) = &baseline[i];
+                        assert_eq!(
+                            &out.answers, base_answers,
+                            "thread {t} round {round} query {i}: answers diverged"
+                        );
+                        assert_eq!(
+                            &out.aggregate.map(|a| a.value),
+                            base_aggregate,
+                            "thread {t} round {round} query {i}: aggregate diverged"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // The churn actually happened: every registration and every batch
+    // bumped the epoch at least once.
+    let cache = session.query_cache_stats();
+    assert!(
+        cache.invalidations >= (RACER_INDEXES + WRITER_BATCHES) as u64,
+        "{cache:?}"
+    );
+    assert!(cache.hits > 0, "{cache:?}");
+    assert_eq!(session.line_count(), 48 + 2 * WRITER_BATCHES);
+    assert_eq!(session.index_names().len(), 1 + RACER_INDEXES);
+}
+
+/// Per-query attribution survives the lock-free restructuring exactly:
+/// summing every statement's `ExecStats.pool` delta reproduces the
+/// session-global pool counters, and the cache sees precisely one
+/// lookup per relational statement. Serial on purpose — with concurrent
+/// clients the per-query deltas legitimately interleave; what this
+/// pins is that nothing on the hot path stopped being counted (or got
+/// counted twice) when the latches came off.
+#[test]
+fn per_query_pool_deltas_sum_to_the_global_counters() {
+    let session = session(24, 17);
+    session
+        .register_index(&Trie::build(["president", "public"]), "inv")
+        .expect("index");
+    let statements = [
+        "SELECT DataKey, Prob FROM MAPData WHERE Data REGEXP 'President' LIMIT 100",
+        "SELECT DataKey, Prob FROM StaccatoData WHERE Data LIKE '%Commission%' LIMIT 100",
+        "SELECT DataKey FROM StaccatoData WHERE Data REGEXP 'Public Law (8|9)\\d' LIMIT 100",
+        "SELECT DataKey, Prob FROM kMAPData WHERE Data REGEXP 'United States' LIMIT 50",
+        "SELECT COUNT(*) FROM MAPData WHERE Data LIKE '%Act%'",
+        "SELECT DataKey FROM MAPData WHERE Data REGEXP 'employment' AND Prob >= 0.1 LIMIT 100",
+    ];
+    let pool_before = session.pool_stats();
+    let cache_before = session.query_cache_stats();
+    let (mut hits, mut misses, mut writebacks, mut evictions) = (0u64, 0u64, 0u64, 0u64);
+    // Two rounds: the first misses the query cache, the second hits it —
+    // attribution must be exact on both paths.
+    for round in 0..2 {
+        for sql in &statements {
+            let out = session.sql(sql).expect("statement");
+            hits += out.stats.pool.hits;
+            misses += out.stats.pool.misses;
+            writebacks += out.stats.pool.writebacks;
+            evictions += out.stats.pool.evictions;
+            assert!(
+                round == 0 || out.stats.pool.hits + out.stats.pool.misses > 0,
+                "warm statements still touch pages"
+            );
+        }
+    }
+    let pool = session.pool_stats().delta_since(pool_before);
+    assert_eq!(pool.hits, hits, "pool hits attributed exactly");
+    assert_eq!(pool.misses, misses, "pool misses attributed exactly");
+    assert_eq!(pool.writebacks, writebacks, "writebacks attributed exactly");
+    assert_eq!(pool.evictions, evictions, "evictions attributed exactly");
+    let cache = session.query_cache_stats();
+    assert_eq!(
+        (cache.hits - cache_before.hits) + (cache.misses - cache_before.misses),
+        2 * statements.len() as u64,
+        "exactly one cache lookup per statement"
+    );
+    assert_eq!(
+        cache.hits - cache_before.hits,
+        statements.len() as u64,
+        "the second round is all cache hits"
+    );
+}
+
 /// The write-path sharing contract: batches are atomic units of
 /// visibility. Four writers ingest through one `Arc<Staccato>` while two
 /// readers hammer the SQL surface — a reader may land between batches
