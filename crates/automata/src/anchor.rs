@@ -61,6 +61,23 @@ pub fn left_anchor(ast: &Ast) -> Option<String> {
     (word.len() >= 2).then_some(word)
 }
 
+/// Extract the *required literal* of a pattern: the full literal prefix,
+/// case-sensitive and including non-letters. Every string of the pattern's
+/// language starts with this literal, so every line a containment query
+/// accepts must *contain* it somewhere — which makes it a sound prescreen
+/// filter for the scan kernel (a line without the literal has exactly zero
+/// match probability). Returns `None` below length 2, where the filter
+/// selects too little to pay for itself.
+///
+/// Unlike [`left_anchor`] (a lowercased dictionary *word* for index
+/// probes), the required literal must stay byte-exact: the DFA it
+/// prescreens for is case-sensitive.
+pub fn required_literal(ast: &Ast) -> Option<String> {
+    let mut prefix = String::new();
+    literal_prefix(ast, &mut prefix);
+    (prefix.len() >= 2).then_some(prefix)
+}
+
 /// Helper for checking whether a class is a single specific byte.
 #[allow(dead_code)]
 fn is_single(c: &ByteClass) -> bool {
@@ -117,5 +134,29 @@ mod tests {
         // 'ab?c': matches may start "ac", so only 'a' is guaranteed — too
         // short to anchor.
         assert_eq!(anchor("ab?cdef"), None);
+    }
+
+    fn literal(pattern: &str) -> Option<String> {
+        required_literal(&parse(pattern).unwrap())
+    }
+
+    #[test]
+    fn required_literal_keeps_case_and_punctuation() {
+        assert_eq!(literal(r"U.S.C. 2\d\d\d"), Some("U.S.C. 2".to_string()));
+        assert_eq!(
+            literal(r"Public Law (8|9)\d"),
+            Some("Public Law ".to_string())
+        );
+        assert_eq!(literal("President"), Some("President".to_string()));
+    }
+
+    #[test]
+    fn required_literal_stops_where_the_prefix_stops() {
+        assert_eq!(literal(r"Sec(\x)*\d"), Some("Sec".to_string()));
+        assert_eq!(literal("ab+c"), Some("ab".to_string()));
+        assert_eq!(literal(r"(no|num)\d"), None);
+        assert_eq!(literal(r"\d\d"), None);
+        assert_eq!(literal("a"), None);
+        assert_eq!(literal(""), None);
     }
 }

@@ -19,6 +19,10 @@ pub struct Dfa {
     table: Vec<[u32; TABLE_WIDTH]>,
     accept: Vec<bool>,
     start: u32,
+    /// Cached dead state: non-accepting, maps every byte to itself.
+    /// Computed once at construction so the out-of-alphabet path in
+    /// [`Dfa::next`] is a field read, not a table scan.
+    dead: u32,
 }
 
 impl Dfa {
@@ -98,6 +102,8 @@ impl Dfa {
             table,
             accept,
             start: start_id,
+            // State 0 is the empty subset: non-accepting, all self-loops.
+            dead: 0,
         }
     }
 
@@ -137,6 +143,10 @@ impl Dfa {
             table,
             accept,
             start: part[self.start as usize],
+            // The dead state's block survives refinement: it is split from
+            // every accepting state in the initial partition and its
+            // signature (all bytes into its own block) is preserved.
+            dead: part[self.dead as usize],
         }
     }
 
@@ -157,7 +167,7 @@ impl Dfa {
         if (b as usize) < TABLE_WIDTH {
             self.table[state as usize][b as usize]
         } else {
-            self.dead_state()
+            self.dead
         }
     }
 
@@ -181,18 +191,19 @@ impl Dfa {
         self.is_accept(self.run_from(self.start, input))
     }
 
-    /// The dead state, if one is reachable in the minimized table. After
-    /// minimization the dead state is the unique non-accepting state that
-    /// maps every byte to itself; if the language is co-finite there may be
-    /// none, in which case this returns a state that behaves equivalently
-    /// for out-of-alphabet bytes (the start state's failure target).
-    fn dead_state(&self) -> u32 {
-        for (s, row) in self.table.iter().enumerate() {
-            if !self.accept[s] && row.iter().all(|&t| t as usize == s) {
-                return s as u32;
-            }
-        }
-        self.start
+    /// The dead state: non-accepting, maps every byte (including bytes
+    /// outside the ASCII table) to itself. Subset construction always
+    /// materializes it as state 0 (the empty subset) and minimization
+    /// preserves its block, so it is cached at construction.
+    #[inline]
+    pub fn dead(&self) -> u32 {
+        self.dead
+    }
+
+    /// The full transition row for `state` (one successor per ASCII byte).
+    /// Used by the dense scan kernel to build its byte-class table.
+    pub(crate) fn row(&self, state: u32) -> &[u32; TABLE_WIDTH] {
+        &self.table[state as usize]
     }
 }
 
@@ -301,6 +312,29 @@ mod tests {
         let d = exact("a");
         let s = d.next(d.start(), 0xC3);
         assert!(!d.is_accept(d.run_from(s, "a")));
+    }
+
+    #[test]
+    fn cached_dead_state_is_dead() {
+        for d in [
+            exact("a(b|c)*d"),
+            exact(""),
+            contains("Ford"),
+            contains(""),
+            contains(r"Sec(\x)*\d"),
+        ] {
+            let dead = d.dead();
+            assert!(!d.is_accept(dead));
+            for b in 0..TABLE_WIDTH as u8 {
+                assert_eq!(d.next(dead, b), dead);
+            }
+            assert_eq!(d.next(dead, 0xFF), dead);
+            // Out-of-alphabet bytes land in the cached dead state from
+            // every state, matching the pre-cache linear-scan behavior.
+            for s in 0..d.state_count() as u32 {
+                assert_eq!(d.next(s, 0x80), dead);
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   *containment closure* `Σ* · L(R) · Σ*` with absorbing accept states,
 //!   which is the form queries take when asking "does the document contain
 //!   a match" over probabilistic text;
+//! * [`dense`] — byte-class-compressed dense transition tables, the form
+//!   the scan kernel executes;
 //! * [`trie`] — the dictionary trie-automaton of §4 (a DFA with one final
 //!   state per dictionary term) used to build the inverted index;
 //! * [`anchor`] — left-anchor extraction for index-assisted evaluation of
@@ -24,6 +26,7 @@
 //! channel's output alphabet.
 
 pub mod anchor;
+pub mod dense;
 pub mod dfa;
 pub mod error;
 pub mod like;
@@ -31,7 +34,8 @@ pub mod nfa;
 pub mod regex;
 pub mod trie;
 
-pub use anchor::left_anchor;
+pub use anchor::{left_anchor, required_literal};
+pub use dense::{find_byte, DenseDfa};
 pub use dfa::Dfa;
 pub use error::PatternError;
 pub use like::like_to_ast;

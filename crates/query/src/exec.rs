@@ -29,12 +29,13 @@
 
 use crate::agg::StreamingAggregate;
 use crate::error::QueryError;
-use crate::eval::{eval_sfa, eval_strings};
+use crate::kernel::ScanScratch;
 use crate::plan::ExecStats;
 use crate::query::Query;
 use crate::store::OcrStore;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
@@ -306,6 +307,17 @@ impl OwnedSink {
 /// `stats`. Every representation partitions the same way: the scan stays
 /// sequential (one buffer pool cursor) while per-line evaluation fans
 /// out.
+///
+/// Evaluation runs through the query's compiled [`ScanKernel`]
+/// (see [`crate::kernel`]): rows stream as raw bytes and are decoded
+/// *borrowed* inside each worker (no per-line `String`/`Sfa`
+/// materialization), blobs run through the arena DP with interned label
+/// transitions, and the anchor prescreen skips lines that provably
+/// cannot match — counted in [`ExecStats::prescreen_skipped`]. Skipped
+/// lines still count as evaluated: the prescreen changes *how* a line's
+/// probability is computed, never whether it is.
+///
+/// [`ScanKernel`]: crate::kernel::ScanKernel
 pub(crate) fn exec_filescan(
     store: &OcrStore,
     approach: Approach,
@@ -315,65 +327,121 @@ pub(crate) fn exec_filescan(
     stats: &mut ExecStats,
 ) -> Result<(), QueryError> {
     let parallelism = parallelism.max(1);
-    match approach {
+    let kernel = &query.kernel;
+    let skipped = AtomicU64::new(0);
+    let skipped = &skipped;
+    let result = match approach {
         Approach::Map => scan_into(
-            store
-                .map_cursor()?
-                .map(|item| item.map(|(key, s, p)| (key, (s, p)))),
+            store.map_raw_cursor()?,
             |_| 1,
-            |sp: &(String, f64)| {
-                Ok(eval_strings(
-                    &query.dfa,
-                    std::iter::once((sp.0.as_str(), sp.1)),
-                ))
+            || {
+                move |bytes: &Vec<u8>| {
+                    let (s, p) = crate::store::decode_map_row(bytes)?;
+                    let out = kernel.eval_string(s, p);
+                    if out.prescreened {
+                        skipped.fetch_add(1, AtomicOrdering::Relaxed);
+                    }
+                    Ok(out.probability)
+                }
             },
             parallelism,
             sink,
             stats,
         ),
         Approach::KMap => scan_into(
-            store.kmap_cursor()?,
-            |strings| strings.len() as u64,
-            |strings: &Vec<(String, f64)>| {
-                Ok(eval_strings(
-                    &query.dfa,
-                    strings.iter().map(|(s, p)| (s.as_str(), *p)),
-                ))
+            store.kmap_raw_cursor()?,
+            |rows| rows.len() as u64,
+            || {
+                move |rows: &Vec<Vec<u8>>| {
+                    let mut decoded = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        decoded.push(crate::store::decode_kmap_row(row)?);
+                    }
+                    let out = kernel.eval_string_group(decoded.iter().copied());
+                    if out.prescreened {
+                        skipped.fetch_add(1, AtomicOrdering::Relaxed);
+                    }
+                    Ok(out.probability)
+                }
             },
             parallelism,
             sink,
             stats,
         ),
         Approach::FullSfa | Approach::Staccato => {
-            let cursor = match approach {
-                Approach::FullSfa => store.full_sfa_blobs()?,
-                _ => store.staccato_blobs()?,
-            };
-            scan_into(
-                cursor,
-                |_| 1,
-                |blob: &Vec<u8>| Ok(eval_sfa(&query.dfa, &staccato_sfa::codec::decode(blob)?)),
-                parallelism,
-                sink,
-                stats,
-            )
+            if parallelism <= 1 {
+                // Single-threaded blob scans stream borrowed bytes through
+                // one reusable blob buffer (no per-row `Vec`); the morsel
+                // path below needs owned rows to ship across the channel.
+                let mut scratch = ScanScratch::new();
+                let stats = &mut *stats;
+                let each = move |key: i64, blob: &[u8]| -> Result<(), QueryError> {
+                    stats.rows_scanned += 1;
+                    stats.lines_evaluated += 1;
+                    let out = kernel.eval_blob(&mut scratch, blob)?;
+                    if out.prescreened {
+                        skipped.fetch_add(1, AtomicOrdering::Relaxed);
+                    }
+                    sink.offer(Answer {
+                        data_key: key,
+                        probability: out.probability,
+                    });
+                    Ok(())
+                };
+                match approach {
+                    Approach::FullSfa => store.for_each_full_sfa_blob(each),
+                    _ => store.for_each_staccato_blob(each),
+                }
+            } else {
+                let cursor = match approach {
+                    Approach::FullSfa => store.full_sfa_blobs()?,
+                    _ => store.staccato_blobs()?,
+                };
+                scan_into(
+                    cursor,
+                    |_| 1,
+                    || {
+                        let mut scratch = ScanScratch::new();
+                        move |blob: &Vec<u8>| {
+                            let out = kernel.eval_blob(&mut scratch, blob)?;
+                            if out.prescreened {
+                                skipped.fetch_add(1, AtomicOrdering::Relaxed);
+                            }
+                            Ok(out.probability)
+                        }
+                    },
+                    parallelism,
+                    sink,
+                    stats,
+                )
+            }
         }
-    }
+    };
+    stats.prescreen_skipped += skipped.load(AtomicOrdering::Relaxed);
+    result
 }
 
 /// The shared scan driver: pull `(DataKey, payload)` rows off `cursor`
-/// and fold `eval`'s per-line probability into `sink`, sequentially or
+/// and fold per-line probabilities into `sink`, sequentially or
 /// morsel-parallel. `rows_of` is the physical row count a payload
-/// represents (k-MAP reads k rows per line).
-fn scan_into<T: Send>(
+/// represents (k-MAP reads k rows per line). `make_eval` builds one
+/// evaluation closure per worker — the closure owns that worker's
+/// mutable scan scratch (decode arena, label memo, DP vector pool), so
+/// workers never contend on shared state.
+fn scan_into<T, E>(
     cursor: impl Iterator<Item = Result<(i64, T), QueryError>>,
     rows_of: impl Fn(&T) -> u64,
-    eval: impl Fn(&T) -> Result<f64, QueryError> + Sync,
+    make_eval: impl Fn() -> E + Sync,
     parallelism: usize,
     sink: &mut Sink<'_>,
     stats: &mut ExecStats,
-) -> Result<(), QueryError> {
+) -> Result<(), QueryError>
+where
+    T: Send,
+    E: FnMut(&T) -> Result<f64, QueryError>,
+{
     if parallelism <= 1 {
+        let mut eval = make_eval();
         for item in cursor {
             let (key, payload) = item?;
             stats.rows_scanned += rows_of(&payload);
@@ -385,7 +453,7 @@ fn scan_into<T: Send>(
         }
         return Ok(());
     }
-    morsel_scan(cursor, rows_of, eval, parallelism, sink, stats)
+    morsel_scan(cursor, rows_of, make_eval, parallelism, sink, stats)
 }
 
 /// What one scan worker hands back when the work queue drains.
@@ -400,25 +468,32 @@ struct WorkerOutcome {
 /// bounded queue and fold answers into private accumulators; the driver
 /// merges them in worker-index order once the scan is drained, so merged
 /// ranked results are identical to a sequential run.
-fn morsel_scan<T: Send>(
+fn morsel_scan<T, E>(
     cursor: impl Iterator<Item = Result<(i64, T), QueryError>>,
     rows_of: impl Fn(&T) -> u64,
-    eval: impl Fn(&T) -> Result<f64, QueryError> + Sync,
+    make_eval: impl Fn() -> E + Sync,
     parallelism: usize,
     sink: &mut Sink<'_>,
     stats: &mut ExecStats,
-) -> Result<(), QueryError> {
+) -> Result<(), QueryError>
+where
+    T: Send,
+    E: FnMut(&T) -> Result<f64, QueryError>,
+{
     std::thread::scope(|scope| -> Result<(), QueryError> {
         // Bounded work queue: the scan stays ahead of the workers without
         // ever materializing more than a window of rows.
         let (work_tx, work_rx) = mpsc::sync_channel::<(i64, T)>(parallelism * 4);
         let work_rx = Arc::new(Mutex::new(work_rx));
-        let eval = &eval;
+        let make_eval = &make_eval;
         let mut handles = Vec::with_capacity(parallelism);
         for _ in 0..parallelism {
             let work_rx = Arc::clone(&work_rx);
             let mut local = sink.fork();
             handles.push(scope.spawn(move || {
+                // Per-worker evaluation state, built on the worker's own
+                // thread: scratch buffers are owned, never shared.
+                let mut eval = make_eval();
                 let mut lines = 0u64;
                 let mut error = None;
                 loop {

@@ -76,6 +76,7 @@ pub mod eval;
 pub mod exec;
 pub mod ingest;
 pub mod invindex;
+pub mod kernel;
 pub mod metrics;
 pub mod plan;
 pub mod query;
@@ -93,6 +94,7 @@ pub use eval::{eval_sfa, eval_strings};
 pub use exec::{Answer, Approach, TopK};
 pub use ingest::{DocumentInput, HistoryRow, IngestBatch, IngestReceipt, IngestStats};
 pub use invindex::{build_index, direct_posting_count_log10, InvertedIndex};
+pub use kernel::{EvalOutcome, ScanKernel, ScanScratch};
 pub use metrics::{evaluate_answers, ground_truth, Metrics};
 pub use plan::{Dialect, ExecStats, Plan, PlanPreference, QueryRequest, WalCounters};
 pub use query::Query;

@@ -279,6 +279,10 @@ pub struct ExecStats {
     pub lines_evaluated: u64,
     /// Index postings retrieved (0 for filescans).
     pub postings_probed: u64,
+    /// Lines the scan kernel's anchor prescreen resolved to zero
+    /// probability without running the full evaluation (a subset of
+    /// `lines_evaluated`).
+    pub prescreen_skipped: u64,
     /// Wall-clock time spent compiling the pattern and choosing the plan.
     pub plan_wall: Duration,
     /// Wall-clock time spent executing the chosen plan.
@@ -469,8 +473,8 @@ pub fn render_explain_analyze(
         fmt_wall(stats.wall())
     ));
     out.push_str(&format!(
-        "  rows scanned: {}, lines evaluated: {}, postings probed: {}\n",
-        stats.rows_scanned, stats.lines_evaluated, stats.postings_probed
+        "  rows scanned: {}, lines evaluated: {}, postings probed: {}, prescreen skipped: {}\n",
+        stats.rows_scanned, stats.lines_evaluated, stats.postings_probed, stats.prescreen_skipped
     ));
     out.push_str(&format!(
         "  buffer pool: {} hits, {} misses, {} evictions ({:.1}% hit rate)\n",

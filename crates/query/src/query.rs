@@ -6,7 +6,8 @@
 //! regular expressions) and the pattern's length bounds (for projection).
 
 use crate::error::QueryError;
-use staccato_automata::{left_anchor, like_to_ast, parse, Ast, Dfa};
+use crate::kernel::ScanKernel;
+use staccato_automata::{left_anchor, like_to_ast, parse, required_literal, Ast, Dfa};
 
 /// A compiled document-containment query.
 pub struct Query {
@@ -18,6 +19,9 @@ pub struct Query {
     pub ast: Ast,
     /// Left anchor word (lowercased), if the pattern is left-anchored.
     pub anchor: Option<String>,
+    /// The compiled scan kernel the filescan executors run (dense DFA,
+    /// interned label transitions, anchor prescreen).
+    pub kernel: ScanKernel,
 }
 
 impl Query {
@@ -25,11 +29,16 @@ impl Query {
     /// with no metacharacters).
     pub fn regex(pattern: &str) -> Result<Query, QueryError> {
         let ast = parse(pattern)?;
+        let dfa = Dfa::compile_containment(&ast);
+        // Any string containing a match contains the pattern's literal
+        // prefix, case preserved — sound for the containment DFA.
+        let kernel = ScanKernel::new(&dfa, required_literal(&ast));
         Ok(Query {
             pattern: pattern.to_string(),
-            dfa: Dfa::compile_containment(&ast),
+            dfa,
             anchor: left_anchor(&ast),
             ast,
+            kernel,
         })
     }
 
@@ -41,11 +50,16 @@ impl Query {
         // A LIKE pattern constrains the *whole* string, so the DFA is the
         // exact-match automaton of the translated AST (which itself embeds
         // `(\x)*` for `%`).
+        let dfa = Dfa::compile(&ast);
+        // An accepted string is `(anything)·rest` with `rest` matching the
+        // stripped AST, so it contains that AST's literal prefix.
+        let kernel = ScanKernel::new(&dfa, required_literal(&strip_leading_any_star(&ast)));
         Ok(Query {
             pattern: pattern.to_string(),
-            dfa: Dfa::compile(&ast),
+            dfa,
             anchor: left_anchor(&strip_leading_any_star(&ast)),
             ast,
+            kernel,
         })
     }
 

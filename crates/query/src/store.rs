@@ -27,7 +27,8 @@ use staccato_core::{approximate, StaccatoParams};
 use staccato_ocr::{Channel, ChannelConfig, Dataset};
 use staccato_sfa::{codec, k_best_paths, Sfa};
 use staccato_storage::{
-    BTree, BlobStore, BufferPool, ColumnType, Database, HeapFile, HeapScan, Rid, Schema, Value,
+    BTree, BlobStore, BufferPool, ColumnType, Database, HeapFile, HeapScan, Rid, RowReader, Schema,
+    StorageError, Value,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -536,6 +537,73 @@ impl OcrStore {
         })
     }
 
+    /// Streaming cursor over *raw* `MAPData` row bytes: `(DataKey, row)`.
+    /// The consumer decodes the payload columns borrowed from the row
+    /// bytes (see `decode_map_row`), so scan workers evaluate without a
+    /// per-row `String` allocation and off the scan thread.
+    pub fn map_raw_cursor(&self) -> Result<MapRawCursor<'_>, QueryError> {
+        let (_, heap) = self.db.table("MAPData")?;
+        Ok(MapRawCursor {
+            scan: heap.scan(self.db.pool()),
+        })
+    }
+
+    /// Streaming cursor over raw `kMAPData` rows grouped by line:
+    /// `(DataKey, [row bytes])`. The borrowed-decode sibling of
+    /// [`OcrStore::kmap_cursor`]; rows are clustered by DataKey so
+    /// grouping is a single buffered pass.
+    pub fn kmap_raw_cursor(&self) -> Result<KmapRawCursor<'_>, QueryError> {
+        let (_, heap) = self.db.table("kMAPData")?;
+        Ok(KmapRawCursor {
+            scan: heap.scan(self.db.pool()),
+            pending: None,
+            done: false,
+        })
+    }
+
+    /// Visit every blob of `table` with borrowed bytes: one reusable blob
+    /// buffer, no per-row allocation. The streaming sibling of
+    /// [`BlobCursor`] for single-threaded scans — the scan-kernel hot
+    /// path, where handing each worker an owned `Vec<u8>` per row costs
+    /// more than evaluating it.
+    fn for_each_blob(
+        &self,
+        table: &'static str,
+        mut f: impl FnMut(i64, &[u8]) -> Result<(), QueryError>,
+    ) -> Result<(), QueryError> {
+        let (schema, heap) = self.db.table(table)?;
+        let pool = self.db.pool();
+        let mut blob_buf: Vec<u8> = Vec::new();
+        heap.for_each_row(pool, |_, bytes| -> Result<(), QueryError> {
+            let mut r = RowReader::new(&schema, bytes);
+            let key = r.int()?;
+            let blob = r.blob()?;
+            r.finish()?;
+            // Row-sized blobs are borrowed straight off their buffer-pool
+            // page (no copy); only multi-page chains assemble into the
+            // reusable buffer. The callback only reads, so holding the
+            // page's read latch across it is fine.
+            BlobStore::with_blob(pool, blob, &mut blob_buf, |bytes| f(key, bytes))?
+        })
+    }
+
+    /// Visit every full-SFA blob with borrowed bytes (see
+    /// [`OcrStore::staccato_blobs`] for the owned cursor).
+    pub fn for_each_full_sfa_blob(
+        &self,
+        f: impl FnMut(i64, &[u8]) -> Result<(), QueryError>,
+    ) -> Result<(), QueryError> {
+        self.for_each_blob("FullSFAData", f)
+    }
+
+    /// Visit every Staccato graph blob with borrowed bytes.
+    pub fn for_each_staccato_blob(
+        &self,
+        f: impl FnMut(i64, &[u8]) -> Result<(), QueryError>,
+    ) -> Result<(), QueryError> {
+        self.for_each_blob("StaccatoGraph", f)
+    }
+
     fn blob_cursor(&self, table: &'static str) -> Result<BlobCursor<'_>, QueryError> {
         let (schema, heap) = self.db.table(table)?;
         Ok(BlobCursor {
@@ -724,6 +792,117 @@ impl Iterator for KmapCursor<'_> {
     }
 }
 
+/// Leading `DataKey` of an encoded row (all Table 5 schemas start with
+/// an `Int` key, stored as the first 8 little-endian bytes).
+fn row_key(bytes: &[u8]) -> Result<i64, QueryError> {
+    let head = bytes
+        .get(..8)
+        .ok_or(StorageError::SchemaMismatch("row too short"))?;
+    Ok(i64::from_le_bytes(head.try_into().expect("len checked")))
+}
+
+fn map_schema_static() -> &'static Schema {
+    static S: std::sync::OnceLock<Schema> = std::sync::OnceLock::new();
+    S.get_or_init(map_schema)
+}
+
+fn kmap_schema_static() -> &'static Schema {
+    static S: std::sync::OnceLock<Schema> = std::sync::OnceLock::new();
+    S.get_or_init(kmap_schema)
+}
+
+/// Decode a raw `MAPData` row borrowed: `(string, prob)`. Performs the
+/// full [`RowReader`] validation [`MapCursor`] would, including the
+/// trailing-bytes check, and converts the stored log-prob with the same
+/// `exp()` so probabilities are bit-identical to the owned cursor's.
+pub(crate) fn decode_map_row(bytes: &[u8]) -> Result<(&str, f64), QueryError> {
+    let mut r = RowReader::new(map_schema_static(), bytes);
+    r.int()?;
+    let s = r.text()?;
+    let lp = r.float()?;
+    r.finish()?;
+    Ok((s, lp.exp()))
+}
+
+/// Decode a raw `kMAPData` row borrowed: `(string, prob)`.
+pub(crate) fn decode_kmap_row(bytes: &[u8]) -> Result<(&str, f64), QueryError> {
+    let mut r = RowReader::new(kmap_schema_static(), bytes);
+    r.int()?;
+    r.int()?;
+    let s = r.text()?;
+    let lp = r.float()?;
+    r.finish()?;
+    Ok((s, lp.exp()))
+}
+
+/// Streaming cursor over raw `MAPData` row bytes: `(DataKey, row bytes)`.
+pub struct MapRawCursor<'s> {
+    scan: HeapScan<'s>,
+}
+
+impl Iterator for MapRawCursor<'_> {
+    type Item = Result<(i64, Vec<u8>), QueryError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.scan.next()?;
+        Some(
+            item.map_err(QueryError::from)
+                .and_then(|(_, bytes)| Ok((row_key(&bytes)?, bytes))),
+        )
+    }
+}
+
+/// One k-MAP line group of raw rows: `(DataKey, [row bytes])`.
+pub type KmapRawGroup = (i64, Vec<Vec<u8>>);
+
+/// Streaming cursor over raw `kMAPData` rows, grouping clustered rows by
+/// DataKey without decoding their payloads. Buffers one line's rows at a
+/// time — never the corpus.
+pub struct KmapRawCursor<'s> {
+    scan: HeapScan<'s>,
+    pending: Option<KmapRawGroup>,
+    done: bool,
+}
+
+impl Iterator for KmapRawCursor<'_> {
+    type Item = Result<KmapRawGroup, QueryError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match self.scan.next() {
+                None => {
+                    self.done = true;
+                    return self.pending.take().map(Ok);
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+                Some(Ok((_, bytes))) => {
+                    let key = match row_key(&bytes) {
+                        Ok(key) => key,
+                        Err(e) => {
+                            self.done = true;
+                            return Some(Err(e));
+                        }
+                    };
+                    match &mut self.pending {
+                        Some((k, v)) if *k == key => v.push(bytes),
+                        Some(_) => {
+                            let group = self.pending.replace((key, vec![bytes]));
+                            return group.map(Ok);
+                        }
+                        None => self.pending = Some((key, vec![bytes])),
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Streaming cursor over a blob table: yields `(DataKey, encoded bytes)`.
 pub struct BlobCursor<'s> {
     schema: Schema,
@@ -859,6 +1038,49 @@ mod tests {
             .collect::<Result<_, _>>()
             .unwrap();
         assert_eq!(via_scan, via_cursor);
+    }
+
+    #[test]
+    fn raw_cursors_agree_with_owned_cursors() {
+        let store = tiny_store();
+        let owned: Vec<_> = store
+            .map_cursor()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let raw: Vec<_> = store
+            .map_raw_cursor()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(owned.len(), raw.len());
+        for ((k1, s1, p1), (k2, bytes)) in owned.iter().zip(&raw) {
+            assert_eq!(k1, k2);
+            let (s2, p2) = decode_map_row(bytes).unwrap();
+            assert_eq!(s1, s2);
+            assert_eq!(p1.to_bits(), p2.to_bits());
+        }
+
+        let owned: Vec<_> = store
+            .kmap_cursor()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let raw: Vec<_> = store
+            .kmap_raw_cursor()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(owned.len(), raw.len());
+        for ((k1, strings), (k2, rows)) in owned.iter().zip(&raw) {
+            assert_eq!(k1, k2);
+            assert_eq!(strings.len(), rows.len());
+            for ((s1, p1), bytes) in strings.iter().zip(rows) {
+                let (s2, p2) = decode_kmap_row(bytes).unwrap();
+                assert_eq!(s1, s2);
+                assert_eq!(p1.to_bits(), p2.to_bits());
+            }
+        }
     }
 
     #[test]

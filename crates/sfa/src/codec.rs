@@ -82,22 +82,30 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u16(&mut self) -> Result<u16, SfaError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("len checked"),
-        ))
-    }
-
     fn u32(&mut self) -> Result<u32, SfaError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("len checked"),
         ))
     }
 
-    fn f64(&mut self) -> Result<f64, SfaError> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("len checked"),
-        ))
+    /// One whole emission record — `u16` label length, label bytes, and
+    /// the `f64` probability — under two bounds checks total. Decoding
+    /// pays this per emission, so the fused read matters; both [`decode`]
+    /// and [`decode_into_arena`] must use it so corrupt blobs keep
+    /// producing identical errors.
+    fn emission(&mut self) -> Result<(&'a [u8], f64), SfaError> {
+        let rem = &self.buf[self.pos..];
+        if rem.len() < 2 {
+            return Err(SfaError::Truncated);
+        }
+        let len = u16::from_le_bytes([rem[0], rem[1]]) as usize;
+        if rem.len() < 2 + len + 8 {
+            return Err(SfaError::Truncated);
+        }
+        let label = &rem[2..2 + len];
+        let prob = f64::from_le_bytes(rem[2 + len..2 + len + 8].try_into().expect("len checked"));
+        self.pos += 2 + len + 8;
+        Ok((label, prob))
     }
 
     fn remaining(&self) -> usize {
@@ -153,12 +161,10 @@ pub fn decode(buf: &[u8]) -> Result<Sfa, SfaError> {
         }
         let mut emissions = Vec::with_capacity(n_em as usize);
         for _ in 0..n_em {
-            let len = r.u16()? as usize;
-            let label_bytes = r.take(len)?;
+            let (label_bytes, prob) = r.emission()?;
             let label = std::str::from_utf8(label_bytes)
                 .map_err(|_| SfaError::BadLabel)?
                 .to_string();
-            let prob = r.f64()?;
             if label.is_empty() {
                 return Err(SfaError::EmptyLabel { edge: edge_idx });
             }
@@ -193,6 +199,402 @@ impl crate::model::SfaBuilder {
     ) -> Result<u32, SfaError> {
         self.inner_mut().add_edge(from, to, emissions)
     }
+}
+
+/// One emission decoded into a [`DecodeArena`]: a byte range into the
+/// source blob (the label is *not* copied) plus its probability.
+#[derive(Debug, Clone, Copy)]
+pub struct ArenaEmission {
+    /// Start offset of the label bytes in the decoded blob.
+    pub label_start: u32,
+    /// End offset (exclusive) of the label bytes in the decoded blob.
+    pub label_end: u32,
+    /// Emission probability.
+    pub prob: f64,
+}
+
+impl ArenaEmission {
+    /// Byte range of the label within the blob this arena was decoded from.
+    #[inline]
+    pub fn label_range(&self) -> std::ops::Range<usize> {
+        self.label_start as usize..self.label_end as usize
+    }
+}
+
+/// One edge decoded into a [`DecodeArena`]: endpoints plus the index range
+/// of its emissions in [`DecodeArena::emissions`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArenaEdge {
+    /// Source node.
+    pub from: u32,
+    /// Target node.
+    pub to: u32,
+    /// First emission index (into [`DecodeArena::emissions`]).
+    pub em_start: u32,
+    /// One past the last emission index.
+    pub em_end: u32,
+}
+
+/// Reusable, allocation-free decode target for SFA blobs.
+///
+/// [`decode`] builds a fresh [`Sfa`] per blob: a `Vec` of nodes, a `Vec`
+/// per adjacency list, and one `String` per emission label. On a filescan
+/// that is the dominant allocation cost — millions of tiny `Vec`s and
+/// `String`s that live for exactly one row. `DecodeArena` decodes the same
+/// format into flat buffers that are cleared (not freed) between rows:
+///
+/// * emission labels stay **borrowed** — stored as byte ranges into the
+///   source blob (the codec validated them as UTF-8);
+/// * adjacency is CSR (one offsets array + one flat edge-index array)
+///   instead of per-node `Vec`s;
+/// * the topological order is computed into a reusable buffer with the
+///   exact tie-breaking of [`Sfa::try_topo_order`] (zero in-degree nodes
+///   ascending, then FIFO following edge-index order), so evaluation over
+///   the arena visits nodes in the same order as over a decoded [`Sfa`].
+///
+/// Every validation [`decode`] performs is replicated — header and count
+/// checks, UTF-8 and probability checks, and the structural invariants of
+/// `SfaBuilder::build` (acyclicity, distinct start/finish with no
+/// in-/out-edges respectively, full start→finish reachability) — with the
+/// same [`SfaError`] values, so the arena path accepts exactly the blobs
+/// the allocating path accepts. After an error the arena contents are
+/// unspecified; the next decode resets it.
+#[derive(Debug, Default)]
+pub struct DecodeArena {
+    nodes: u32,
+    start: u32,
+    finish: u32,
+    edges: Vec<ArenaEdge>,
+    emissions: Vec<ArenaEmission>,
+    /// CSR offsets: out-edges of node `v` are
+    /// `out_edges[out_off[v] as usize..out_off[v + 1] as usize]`.
+    out_off: Vec<u32>,
+    out_edges: Vec<u32>,
+    /// Target node per CSR slot (`edges[out_edges[i]].to` precomputed), so
+    /// the topo/reachability passes touch one flat array instead of
+    /// chasing edge indices.
+    out_to: Vec<u32>,
+    topo: Vec<u32>,
+    // Scratch reused across decodes.
+    indeg: Vec<u32>,
+    head: Vec<u32>,
+    fwd: Vec<bool>,
+    bwd: Vec<bool>,
+}
+
+impl DecodeArena {
+    /// An empty arena. Buffers grow to fit the largest blob decoded and
+    /// are retained between rows.
+    pub fn new() -> DecodeArena {
+        DecodeArena::default()
+    }
+
+    /// Node count of the last decoded blob.
+    #[inline]
+    pub fn node_count(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Start node of the last decoded blob.
+    #[inline]
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Finish node of the last decoded blob.
+    #[inline]
+    pub fn finish(&self) -> u32 {
+        self.finish
+    }
+
+    /// All decoded edges, in blob order (which is also [`Sfa`] edge-id
+    /// order for blobs produced by [`encode`]).
+    #[inline]
+    pub fn edges(&self) -> &[ArenaEdge] {
+        &self.edges
+    }
+
+    /// All decoded emissions; index with an edge's `em_start..em_end`.
+    #[inline]
+    pub fn emissions(&self) -> &[ArenaEmission] {
+        &self.emissions
+    }
+
+    /// Out-edge indexes of node `v`, ascending (same order as
+    /// [`Sfa::out_edges`] on the decoded graph).
+    #[inline]
+    pub fn out_edges(&self, v: u32) -> &[u32] {
+        let lo = self.out_off[v as usize] as usize;
+        let hi = self.out_off[v as usize + 1] as usize;
+        &self.out_edges[lo..hi]
+    }
+
+    /// Topological order of the decoded graph, identical to
+    /// [`Sfa::try_topo_order`] on the equivalent decoded [`Sfa`].
+    #[inline]
+    pub fn topo(&self) -> &[u32] {
+        &self.topo
+    }
+}
+
+/// Deserialize an SFA blob into a reusable [`DecodeArena`], performing the
+/// same validation as [`decode`] without per-row allocation. See
+/// [`DecodeArena`] for the equivalence guarantees.
+pub fn decode_into_arena(buf: &[u8], arena: &mut DecodeArena) -> Result<(), SfaError> {
+    arena.edges.clear();
+    arena.emissions.clear();
+    arena.out_off.clear();
+    arena.out_edges.clear();
+    arena.topo.clear();
+    arena.nodes = 0;
+
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(SfaError::BadMagic);
+    }
+    let nodes = r.u32()?;
+    if nodes as usize > buf.len() {
+        return Err(SfaError::CorruptCount {
+            what: "node",
+            count: nodes as u64,
+        });
+    }
+    let start = r.u32()?;
+    let finish = r.u32()?;
+    let edge_count = r.u32()?;
+    if edge_count as u64 * 12 > r.remaining() as u64 {
+        return Err(SfaError::CorruptCount {
+            what: "edge",
+            count: edge_count as u64,
+        });
+    }
+    if start >= nodes || finish >= nodes {
+        return Err(SfaError::InvalidNode(start.max(finish)));
+    }
+    arena.nodes = nodes;
+    arena.start = start;
+    arena.finish = finish;
+
+    for edge_idx in 0..edge_count {
+        let from = r.u32()?;
+        let to = r.u32()?;
+        if from >= nodes || to >= nodes {
+            return Err(SfaError::InvalidNode(from.max(to)));
+        }
+        let n_em = r.u32()?;
+        if n_em as u64 * 10 > r.remaining() as u64 {
+            return Err(SfaError::CorruptCount {
+                what: "emission",
+                count: n_em as u64,
+            });
+        }
+        let em_start = arena.emissions.len() as u32;
+        for _ in 0..n_em {
+            let label_start = r.pos + 2;
+            let (label_bytes, prob) = r.emission()?;
+            // ASCII (the overwhelmingly common case for OCR text) is
+            // valid UTF-8 by construction; labels are a few bytes, so a
+            // branchless OR-fold beats the library `is_ascii` call and
+            // only genuinely multi-byte labels pay the full validator.
+            // Accepts exactly the labels `decode` accepts.
+            let ascii = label_bytes.iter().fold(0u8, |acc, &b| acc | b) < 0x80;
+            if !ascii && std::str::from_utf8(label_bytes).is_err() {
+                return Err(SfaError::BadLabel);
+            }
+            if label_bytes.is_empty() {
+                return Err(SfaError::EmptyLabel { edge: edge_idx });
+            }
+            if !prob.is_finite() || !(0.0..=1.0 + 1e-9).contains(&prob) {
+                return Err(SfaError::BadProbability {
+                    edge: edge_idx,
+                    prob,
+                });
+            }
+            arena.emissions.push(ArenaEmission {
+                label_start: label_start as u32,
+                label_end: (label_start + label_bytes.len()) as u32,
+                prob,
+            });
+        }
+        if n_em == 0 {
+            return Err(SfaError::CorruptCount {
+                what: "emission",
+                count: 0,
+            });
+        }
+        // `Sfa::add_edge` stably sorts emissions by decreasing probability;
+        // replicate it so evaluation visits emissions in the same order.
+        // Blobs written by `encode` are already in that order (the `Sfa`
+        // sorted at construction), so check before paying the sort — the
+        // probabilities were validated finite above, making `>=` a
+        // faithful stand-in for the sort's comparator.
+        let run = &mut arena.emissions[em_start as usize..];
+        if !run.windows(2).all(|w| w[0].prob >= w[1].prob) {
+            run.sort_by(|a, b| {
+                b.prob
+                    .partial_cmp(&a.prob)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        arena.edges.push(ArenaEdge {
+            from,
+            to,
+            em_start,
+            em_end: arena.emissions.len() as u32,
+        });
+    }
+
+    validate_arena_structure(arena)
+}
+
+/// The structural checks of `SfaBuilder::build` (`check_structure`) over
+/// the arena representation, producing identical errors: topological order
+/// with `CyclicGraph` on a cycle, distinct start/finish, no in-edges into
+/// start / out-edges out of finish, and full forward/backward reachability.
+fn validate_arena_structure(arena: &mut DecodeArena) -> Result<(), SfaError> {
+    let n = arena.nodes as usize;
+
+    // CSR out-adjacency by counting sort over edges in index order: each
+    // node's slice ends up ascending, matching `Sfa::out_edges` (adjacency
+    // is pushed in edge-insertion order, which is blob order here).
+    arena.out_off.clear();
+    arena.out_off.resize(n + 1, 0);
+    arena.indeg.clear();
+    arena.indeg.resize(n, 0);
+    for e in &arena.edges {
+        arena.out_off[e.from as usize + 1] += 1;
+        arena.indeg[e.to as usize] += 1;
+    }
+    for v in 0..n {
+        arena.out_off[v + 1] += arena.out_off[v];
+    }
+    arena.out_edges.clear();
+    arena.out_edges.resize(arena.edges.len(), 0);
+    arena.out_to.clear();
+    arena.out_to.resize(arena.edges.len(), 0);
+    arena.head.clear();
+    arena.head.extend_from_slice(&arena.out_off[..n]);
+    for (idx, e) in arena.edges.iter().enumerate() {
+        let slot = arena.head[e.from as usize] as usize;
+        arena.out_edges[slot] = idx as u32;
+        arena.out_to[slot] = e.to;
+        arena.head[e.from as usize] += 1;
+    }
+
+    // "No edges into start" (checked after the cycle test below) is
+    // exactly `indeg[start] == 0`; capture it before Kahn's consumes the
+    // in-degree counts.
+    let edges_into_start = arena.indeg[arena.start as usize] != 0;
+
+    // Kahn's algorithm with `try_topo_order`'s exact tie-breaking: the
+    // initial zero in-degree set ascending (0..n scan), then FIFO,
+    // successors appended in out-edge index order.
+    arena.topo.clear();
+    for v in 0..n {
+        if arena.indeg[v] == 0 {
+            arena.topo.push(v as u32);
+        }
+    }
+    let mut queue_head = 0usize;
+    while queue_head < arena.topo.len() {
+        let v = arena.topo[queue_head];
+        queue_head += 1;
+        let lo = arena.out_off[v as usize] as usize;
+        let hi = arena.out_off[v as usize + 1] as usize;
+        for &to in &arena.out_to[lo..hi] {
+            arena.indeg[to as usize] -= 1;
+            if arena.indeg[to as usize] == 0 {
+                arena.topo.push(to);
+            }
+        }
+    }
+    if arena.topo.len() != n {
+        return Err(SfaError::CyclicGraph);
+    }
+
+    if arena.start == arena.finish {
+        return Err(SfaError::Disconnected { node: arena.start });
+    }
+    if edges_into_start {
+        return Err(SfaError::Disconnected { node: arena.start });
+    }
+    if arena.out_off[arena.finish as usize] != arena.out_off[arena.finish as usize + 1] {
+        return Err(SfaError::Disconnected { node: arena.finish });
+    }
+
+    // Forward reachability from start, backward from finish, over the topo
+    // order — same traversal (and same first-failing node) as
+    // `check_structure`. Graphs with at most 64 nodes (every Staccato
+    // chunk row in practice) use u64 bitsets; larger ones fall back to the
+    // byte-per-node buffers.
+    if n <= 64 {
+        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut fwd: u64 = 1u64 << arena.start;
+        for i in 0..n {
+            let v = arena.topo[i] as usize;
+            if fwd >> v & 1 == 0 {
+                continue;
+            }
+            let (lo, hi) = (arena.out_off[v] as usize, arena.out_off[v + 1] as usize);
+            for &to in &arena.out_to[lo..hi] {
+                fwd |= 1u64 << to;
+            }
+        }
+        let mut bwd: u64 = 1u64 << arena.finish;
+        for i in (0..n).rev() {
+            let v = arena.topo[i] as usize;
+            let (lo, hi) = (arena.out_off[v] as usize, arena.out_off[v + 1] as usize);
+            for &to in &arena.out_to[lo..hi] {
+                bwd |= (bwd >> to & 1) << v;
+            }
+        }
+        let live = fwd & bwd;
+        if live != full {
+            for &v in &arena.topo {
+                if live >> v & 1 == 0 {
+                    return Err(SfaError::Disconnected { node: v });
+                }
+            }
+        }
+        return Ok(());
+    }
+    arena.fwd.clear();
+    arena.fwd.resize(n, false);
+    arena.fwd[arena.start as usize] = true;
+    for i in 0..arena.topo.len() {
+        let v = arena.topo[i];
+        if !arena.fwd[v as usize] {
+            continue;
+        }
+        let (lo, hi) = (
+            arena.out_off[v as usize] as usize,
+            arena.out_off[v as usize + 1] as usize,
+        );
+        for &to in &arena.out_to[lo..hi] {
+            arena.fwd[to as usize] = true;
+        }
+    }
+    arena.bwd.clear();
+    arena.bwd.resize(n, false);
+    arena.bwd[arena.finish as usize] = true;
+    for i in (0..arena.topo.len()).rev() {
+        let v = arena.topo[i];
+        let (lo, hi) = (
+            arena.out_off[v as usize] as usize,
+            arena.out_off[v as usize + 1] as usize,
+        );
+        for &to in &arena.out_to[lo..hi] {
+            if arena.bwd[to as usize] {
+                arena.bwd[v as usize] = true;
+            }
+        }
+    }
+    for &v in &arena.topo {
+        if !arena.fwd[v as usize] || !arena.bwd[v as usize] {
+            return Err(SfaError::Disconnected { node: v });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -325,6 +727,94 @@ mod tests {
         blob[pos] = 0xFF;
         blob[pos + 1] = 0xFE;
         assert_eq!(decode(&blob).unwrap_err(), SfaError::BadLabel);
+    }
+
+    /// Assert the arena decode of `blob` is structurally identical to the
+    /// allocating decode: same nodes/start/finish, same edges in the same
+    /// order, same emissions (label bytes and probability) in the same
+    /// order, same adjacency, same topological order.
+    fn assert_arena_matches_decode(blob: &[u8]) {
+        let sfa = decode(blob).unwrap();
+        let mut arena = DecodeArena::new();
+        decode_into_arena(blob, &mut arena).unwrap();
+        assert_eq!(arena.node_count() as usize, sfa.node_count());
+        assert_eq!(arena.start(), sfa.start());
+        assert_eq!(arena.finish(), sfa.finish());
+        assert_eq!(arena.edges().len(), sfa.edge_count());
+        for (idx, (id, e)) in sfa.edges().enumerate() {
+            assert_eq!(id as usize, idx);
+            let ae = arena.edges()[idx];
+            assert_eq!((ae.from, ae.to), (e.from, e.to));
+            let ems = &arena.emissions()[ae.em_start as usize..ae.em_end as usize];
+            assert_eq!(ems.len(), e.emissions.len());
+            for (am, em) in ems.iter().zip(&e.emissions) {
+                assert_eq!(&blob[am.label_range()], em.label.as_bytes());
+                assert_eq!(am.prob.to_bits(), em.prob.to_bits());
+            }
+        }
+        for v in 0..arena.node_count() {
+            assert_eq!(arena.out_edges(v), sfa.out_edges(v));
+        }
+        assert_eq!(arena.topo(), &sfa.try_topo_order().unwrap()[..]);
+    }
+
+    #[test]
+    fn arena_decode_matches_decode_on_valid_blobs() {
+        assert_arena_matches_decode(&encode(&figure1()));
+        let mut b = SfaBuilder::new();
+        let s = b.add_node();
+        let f = b.add_node();
+        b.add_edge(
+            s,
+            f,
+            vec![Emission::new("Ford", 0.6), Emission::new("F0 rd", 0.4)],
+        );
+        assert_arena_matches_decode(&encode(&b.build(s, f).unwrap()));
+    }
+
+    #[test]
+    fn arena_decode_matches_decode_on_corrupt_blobs() {
+        let blob = encode(&figure1());
+        let mut arena = DecodeArena::new();
+        // Truncation at every boundary must produce the same typed error
+        // as the allocating decode.
+        for cut in 0..blob.len() {
+            let expect = decode(&blob[..cut]).unwrap_err();
+            let got = decode_into_arena(&blob[..cut], &mut arena).unwrap_err();
+            assert_eq!(got, expect, "cut at {cut}");
+        }
+        // Single-byte stomps: both decoders must agree on Ok vs the same Err.
+        for pos in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0x41;
+            match (decode(&bad), decode_into_arena(&bad, &mut arena)) {
+                (Ok(_), Ok(())) => assert_arena_matches_decode(&bad),
+                (Err(a), Err(b)) => assert_eq!(a, b, "stomp at {pos}"),
+                (a, b) => panic!("stomp at {pos}: decode={a:?} arena={b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn arena_is_reusable_across_rows() {
+        let big = encode(&figure1());
+        let mut b = SfaBuilder::new();
+        let s = b.add_node();
+        let f = b.add_node();
+        b.add_edge(s, f, vec![Emission::new("x", 1.0)]);
+        let small = encode(&b.build(s, f).unwrap());
+        let mut arena = DecodeArena::new();
+        for blob in [&big, &small, &big, &small] {
+            decode_into_arena(blob, &mut arena).unwrap();
+            let sfa = decode(blob).unwrap();
+            assert_eq!(arena.node_count() as usize, sfa.node_count());
+            assert_eq!(arena.edges().len(), sfa.edge_count());
+            assert_eq!(arena.topo(), &sfa.try_topo_order().unwrap()[..]);
+        }
+        // An error mid-stream leaves the arena usable for the next row.
+        assert!(decode_into_arena(&big[..big.len() - 3], &mut arena).is_err());
+        decode_into_arena(&small, &mut arena).unwrap();
+        assert_eq!(arena.node_count(), 2);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod model;
 pub mod validate;
 pub mod viterbi;
 
+pub use codec::{ArenaEdge, ArenaEmission, DecodeArena};
 pub use error::SfaError;
 pub use kbest::{k_best_paths, KBestPath};
 pub use mass::{backward_mass, forward_mass, kl_divergence, string_probability, total_mass};

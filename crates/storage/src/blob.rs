@@ -45,6 +45,15 @@ impl BlobStore {
     /// Read a whole blob.
     pub fn get(pool: &BufferPool, id: PageId) -> Result<Vec<u8>, StorageError> {
         let mut out = Vec::new();
+        Self::get_into(pool, id, &mut out)?;
+        Ok(out)
+    }
+
+    /// Read a whole blob into a caller-owned buffer, which is cleared
+    /// first. On a blob-table scan this keeps one warm buffer per worker
+    /// instead of allocating (and growing) a fresh `Vec` per row.
+    pub fn get_into(pool: &BufferPool, id: PageId, out: &mut Vec<u8>) -> Result<(), StorageError> {
+        out.clear();
         let mut pid = id;
         let mut hops: u64 = 0;
         let limit = pool.page_count() + 1;
@@ -62,7 +71,35 @@ impl BlobStore {
             out.extend_from_slice(&page[HEADER..HEADER + len]);
             pid = next;
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Run `f` over a blob's bytes without materializing them when
+    /// possible: a single-page blob (the common case for row-sized
+    /// payloads — `BLOB_PAYLOAD` is just under 4 kB) is borrowed
+    /// straight from the buffer-pool page under its read latch; longer
+    /// chains are assembled into `buf` first. `f` runs with the latch
+    /// held, so it must not write through the same pool (reads of other
+    /// pages are fine).
+    pub fn with_blob<R>(
+        pool: &BufferPool,
+        id: PageId,
+        buf: &mut Vec<u8>,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, StorageError> {
+        {
+            let page = pool.fetch_read(id)?;
+            let next = u64::from_le_bytes(page[0..8].try_into().expect("len"));
+            let len = u32::from_le_bytes(page[8..12].try_into().expect("len")) as usize;
+            if len > BLOB_PAYLOAD {
+                return Err(StorageError::CorruptBlob { first_page: id });
+            }
+            if next == NO_PAGE {
+                return Ok(f(&page[HEADER..HEADER + len]));
+            }
+        }
+        Self::get_into(pool, id, buf)?;
+        Ok(f(buf))
     }
 
     /// Length of a blob in bytes without materializing it.

@@ -121,6 +121,34 @@ impl HeapFile {
             })
     }
 
+    /// Visit every tuple in chain order with *borrowed* bytes: each page
+    /// is copied once into a reusable buffer, its latch released, and `f`
+    /// called on tuple slices into that copy. The allocation-free sibling
+    /// of [`HeapFile::scan`] for tight sequential scans — no per-row
+    /// `Vec`, and `f` runs with no page pinned, so it may take as long as
+    /// it likes without blocking writers or eviction.
+    pub fn for_each_row<E: From<StorageError>>(
+        &self,
+        pool: &BufferPool,
+        mut f: impl FnMut(Rid, &[u8]) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let mut copy: Box<[u8; crate::PAGE_SIZE]> = Box::new([0u8; crate::PAGE_SIZE]);
+        let mut pid = self.first;
+        while pid != NO_PAGE {
+            {
+                let page = pool.fetch_read(pid)?;
+                copy.copy_from_slice(&page[..]);
+            }
+            let sp = SlottedPage::new(&mut copy);
+            let next = sp.next();
+            for (slot, bytes) in sp.iter() {
+                f(Rid { page: pid, slot }, bytes)?;
+            }
+            pid = next;
+        }
+        Ok(())
+    }
+
     /// Full scan in chain order. Tuples are copied out page by page, so
     /// the iterator holds no page pins between steps.
     pub fn scan<'p>(&self, pool: &'p BufferPool) -> HeapScan<'p> {
@@ -215,6 +243,40 @@ mod tests {
         let r2 = heap.insert(&pool, b"beta").unwrap();
         assert_eq!(heap.get(&pool, r1).unwrap(), b"alpha");
         assert_eq!(heap.get(&pool, r2).unwrap(), b"beta");
+    }
+
+    #[test]
+    fn for_each_row_matches_scan() {
+        let pool = pool();
+        let heap = HeapFile::create(&pool).unwrap();
+        for i in 0..120u32 {
+            // Mixed sizes so rows cross page boundaries.
+            let t = vec![i as u8; 40 + (i as usize % 500)];
+            heap.insert(&pool, &t).unwrap();
+        }
+        let scanned: Vec<(Rid, Vec<u8>)> = heap
+            .scan(&pool)
+            .collect::<Result<_, StorageError>>()
+            .unwrap();
+        let mut visited = Vec::new();
+        heap.for_each_row(&pool, |rid, bytes| -> Result<(), StorageError> {
+            visited.push((rid, bytes.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(visited, scanned);
+        // Early error stops the walk and surfaces through `E`.
+        let mut seen = 0;
+        let err = heap.for_each_row(&pool, |_, _| -> Result<(), StorageError> {
+            seen += 1;
+            if seen == 3 {
+                Err(StorageError::SchemaMismatch("stop"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(err.is_err());
+        assert_eq!(seen, 3);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use error::StorageError;
 pub use heap::{HeapFile, HeapScan, Rid};
 pub use pager::{BufferPool, PoolStats};
 pub use rcu::RcuCell;
-pub use row::{ColumnType, Row, Schema, Value};
+pub use row::{ColumnType, Row, RowReader, Schema, Value};
 pub use wal::{SyncPolicy, Wal, WalStats};
 
 /// Identifier of a page on disk.

@@ -12,7 +12,7 @@
 //!
 //! The current snapshot lives in an `AtomicPtr` produced by
 //! `Arc::into_raw`. A reader *announces* itself by incrementing one of
-//! [`GATE_SLOTS`] cache-line-padded gate counters (chosen per thread, so
+//! `GATE_SLOTS` cache-line-padded gate counters (chosen per thread, so
 //! unrelated readers do not bounce one line), then loads the pointer and
 //! uses the snapshot, then decrements the gate. A writer swaps the
 //! pointer first and *then* waits for every gate to reach zero before

@@ -161,6 +161,95 @@ pub fn decode_row(schema: &Schema, bytes: &[u8]) -> Result<Row, StorageError> {
     Ok(row)
 }
 
+/// Borrowed, allocation-free row reader: walks a row's encoded bytes
+/// field by field against the schema, lending `&str` text slices instead
+/// of allocating `String`s the way [`decode_row`] does. The scan hot path
+/// decodes every MAP/k-MAP row through this, so a filescan performs zero
+/// per-row string allocations.
+///
+/// Call the typed readers in schema order, then [`RowReader::finish`] to
+/// assert the row was fully consumed; every check [`decode_row`] performs
+/// (length, UTF-8, type agreement, trailing bytes) is performed here with
+/// the same errors.
+#[derive(Debug)]
+pub struct RowReader<'a> {
+    schema: &'a Schema,
+    bytes: &'a [u8],
+    pos: usize,
+    col: usize,
+}
+
+impl<'a> RowReader<'a> {
+    /// Start reading `bytes` as a row of `schema`.
+    pub fn new(schema: &'a Schema, bytes: &'a [u8]) -> RowReader<'a> {
+        RowReader {
+            schema,
+            bytes,
+            pos: 0,
+            col: 0,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(StorageError::SchemaMismatch("row too short"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn expect(&mut self, ty: ColumnType) -> Result<(), StorageError> {
+        match self.schema.cols.get(self.col) {
+            Some((_, t)) if *t == ty => {
+                self.col += 1;
+                Ok(())
+            }
+            _ => Err(StorageError::SchemaMismatch(
+                "value type does not match column",
+            )),
+        }
+    }
+
+    /// Read the next column as an `Int`.
+    pub fn int(&mut self) -> Result<i64, StorageError> {
+        self.expect(ColumnType::Int)?;
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+
+    /// Read the next column as a `Float`.
+    pub fn float(&mut self) -> Result<f64, StorageError> {
+        self.expect(ColumnType::Float)?;
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+
+    /// Read the next column as a `Blob` reference.
+    pub fn blob(&mut self) -> Result<PageId, StorageError> {
+        self.expect(ColumnType::Blob)?;
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+
+    /// Read the next column as `Text`, borrowing from the row bytes.
+    pub fn text(&mut self) -> Result<&'a str, StorageError> {
+        self.expect(ColumnType::Text)?;
+        let len = u32::from_le_bytes(self.take(4)?.try_into().expect("len")) as usize;
+        std::str::from_utf8(self.take(len)?)
+            .map_err(|_| StorageError::SchemaMismatch("text is not UTF-8"))
+    }
+
+    /// Assert every column was read and no bytes trail the row — the same
+    /// completeness checks [`decode_row`] applies.
+    pub fn finish(self) -> Result<(), StorageError> {
+        if self.col != self.schema.cols.len() {
+            return Err(StorageError::SchemaMismatch("row read ended early"));
+        }
+        if self.pos != self.bytes.len() {
+            return Err(StorageError::SchemaMismatch("trailing bytes after row"));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +332,56 @@ mod tests {
         let schema = Schema::new(&[("t", ColumnType::Text)]);
         let bytes = encode_row(&schema, &vec![Value::Text(String::new())]).unwrap();
         assert_eq!(decode_row(&schema, &bytes).unwrap()[0].as_text(), Some(""));
+    }
+
+    #[test]
+    fn row_reader_borrows_and_agrees_with_decode_row() {
+        let schema = Schema::new(&[
+            ("i", ColumnType::Int),
+            ("f", ColumnType::Float),
+            ("t", ColumnType::Text),
+            ("b", ColumnType::Blob),
+        ]);
+        let row: Row = vec![
+            Value::Int(-42),
+            Value::Float(2.75),
+            Value::Text("U.S.C. 2345".into()),
+            Value::Blob(9001),
+        ];
+        let bytes = encode_row(&schema, &row).unwrap();
+        let mut r = RowReader::new(&schema, &bytes);
+        assert_eq!(r.int().unwrap(), -42);
+        assert_eq!(r.float().unwrap(), 2.75);
+        assert_eq!(r.text().unwrap(), "U.S.C. 2345");
+        assert_eq!(r.blob().unwrap(), 9001);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn row_reader_rejects_misuse_and_corruption() {
+        let schema = Schema::new(&[("t", ColumnType::Text), ("f", ColumnType::Float)]);
+        let bytes =
+            encode_row(&schema, &vec![Value::Text("hi".into()), Value::Float(0.5)]).unwrap();
+        // Wrong type for the column.
+        assert!(RowReader::new(&schema, &bytes).int().is_err());
+        // Ending early.
+        let mut r = RowReader::new(&schema, &bytes);
+        r.text().unwrap();
+        assert!(r.finish().is_err());
+        // Trailing bytes.
+        let mut extra = bytes.clone();
+        extra.push(0);
+        let mut r = RowReader::new(&schema, &extra);
+        r.text().unwrap();
+        r.float().unwrap();
+        assert!(r.finish().is_err());
+        // Truncated text.
+        let mut r = RowReader::new(&schema, &bytes[..bytes.len() - 9]);
+        assert!(r.text().is_err() || r.float().is_err());
+        // Invalid UTF-8.
+        let mut bad = bytes.clone();
+        bad[4] = 0xFF;
+        assert!(RowReader::new(&schema, &bad).text().is_err());
     }
 
     #[test]
