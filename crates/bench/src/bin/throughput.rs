@@ -36,7 +36,7 @@ use staccato_core::StaccatoParams;
 use staccato_ocr::{generate, ChannelConfig, CorpusKind};
 use staccato_query::store::LoadOptions;
 use staccato_query::Staccato;
-use staccato_storage::Database;
+use staccato_storage::{Database, SyncPolicy};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -158,6 +158,18 @@ fn main() {
         "pool: {pool_frames} frames over {disk_pages} disk pages ({:.0}% resident)",
         (pool_frames as f64 / disk_pages.max(1) as f64 * 100.0).min(100.0)
     );
+    // Mixed-mode writes go through the durable ingest path: a
+    // group-commit WAL on a scratch directory, so the recorded fsync /
+    // amortization counters reflect the production write path instead of
+    // a WAL-less in-memory shortcut.
+    let wal_dir = (cfg.write_pct > 0).then(|| {
+        let dir = std::env::temp_dir().join(format!("staccato_tp_wal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        session
+            .attach_wal(&dir, SyncPolicy::Commit)
+            .expect("attach WAL");
+        dir
+    });
     let postings = session
         .register_index(
             &staccato_automata::Trie::build(["public", "president", "commission"]),
@@ -225,8 +237,21 @@ fn main() {
     let serial_qps = serial.run.qps;
 
     let scaling: Vec<String> = points.iter().map(|p| point_json(p, serial_qps)).collect();
+    // WAL group-commit counters over the whole mixed run (all zeros when
+    // --write-pct 0 leaves the WAL detached).
+    let ing = session.ingest_stats();
+    let wal_json = format!(
+        "{{\"records\": {}, \"bytes\": {}, \"fsyncs\": {}, \"group_commits\": {}, \"batches_per_fsync\": {:.4}, \"flush_wait_p95_ms\": {:.4}, \"segments_deleted\": {}}}",
+        ing.wal_records_appended,
+        ing.wal_bytes_logged,
+        ing.wal_fsyncs,
+        ing.wal_group_commits,
+        ing.wal_batches_per_fsync,
+        ing.wal_flush_wait_p95.as_secs_f64() * 1e3,
+        ing.wal_segments_deleted,
+    );
     let json = format!(
-        "{{\n  \"bench\": \"throughput\",\n  \"corpus\": \"CongressActs\",\n  \"lines\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"queries_per_thread\": {},\n  \"total_queries\": {},\n  \"workload_size\": {},\n  \"pool_frames\": {},\n  \"disk_pages\": {},\n  \"write_pct\": {},\n  \"cpu_cores\": {},\n  \"scaling\": [\n    {}\n  ],\n  \"concurrent\": {},\n  \"serial\": {}\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"corpus\": \"CongressActs\",\n  \"lines\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"queries_per_thread\": {},\n  \"total_queries\": {},\n  \"workload_size\": {},\n  \"pool_frames\": {},\n  \"disk_pages\": {},\n  \"write_pct\": {},\n  \"cpu_cores\": {},\n  \"scaling\": [\n    {}\n  ],\n  \"wal\": {},\n  \"concurrent\": {},\n  \"serial\": {}\n}}\n",
         cfg.lines,
         cfg.seed,
         cfg.threads,
@@ -238,10 +263,21 @@ fn main() {
         cfg.write_pct,
         cpu_cores,
         scaling.join(",\n    "),
+        wal_json,
         run_json(&headline.run, headline.pool, headline.cache_hit_rate),
         run_json(&serial.run, serial.pool, serial.cache_hit_rate),
     );
     std::fs::write(&cfg.out, &json).expect("write BENCH json");
+    if let Some(dir) = &wal_dir {
+        println!(
+            "wal         : {} records, {} fsyncs, {:.2} batches/fsync, flush-wait p95 {}",
+            ing.wal_records_appended,
+            ing.wal_fsyncs,
+            ing.wal_batches_per_fsync,
+            fmt_duration(ing.wal_flush_wait_p95),
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
 
     println!(
         "serial      : {:>9.1} qps  p50 {:>9}  p95 {:>9}  pool hit {:.2}%  cache hit {:.2}%",

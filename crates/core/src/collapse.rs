@@ -11,6 +11,7 @@
 //!   per-chunk choices);
 //! * the unique path property is preserved.
 
+use crate::chain::{chain_edges, top_products};
 use crate::findmin::Region;
 use staccato_sfa::{k_best_paths, Emission, NodeId, Sfa, SfaBuilder};
 
@@ -43,6 +44,29 @@ pub fn extract_region(sfa: &Sfa, region: &Region) -> (Sfa, Vec<(NodeId, NodeId)>
 /// Probabilities are the labelled-path products within the region — i.e.
 /// the conditional probability of the string given arrival at the entry.
 pub fn region_top_k(sfa: &Sfa, region: &Region, k: usize) -> Vec<Emission> {
+    // Two-edge chain regions (the common case on line SFAs) have a closed
+    // form that reproduces the general DP's output exactly — see
+    // `crate::chain`.
+    if let Some((e1, e2)) = chain_edges(sfa, region) {
+        let (e1, e2) = (
+            sfa.edge(e1).expect("live edge"),
+            sfa.edge(e2).expect("live edge"),
+        );
+        return top_products(e1, e2, k)
+            .into_iter()
+            .map(|(lp, i, j)| {
+                let mut label = String::with_capacity(
+                    e1.emissions[i as usize].label.len() + e2.emissions[j as usize].label.len(),
+                );
+                label.push_str(&e1.emissions[i as usize].label);
+                label.push_str(&e2.emissions[j as usize].label);
+                Emission {
+                    label,
+                    prob: lp.exp(),
+                }
+            })
+            .collect();
+    }
     let (sub, _) = extract_region(sfa, region);
     k_best_paths(&sub, k)
         .into_iter()

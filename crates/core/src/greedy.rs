@@ -16,10 +16,12 @@
 //!   collapse ("a simple optimization … is to cache those candidates we
 //!   have considered in previous iterations", §3.1).
 
+use crate::chain::{chain_local_loss, has_bypass};
 use crate::collapse::{collapse, extract_region};
 use crate::findmin::{find_min_sfa, Reach, Region};
-use staccato_sfa::{backward_mass, forward_mass, k_best_paths, total_mass, NodeId, Sfa};
+use staccato_sfa::{k_best_paths, total_mass, NodeId, Sfa};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// The two knobs of the approximation (Table 3 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +52,74 @@ struct Cached {
     local_loss: f64,
 }
 
+/// Multiply–xor hasher for the `(x, y, z)` candidate keys. The greedy
+/// scan performs thousands of cache probes per line, where SipHash's
+/// per-lookup setup dominates; node-id triples need no DoS resistance.
+#[derive(Default)]
+struct TripleHasher(u64);
+
+impl Hasher for TripleHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u32(b as u32);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (self.0.rotate_left(5) ^ n as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type CandidateCache = HashMap<(NodeId, NodeId, NodeId), Cached, BuildHasherDefault<TripleHasher>>;
+
+/// [`staccato_sfa::forward_mass`] with the topological order and per-edge
+/// masses precomputed and the output buffer reused across iterations —
+/// the greedy loop recomputes the DP after every collapse, and on line
+/// SFAs the allocations and repeated `Edge::mass()` sums dominate the DP
+/// itself. Arithmetic is identical (same traversal, same summation
+/// order), so results match the public function bit for bit.
+fn forward_mass_into(sfa: &Sfa, topo: &[NodeId], edge_mass: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(sfa.num_node_slots() as usize, 0.0);
+    out[sfa.start() as usize] = 1.0;
+    for &v in topo {
+        let mv = out[v as usize];
+        if mv == 0.0 {
+            continue;
+        }
+        for &eid in sfa.out_edges(v) {
+            let to = sfa.edge(eid).expect("live adjacency").to;
+            out[to as usize] += mv * edge_mass[eid as usize];
+        }
+    }
+}
+
+/// [`staccato_sfa::backward_mass`] under the same precomputation; see
+/// [`forward_mass_into`].
+fn backward_mass_into(sfa: &Sfa, topo: &[NodeId], edge_mass: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(sfa.num_node_slots() as usize, 0.0);
+    out[sfa.finish() as usize] = 1.0;
+    for &v in topo.iter().rev() {
+        if v == sfa.finish() {
+            continue;
+        }
+        let mut mv = 0.0;
+        for &eid in sfa.out_edges(v) {
+            let edge = sfa.edge(eid).expect("live adjacency");
+            mv += edge_mass[eid as usize] * out[edge.to as usize];
+        }
+        out[v as usize] = mv;
+    }
+}
+
 /// Compute a region's local mass loss for a given k.
 fn local_loss(sfa: &Sfa, region: &Region, k: usize) -> f64 {
     let (sub, _) = extract_region(sfa, region);
@@ -78,14 +148,27 @@ pub fn approximate(original: &Sfa, params: StaccatoParams) -> Sfa {
         }
     }
 
-    let mut cache: HashMap<(NodeId, NodeId, NodeId), Cached> = HashMap::new();
+    let mut cache: CandidateCache = CandidateCache::default();
+
+    // Per-edge masses, indexed by edge slot. Edges never change emissions
+    // once created (collapse only removes edges and inserts new ones), so
+    // each mass is summed exactly once.
+    let mut edge_mass: Vec<f64> = vec![0.0; sfa.num_edge_slots() as usize];
+    for (id, e) in sfa.edges() {
+        edge_mass[id as usize] = e.mass();
+    }
+    let (mut fwd, mut bwd): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
 
     while sfa.edge_count() > m {
-        let reach = Reach::new(&sfa);
-        let fwd = forward_mass(&sfa);
-        let bwd = backward_mass(&sfa);
+        // The reachability oracle is only consulted by FindMinSFA's repair
+        // loop; chain-triple candidates (the overwhelming majority on line
+        // SFAs) validate immediately, so build it lazily.
+        let mut reach: Option<Reach> = None;
+        let topo = sfa.topo_order();
+        forward_mass_into(&sfa, &topo, &edge_mass, &mut fwd);
+        backward_mass_into(&sfa, &topo, &edge_mass, &mut bwd);
 
-        let mut best: Option<(f64, (NodeId, NodeId, NodeId), Region)> = None;
+        let mut best: Option<(f64, (NodeId, NodeId, NodeId))> = None;
         let nodes: Vec<NodeId> = sfa.nodes().collect();
         for &y in &nodes {
             for &ein in sfa.in_edges(y) {
@@ -93,32 +176,78 @@ pub fn approximate(original: &Sfa, params: StaccatoParams) -> Sfa {
                 for &eout in sfa.out_edges(y) {
                     let z = sfa.edge(eout).expect("live").to;
                     let key = (x, y, z);
-                    let cached = cache.entry(key).or_insert_with(|| {
-                        let region = find_min_sfa(&sfa, &reach, &[x, y, z]);
-                        let loss = local_loss(&sfa, &region, k);
-                        Cached {
-                            region,
-                            local_loss: loss,
+                    let cached = match cache.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            // When y's only edges are the pair under
+                            // consideration, {x, y, z} is already a valid
+                            // region (unique entry/exit, no external edge on
+                            // the interior) and FindMinSFA would return it
+                            // unchanged — skip straight to it, and score it
+                            // with the closed-form chain loss unless an
+                            // x → z bypass edge makes the region three-edged.
+                            let chain = sfa.in_edges(y).len() == 1 && sfa.out_edges(y).len() == 1;
+                            let fresh = if chain {
+                                let mut nodes3 = vec![x, y, z];
+                                nodes3.sort_unstable();
+                                let region = Region {
+                                    nodes: nodes3,
+                                    entry: x,
+                                    exit: z,
+                                };
+                                let loss = if has_bypass(&sfa, x, z) {
+                                    local_loss(&sfa, &region, k)
+                                } else {
+                                    chain_local_loss(
+                                        sfa.edge(ein).expect("live"),
+                                        sfa.edge(eout).expect("live"),
+                                        k,
+                                    )
+                                };
+                                Cached {
+                                    region,
+                                    local_loss: loss,
+                                }
+                            } else {
+                                let reach = reach.get_or_insert_with(|| Reach::new(&sfa));
+                                let region = find_min_sfa(&sfa, reach, &[x, y, z]);
+                                let loss = local_loss(&sfa, &region, k);
+                                Cached {
+                                    region,
+                                    local_loss: loss,
+                                }
+                            };
+                            slot.insert(fresh)
                         }
-                    });
+                    };
                     let loss = fwd[cached.region.entry as usize]
                         * cached.local_loss
                         * bwd[cached.region.exit as usize];
-                    if best.as_ref().is_none_or(|(b, _, _)| loss < *b) {
-                        best = Some((loss, key, cached.region.clone()));
+                    if best.as_ref().is_none_or(|(b, _)| loss < *b) {
+                        best = Some((loss, key));
                     }
                 }
             }
         }
 
-        let Some((_, _, region)) = best else {
+        let Some((_, best_key)) = best else {
             // No adjacent edge pair exists (the graph is a single edge or a
             // bundle of parallel edges between start and finish with no
             // interior node) — nothing further can be merged.
             break;
         };
+        // The winning candidate overlaps its own region, so the retain
+        // below would evict it anyway — take ownership instead of cloning.
+        let region = cache
+            .remove(&best_key)
+            .expect("best candidate is cached")
+            .region;
 
-        collapse(&mut sfa, &region, k);
+        let new_edge = collapse(&mut sfa, &region, k);
+        if edge_mass.len() <= new_edge as usize {
+            edge_mass.resize(new_edge as usize + 1, 0.0);
+        }
+        edge_mass[new_edge as usize] = sfa.edge(new_edge).expect("just inserted").mass();
 
         // Invalidate cached candidates overlapping the collapsed region
         // (their seed nodes may be gone or their sub-SFA changed).

@@ -25,6 +25,7 @@
 //!   size model, then binary-search the smallest `m` meeting a recall
 //!   constraint within a storage budget.
 
+mod chain;
 pub mod collapse;
 pub mod findmin;
 pub mod greedy;

@@ -98,6 +98,11 @@ pub struct IngestReceipt {
     /// Framed bytes appended to the WAL for this batch (0 when no WAL
     /// is attached).
     pub wal_bytes: u64,
+    /// WAL LSN (end offset) of the batch's record. The write path only
+    /// acknowledges a receipt once everything at or below this LSN is
+    /// on stable storage, so receipts are monotonically LSN-ordered by
+    /// `batch_seq`. 0 when no WAL is attached.
+    pub lsn: u64,
 }
 
 /// One `StaccatoHistory` row.
@@ -121,7 +126,7 @@ pub struct HistoryRow {
 
 /// Session-cumulative ingest/WAL counters (mirrored into `GET /stats`;
 /// per-statement deltas ride on [`crate::ExecStats`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct IngestStats {
     /// Batches applied (ingested live or replayed).
     pub batches: u64,
@@ -131,10 +136,24 @@ pub struct IngestStats {
     pub wal_records_appended: u64,
     /// WAL bytes logged by this session.
     pub wal_bytes_logged: u64,
-    /// fsyncs issued by the WAL.
+    /// fsyncs issued by the WAL (appends, commits, and group flushes).
     pub wal_fsyncs: u64,
     /// Batches replayed from the WAL at recovery.
     pub replays: u64,
+    /// Group-commit fsyncs — each one issued by a flush leader on
+    /// behalf of every batch enqueued since the last flush.
+    pub wal_group_commits: u64,
+    /// Durability waits served per group fsync (amortization factor;
+    /// > 1 means concurrent batches shared fsyncs).
+    pub wal_batches_per_fsync: f64,
+    /// p95 time an ingest spent blocked waiting for its durable LSN.
+    pub wal_flush_wait_p95: std::time::Duration,
+    /// Sealed WAL segments deleted by checkpoint GC.
+    pub wal_segments_deleted: u64,
+    /// Checkpoints taken (manual and background).
+    pub checkpoints: u64,
+    /// Checkpoints completed by the background checkpointer thread.
+    pub background_checkpoints: u64,
 }
 
 /// A fully built batch: what the WAL logs and replay decodes.

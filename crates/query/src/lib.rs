@@ -98,7 +98,7 @@ pub use kernel::{EvalOutcome, ScanKernel, ScanScratch};
 pub use metrics::{evaluate_answers, ground_truth, Metrics};
 pub use plan::{Dialect, ExecStats, Plan, PlanPreference, QueryRequest, WalCounters};
 pub use query::Query;
-pub use session::{QueryOutput, RecoverOptions, Staccato};
+pub use session::{CheckpointPolicy, QueryOutput, RecoverOptions, Staccato};
 pub use sql::{PreparedQuery, SqlError, SqlTable, SqlValue};
 pub use store::{LoadOptions, OcrStore, RepresentationSizes};
 

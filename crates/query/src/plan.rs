@@ -306,10 +306,16 @@ pub struct WalCounters {
     pub records_appended: u64,
     /// Framed bytes logged.
     pub bytes_logged: u64,
-    /// fsyncs issued.
+    /// fsyncs issued (append-side syncs plus group fsyncs this
+    /// statement led).
     pub fsyncs: u64,
     /// Batches replayed from the log (recovery only).
     pub replays: u64,
+    /// Group-commit fsyncs this statement led on behalf of every
+    /// waiter (0 when it rode a flush another statement issued).
+    pub group_commits: u64,
+    /// Time this statement spent blocked waiting for its durable LSN.
+    pub flush_wait: Duration,
 }
 
 impl ExecStats {

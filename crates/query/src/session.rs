@@ -63,10 +63,10 @@ use parking_lot::{Mutex, RwLock};
 use staccato_automata::Trie;
 use staccato_ocr::Dataset;
 use staccato_sfa::codec;
-use staccato_storage::{Database, PoolStats, RcuCell, SyncPolicy, Wal};
+use staccato_storage::{Database, PoolStats, RcuCell, SyncPolicy, Wal, WalFlusher};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, Weak};
 use std::time::Instant;
 
 /// One registered inverted index. The index handle is `Arc`-shared so a
@@ -79,13 +79,18 @@ struct RegisteredIndex {
     trie: Trie,
 }
 
-/// The single-writer half of the session: the attached WAL (if any) and
-/// the next batch sequence number. Held across an entire `ingest` call,
-/// so batches get consecutive sequence numbers and consecutive key
-/// ranges, and a checkpoint always lands on a batch boundary.
+/// The single-writer half of the session: the attached WAL (if any),
+/// the next batch sequence number, and the checkpoint-policy odometer.
+/// Held while a batch is sequenced, logged, and applied — but *not*
+/// while its durability wait runs, so concurrent writers pipeline into
+/// the group-commit flusher.
 struct WriterState {
     wal: Option<Wal>,
     next_seq: u64,
+    /// Batches applied since the last checkpoint (policy odometer).
+    ckpt_batches_since: u64,
+    /// WAL bytes appended since the last checkpoint (policy odometer).
+    ckpt_bytes_since: u64,
 }
 
 /// Session-cumulative ingest counters (the WAL's own counters live on
@@ -95,6 +100,108 @@ struct IngestTotals {
     batches: AtomicU64,
     docs: AtomicU64,
     replays: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+/// When the background checkpointer should snapshot the store. Both
+/// thresholds disabled means "never" (manual checkpoints only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once this many batches applied since the last one.
+    pub every_batches: Option<u64>,
+    /// Checkpoint once this many WAL bytes logged since the last one.
+    pub every_bytes: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint every `n` applied batches.
+    pub fn every_batches(n: u64) -> CheckpointPolicy {
+        CheckpointPolicy {
+            every_batches: Some(n.max(1)),
+            every_bytes: None,
+        }
+    }
+
+    /// Checkpoint every `n` WAL bytes logged.
+    pub fn every_bytes(n: u64) -> CheckpointPolicy {
+        CheckpointPolicy {
+            every_batches: None,
+            every_bytes: Some(n.max(1)),
+        }
+    }
+
+    fn due(&self, batches_since: u64, bytes_since: u64) -> bool {
+        self.every_batches.is_some_and(|n| batches_since >= n)
+            || self.every_bytes.is_some_and(|n| bytes_since >= n)
+    }
+}
+
+/// Doorbell between the write path and the background checkpointer: the
+/// ingest that crosses a policy threshold rings it (condvar, no
+/// busy-wait) and moves on; the checkpointer thread snapshots off the
+/// write path.
+struct CheckpointSignal {
+    state: StdMutex<CheckpointerState>,
+    wake: Condvar,
+}
+
+struct CheckpointerState {
+    policy: CheckpointPolicy,
+    pending: bool,
+    shutdown: bool,
+    thread: Option<std::thread::JoinHandle<()>>,
+    runs: u64,
+    errors: u64,
+}
+
+impl CheckpointSignal {
+    fn lock(&self) -> std::sync::MutexGuard<'_, CheckpointerState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Owns the checkpointer's shutdown: dropped with the session (or when
+/// [`Staccato::into_store`] dissolves it), it signals the thread and
+/// joins it — unless the drop is running *on* that thread (the
+/// checkpointer can hold the last `Arc<Staccato>`), where joining would
+/// self-deadlock and detaching is correct: the loop observes `shutdown`
+/// and returns right after.
+struct CheckpointerSlot {
+    signal: Arc<CheckpointSignal>,
+}
+
+impl CheckpointerSlot {
+    fn new() -> CheckpointerSlot {
+        CheckpointerSlot {
+            signal: Arc::new(CheckpointSignal {
+                state: StdMutex::new(CheckpointerState {
+                    policy: CheckpointPolicy::default(),
+                    pending: false,
+                    shutdown: false,
+                    thread: None,
+                    runs: 0,
+                    errors: 0,
+                }),
+                wake: Condvar::new(),
+            }),
+        }
+    }
+}
+
+impl Drop for CheckpointerSlot {
+    fn drop(&mut self) {
+        let handle = {
+            let mut state = self.signal.lock();
+            state.shutdown = true;
+            state.thread.take()
+        };
+        self.signal.wake.notify_all();
+        if let Some(handle) = handle {
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+    }
 }
 
 /// A query session over a loaded OCR store. All methods take `&self`;
@@ -105,8 +212,11 @@ struct IngestTotals {
 /// Three latches order writers against readers (always acquired in this
 /// order — writer → applies → index_write):
 ///
-/// 1. `writer` serializes whole `ingest` calls: artifact construction,
-///    the WAL append+commit, and the apply all happen under it.
+/// 1. `writer` serializes the sequenced part of an `ingest`: artifact
+///    construction, the WAL append, and the apply happen under it — so
+///    WAL order always matches `DataKey` order. The *durability wait*
+///    runs after it is released: concurrent writers pipeline into the
+///    group-commit flusher and share fsyncs.
 /// 2. `applies` is the visibility gate. Queries hold its read side for
 ///    their whole execution; an ingest holds the write side while
 ///    inserting a batch's rows, history, and index postings — so a
@@ -130,6 +240,7 @@ pub struct Staccato {
     writer: Mutex<WriterState>,
     applies: RwLock<()>,
     totals: IngestTotals,
+    ckpt: CheckpointerSlot,
 }
 
 // The sharing contract, enforced at compile time: a session must be
@@ -171,9 +282,12 @@ impl Staccato {
             writer: Mutex::new(WriterState {
                 wal: None,
                 next_seq: 1,
+                ckpt_batches_since: 0,
+                ckpt_bytes_since: 0,
             }),
             applies: RwLock::new(()),
             totals: IngestTotals::default(),
+            ckpt: CheckpointerSlot::new(),
         }
     }
 
@@ -694,23 +808,58 @@ impl Staccato {
         };
         let mut wal_delta = WalCounters::default();
         let mut wal_bytes = 0u64;
+        let mut durability: Option<(WalFlusher, u64)> = None;
         if let Some(wal) = writer.wal.as_mut() {
             let payload = encode_batch(&decoded);
-            let before = wal.stats();
+            let sync_before = wal.appender_fsyncs();
             wal_bytes = wal.append(&payload)?;
-            wal.commit()?;
-            let after = wal.stats();
-            wal_delta.records_appended = after.records_appended - before.records_appended;
-            wal_delta.bytes_logged = after.bytes_logged - before.bytes_logged;
-            wal_delta.fsyncs = after.fsyncs - before.fsyncs;
+            wal_delta.records_appended = 1;
+            wal_delta.bytes_logged = wal_bytes;
+            wal_delta.fsyncs = wal.appender_fsyncs() - sync_before;
+            durability = Some((wal.flusher(), wal.last_lsn()));
         }
         self.apply_decoded(&decoded)?;
         writer.next_seq = batch_seq + 1;
+        // Checkpoint-policy odometer, read under the same latch that
+        // ordered the batch. The crossing ingest rings the doorbell and
+        // resets, so one threshold crossing wakes the checkpointer once.
+        writer.ckpt_batches_since += 1;
+        writer.ckpt_bytes_since += wal_bytes;
+        let ckpt_due = {
+            let policy = self.ckpt.signal.lock().policy;
+            policy.due(writer.ckpt_batches_since, writer.ckpt_bytes_since)
+        };
+        if ckpt_due {
+            writer.ckpt_batches_since = 0;
+            writer.ckpt_bytes_since = 0;
+        }
+        let lsn = durability.as_ref().map(|(_, lsn)| *lsn).unwrap_or(0);
+        // Group commit: release the writer latch *before* waiting for
+        // durability, so the next writer can append while our fsync is
+        // in flight — one leader's fsync then covers every batch
+        // enqueued behind it. The batch is applied (visible) but not
+        // yet acknowledged; only the Ok return below promises
+        // durability, and recovery replays every batch whose receipt
+        // was returned.
+        drop(writer);
+        if ckpt_due {
+            let mut state = self.ckpt.signal.lock();
+            state.pending = true;
+            drop(state);
+            self.ckpt.signal.wake.notify_all();
+        }
+        if let Some((flusher, lsn)) = durability {
+            let ticket = flusher.wait_durable(lsn)?;
+            wal_delta.fsyncs += ticket.fsyncs_led;
+            wal_delta.group_commits = ticket.fsyncs_led;
+            wal_delta.flush_wait = ticket.wait;
+        }
         let receipt = IngestReceipt {
             batch_seq,
             first_key,
             docs: decoded.docs.len(),
             wal_bytes,
+            lsn,
         };
         Ok((receipt, wal_delta))
     }
@@ -758,13 +907,58 @@ impl Staccato {
         Ok(())
     }
 
-    /// Persist the store's pages to disk. Taken under the writer lock, so
-    /// a checkpoint always lands on a batch boundary — the database file
-    /// never contains half a batch, which is what lets recovery replay
-    /// the WAL idempotently on top of it.
+    /// Persist the store's pages to disk and garbage-collect the WAL.
+    /// Taken under the writer lock, so a checkpoint always lands on a
+    /// batch boundary — the database file never contains half a batch,
+    /// which is what lets recovery replay the WAL idempotently on top
+    /// of it.
+    ///
+    /// Ordering, which is also the segment-GC safety argument:
+    /// 1. flush the WAL — everything applied is now durable in the log
+    ///    (appended == applied under the writer latch), so the saved
+    ///    database is always a subset of the durable log;
+    /// 2. save the database — its contents now cover every appended
+    ///    record;
+    /// 3. rotate and delete the sealed segments — every deleted
+    ///    record's effect is in the saved file, so recovery never needs
+    ///    it. A crash between any two steps only leaves extra segments
+    ///    behind, never missing ones.
     pub fn checkpoint(&self) -> Result<(), QueryError> {
-        let _writer = self.writer.lock();
+        let mut writer = self.writer.lock();
+        if let Some(wal) = writer.wal.as_mut() {
+            wal.flush()?;
+        }
         self.store.db().save()?;
+        if let Some(wal) = writer.wal.as_mut() {
+            wal.gc_after_checkpoint()?;
+        }
+        writer.ckpt_batches_since = 0;
+        writer.ckpt_bytes_since = 0;
+        self.totals.checkpoints.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Start (or re-configure) the background checkpointer: a dedicated
+    /// thread that waits on a doorbell — no busy-wait, no polling — and
+    /// runs [`Staccato::checkpoint`] whenever the write path crosses
+    /// `policy`'s batch or byte threshold. Snapshots therefore happen
+    /// off the write path: the triggering ingest only rings the
+    /// doorbell and returns. The thread shuts down with the session.
+    pub fn start_background_checkpoints(
+        session: &Arc<Staccato>,
+        policy: CheckpointPolicy,
+    ) -> Result<(), QueryError> {
+        let mut state = session.ckpt.signal.lock();
+        state.policy = policy;
+        if state.thread.is_none() {
+            let weak = Arc::downgrade(session);
+            let signal = Arc::clone(&session.ckpt.signal);
+            let handle = std::thread::Builder::new()
+                .name("staccato-checkpointer".to_string())
+                .spawn(move || checkpointer_loop(weak, signal))
+                .map_err(|e| QueryError::Ingest(format!("spawning the checkpointer: {e}")))?;
+            state.thread = Some(handle);
+        }
         Ok(())
     }
 
@@ -819,6 +1013,8 @@ impl Staccato {
     pub fn ingest_stats(&self) -> IngestStats {
         let writer = self.writer.lock();
         let wal = writer.wal.as_ref().map(|w| w.stats()).unwrap_or_default();
+        drop(writer);
+        let background_checkpoints = self.ckpt.signal.lock().runs;
         IngestStats {
             batches: self.totals.batches.load(Ordering::Acquire),
             docs: self.totals.docs.load(Ordering::Acquire),
@@ -826,6 +1022,42 @@ impl Staccato {
             wal_bytes_logged: wal.bytes_logged,
             wal_fsyncs: wal.fsyncs,
             replays: self.totals.replays.load(Ordering::Acquire),
+            wal_group_commits: wal.group_commits,
+            wal_batches_per_fsync: wal.batches_per_fsync,
+            wal_flush_wait_p95: wal.flush_wait_p95,
+            wal_segments_deleted: wal.segments_deleted,
+            checkpoints: self.totals.checkpoints.load(Ordering::Acquire),
+            background_checkpoints,
+        }
+    }
+}
+
+/// The background checkpointer's main loop: sleep on the doorbell until
+/// an ingest crosses the policy threshold (or shutdown), then snapshot
+/// through the ordinary [`Staccato::checkpoint`] path. Holds only a
+/// `Weak` session reference so it never keeps a dropped session alive;
+/// if the upgrade fails the session is gone and the thread exits.
+fn checkpointer_loop(session: Weak<Staccato>, signal: Arc<CheckpointSignal>) {
+    loop {
+        {
+            let mut state = signal.lock();
+            while !state.pending && !state.shutdown {
+                state = signal.wake.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+            if state.shutdown {
+                return;
+            }
+            state.pending = false;
+        }
+        let Some(session) = session.upgrade() else {
+            return;
+        };
+        let outcome = session.checkpoint();
+        drop(session);
+        let mut state = signal.lock();
+        match outcome {
+            Ok(()) => state.runs += 1,
+            Err(_) => state.errors += 1,
         }
     }
 }

@@ -495,6 +495,27 @@ fn handle_stats(shared: &Shared) -> Response {
             ),
             ("wal_fsyncs", Json::Num(ingest.wal_fsyncs as f64)),
             ("replays", Json::Num(ingest.replays as f64)),
+            (
+                "wal_group_commits",
+                Json::Num(ingest.wal_group_commits as f64),
+            ),
+            (
+                "wal_batches_per_fsync",
+                Json::Num(ingest.wal_batches_per_fsync),
+            ),
+            (
+                "wal_flush_wait_p95_ms",
+                Json::Num(ingest.wal_flush_wait_p95.as_secs_f64() * 1e3),
+            ),
+            (
+                "wal_segments_deleted",
+                Json::Num(ingest.wal_segments_deleted as f64),
+            ),
+            ("checkpoints", Json::Num(ingest.checkpoints as f64)),
+            (
+                "background_checkpoints",
+                Json::Num(ingest.background_checkpoints as f64),
+            ),
         ]),
     ));
     if let Some(limiter) = &shared.limiter {
@@ -719,6 +740,7 @@ fn output_json(output: &QueryOutput) -> Json {
                 ("first_key", Json::Num(receipt.first_key as f64)),
                 ("docs", Json::Num(receipt.docs as f64)),
                 ("wal_bytes", Json::Num(receipt.wal_bytes as f64)),
+                ("lsn", Json::Num(receipt.lsn as f64)),
             ]),
         ));
     }
@@ -812,6 +834,7 @@ fn handle_ingest(shared: &Shared, request: &Request) -> Response {
                 ("first_key", Json::Num(receipt.first_key as f64)),
                 ("docs", Json::Num(receipt.docs as f64)),
                 ("wal_bytes", Json::Num(receipt.wal_bytes as f64)),
+                ("lsn", Json::Num(receipt.lsn as f64)),
             ])
             .render(),
         ),

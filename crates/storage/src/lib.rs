@@ -47,7 +47,7 @@ pub use heap::{HeapFile, HeapScan, Rid};
 pub use pager::{BufferPool, PoolStats};
 pub use rcu::RcuCell;
 pub use row::{ColumnType, Row, RowReader, Schema, Value};
-pub use wal::{SyncPolicy, Wal, WalStats};
+pub use wal::{FlushTicket, SyncPolicy, Wal, WalFlusher, WalStats};
 
 /// Identifier of a page on disk.
 pub type PageId = u64;

@@ -1,11 +1,12 @@
-//! Write-ahead log: append-only segments with CRC-framed records.
+//! Write-ahead log: append-only segments with CRC-framed records and a
+//! group-commit flusher.
 //!
 //! The durability contract of the ingest path (query layer) rests on
 //! this module: a batch is *committed* once its record is appended and
-//! the segment is fsynced per [`SyncPolicy`]; everything after that —
-//! heap inserts, index postings, history rows — can be replayed from
-//! the log. The WAL knows nothing about batches: records are opaque
-//! byte payloads framed as
+//! the covering bytes are fsynced; everything after that — heap
+//! inserts, index postings, history rows — can be replayed from the
+//! log. The WAL knows nothing about batches: records are opaque byte
+//! payloads framed as
 //!
 //! ```text
 //! +----------------+----------------+=================+
@@ -16,8 +17,24 @@
 //! packed back to back in numbered segment files
 //! (`wal-00000001.seg`, `wal-00000002.seg`, ...) inside one directory.
 //! A segment rotates once it crosses the segment byte limit, so
-//! no single file grows without bound and old segments can be archived
-//! wholesale.
+//! no single file grows without bound and sealed segments can be
+//! garbage-collected once a checkpoint covers them
+//! ([`Wal::gc_after_checkpoint`]).
+//!
+//! # Group commit
+//!
+//! Every append advances a monotone **LSN** — the total framed bytes
+//! written through this handle. Concurrent writers append under the
+//! caller's write latch, then wait for durability *outside* it through
+//! a [`WalFlusher`] (cloned from [`Wal::flusher`]): `wait_durable(lsn)`
+//! blocks until `durable_lsn >= lsn`. The first waiter to find no
+//! flush in flight becomes the **leader**: it snapshots the current
+//! appended LSN, releases the group lock, issues one `fsync`, then
+//! advances the durable LSN to the snapshot and wakes every follower.
+//! A single fsync thereby covers every record enqueued since the last
+//! flush; followers whose LSN the leader's snapshot covers never touch
+//! the disk at all. There is no busy-wait — followers sleep on a
+//! condvar — and no dedicated thread to shut down.
 //!
 //! # Recovery
 //!
@@ -34,7 +51,8 @@ use crate::error::StorageError;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::OnceLock;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Frame header size: `len` + `crc32`.
 const HEADER: u64 = 8;
@@ -46,13 +64,17 @@ const MAX_RECORD: u32 = 64 * 1024 * 1024;
 /// Default segment rotation threshold.
 const DEFAULT_SEGMENT_LIMIT: u64 = 8 * 1024 * 1024;
 
+/// Flush-wait samples kept for the p95 estimate.
+const WAIT_RING: usize = 1024;
+
 /// When the log forces data to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyncPolicy {
     /// fsync after every appended record (safest, slowest).
     Always,
-    /// fsync on [`Wal::commit`] — one sync per ingest batch. The
-    /// default for the ingest path.
+    /// fsync on [`Wal::commit`] or through the group-commit flusher —
+    /// at most one sync per flush group. The default for the ingest
+    /// path.
     Commit,
     /// Never fsync; the OS flushes when it pleases. A crash can lose
     /// records that `append` already returned for. Benchmarks only.
@@ -61,28 +83,208 @@ pub enum SyncPolicy {
 
 /// Counters the log keeps about itself (surfaced in `GET /stats` and
 /// `ExecStats`).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WalStats {
     /// Records appended through this handle.
     pub records_appended: u64,
     /// Payload + framing bytes written through this handle.
     pub bytes_logged: u64,
-    /// fsync calls issued.
+    /// fsync calls issued (appender-side + group-commit flusher).
     pub fsyncs: u64,
     /// Whole records recovered by the opening scan.
     pub records_replayed: u64,
     /// Torn-tail bytes truncated by the opening scan.
     pub truncated_bytes: u64,
+    /// fsyncs issued by the group-commit flusher (each one led by the
+    /// first waiter to find no flush in flight).
+    pub group_commits: u64,
+    /// Durability waits served by the flusher (≈ batches acknowledged
+    /// through the group-commit path).
+    pub commits: u64,
+    /// `commits / group_commits` — how many batches each group fsync
+    /// amortized. 0 when no group fsync has happened.
+    pub batches_per_fsync: f64,
+    /// p95 time a waiter spent blocked in `wait_durable` (over the
+    /// last `WAIT_RING` (1024) waits).
+    pub flush_wait_p95: Duration,
+    /// Sealed segments deleted by checkpoint GC.
+    pub segments_deleted: u64,
+}
+
+/// Shared state between the appender and the group-commit waiters. All
+/// fields sit under one mutex: the critical sections are nanoseconds
+/// against the milliseconds of the fsync they amortize, and the fsync
+/// itself runs with the lock *released*.
+struct GroupState {
+    /// The active segment's file, shared so the flush leader can sync
+    /// without borrowing the `Wal`. Rotation swaps it; bytes at or
+    /// below the pre-rotation LSN live in already-sealed segments.
+    file: Option<Arc<File>>,
+    /// Total framed bytes appended (mirror of `Wal::appended_lsn`).
+    appended_lsn: u64,
+    /// Everything at or below this LSN is on stable storage.
+    durable_lsn: u64,
+    /// A leader is between snapshot and fsync-completion.
+    flushing: bool,
+    /// A leader's fsync failed; the log is unusable for durability.
+    poisoned: bool,
+    /// Group fsyncs issued.
+    fsyncs: u64,
+    /// Waits served.
+    commits: u64,
+    wait_ns: Vec<u64>,
+    wait_next: usize,
+}
+
+impl GroupState {
+    fn record_wait(&mut self, wait: Duration) {
+        let ns = wait.as_nanos().min(u64::MAX as u128) as u64;
+        if self.wait_ns.len() < WAIT_RING {
+            self.wait_ns.push(ns);
+        } else {
+            self.wait_ns[self.wait_next] = ns;
+            self.wait_next = (self.wait_next + 1) % WAIT_RING;
+        }
+    }
+
+    fn wait_p95(&self) -> Duration {
+        if self.wait_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.wait_ns.clone();
+        sorted.sort_unstable();
+        Duration::from_nanos(sorted[(sorted.len() - 1) * 95 / 100])
+    }
+}
+
+struct GroupCommit {
+    state: Mutex<GroupState>,
+    flushed: Condvar,
+}
+
+impl GroupCommit {
+    fn new(file: Arc<File>) -> Arc<GroupCommit> {
+        Arc::new(GroupCommit {
+            state: Mutex::new(GroupState {
+                file: Some(file),
+                appended_lsn: 0,
+                durable_lsn: 0,
+                flushing: false,
+                poisoned: false,
+                fsyncs: 0,
+                commits: 0,
+                wait_ns: Vec::new(),
+                wait_next: 0,
+            }),
+            flushed: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, GroupState> {
+        // A panicking waiter must not wedge the whole write path.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// What one `wait_durable` call observed — folded into per-statement
+/// `ExecStats` by the session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlushTicket {
+    /// How long the caller was blocked waiting for its LSN.
+    pub wait: Duration,
+    /// Group fsyncs this caller led on behalf of everyone (0 when it
+    /// rode a flush someone else issued).
+    pub fsyncs_led: u64,
+}
+
+/// A cloneable handle for waiting on durability without holding the
+/// `Wal` (and therefore without holding the caller's write latch).
+#[derive(Clone)]
+pub struct WalFlusher {
+    group: Arc<GroupCommit>,
+}
+
+impl WalFlusher {
+    /// Block until every byte at or below `lsn` is on stable storage.
+    ///
+    /// Leader/follower: if no flush is in flight, this caller becomes
+    /// the leader — it snapshots the appended LSN and the active file
+    /// under the group lock, drops the lock, issues **one**
+    /// `sync_data`, then advances the durable LSN to the snapshot and
+    /// wakes all followers. The snapshot argument makes this safe:
+    /// every byte at or below the snapshot LSN was written either to
+    /// the snapshotted file or to an earlier segment that rotation
+    /// already sealed and synced.
+    pub fn wait_durable(&self, lsn: u64) -> Result<FlushTicket, StorageError> {
+        let started = Instant::now();
+        let mut led = 0u64;
+        let mut state = self.group.lock();
+        loop {
+            if state.poisoned {
+                return Err(poisoned_error());
+            }
+            if state.durable_lsn >= lsn {
+                state.commits += 1;
+                let wait = started.elapsed();
+                state.record_wait(wait);
+                return Ok(FlushTicket {
+                    wait,
+                    fsyncs_led: led,
+                });
+            }
+            if !state.flushing {
+                state.flushing = true;
+                let target = state.appended_lsn;
+                let file = state.file.clone();
+                drop(state);
+                let synced = match &file {
+                    Some(f) => f.sync_data(),
+                    None => Ok(()),
+                };
+                state = self.group.lock();
+                state.flushing = false;
+                match synced {
+                    Ok(()) => {
+                        state.durable_lsn = state.durable_lsn.max(target);
+                        state.fsyncs += 1;
+                        led += 1;
+                    }
+                    Err(e) => {
+                        state.poisoned = true;
+                        self.group.flushed.notify_all();
+                        return Err(e.into());
+                    }
+                }
+                self.group.flushed.notify_all();
+            } else {
+                state = self
+                    .group
+                    .flushed
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}
+
+fn poisoned_error() -> StorageError {
+    StorageError::Io(std::io::Error::other(
+        "WAL flusher poisoned by an earlier fsync failure",
+    ))
 }
 
 /// An open write-ahead log, positioned to append at the clean tail.
 pub struct Wal {
     dir: PathBuf,
     policy: SyncPolicy,
-    file: File,
+    file: Arc<File>,
     seg_index: u64,
     seg_bytes: u64,
     segment_limit: u64,
+    /// Total framed bytes appended through this handle — the LSN of
+    /// the last appended record's end.
+    appended_lsn: u64,
+    group: Arc<GroupCommit>,
     stats: WalStats,
 }
 
@@ -98,14 +300,16 @@ impl Wal {
                 dir.display()
             )));
         }
-        let file = open_segment(&dir, 1)?;
+        let file = Arc::new(open_segment(&dir, 1)?);
         Ok(Wal {
             dir,
             policy,
+            group: GroupCommit::new(Arc::clone(&file)),
             file,
             seg_index: 1,
             seg_bytes: 0,
             segment_limit: DEFAULT_SEGMENT_LIMIT,
+            appended_lsn: 0,
             stats: WalStats::default(),
         })
     }
@@ -156,14 +360,17 @@ impl Wal {
         let (seg_index, seg_bytes) = clean;
         let mut file = open_segment(&dir, seg_index)?;
         file.seek(SeekFrom::Start(seg_bytes))?;
+        let file = Arc::new(file);
         Ok((
             Wal {
                 dir,
                 policy,
+                group: GroupCommit::new(Arc::clone(&file)),
                 file,
                 seg_index,
                 seg_bytes,
                 segment_limit: DEFAULT_SEGMENT_LIMIT,
+                appended_lsn: 0,
                 stats,
             },
             payloads,
@@ -180,15 +387,48 @@ impl Wal {
         &self.dir
     }
 
-    /// Counters accumulated by this handle (appends) plus its opening
-    /// scan (replays, truncation).
+    /// Counters accumulated by this handle (appends, GC), its opening
+    /// scan (replays, truncation), and the group-commit flusher.
     pub fn stats(&self) -> WalStats {
-        self.stats
+        let mut merged = self.stats;
+        let state = self.group.lock();
+        merged.fsyncs += state.fsyncs;
+        merged.group_commits = state.fsyncs;
+        merged.commits = state.commits;
+        merged.batches_per_fsync = if state.fsyncs > 0 {
+            state.commits as f64 / state.fsyncs as f64
+        } else {
+            0.0
+        };
+        merged.flush_wait_p95 = state.wait_p95();
+        merged
+    }
+
+    /// fsyncs issued by this handle alone (appends, commits, rotation
+    /// seals — not the group flusher's).
+    pub fn appender_fsyncs(&self) -> u64 {
+        self.stats.fsyncs
+    }
+
+    /// The LSN of the last appended record's end: pass it to
+    /// [`WalFlusher::wait_durable`] to block until that record is on
+    /// stable storage.
+    pub fn last_lsn(&self) -> u64 {
+        self.appended_lsn
+    }
+
+    /// A cloneable durability handle, usable without holding the `Wal`
+    /// (and therefore without the caller's write latch).
+    pub fn flusher(&self) -> WalFlusher {
+        WalFlusher {
+            group: Arc::clone(&self.group),
+        }
     }
 
     /// Append one record. Under [`SyncPolicy::Always`] the segment is
     /// fsynced before returning; otherwise durability waits for
-    /// [`Wal::commit`]. Returns the framed size in bytes.
+    /// [`Wal::commit`] or [`WalFlusher::wait_durable`]. Returns the
+    /// framed size in bytes.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, StorageError> {
         if payload.len() as u64 > MAX_RECORD as u64 {
             return Err(StorageError::TupleTooLarge {
@@ -197,50 +437,112 @@ impl Wal {
             });
         }
         if self.seg_bytes >= self.segment_limit {
-            self.rotate()?;
+            self.rotate(true)?;
         }
         let mut frame = Vec::with_capacity(payload.len() + HEADER as usize);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
-        self.file.write_all(&frame)?;
+        (&*self.file).write_all(&frame)?;
         self.seg_bytes += frame.len() as u64;
+        self.appended_lsn += frame.len() as u64;
         self.stats.records_appended += 1;
         self.stats.bytes_logged += frame.len() as u64;
         if self.policy == SyncPolicy::Always {
             self.file.sync_data()?;
             self.stats.fsyncs += 1;
         }
+        let mut state = self.group.lock();
+        state.appended_lsn = self.appended_lsn;
+        if self.policy != SyncPolicy::Commit {
+            // Always: the sync above covered it. Never: nothing will
+            // ever sync, so waiting would hang — declare it "durable".
+            state.durable_lsn = state.durable_lsn.max(self.appended_lsn);
+        }
         Ok(frame.len() as u64)
     }
 
     /// Make everything appended so far durable (per policy). This is
-    /// the commit point of the ingest path: a batch whose `commit`
-    /// returned survives any crash after it.
+    /// the synchronous commit point for single-writer callers; the
+    /// concurrent ingest path uses [`WalFlusher::wait_durable`]
+    /// instead so one fsync can cover many batches.
     pub fn commit(&mut self) -> Result<(), StorageError> {
         match self.policy {
             SyncPolicy::Always => Ok(()), // every append already synced
             SyncPolicy::Commit => {
                 self.file.sync_data()?;
                 self.stats.fsyncs += 1;
+                let mut state = self.group.lock();
+                state.durable_lsn = state.durable_lsn.max(self.appended_lsn);
                 Ok(())
             }
             SyncPolicy::Never => {
-                self.file.flush()?;
+                (&*self.file).flush()?;
                 Ok(())
             }
         }
     }
 
-    fn rotate(&mut self) -> Result<(), StorageError> {
+    /// Checkpoint barrier: force every appended byte to stable storage
+    /// regardless of how the group flusher is pacing (no-op under
+    /// [`SyncPolicy::Never`]). The session calls this under its write
+    /// latch right before saving the database, so the saved state is
+    /// always a subset of the durable log.
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        if self.policy == SyncPolicy::Never {
+            (&*self.file).flush()?;
+            return Ok(());
+        }
+        self.file.sync_data()?;
+        self.stats.fsyncs += 1;
+        let mut state = self.group.lock();
+        state.durable_lsn = state.durable_lsn.max(self.appended_lsn);
+        Ok(())
+    }
+
+    /// Garbage-collect the log after a checkpoint: rotate to a fresh
+    /// segment (if the current one holds records) and delete every
+    /// sealed segment. Returns the number of segments deleted.
+    ///
+    /// # Safety rule
+    ///
+    /// Only call once a checkpoint has persisted the effect of **every
+    /// appended record** — the session does this under its write latch
+    /// (so no append can race in) right after `Database::save`, which
+    /// itself runs after [`Wal::flush`]. Every deleted record's effect
+    /// is then in the saved database, so recovery never needs it.
+    pub fn gc_after_checkpoint(&mut self) -> Result<u64, StorageError> {
+        if self.seg_bytes > 0 {
+            // The caller just flushed; no second seal-sync needed.
+            self.rotate(false)?;
+        }
+        let mut deleted = 0u64;
+        for seg in segment_indexes(&self.dir)? {
+            if seg < self.seg_index {
+                std::fs::remove_file(segment_path(&self.dir, seg))?;
+                deleted += 1;
+            }
+        }
+        self.stats.segments_deleted += deleted;
+        Ok(deleted)
+    }
+
+    fn rotate(&mut self, sync_old: bool) -> Result<(), StorageError> {
         // Seal the old segment before the new one accepts records.
-        if self.policy != SyncPolicy::Never {
+        if sync_old && self.policy != SyncPolicy::Never {
             self.file.sync_data()?;
             self.stats.fsyncs += 1;
         }
         self.seg_index += 1;
-        self.file = open_segment(&self.dir, self.seg_index)?;
+        self.file = Arc::new(open_segment(&self.dir, self.seg_index)?);
         self.seg_bytes = 0;
+        let mut state = self.group.lock();
+        state.file = Some(Arc::clone(&self.file));
+        // Everything before the rotation lives in sealed segments that
+        // were just synced (or needs no sync under Never): a flush
+        // leader snapshotting now must not fsync the fresh empty file
+        // and then mark old bytes durable without covering them.
+        state.durable_lsn = state.durable_lsn.max(self.appended_lsn);
         Ok(())
     }
 }
@@ -519,5 +821,104 @@ mod tests {
             Wal::create(&tmp.0, SyncPolicy::Never),
             Err(StorageError::DuplicateObject(_))
         ));
+    }
+
+    #[test]
+    fn one_group_fsync_covers_every_pending_batch() {
+        let tmp = TempDir::new("group");
+        let mut wal = Wal::create(&tmp.0, SyncPolicy::Commit).unwrap();
+        let mut lsns = Vec::new();
+        for i in 0u8..5 {
+            wal.append(&[i; 9]).unwrap();
+            lsns.push(wal.last_lsn());
+        }
+        let flusher = wal.flusher();
+        // The first waiter leads one fsync whose snapshot covers all
+        // five records; the rest find their LSN already durable.
+        for &lsn in &lsns {
+            flusher.wait_durable(lsn).unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.group_commits, 1, "one leader fsync");
+        assert_eq!(stats.fsyncs, 1);
+        assert_eq!(stats.commits, 5);
+        assert!((stats.batches_per_fsync - 5.0).abs() < 1e-9);
+        drop(wal);
+        let (_, replayed) = Wal::open(&tmp.0, SyncPolicy::Commit).unwrap();
+        assert_eq!(replayed.len(), 5);
+    }
+
+    #[test]
+    fn wait_durable_returns_immediately_when_already_durable() {
+        let tmp = TempDir::new("group_nowait");
+        let mut wal = Wal::create(&tmp.0, SyncPolicy::Always).unwrap();
+        wal.append(b"synced at append").unwrap();
+        let lsn = wal.last_lsn();
+        let ticket = wal.flusher().wait_durable(lsn).unwrap();
+        assert_eq!(ticket.fsyncs_led, 0, "Always needs no group fsync");
+        assert_eq!(wal.stats().group_commits, 0);
+    }
+
+    #[test]
+    fn concurrent_waiters_all_reach_durability() {
+        const THREADS: usize = 8;
+        const BATCHES: usize = 5;
+        let tmp = TempDir::new("group_threads");
+        let wal = Mutex::new(Wal::create(&tmp.0, SyncPolicy::Commit).unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let wal = &wal;
+                scope.spawn(move || {
+                    for b in 0..BATCHES {
+                        let (flusher, lsn) = {
+                            let mut w = wal.lock().unwrap();
+                            w.append(&[t as u8, b as u8, 0xAB]).unwrap();
+                            (w.flusher(), w.last_lsn())
+                        };
+                        flusher.wait_durable(lsn).unwrap();
+                    }
+                });
+            }
+        });
+        let wal = wal.into_inner().unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.commits, (THREADS * BATCHES) as u64);
+        assert!(stats.group_commits >= 1);
+        assert!(stats.group_commits <= (THREADS * BATCHES) as u64);
+        drop(wal);
+        let (_, replayed) = Wal::open(&tmp.0, SyncPolicy::Commit).unwrap();
+        assert_eq!(replayed.len(), THREADS * BATCHES);
+    }
+
+    #[test]
+    fn gc_after_checkpoint_deletes_sealed_segments() {
+        let tmp = TempDir::new("gc");
+        let mut wal = Wal::create(&tmp.0, SyncPolicy::Commit).unwrap();
+        wal.set_segment_limit(64);
+        for i in 0u32..40 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        wal.flush().unwrap();
+        let live_before = segment_indexes(&tmp.0).unwrap().len();
+        assert!(live_before > 1, "the limit must force rotation");
+        let deleted = wal.gc_after_checkpoint().unwrap();
+        assert_eq!(deleted as usize, live_before, "every sealed segment goes");
+        assert_eq!(segment_indexes(&tmp.0).unwrap().len(), 1);
+        assert_eq!(wal.stats().segments_deleted, deleted);
+        // Appends continue in the fresh segment and replay alone.
+        wal.append(b"after the checkpoint").unwrap();
+        wal.commit().unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&tmp.0, SyncPolicy::Commit).unwrap();
+        assert_eq!(replayed, vec![b"after the checkpoint".to_vec()]);
+    }
+
+    #[test]
+    fn gc_on_an_empty_segment_deletes_nothing() {
+        let tmp = TempDir::new("gc_empty");
+        let mut wal = Wal::create(&tmp.0, SyncPolicy::Commit).unwrap();
+        assert_eq!(wal.gc_after_checkpoint().unwrap(), 0);
+        assert_eq!(segment_indexes(&tmp.0).unwrap().len(), 1);
+        assert_eq!(wal.stats().segments_deleted, 0);
     }
 }

@@ -49,8 +49,8 @@ pub use staccato_sfa as sfa;
 pub use staccato_storage as storage;
 
 pub use staccato_query::{
-    AggregateFunc, AggregateResult, Answer, Approach, DocumentInput, ExecStats, HistoryRow,
-    IngestBatch, IngestReceipt, IngestStats, Plan, PlanPreference, PreparedQuery, QueryOutput,
-    QueryRequest, SqlTable, SqlValue, Staccato,
+    AggregateFunc, AggregateResult, Answer, Approach, CheckpointPolicy, DocumentInput, ExecStats,
+    HistoryRow, IngestBatch, IngestReceipt, IngestStats, Plan, PlanPreference, PreparedQuery,
+    QueryOutput, QueryRequest, SqlTable, SqlValue, Staccato,
 };
 pub use staccato_storage::{SyncPolicy, WalStats};

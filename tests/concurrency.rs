@@ -13,12 +13,15 @@ use staccato::approx::StaccatoParams;
 use staccato::automata::Trie;
 use staccato::ocr::{generate, ChannelConfig, CorpusKind};
 use staccato::query::store::LoadOptions;
+use staccato::query::RecoverOptions;
 use staccato::storage::Database;
 use staccato::{
-    AggregateFunc, Answer, Approach, DocumentInput, IngestBatch, QueryRequest, Staccato,
+    AggregateFunc, Answer, Approach, DocumentInput, IngestBatch, IngestReceipt, QueryRequest,
+    Staccato, SyncPolicy,
 };
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 fn session(lines: usize, seed: u64) -> Staccato {
     let dataset = generate(CorpusKind::CongressActs, lines, seed);
@@ -448,4 +451,168 @@ fn four_writers_two_readers_never_observe_a_partial_batch() {
             "document {key} of writer 3 batch 5 must match its own text"
         );
     }
+}
+
+/// The group-commit write path under full contention: eight writers
+/// share the WAL flusher while two readers scan. Three contracts at
+/// once (the ones DESIGN.md's group-commit section argues):
+///
+/// * **Receipts are LSN-ordered.** Batch sequence numbers and WAL
+///   offsets are both assigned under the writer latch, so sorting every
+///   receipt by `batch_seq` must yield strictly increasing `lsn` — and
+///   each ack means everything at or below that LSN is durable.
+/// * **Reads are all-or-nothing.** A reader may land between batches,
+///   never inside one.
+/// * **Recovery is exact.** A crash after the last ack replays every
+///   batch: the recovered store is byte-identical — keys, probabilities,
+///   history rows, timestamps — to the never-crashed session.
+#[test]
+fn eight_writers_two_readers_group_commit_is_ordered_atomic_and_durable() {
+    const WRITERS: u64 = 8;
+    const BATCHES_PER_WRITER: u64 = 3;
+    const DOCS_PER_BATCH: usize = 2;
+
+    struct TempDir(PathBuf);
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let dir =
+        TempDir(std::env::temp_dir().join(format!("staccato_conc_group_{}", std::process::id())));
+    let _ = std::fs::remove_dir_all(&dir.0);
+    std::fs::create_dir_all(&dir.0).expect("temp dir");
+    let db_path = dir.0.join("store.db");
+    let wal_dir = dir.0.join("wal");
+
+    let dataset = generate(CorpusKind::CongressActs, 8, 23);
+    let opts = LoadOptions {
+        channel: ChannelConfig::compact(23),
+        kmap_k: 4,
+        staccato: StaccatoParams::new(6, 4),
+        parallelism: 1,
+    };
+    let session = Arc::new({
+        let db = Database::create(&db_path, 2048).expect("create");
+        let s = Staccato::load(db, &dataset, &opts).expect("load");
+        s.checkpoint().expect("checkpoint");
+        s.attach_wal(&wal_dir, SyncPolicy::Commit).expect("attach");
+        s
+    });
+    let loaded = session.line_count();
+    let receipts: Mutex<Vec<(u64, IngestReceipt)>> = Mutex::new(Vec::new());
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for r in 0..2 {
+            let session = Arc::clone(&session);
+            let done = &done;
+            scope.spawn(move || {
+                let mut observations = 0u64;
+                while !done.load(Ordering::Acquire) || observations == 0 {
+                    let lines = session.line_count();
+                    let history = session
+                        .sql("SELECT * FROM StaccatoHistory")
+                        .expect("history scan")
+                        .history
+                        .expect("rows");
+                    assert!(
+                        history.len() + loaded >= lines,
+                        "reader {r}: line_count promises rows history does not show"
+                    );
+                    let mut per_seq = std::collections::HashMap::new();
+                    for row in &history {
+                        *per_seq.entry(row.batch_seq).or_insert(0usize) += 1;
+                    }
+                    for (seq, count) in per_seq {
+                        assert_eq!(
+                            count, DOCS_PER_BATCH,
+                            "reader {r}: batch {seq} is partially visible"
+                        );
+                    }
+                    observations += 1;
+                }
+            });
+        }
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let session = Arc::clone(&session);
+                let receipts = &receipts;
+                scope.spawn(move || {
+                    let mut last_lsn = 0u64;
+                    for b in 0..BATCHES_PER_WRITER {
+                        let mut batch = IngestBatch::new();
+                        for d in 0..DOCS_PER_BATCH {
+                            batch = batch.doc(DocumentInput::new(
+                                format!("w{w}-b{b}-d{d}.png"),
+                                format!("writer {w} group batch {b} document {d}"),
+                            ));
+                        }
+                        let receipt = session.ingest(batch).expect("ingest");
+                        assert!(
+                            receipt.lsn > last_lsn,
+                            "writer {w}: receipts must be monotonically LSN-ordered"
+                        );
+                        last_lsn = receipt.lsn;
+                        receipts.lock().unwrap().push((w, receipt));
+                    }
+                })
+            })
+            .collect();
+        for handle in writers {
+            handle.join().expect("writer");
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    // Global ordering: batch_seq order IS lsn order — both are assigned
+    // under the writer latch, and acks only come back durable.
+    let mut receipts = receipts.into_inner().unwrap();
+    receipts.sort_by_key(|(_, r)| r.batch_seq);
+    let total = WRITERS * BATCHES_PER_WRITER;
+    assert_eq!(receipts.len() as u64, total);
+    for pair in receipts.windows(2) {
+        assert!(
+            pair[1].1.lsn > pair[0].1.lsn,
+            "batch {} (lsn {}) must sit above batch {} (lsn {})",
+            pair[1].1.batch_seq,
+            pair[1].1.lsn,
+            pair[0].1.batch_seq,
+            pair[0].1.lsn
+        );
+    }
+    let seqs: Vec<u64> = receipts.iter().map(|(_, r)| r.batch_seq).collect();
+    assert_eq!(seqs, (1..=total).collect::<Vec<u64>>(), "dense sequences");
+    let stats = session.ingest_stats();
+    assert_eq!(stats.batches, total);
+    assert!(stats.wal_group_commits > 0, "{stats:?}");
+
+    // Crash after the last ack; the recovered store must be
+    // byte-identical to the never-crashed one.
+    let observe = |s: &Staccato| {
+        let answers = s
+            .sql("SELECT DataKey, Prob FROM StaccatoData WHERE Data LIKE '%e%' LIMIT 10000")
+            .expect("select")
+            .answers;
+        let history = s
+            .sql("SELECT * FROM StaccatoHistory")
+            .expect("history")
+            .history
+            .expect("rows");
+        (s.line_count(), answers, history)
+    };
+    let expected = observe(&session);
+    drop(session);
+    let recovered = Staccato::recover_with(
+        &db_path,
+        &wal_dir,
+        &RecoverOptions {
+            pool_frames: 2048,
+            load: opts,
+            sync: SyncPolicy::Commit,
+        },
+    )
+    .expect("recover");
+    assert_eq!(recovered.ingest_stats().replays, total);
+    assert_eq!(observe(&recovered), expected);
 }

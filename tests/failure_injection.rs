@@ -418,6 +418,115 @@ fn replay_is_idempotent_over_checkpoints_and_repeated_recovery() {
     assert_eq!(keys, vec![8, 9, 10]);
 }
 
+/// Group commit's durability contract: `ingest()` returns only once the
+/// batch's LSN is covered by a (possibly shared) fsync, so a crash
+/// immediately after the last acknowledgment loses nothing — every
+/// acknowledged batch replays, whichever flush leader synced it.
+#[test]
+fn group_commit_crash_replays_every_acknowledged_batch() {
+    const WRITERS: u64 = 4;
+    const BATCHES_PER_WRITER: u64 = 3;
+
+    let dir = TempDir::new("group_ack");
+    let opts = wal_options(1);
+    let dataset = generate(CorpusKind::DbPapers, 8, 1);
+    {
+        let db = Database::create(dir.path().join("store.db"), 1024).expect("create");
+        let session = Arc::new(Staccato::load(db, &dataset, &opts).expect("load"));
+        session.checkpoint().expect("checkpoint");
+        session
+            .attach_wal(&dir.path().join("wal"), SyncPolicy::Commit)
+            .expect("attach");
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let session = Arc::clone(&session);
+                scope.spawn(move || {
+                    for b in 0..BATCHES_PER_WRITER {
+                        let receipt = session
+                            .ingest(IngestBatch::new().doc(DocumentInput::new(
+                                format!("w{w}-b{b}.png"),
+                                format!("writer {w} durable batch {b}"),
+                            )))
+                            .expect("ingest");
+                        assert!(receipt.lsn > 0, "WAL attached: the ack names an LSN");
+                    }
+                });
+            }
+        });
+        let stats = session.ingest_stats();
+        assert!(stats.wal_group_commits > 0, "{stats:?}");
+        assert!(
+            stats.wal_fsyncs <= stats.wal_records_appended + 1,
+            "group commit never syncs more than once per record: {stats:?}"
+        );
+        // Crash: every batch was acknowledged, none checkpointed.
+    }
+
+    let session = recover(dir.path(), &opts);
+    let total = WRITERS * BATCHES_PER_WRITER;
+    assert_eq!(session.ingest_stats().replays, total);
+    assert_eq!(session.line_count() as u64, 8 + total);
+    let history = session
+        .sql("SELECT * FROM StaccatoHistory")
+        .expect("history")
+        .history
+        .expect("rows");
+    assert_eq!(history.len() as u64, total, "no acknowledged batch is lost");
+}
+
+/// A crash that lands between the WAL append and the group fsync leaves
+/// an arbitrary tail of the segment missing. Wherever the cut falls —
+/// mid-frame, mid-payload, or exactly on a record boundary — recovery
+/// must truncate to the whole-record prefix and succeed; a torn tail is
+/// a normal crash shape, never `CorruptWal`.
+#[test]
+fn torn_group_commit_tail_is_truncated_at_every_cut_point() {
+    let dir = TempDir::new("cutsweep");
+    let opts = crashable_store(dir.path(), 4);
+
+    // Progressively tear the tail: each recovery truncates the torn
+    // record on disk, so every iteration is a fresh, deeper crash state.
+    let mut survivors = 4u64;
+    for cut in [1u64, 7, 23, 64, 150] {
+        let last = wal_segments(dir.path()).pop().expect("segment");
+        let len = std::fs::metadata(&last).expect("meta").len();
+        if len <= cut {
+            break;
+        }
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&last)
+            .expect("open")
+            .set_len(len - cut)
+            .expect("truncate");
+
+        // Tearing must surface as truncation, not corruption.
+        let session = recover(dir.path(), &opts);
+        let replayed = session.ingest_stats().replays;
+        assert!(
+            replayed <= survivors,
+            "cut {cut}: tearing cannot resurrect batches ({replayed} > {survivors})"
+        );
+        survivors = replayed;
+        // The surviving prefix is exactly batches 1..=replayed, fully
+        // consistent between rows and history.
+        assert_eq!(session.line_count() as u64, 8 + replayed);
+        let history = session
+            .sql("SELECT * FROM StaccatoHistory")
+            .expect("history")
+            .history
+            .expect("rows");
+        assert_eq!(history.len() as u64, replayed);
+        for (i, row) in history.iter().enumerate() {
+            assert_eq!(row.file_name, format!("doc-{}.png", i + 1));
+        }
+    }
+    assert!(
+        survivors < 4,
+        "the sweep must actually have torn records away"
+    );
+}
+
 #[test]
 fn pool_too_small_for_pins_reports_exhaustion() {
     let db = Database::in_memory(2).expect("db");

@@ -264,3 +264,135 @@ fn ingest_is_immediately_visible_without_checkpoint() {
         .expect("rows");
     assert_eq!(history.len(), 1);
 }
+
+/// The background checkpointer: a batch-count policy rings the doorbell
+/// from the write path, the dedicated thread snapshots and GCs sealed
+/// WAL segments while ingest keeps going, and a crash afterwards
+/// recovers exactly — replaying only what the last checkpoint missed.
+#[test]
+fn background_checkpointer_snapshots_and_gcs_segments_off_the_write_path() {
+    use staccato::CheckpointPolicy;
+    use std::sync::Arc;
+
+    const BATCHES: u64 = 6;
+
+    let dir = TempDir::new("bgckpt");
+    let db_path = dir.path().join("store.db");
+    let wal_dir = dir.path().join("wal");
+    let opts = load_options(7);
+    let dataset = generate(CorpusKind::CongressActs, 8, 7);
+
+    let expected;
+    {
+        let db = Database::create(&db_path, 2048).expect("create");
+        let session = Arc::new(Staccato::load(db, &dataset, &opts).expect("load"));
+        session.checkpoint().expect("checkpoint after load");
+        session
+            .attach_wal(&wal_dir, SyncPolicy::Commit)
+            .expect("attach");
+        Staccato::start_background_checkpoints(&session, CheckpointPolicy::every_batches(2))
+            .expect("start checkpointer");
+
+        for n in 1..=BATCHES {
+            session.ingest(batch(n)).expect("ingest");
+        }
+        // The write path never blocks on a snapshot — it only rings a
+        // doorbell — so give the checkpointer a moment to drain.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let stats = session.ingest_stats();
+            if stats.background_checkpoints >= 2 && stats.wal_segments_deleted >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "checkpointer never caught up: {stats:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let stats = session.ingest_stats();
+        assert!(
+            stats.checkpoints >= stats.background_checkpoints,
+            "background runs are counted as checkpoints too: {stats:?}"
+        );
+        // GC must never delete the live segment: the log stays openable
+        // and holds a consistent (possibly empty) suffix of batches.
+        expected = snapshot(&session);
+        assert_eq!(expected.lines, 8 + 2 * BATCHES as usize);
+        // Crash without a manual checkpoint.
+    }
+
+    let recovered = Staccato::recover_with(
+        &db_path,
+        &wal_dir,
+        &RecoverOptions {
+            pool_frames: 2048,
+            load: opts.clone(),
+            sync: SyncPolicy::Commit,
+        },
+    )
+    .expect("recover after background checkpoints");
+    // Byte-identical state, and the replay covers only the batches the
+    // last background snapshot had not yet persisted.
+    assert_eq!(snapshot(&recovered), expected);
+    assert!(
+        recovered.ingest_stats().replays < BATCHES,
+        "a checkpoint ran, so some prefix must not need replay: {:?}",
+        recovered.ingest_stats()
+    );
+}
+
+/// The byte-threshold trigger: a policy of "checkpoint every N WAL
+/// bytes" with tiny N checkpoints on (nearly) every batch, and segment
+/// GC keeps the directory from accumulating sealed segments.
+#[test]
+fn byte_threshold_policy_checkpoints_and_bounds_the_wal_directory() {
+    use staccato::CheckpointPolicy;
+    use std::sync::Arc;
+
+    let dir = TempDir::new("bytepolicy");
+    let opts = load_options(11);
+    let dataset = generate(CorpusKind::DbPapers, 6, 11);
+    let db = Database::create(dir.path().join("store.db"), 2048).expect("create");
+    let session = Arc::new(Staccato::load(db, &dataset, &opts).expect("load"));
+    session.checkpoint().expect("checkpoint");
+    session
+        .attach_wal(&dir.path().join("wal"), SyncPolicy::Commit)
+        .expect("attach");
+    // Every batch logs far more than 1 byte, so each one is due.
+    Staccato::start_background_checkpoints(&session, CheckpointPolicy::every_bytes(1))
+        .expect("start checkpointer");
+
+    for n in 1..=4u64 {
+        session.ingest(batch(n)).expect("ingest");
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let stats = session.ingest_stats();
+        if stats.background_checkpoints >= 1 && stats.wal_segments_deleted >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "byte policy never triggered: {stats:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    // Sealed segments are deleted as they are covered: at most the live
+    // segment plus one in-flight seal survive on disk.
+    let segments = std::fs::read_dir(dir.path().join("wal"))
+        .expect("wal dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .count();
+    assert!(
+        segments <= 2,
+        "GC must bound the directory, found {segments}"
+    );
+    // The session stays fully usable after many background snapshots.
+    let keys = session
+        .sql("SELECT DataKey FROM MAPData WHERE Data LIKE '%amendment%' LIMIT 100")
+        .expect("select")
+        .answers;
+    assert!(!keys.is_empty());
+}
